@@ -1,0 +1,1 @@
+bench/ablation.ml: Adg Builder Comp Compile Exp_common Kernels List Overgen_adg Overgen_mdfg Overgen_scheduler Overgen_sim Overgen_util Overgen_workload Printf Render Spatial Sys_adg System

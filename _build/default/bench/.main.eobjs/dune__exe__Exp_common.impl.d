@@ -1,0 +1,1 @@
+bench/exp_common.ml: Hashtbl Kernels Overgen Overgen_dse Overgen_hls Overgen_workload Printf String Suite

@@ -1,0 +1,1 @@
+bench/extensions.ml: Exp_common Kernels List Overgen_adg Overgen_dse Overgen_fpga Overgen_mdfg Overgen_scheduler Overgen_sim Overgen_util Overgen_workload Printf Render Suite

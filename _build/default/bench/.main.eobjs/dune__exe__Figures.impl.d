@@ -1,0 +1,1 @@
+bench/figures.ml: Exp_common Float Ir Kernels List Overgen Overgen_adg Overgen_fpga Overgen_util Overgen_workload Printf Render Stats String Suite

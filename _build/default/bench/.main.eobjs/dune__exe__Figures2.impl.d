@@ -1,0 +1,1 @@
+bench/figures2.ml: Exp_common Float Hashtbl Ir Kernels List Overgen Overgen_adg Overgen_dse Overgen_fpga Overgen_hls Overgen_util Overgen_workload Printf Render Stats String Suite

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Extensions Figures Figures2 List Micro Printf String Sys Tables Unix

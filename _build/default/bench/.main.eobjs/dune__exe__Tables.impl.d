@@ -1,0 +1,1 @@
+bench/tables.ml: Exp_common Ir Kernels List Overgen Overgen_adg Overgen_fpga Overgen_mdfg Overgen_mlp Overgen_util Overgen_workload Printf Render String Suite

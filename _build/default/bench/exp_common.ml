@@ -1,0 +1,113 @@
+(* Shared, memoized experiment context: the trained resource model and the
+   DSE-generated overlays are reused across tables and figures, exactly as
+   the paper evaluates one design per suite/workload. *)
+
+open Overgen_workload
+module Dse = Overgen_dse.Dse
+module Hls = Overgen_hls.Hls
+
+let suite_iterations = 500
+let workload_iterations = 350
+
+let model_ref = ref None
+
+let model () =
+  match !model_ref with
+  | Some m -> m
+  | None ->
+    let m = Overgen.train_model ~seed:7 () in
+    model_ref := Some m;
+    m
+
+let memo : (string, Overgen.overlay) Hashtbl.t = Hashtbl.create 32
+
+let memoize key f =
+  match Hashtbl.find_opt memo key with
+  | Some v -> v
+  | None ->
+    let v = f () in
+    Hashtbl.add memo key v;
+    v
+
+let general () =
+  memoize "general" (fun () ->
+      match Overgen.general ~model:(model ()) Kernels.all with
+      | Ok o -> o
+      | Error e -> failwith ("general overlay cannot host all workloads: " ^ e))
+
+let dse_config ~seed ~iterations =
+  { Dse.default_config with seed; iterations }
+
+let suite_overlay suite =
+  let name = Suite.to_string suite in
+  memoize ("suite:" ^ name) (fun () ->
+      Overgen.generate
+        ~config:(dse_config ~seed:(100 + Hashtbl.hash name) ~iterations:suite_iterations)
+        ~model:(model ()) (Kernels.of_suite suite))
+
+let workload_overlay ?(tuned = false) kname =
+  let key = if tuned then "wlt:" ^ kname else "wl:" ^ kname in
+  memoize key (fun () ->
+      Overgen.generate
+        ~config:(dse_config ~seed:(200 + Hashtbl.hash kname) ~iterations:workload_iterations)
+        ~tuned ~model:(model ())
+        [ Kernels.find kname ])
+
+let custom_overlay ~key ~seed ~iterations kernels =
+  memoize key (fun () ->
+      Overgen.generate ~config:(dse_config ~seed ~iterations) ~model:(model ()) kernels)
+
+(* --- OverGen runtime reports --- *)
+
+let report_memo : (string, Overgen.report) Hashtbl.t = Hashtbl.create 64
+
+let og_report ?(tuned = false) ~tag overlay kname =
+  let key = Printf.sprintf "%s:%s:%b" tag kname tuned in
+  match Hashtbl.find_opt report_memo key with
+  | Some r -> r
+  | None -> (
+    match Overgen.run_kernel ~tuned overlay (Kernels.find kname) with
+    | Ok r ->
+      Hashtbl.add report_memo key r;
+      r
+    | Error e -> failwith (Printf.sprintf "%s does not map on %s: %s" kname tag e))
+
+(* --- AutoDSE baselines --- *)
+
+let hls_memo : (string, Hls.explore) Hashtbl.t = Hashtbl.create 64
+
+let autodse ?(dram_channels = 1) ~tuned kname =
+  let key = Printf.sprintf "%s:%b:%d" kname tuned dram_channels in
+  match Hashtbl.find_opt hls_memo key with
+  | Some r -> r
+  | None ->
+    let r = Hls.autodse ~dram_channels ~tuned (Kernels.find kname) in
+    Hashtbl.add hls_memo key r;
+    r
+
+let ad_ms ?dram_channels ~tuned kname =
+  Hls.runtime_ms (autodse ?dram_channels ~tuned kname).best
+
+(* Speedup of an OverGen report over untuned AutoDSE. *)
+let speedup_over_ad report kname =
+  ad_ms ~tuned:false kname /. report.Overgen.wall_ms
+
+let short = function
+  | "cholesky" -> "chol"
+  | "solver" -> "solv."
+  | "stencil-3d" -> "stcl-3d"
+  | "stencil-2d" -> "stcl-2d"
+  | "ellpack" -> "ellp."
+  | "channel-ext" -> "chan."
+  | "bgr2grey" -> "bgr2."
+  | "accumulate" -> "accu."
+  | "acc-sqr" -> "acc_sqr"
+  | "vecmax" -> "vecm."
+  | "acc-weight" -> "acc_wei"
+  | "convert-bit" -> "conv."
+  | "derivative" -> "deri."
+  | s -> s
+
+let header title =
+  let bar = String.make 72 '=' in
+  Printf.printf "\n%s\n%s\n%s\n" bar title bar

@@ -1,0 +1,133 @@
+(* Extension experiments beyond the paper's evaluation, implementing two of
+   its named future-work directions:
+
+   1. NoC topology specialization (Conclusion: "Examples include the NoC
+      topology"): let the system DSE choose between the crossbar and a
+      bisection-limited ring that costs far fewer LUTs.
+
+   2. Device portability (Section III-A: "Leveraging learned models means
+      that this framework can more easily be ported to other FPGAs"):
+      regenerate a suite overlay for an Alveo U250 and compare the designs
+      the DSE picks for each part. *)
+
+open Overgen_workload
+open Overgen_util
+module Dse = Overgen_dse.Dse
+module Sim = Overgen_sim.Sim
+module Spatial = Overgen_scheduler.Spatial
+module Compile = Overgen_mdfg.Compile
+module System = Overgen_adg.System
+module Res = Overgen_fpga.Res
+module Device = Overgen_fpga.Device
+module Oracle = Overgen_fpga.Oracle
+
+let run () =
+  Exp_common.header "Extensions: NoC topology specialization + device portability";
+  let model = Exp_common.model () in
+
+  (* --- NoC topology --- *)
+  print_endline "\n[NoC topology specialization] (paper future work)";
+  let apps = Dse.compile_apps ~tuned:false (Kernels.of_suite Suite.Vision) in
+  let explore topologies seed =
+    Dse.explore
+      ~config:
+        { Dse.default_config with iterations = 300; seed; topologies }
+      ~model apps
+  in
+  let rows =
+    List.map
+      (fun (name, topologies, seed) ->
+        let r = explore topologies seed in
+        let sysp = r.best.sys.system in
+        let noc_cost =
+          Oracle.noc ~topology:sysp.System.noc_topology ~tiles:sysp.tiles
+            ~banks:sysp.l2_banks ~noc_bytes:sysp.noc_bytes ()
+        in
+        [
+          name;
+          (match sysp.noc_topology with
+          | System.Crossbar -> "crossbar"
+          | System.Ring -> "ring");
+          string_of_int sysp.tiles;
+          string_of_int noc_cost.Res.lut;
+          Render.float_cell r.best.objective;
+        ])
+      [
+        ("crossbar only (paper)", [ System.Crossbar ], 711);
+        ("ring only", [ System.Ring ], 711);
+        ("DSE chooses", [ System.Crossbar; System.Ring ], 711);
+      ]
+  in
+  print_endline
+    (Render.table
+       ~headers:[ "search space"; "chosen NoC"; "tiles"; "NoC LUTs"; "est. IPC" ]
+       ~rows);
+  print_endline
+    "The ring frees NoC LUTs for more tiles when the domain is not\n\
+     bisection-limited; the DSE picks per domain.";
+
+  (* --- device portability --- *)
+  print_endline "\n[device portability: VCU118 (XCVU9P) vs Alveo U250]";
+  let dsp = Dse.compile_apps ~tuned:false (Kernels.of_suite Suite.Dsp) in
+  let rows =
+    List.map
+      (fun (dev : Device.t) ->
+        let r =
+          Dse.explore
+            ~config:{ Dse.default_config with iterations = 300; seed = 97 }
+            ~device:dev ~model dsp
+        in
+        let full = Oracle.synth_full ~device:dev r.best.sys in
+        let l, _, _, _ = Res.utilization full.res ~device:dev.capacity in
+        [
+          dev.name;
+          string_of_int r.best.sys.system.System.tiles;
+          Render.float_cell r.best.objective;
+          Render.pct_cell l;
+          Printf.sprintf "%.1f MHz" full.freq_mhz;
+        ])
+      [ Device.xcvu9p; Device.u250 ]
+  in
+  print_endline
+    (Render.table
+       ~headers:[ "device"; "tiles"; "est. IPC"; "LUT util"; "clock" ]
+       ~rows);
+  print_endline
+    "The same learned-model flow retargets the larger part and converts the\n\
+     extra capacity into tiles, as the paper's portability argument predicts.";
+
+  (* --- multi-tenant execution --- *)
+  print_endline
+    "\n[multi-tenant execution] (paper future work: heterogeneous mixes)";
+  let general = (Exp_common.general ()).design.sys in
+  let sched name =
+    match Spatial.schedule_app general (Compile.compile (Kernels.find name)) with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  (* a compute-bound tenant keeps most tiles; a bandwidth-bound one rides
+     along on the leftover tile, using memory bandwidth the first cannot *)
+  let a = sched "fir" and b = sched "accumulate" in
+  let solo_a = (Sim.run general a).total_cycles in
+  let solo_b = (Sim.run general b).total_cycles in
+  let multi = Sim.run_multi general [ (a, 3); (b, 1) ] in
+  let cyc k =
+    (List.find (fun (t : Sim.tenant_result) -> t.t_kernel = k) multi.tenants).t_cycles
+  in
+  print_endline
+    (Render.table
+       ~headers:[ "schedule"; "fir cyc"; "accumulate cyc"; "makespan" ]
+       ~rows:
+         [
+           [ "time-multiplexed (4 tiles each)"; string_of_int solo_a;
+             string_of_int solo_b; string_of_int (solo_a + solo_b) ];
+           [ "co-scheduled (3 + 1 tiles)"; string_of_int (cyc "fir");
+             string_of_int (cyc "accumulate"); string_of_int multi.m_cycles ];
+         ]);
+  Printf.printf
+    "Co-scheduling the mix finishes in %.0f%% of serial time-multiplexing\n\
+     (a win when the mix pairs compute-bound with bandwidth-bound tenants;\n\
+     pairing two bandwidth-bound kernels instead loses, since DRAM is the\n\
+     conserved quantity either way - the scheduling problem the paper's\n\
+     future-work section anticipates).\n"
+    (100.0 *. float_of_int multi.m_cycles /. float_of_int (solo_a + solo_b))

@@ -1,0 +1,47 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section VIII).  Run with no argument for the full set, or pass
+   experiment names: table1..table4, fig13..fig20, micro. *)
+
+let experiments =
+  [
+    ("table1", Tables.table1);
+    ("table2", Tables.table2);
+    ("table3", Tables.table3);
+    ("table4", Tables.table4);
+    ("fig13", Figures.fig13);
+    ("fig14", Figures.fig14);
+    ("fig15", Figures.fig15);
+    ("fig16", Figures.fig16);
+    ("fig17", Figures2.fig17);
+    ("fig18", Figures2.fig18);
+    ("fig19", Figures2.fig19);
+    ("fig20", Figures2.fig20);
+    ("ablation", Ablation.run);
+    ("extensions", Extensions.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let to_run =
+    match args with
+    | [] -> experiments
+    | names ->
+      List.map
+        (fun n ->
+          match List.assoc_opt n experiments with
+          | Some f -> (n, f)
+          | None ->
+            Printf.eprintf "unknown experiment %s; available: %s\n" n
+              (String.concat " " (List.map fst experiments));
+            exit 1)
+        names
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (name, f) ->
+      let t = Unix.gettimeofday () in
+      f ();
+      Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t))
+    to_run;
+  Printf.printf "\nAll experiments completed in %.1fs\n" (Unix.gettimeofday () -. t0)

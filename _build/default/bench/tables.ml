@@ -1,0 +1,167 @@
+open Overgen_workload
+open Overgen_util
+module Predict = Overgen_mlp.Predict
+module Compile = Overgen_mdfg.Compile
+module Adg = Overgen_adg.Adg
+module Res = Overgen_fpga.Res
+module Device = Overgen_fpga.Device
+module Oracle = Overgen_fpga.Oracle
+
+(* ------------------------------------------------------------------ *)
+(* Table I: hardware modules synthesized to train the ML model         *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  Exp_common.header "Table I: Number of Hardware Modules Synthesized (ML model training)";
+  let m = Exp_common.model () in
+  let rows =
+    List.map
+      (fun (kind, paper_n) ->
+        [
+          Predict.kind_name kind;
+          string_of_int paper_n;
+          string_of_int (Predict.samples_trained m kind);
+          Render.pct_cell (Predict.test_error m kind);
+        ])
+      Predict.paper_counts
+  in
+  print_endline
+    (Render.table
+       ~headers:[ "Hardware Unit"; "Paper Synthesized"; "Ours (1/100)"; "Test LUT err" ]
+       ~rows);
+  (* pessimism check: model vs post-PnR actual on the general overlay *)
+  let g = (Exp_common.general ()).design.sys in
+  let pred = Predict.predict_full m g in
+  let act = (Oracle.synth_full g).res in
+  Printf.printf
+    "Model pessimism on the general overlay: predicted/actual LUTs = %.2fx\n\
+     (out-of-context training makes the model conservative, as in the paper)\n"
+    (float_of_int pred.Res.lut /. float_of_int act.Res.lut)
+
+(* ------------------------------------------------------------------ *)
+(* Table II: workload specification                                    *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  Exp_common.header "Table II: Workload specification (best-DFG ports/arrays/ops)";
+  let rows =
+    List.map
+      (fun (k : Ir.kernel) ->
+        let c = Compile.compile k in
+        let s = Compile.summarize c in
+        [
+          Suite.to_string k.suite;
+          Exp_common.short k.name;
+          k.size_desc;
+          (Overgen_adg.Dtype.to_string k.dtype
+          ^ if k.lanes > 1 then Printf.sprintf "x%d" k.lanes else "");
+          string_of_int s.n_in_ports;
+          string_of_int s.n_out_ports;
+          string_of_int s.n_arrays;
+          Printf.sprintf "%d,%d,%d" s.n_mul s.n_add s.n_div;
+        ])
+      Kernels.all
+  in
+  print_endline
+    (Render.table
+       ~headers:[ "Suite"; "Workload"; "Size"; "Type"; "#ivp"; "#ovp"; "#arr"; "#m,a,d" ]
+       ~rows)
+
+(* ------------------------------------------------------------------ *)
+(* Table III: suite-specific overlay specifications                    *)
+(* ------------------------------------------------------------------ *)
+
+let spec_rows () =
+  let overlays =
+    [
+      ("Mach.", Exp_common.suite_overlay Suite.Machsuite);
+      ("Vitis", Exp_common.suite_overlay Suite.Vision);
+      ("DSP", Exp_common.suite_overlay Suite.Dsp);
+      ("General", Exp_common.general ());
+    ]
+  in
+  let cell f = List.map (fun (_, (o : Overgen.overlay)) -> f o) overlays in
+  let names = List.map fst overlays in
+  let stats (o : Overgen.overlay) = Adg.stats o.design.sys.adg in
+  let sysp (o : Overgen.overlay) = o.design.sys.system in
+  let int_cell f = cell (fun o -> string_of_int (f o)) in
+  ( names,
+    [
+      ("Tile Count", int_cell (fun o -> (sysp o).tiles));
+      ("L2 #Bank", int_cell (fun o -> (sysp o).l2_banks));
+      ("NoC B/W (Byte)", int_cell (fun o -> (sysp o).noc_bytes));
+      ("PEs", int_cell (fun o -> (stats o).n_pe));
+      ("Switches", int_cell (fun o -> (stats o).n_switch));
+      ("Avg. Radix", cell (fun o -> Printf.sprintf "%.2f" (stats o).avg_radix));
+      ( "Int +/x/div",
+        cell (fun o ->
+            let s = stats o in
+            Printf.sprintf "%d/%d/%d" s.int_add s.int_mul s.int_div) );
+      ( "Flt +/x/div/sqrt",
+        cell (fun o ->
+            let s = stats o in
+            Printf.sprintf "%d/%d/%d/%d" s.flt_add s.flt_mul s.flt_div s.flt_sqrt) );
+      ( "Spad Cap. (KB)",
+        cell (fun o ->
+            match (stats o).spad_caps with
+            | [] -> "-"
+            | l -> String.concat ", " (List.map (fun c -> string_of_int (c / 1024)) l)) );
+      ( "Spad B/W (B/cyc)",
+        cell (fun o ->
+            match (stats o).spad_bws with
+            | [] -> "-"
+            | l -> String.concat ", " (List.map string_of_int l)) );
+      ( "Spad Indirect?",
+        cell (fun o ->
+            match (stats o).spad_indirect with
+            | [] -> "-"
+            | l -> String.concat ", " (List.map (fun b -> if b then "Yes" else "No") l)) );
+      ( "GEN/REC/REG",
+        cell (fun o ->
+            let s = stats o in
+            Printf.sprintf "%d/%d/%d" s.n_gen s.n_rec s.n_reg) );
+      ("In Ports B/W (B)", int_cell (fun o -> (stats o).in_port_bw));
+      ("Out Ports B/W (B)", int_cell (fun o -> (stats o).out_port_bw));
+    ] )
+
+let table3 () =
+  Exp_common.header "Table III: Specification of Suite-Specific Overlays";
+  let names, rows = spec_rows () in
+  print_endline
+    (Render.table ~headers:("Spec." :: names)
+       ~rows:(List.map (fun (name, cells) -> name :: cells) rows))
+
+(* ------------------------------------------------------------------ *)
+(* Table IV: HLS initiation-interval optimization                      *)
+(* ------------------------------------------------------------------ *)
+
+let table4 () =
+  Exp_common.header "Table IV: HLS Initiation Interval (II) Optimization";
+  let var_tc = [ "cholesky"; "crs"; "fft" ] in
+  let strided = [ "bgr2grey"; "blur"; "channel-ext"; "stencil-3d" ] in
+  let row name =
+    let untuned = (Exp_common.autodse ~tuned:false name).best in
+    let tuned = (Exp_common.autodse ~tuned:true name).best in
+    [
+      Exp_common.short name;
+      (if List.mem name var_tc then "Var. Loop TC" else "Strided Access");
+      string_of_int untuned.ii;
+      string_of_int tuned.ii;
+    ]
+  in
+  print_endline
+    (Render.table
+       ~headers:[ "Workload"; "Cause"; "Untuned II"; "Tuned II" ]
+       ~rows:(List.map row (var_tc @ strided)));
+  (* the paper's note: all other workloads achieve II=1 untuned *)
+  let others =
+    List.filter (fun (k : Ir.kernel) -> not (List.mem k.name (var_tc @ strided))) Kernels.all
+  in
+  let bad =
+    List.filter (fun (k : Ir.kernel) -> (Exp_common.autodse ~tuned:false k.name).best.ii > 2)
+      others
+  in
+  Printf.printf "Other workloads with untuned II > 2: %s\n"
+    (match bad with
+     | [] -> "none (II<=2, as the paper reports II=1 modulo port pressure)"
+     | l -> String.concat ", " (List.map (fun (k : Ir.kernel) -> k.name) l))

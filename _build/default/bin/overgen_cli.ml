@@ -1,0 +1,230 @@
+(* The overgen command-line tool.
+
+   overgen list                         - show the built-in workloads
+   overgen show <kernel>                - pseudo-C source and mDFG summary
+   overgen generate <suite|kernel...>   - run the DSE and print the design
+   overgen run <suite|kernel...>        - generate, compile and simulate
+   overgen compare <suite|kernel...>    - OverGen vs the AutoDSE baseline *)
+
+open Cmdliner
+open Overgen_workload
+module Hls = Overgen_hls.Hls
+
+let resolve_targets names =
+  List.concat_map
+    (fun name ->
+      match List.find_opt (fun s -> Suite.to_string s = name) Suite.all with
+      | Some suite -> Kernels.of_suite suite
+      | None -> (
+        try [ Kernels.find name ]
+        with Not_found ->
+          Printf.eprintf "unknown workload or suite: %s\n" name;
+          exit 1))
+    names
+
+let targets_arg =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"TARGET" ~doc:"Workload names or suite names (dsp, machsuite, vision).")
+
+let iterations_arg =
+  Arg.(
+    value & opt int 300
+    & info [ "i"; "iterations" ] ~docv:"N" ~doc:"DSE iterations.")
+
+let seed_arg =
+  Arg.(value & opt int 17 & info [ "seed" ] ~docv:"SEED" ~doc:"DSE random seed.")
+
+let tuned_arg =
+  Arg.(value & flag & info [ "tuned" ] ~doc:"Use manually tuned kernel sources.")
+
+let gen_overlay ~iterations ~seed ~tuned kernels =
+  let model = Overgen.train_model () in
+  let config = { Overgen_dse.Dse.default_config with iterations; seed } in
+  Overgen.generate ~config ~tuned ~model kernels
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun suite ->
+        Printf.printf "[%s]\n" (Suite.to_string suite);
+        List.iter
+          (fun (k : Ir.kernel) ->
+            Printf.printf "  %-12s %-10s %s%s\n" k.name k.size_desc
+              (Overgen_adg.Dtype.to_string k.dtype)
+              (match k.og_tuning with Some t -> "  (tunable: " ^ t.desc ^ ")" | None -> ""))
+          (Kernels.of_suite suite))
+      Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in workloads.")
+    Term.(const run $ const ())
+
+(* --- show --- *)
+
+let show_cmd =
+  let run names =
+    List.iter
+      (fun (k : Ir.kernel) ->
+        print_string (Ir.pretty k);
+        let c = Overgen_mdfg.Compile.compile k in
+        let s = Overgen_mdfg.Compile.summarize c in
+        Printf.printf
+          "best mDFG: %d input / %d output vector ports, %d arrays, ops m/a/d = %d/%d/%d\n\n"
+          s.n_in_ports s.n_out_ports s.n_arrays s.n_mul s.n_add s.n_div)
+      (resolve_targets names)
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print a workload's source and mDFG summary.")
+    Term.(const run $ targets_arg)
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let run iterations seed tuned save names =
+    let kernels = resolve_targets names in
+    let overlay = gen_overlay ~iterations ~seed ~tuned kernels in
+    Printf.printf "design: %s\n" (Overgen_adg.Sys_adg.describe overlay.design.sys);
+    Printf.printf "objective (est. IPC geomean): %.1f\n" overlay.design.objective;
+    Printf.printf "synthesis: %.1f MHz, %s, %.1f modeled hours\n"
+      overlay.synth.freq_mhz
+      (Overgen_fpga.Res.describe_utilization overlay.synth.res
+         ~device:Overgen_fpga.Device.xcvu9p.capacity)
+      overlay.synth.hours;
+    (match save with
+    | Some path ->
+      Overgen_adg.Serial.save overlay.design.sys ~path;
+      Printf.printf "saved design to %s\n" path
+    | None -> ());
+    print_string (Overgen_adg.Adg.to_string overlay.design.sys.adg)
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE" ~doc:"Persist the chosen design.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Run the overlay-generation DSE for a workload set.")
+    Term.(const run $ iterations_arg $ seed_arg $ tuned_arg $ save_arg $ targets_arg)
+
+(* --- run --- *)
+
+let run_cmd =
+  let run iterations seed tuned design names =
+    let kernels = resolve_targets names in
+    let overlay =
+      match design with
+      | None -> gen_overlay ~iterations ~seed ~tuned kernels
+      | Some path -> (
+        match Overgen_adg.Serial.load ~path with
+        | Error e ->
+          Printf.eprintf "cannot load %s: %s\n" path e;
+          exit 1
+        | Ok sys -> (
+          match Overgen.on_design ~model:(Overgen.train_model ()) sys kernels with
+          | Ok o -> o
+          | Error e ->
+            Printf.eprintf "workloads do not map on %s: %s\n" path e;
+            exit 1))
+    in
+    Printf.printf "overlay: %s @ %.1f MHz\n"
+      (Overgen_adg.Sys_adg.describe overlay.design.sys)
+      overlay.synth.freq_mhz;
+    List.iter
+      (fun (k : Ir.kernel) ->
+        match Overgen.run_kernel ~tuned overlay k with
+        | Ok r ->
+          Printf.printf "%-12s %10d cycles  %8.4f ms  ipc %6.1f  (compiled in %.1f ms)\n"
+            k.name r.cycles r.wall_ms r.ipc (r.compile_seconds *. 1000.0)
+        | Error e -> Printf.printf "%-12s unmappable: %s\n" k.name e)
+      kernels
+  in
+  let design_arg =
+    Arg.(value & opt (some string) None
+         & info [ "design" ] ~docv:"FILE"
+             ~doc:"Use a saved design instead of running the DSE.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Generate an overlay, then compile and simulate each workload.")
+    Term.(const run $ iterations_arg $ seed_arg $ tuned_arg $ design_arg $ targets_arg)
+
+(* --- emit --- *)
+
+let emit_cmd =
+  let run iterations seed names what =
+    let kernels = resolve_targets names in
+    let overlay = gen_overlay ~iterations ~seed ~tuned:false kernels in
+    match what with
+    | "rtl" ->
+      let rtl = Overgen.rtl overlay in
+      print_string (Overgen_rtl.Emit.to_string rtl);
+      Printf.eprintf "emitted %d Verilog modules (top: %s)\n"
+        (Overgen_rtl.Emit.module_count rtl) rtl.top
+    | "binary" ->
+      List.iter
+        (fun (k : Ir.kernel) ->
+          match Overgen.compile_kernel overlay k with
+          | Ok (schedules, _) ->
+            print_string (Overgen_isa.Assemble.disassemble (Overgen.binary overlay schedules))
+          | Error e -> Printf.printf "%s: %s\n" k.name e)
+        kernels
+    | other ->
+      Printf.eprintf "unknown artifact %s (rtl|binary)\n" other;
+      exit 1
+  in
+  let what =
+    Arg.(value & opt string "rtl" & info [ "what" ] ~docv:"ARTIFACT" ~doc:"rtl or binary.")
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Emit Verilog RTL or the application binary for an overlay.")
+    Term.(const run $ iterations_arg $ seed_arg $ targets_arg $ what)
+
+(* --- verify --- *)
+
+let verify_cmd =
+  let run names =
+    let failures = ref 0 in
+    List.iter
+      (fun (k : Ir.kernel) ->
+        List.iter
+          (fun u ->
+            match Overgen.verify_functional ~unroll:u k with
+            | Ok () -> Printf.printf "%-12s u=%d OK\n" k.name u
+            | Error e ->
+              incr failures;
+              Printf.printf "%-12s u=%d MISMATCH %s\n" k.name u e)
+          [ 1; 2; 4 ])
+      (resolve_targets names);
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Functionally verify the compiler on concrete data (golden vs decoupled).")
+    Term.(const run $ targets_arg)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let run iterations seed names =
+    let kernels = resolve_targets names in
+    let overlay = gen_overlay ~iterations ~seed ~tuned:false kernels in
+    Printf.printf "%-12s %12s %12s %10s\n" "kernel" "overlay(ms)" "AutoDSE(ms)" "speedup";
+    List.iter
+      (fun (k : Ir.kernel) ->
+        match Overgen.run_kernel overlay k with
+        | Ok r ->
+          let ad = Hls.runtime_ms (Hls.autodse ~tuned:false k).best in
+          Printf.printf "%-12s %12.4f %12.4f %9.2fx\n" k.name r.wall_ms ad
+            (ad /. r.wall_ms)
+        | Error e -> Printf.printf "%-12s unmappable: %s\n" k.name e)
+      kernels
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare an overlay against the AutoDSE HLS baseline.")
+    Term.(const run $ iterations_arg $ seed_arg $ targets_arg)
+
+let () =
+  let doc = "domain-specific FPGA overlay generation (OverGen, MICRO 2022)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "overgen" ~doc)
+          [ list_cmd; show_cmd; generate_cmd; run_cmd; compare_cmd; emit_cmd; verify_cmd ]))

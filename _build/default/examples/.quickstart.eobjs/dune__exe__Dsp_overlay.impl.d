@@ -1,0 +1,1 @@
+examples/dsp_overlay.ml: Adg Ir Kernels List Overgen Overgen_adg Overgen_dse Overgen_hls Overgen_workload Printf Suite Sys_adg

@@ -1,0 +1,1 @@
+examples/dsp_overlay.mli:

@@ -1,0 +1,1 @@
+examples/leave_one_out.ml: Ir Kernels List Overgen Overgen_dse Overgen_hls Overgen_workload Printf String Suite

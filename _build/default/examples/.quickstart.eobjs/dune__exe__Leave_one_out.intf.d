@@ -1,0 +1,1 @@
+examples/leave_one_out.mli:

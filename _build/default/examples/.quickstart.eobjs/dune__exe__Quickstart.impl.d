@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dtype Ir Op Overgen Overgen_adg Overgen_dse Overgen_fpga Overgen_workload Printf Suite Sys_adg

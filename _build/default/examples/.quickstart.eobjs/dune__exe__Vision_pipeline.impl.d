@@ -1,0 +1,1 @@
+examples/vision_pipeline.ml: Kernels List Overgen Overgen_adg Overgen_dse Overgen_hls Overgen_workload Printf Suite

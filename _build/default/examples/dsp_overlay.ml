@@ -1,0 +1,46 @@
+(* A domain-specific overlay for the DSP suite.
+
+   Generates one overlay for the five DSP workloads (paper Table III's "DSP"
+   column), then time-multiplexes it across all of them with microsecond
+   reconfiguration — the usage model Figure 1 advocates.
+
+   Run with: dune exec examples/dsp_overlay.exe *)
+
+open Overgen_adg
+open Overgen_workload
+module Hls = Overgen_hls.Hls
+
+let () =
+  print_endline "== DSP-suite overlay ==";
+  let model = Overgen.train_model () in
+  let config = { Overgen_dse.Dse.default_config with iterations = 300 } in
+  let kernels = Kernels.of_suite Suite.Dsp in
+  let overlay = Overgen.generate ~config ~model kernels in
+  Printf.printf "design: %s\n" (Sys_adg.describe overlay.design.sys);
+  let stats = Adg.stats overlay.design.sys.adg in
+  Printf.printf
+    "accelerator tile: %d PEs / %d switches (avg radix %.2f), fp add/mul/div/sqrt \
+     on %d/%d/%d/%d PEs\n"
+    stats.n_pe stats.n_switch stats.avg_radix stats.flt_add stats.flt_mul
+    stats.flt_div stats.flt_sqrt;
+  (match overlay.dse with
+  | Some r ->
+    Printf.printf "DSE: %d iterations, %.1f modeled hours (one-time, per domain)\n"
+      (List.length r.trace) r.modeled_hours
+  | None -> ());
+  print_endline "\ntime-multiplexing the suite on one configuration-switchable fabric:";
+  Printf.printf "%-10s %12s %12s %14s %12s\n" "kernel" "cycles" "overlay(ms)"
+    "AutoDSE(ms)" "speedup";
+  List.iter
+    (fun (k : Ir.kernel) ->
+      match Overgen.run_kernel overlay k with
+      | Error e -> Printf.printf "%-10s unmappable: %s\n" k.name e
+      | Ok r ->
+        let ad = Hls.runtime_ms (Hls.autodse ~tuned:false k).best in
+        Printf.printf "%-10s %12d %12.4f %14.4f %11.2fx\n" k.name r.cycles
+          r.wall_ms ad (ad /. r.wall_ms))
+    kernels;
+  Printf.printf
+    "\nswitching between kernels costs %.1f us of reconfiguration; an HLS\n\
+     design per kernel would reflash the FPGA (%.0f ms) every switch.\n"
+    (Overgen.reconfigure_us overlay) Overgen.fpga_reflash_ms

@@ -1,0 +1,1 @@
+lib/adg/adg.ml: Buffer Comp Digraph Dtype Hashtbl List Op Printf String

@@ -1,0 +1,1 @@
+lib/adg/adg.mli: Comp

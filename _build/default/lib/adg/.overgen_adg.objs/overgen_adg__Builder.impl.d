@@ -1,0 +1,1 @@
+lib/adg/builder.ml: Adg Array Comp Dtype List Op Sys_adg System

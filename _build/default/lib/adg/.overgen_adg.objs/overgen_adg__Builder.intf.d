@@ -1,0 +1,1 @@
+lib/adg/builder.mli: Adg Comp Op Sys_adg

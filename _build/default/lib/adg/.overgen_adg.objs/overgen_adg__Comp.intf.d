@@ -1,0 +1,1 @@
+lib/adg/comp.mli: Op

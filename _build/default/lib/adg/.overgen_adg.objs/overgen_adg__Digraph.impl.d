@@ -1,0 +1,1 @@
+lib/adg/digraph.ml: Hashtbl Int List Map Option Printf Queue Set

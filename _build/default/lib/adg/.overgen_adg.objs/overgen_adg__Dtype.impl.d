@@ -1,0 +1,1 @@
+lib/adg/dtype.ml: Stdlib

@@ -1,0 +1,1 @@
+lib/adg/op.ml: Dtype List Set Stdlib String

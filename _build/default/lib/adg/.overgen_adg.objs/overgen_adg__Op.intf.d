@@ -1,0 +1,1 @@
+lib/adg/op.mli: Dtype Set

@@ -1,0 +1,1 @@
+lib/adg/serial.ml: Adg Buffer Comp Dtype List Op Option Printf String Sys_adg System

@@ -1,0 +1,1 @@
+lib/adg/serial.mli: Sys_adg

@@ -1,0 +1,1 @@
+lib/adg/sys_adg.ml: Adg Comp Float List Op Printf System

@@ -1,0 +1,1 @@
+lib/adg/sys_adg.mli: Adg System

@@ -1,0 +1,1 @@
+lib/adg/system.ml: List Printf

@@ -1,0 +1,128 @@
+let connect_engine_to_ports adg eng_id (e : Comp.engine) ins outs =
+  (* Full crossbar between engines and compatible ports: DMA/Spad/Rec/Gen feed
+     input ports; DMA/Spad/Rec/Reg drain output ports. *)
+  let feeds_inputs =
+    match e.kind with
+    | Comp.Dma | Comp.Spad | Comp.Rec | Comp.Gen -> true
+    | Comp.Reg -> false
+  in
+  let drains_outputs =
+    match e.kind with
+    | Comp.Dma | Comp.Spad | Comp.Rec | Comp.Reg -> true
+    | Comp.Gen -> false
+  in
+  let adg =
+    if feeds_inputs then
+      List.fold_left (fun adg ip -> Adg.add_edge adg eng_id ip) adg ins
+    else adg
+  in
+  if drains_outputs then
+    List.fold_left (fun adg op -> Adg.add_edge adg op eng_id) adg outs
+  else adg
+
+let mesh ~rows ~cols ~caps ~sw_width_bits ~width_bits ~in_port_widths
+    ~out_port_widths ~engines =
+  let sw_width = sw_width_bits in
+  let adg = Adg.empty in
+  (* Switch grid: (rows+1) x (cols+1). *)
+  let srows = rows + 1 and scols = cols + 1 in
+  let sw = Array.make_matrix srows scols (-1) in
+  let adg = ref adg in
+  for r = 0 to srows - 1 do
+    for c = 0 to scols - 1 do
+      let a, id = Adg.add !adg (Comp.Switch { width_bits = sw_width }) in
+      adg := a;
+      sw.(r).(c) <- id
+    done
+  done;
+  (* Bidirectional orthogonal links. *)
+  for r = 0 to srows - 1 do
+    for c = 0 to scols - 1 do
+      if c + 1 < scols then begin
+        adg := Adg.add_edge !adg sw.(r).(c) sw.(r).(c + 1);
+        adg := Adg.add_edge !adg sw.(r).(c + 1) sw.(r).(c)
+      end;
+      if r + 1 < srows then begin
+        adg := Adg.add_edge !adg sw.(r).(c) sw.(r + 1).(c);
+        adg := Adg.add_edge !adg sw.(r + 1).(c) sw.(r).(c)
+      end
+    done
+  done;
+  (* One PE per cell, fed by its NW and NE corner switches, draining to SW. *)
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let pe = { (Comp.default_pe caps) with width_bits } in
+      let a, pe_id = Adg.add !adg (Comp.Pe pe) in
+      adg := a;
+      adg := Adg.add_edge !adg sw.(r).(c) pe_id;
+      adg := Adg.add_edge !adg sw.(r).(c + 1) pe_id;
+      adg := Adg.add_edge !adg pe_id sw.(r + 1).(c)
+    done
+  done;
+  (* Ports: inputs along the top switch row, outputs along the bottom. *)
+  let ins =
+    List.mapi
+      (fun i w ->
+        let port = { (Comp.default_port ~width_bytes:w) with stated = true } in
+        let a, id = Adg.add !adg (Comp.In_port port) in
+        adg := a;
+        adg := Adg.add_edge !adg id sw.(0).(i mod scols);
+        id)
+      in_port_widths
+  in
+  let outs =
+    List.mapi
+      (fun i w ->
+        let port = { (Comp.default_port ~width_bytes:w) with stated = true } in
+        let a, id = Adg.add !adg (Comp.Out_port port) in
+        adg := a;
+        adg := Adg.add_edge !adg sw.(srows - 1).(i mod scols) id;
+        id)
+      out_port_widths
+  in
+  List.iter
+    (fun e ->
+      let a, id = Adg.add !adg (Comp.Engine e) in
+      adg := a;
+      adg := connect_engine_to_ports !adg id e ins outs)
+    engines;
+  !adg
+
+let seed ~caps ~width_bits =
+  mesh ~rows:2 ~cols:2 ~caps ~sw_width_bits:(2 * width_bits) ~width_bits
+    ~in_port_widths:[ width_bits / 8; width_bits / 8; width_bits / 8 ]
+    ~out_port_widths:[ width_bits / 8; width_bits / 8 ]
+    ~engines:
+      [
+        Comp.default_engine Comp.Dma;
+        Comp.default_engine Comp.Spad;
+        Comp.default_engine Comp.Rec;
+        Comp.default_engine Comp.Gen;
+        Comp.default_engine Comp.Reg;
+      ]
+
+let general_overlay () =
+  let caps = Op.Cap.of_ops Op.all Dtype.all in
+  let engines =
+    [
+      { (Comp.default_engine Comp.Dma) with bandwidth = 64; indirect = true };
+      {
+        (Comp.default_engine Comp.Spad) with
+        bandwidth = 32;
+        capacity = 32 * 1024;
+        indirect = true;
+      };
+      Comp.default_engine Comp.Rec;
+      Comp.default_engine Comp.Gen;
+      Comp.default_engine Comp.Reg;
+    ]
+  in
+  let adg =
+    mesh ~rows:4 ~cols:6 ~caps ~sw_width_bits:256 ~width_bits:64
+      ~in_port_widths:[ 64; 64; 32; 16; 16; 16; 8; 8 ]
+      ~out_port_widths:[ 64; 32; 32; 16; 8; 8 ]
+      ~engines
+  in
+  Sys_adg.make adg
+    { System.tiles = 4; noc_bytes = 32; noc_topology = System.Crossbar;
+      l2_banks = 4; l2_kb = 512; dram_channels = 1 }

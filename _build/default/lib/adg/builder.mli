@@ -1,0 +1,29 @@
+(** Topology builders: initial and reference ADGs.
+
+    The DSE starts from a seed mesh and mutates it; the hand-designed
+    "general overlay" (paper Q1) is also constructed here. *)
+
+val mesh :
+  rows:int ->
+  cols:int ->
+  caps:Op.Cap.t ->
+  sw_width_bits:int ->
+  width_bits:int ->
+  in_port_widths:int list ->
+  out_port_widths:int list ->
+  engines:Comp.engine list ->
+  Adg.t
+(** A classic CGRA mesh: a [(rows+1) x (cols+1)] grid of bidirectionally
+    linked switches with one PE per grid cell (fed by two adjacent switches,
+    draining to a third), input ports on the top switch row, output ports on
+    the bottom row, and all engines fully connected to all compatible ports
+    (Figure 4(a)'s fixed fully-connected memory). *)
+
+val seed : caps:Op.Cap.t -> width_bits:int -> Adg.t
+(** The 2x2 seed design the spatial DSE starts from: small mesh, one DMA, one
+    scratchpad, and one engine of each auxiliary kind. *)
+
+val general_overlay : unit -> Sys_adg.t
+(** The hand-designed general overlay of evaluation Q1: a 4x6 mesh of
+    full-capability 64-bit PEs behind 512-bit-class vector ports, one engine
+    of every kind with indirect scratchpad support, on a 4-tile system. *)

@@ -1,0 +1,145 @@
+module Imap = Map.Make (Int)
+module Iset = Set.Make (Int)
+
+type 'a t = {
+  payload : 'a Imap.t;
+  succ : Iset.t Imap.t;
+  pred : Iset.t Imap.t;
+}
+
+let empty = { payload = Imap.empty; succ = Imap.empty; pred = Imap.empty }
+
+let add_node t id x =
+  {
+    payload = Imap.add id x t.payload;
+    succ = (if Imap.mem id t.succ then t.succ else Imap.add id Iset.empty t.succ);
+    pred = (if Imap.mem id t.pred then t.pred else Imap.add id Iset.empty t.pred);
+  }
+
+let mem t id = Imap.mem id t.payload
+
+let adj map id = Option.value ~default:Iset.empty (Imap.find_opt id map)
+
+let remove_node t id =
+  if not (mem t id) then t
+  else
+    let out = adj t.succ id and inc = adj t.pred id in
+    let succ =
+      Iset.fold (fun p m -> Imap.update p (Option.map (Iset.remove id)) m) inc t.succ
+    in
+    let pred =
+      Iset.fold (fun s m -> Imap.update s (Option.map (Iset.remove id)) m) out t.pred
+    in
+    {
+      payload = Imap.remove id t.payload;
+      succ = Imap.remove id succ;
+      pred = Imap.remove id pred;
+    }
+
+let add_edge t src dst =
+  if src = dst then invalid_arg "Digraph.add_edge: self loop";
+  if not (mem t src && mem t dst) then
+    invalid_arg "Digraph.add_edge: missing endpoint";
+  {
+    t with
+    succ = Imap.add src (Iset.add dst (adj t.succ src)) t.succ;
+    pred = Imap.add dst (Iset.add src (adj t.pred dst)) t.pred;
+  }
+
+let remove_edge t src dst =
+  {
+    t with
+    succ = Imap.update src (Option.map (Iset.remove dst)) t.succ;
+    pred = Imap.update dst (Option.map (Iset.remove src)) t.pred;
+  }
+
+let mem_edge t src dst = Iset.mem dst (adj t.succ src)
+let find t id = Imap.find_opt id t.payload
+
+let find_exn t id =
+  match find t id with
+  | Some x -> x
+  | None -> invalid_arg (Printf.sprintf "Digraph.find_exn: no node %d" id)
+
+let set_node t id x =
+  if not (mem t id) then invalid_arg "Digraph.set_node: missing node";
+  { t with payload = Imap.add id x t.payload }
+
+let succs t id = Iset.elements (adj t.succ id)
+let preds t id = Iset.elements (adj t.pred id)
+let nodes t = Imap.bindings t.payload
+let node_ids t = List.map fst (nodes t)
+
+let edges t =
+  Imap.fold
+    (fun src out acc -> Iset.fold (fun dst acc -> (src, dst) :: acc) out acc)
+    t.succ []
+  |> List.rev
+
+let node_count t = Imap.cardinal t.payload
+let edge_count t = List.length (edges t)
+
+let fold_nodes t ~init ~f =
+  Imap.fold (fun id x acc -> f acc id x) t.payload init
+
+let filter_ids t ~f =
+  Imap.fold (fun id x acc -> if f id x then id :: acc else acc) t.payload []
+  |> List.rev
+
+let max_id t = Imap.fold (fun id _ acc -> max id acc) t.payload (-1)
+
+let topo_sort t =
+  let indeg = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace indeg id (List.length (preds t id))) (node_ids t);
+  let queue = Queue.create () in
+  Hashtbl.iter (fun id d -> if d = 0 then Queue.add id queue) indeg;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    order := id :: !order;
+    incr count;
+    List.iter
+      (fun s ->
+        let d = Hashtbl.find indeg s - 1 in
+        Hashtbl.replace indeg s d;
+        if d = 0 then Queue.add s queue)
+      (succs t id)
+  done;
+  if !count = node_count t then Some (List.rev !order) else None
+
+let shortest_path t ~src ~dst ~ok =
+  if not (mem t src && mem t dst) then None
+  else if src = dst then Some [ src ]
+  else begin
+    let parent = Hashtbl.create 64 in
+    let visited = Hashtbl.create 64 in
+    Hashtbl.replace visited src ();
+    let queue = Queue.create () in
+    Queue.add src queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let cur = Queue.pop queue in
+      List.iter
+        (fun next ->
+          if not (Hashtbl.mem visited next) then
+            if next = dst then begin
+              Hashtbl.replace visited next ();
+              Hashtbl.replace parent next cur;
+              found := true
+            end
+            else if ok next then begin
+              Hashtbl.replace visited next ();
+              Hashtbl.replace parent next cur;
+              Queue.add next queue
+            end)
+        (succs t cur)
+    done;
+    if not !found then None
+    else begin
+      let rec build acc id =
+        if id = src then src :: acc else build (id :: acc) (Hashtbl.find parent id)
+      in
+      Some (build [] dst)
+    end
+  end

@@ -1,0 +1,217 @@
+let topo_to_string = function
+  | System.Crossbar -> "xbar"
+  | System.Ring -> "ring"
+
+let topo_of_string = function
+  | "xbar" -> Some System.Crossbar
+  | "ring" -> Some System.Ring
+  | _ -> None
+
+let bool_to_string b = if b then "1" else "0"
+
+let caps_to_string caps =
+  if Op.Cap.is_empty caps then "-" else Op.Cap.to_string caps
+
+let caps_of_string s =
+  if s = "-" then Some Op.Cap.empty
+  else
+    let pairs = String.split_on_char ',' s in
+    let parsed =
+      List.map
+        (fun pair ->
+          match String.split_on_char '.' pair with
+          | [ op; dt ] -> (
+            match (Op.of_string op, Dtype.of_string dt) with
+            | Some op, Some dt -> Some (op, dt)
+            | _ -> None)
+          | _ -> None)
+        pairs
+    in
+    if List.for_all Option.is_some parsed then
+      Some (Op.Cap.of_list (List.map Option.get parsed))
+    else None
+
+let comp_to_string = function
+  | Comp.Pe p ->
+    Printf.sprintf "pe width=%d fifo=%d consts=%d pred=%s caps=%s" p.width_bits
+      p.delay_fifo p.const_regs (bool_to_string p.predication)
+      (caps_to_string p.caps)
+  | Comp.Switch { width_bits } -> Printf.sprintf "sw width=%d" width_bits
+  | Comp.In_port p ->
+    Printf.sprintf "ip width=%d fifo=%d pad=%s stated=%s" p.width_bytes
+      p.fifo_depth (bool_to_string p.padding) (bool_to_string p.stated)
+  | Comp.Out_port p ->
+    Printf.sprintf "op width=%d fifo=%d pad=%s stated=%s" p.width_bytes
+      p.fifo_depth (bool_to_string p.padding) (bool_to_string p.stated)
+  | Comp.Engine e ->
+    Printf.sprintf "eng kind=%s bw=%d cap=%d ind=%s dims=%d"
+      (Comp.engine_kind_to_string e.kind)
+      e.bandwidth e.capacity (bool_to_string e.indirect) e.max_dims
+
+let to_string (sys : Sys_adg.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "overgen-adg v1\n";
+  let p = sys.system in
+  Buffer.add_string buf
+    (Printf.sprintf "system tiles=%d noc=%d topo=%s banks=%d l2kb=%d dram=%d\n"
+       p.tiles p.noc_bytes (topo_to_string p.noc_topology) p.l2_banks p.l2_kb
+       p.dram_channels);
+  List.iter
+    (fun (id, comp) ->
+      Buffer.add_string buf (Printf.sprintf "node %d %s\n" id (comp_to_string comp)))
+    (Adg.nodes sys.adg);
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "edge %d %d\n" a b))
+    (Adg.edges sys.adg);
+  Buffer.contents buf
+
+(* ---------------- parsing ---------------- *)
+
+let kv_int kvs key =
+  match List.assoc_opt key kvs with
+  | Some v -> int_of_string_opt v
+  | None -> None
+
+let kv_bool kvs key =
+  match List.assoc_opt key kvs with
+  | Some "1" -> Some true
+  | Some "0" -> Some false
+  | _ -> None
+
+let parse_kvs tokens =
+  List.filter_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i ->
+        Some (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+      | None -> None)
+    tokens
+
+let parse_comp kind kvs =
+  let open Option in
+  match kind with
+  | "pe" ->
+    bind (kv_int kvs "width") (fun width_bits ->
+        bind (kv_int kvs "fifo") (fun delay_fifo ->
+            bind (kv_int kvs "consts") (fun const_regs ->
+                bind (kv_bool kvs "pred") (fun predication ->
+                    bind
+                      (Option.bind (List.assoc_opt "caps" kvs) caps_of_string)
+                      (fun caps ->
+                        Some
+                          (Comp.Pe
+                             { caps; width_bits; delay_fifo; const_regs; predication }))))))
+  | "sw" ->
+    bind (kv_int kvs "width") (fun width_bits ->
+        Some (Comp.Switch { width_bits }))
+  | "ip" | "op" ->
+    bind (kv_int kvs "width") (fun width_bytes ->
+        bind (kv_int kvs "fifo") (fun fifo_depth ->
+            bind (kv_bool kvs "pad") (fun padding ->
+                bind (kv_bool kvs "stated") (fun stated ->
+                    let port = { Comp.width_bytes; fifo_depth; padding; stated } in
+                    Some (if kind = "ip" then Comp.In_port port else Comp.Out_port port)))))
+  | "eng" ->
+    let kind_of = function
+      | "dma" -> Some Comp.Dma
+      | "spad" -> Some Comp.Spad
+      | "rec" -> Some Comp.Rec
+      | "gen" -> Some Comp.Gen
+      | "reg" -> Some Comp.Reg
+      | _ -> None
+    in
+    bind (Option.bind (List.assoc_opt "kind" kvs) kind_of) (fun kind ->
+        bind (kv_int kvs "bw") (fun bandwidth ->
+            bind (kv_int kvs "cap") (fun capacity ->
+                bind (kv_bool kvs "ind") (fun indirect ->
+                    bind (kv_int kvs "dims") (fun max_dims ->
+                        Some
+                          (Comp.Engine
+                             { kind; bandwidth; capacity; indirect; max_dims }))))))
+  | _ -> None
+
+(* Rebuild an ADG preserving node ids: insert dummies up to the largest id,
+   then replace/remove.  Simpler: add in id order; ids are dense enough in
+   practice, and [Adg.add] allocates sequentially — so we add placeholder
+   nodes for gaps and remove them at the end. *)
+let rebuild nodes edges system =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) nodes in
+  let adg = ref Adg.empty in
+  let placeholders = ref [] in
+  let next = ref 0 in
+  List.iter
+    (fun (id, comp) ->
+      while !next < id do
+        let a, ph = Adg.add !adg (Comp.Switch { width_bits = 1 }) in
+        adg := a;
+        placeholders := ph :: !placeholders;
+        incr next
+      done;
+      let a, got = Adg.add !adg comp in
+      adg := a;
+      if got <> id then failwith "Serial.rebuild: non-monotonic ids";
+      incr next)
+    sorted;
+  List.iter (fun (a, b) -> adg := Adg.add_edge !adg a b) edges;
+  List.iter (fun ph -> adg := Adg.remove_node !adg ph) !placeholders;
+  Sys_adg.make !adg system
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  match lines with
+  | header :: rest when header = "overgen-adg v1" -> (
+    let system = ref System.default in
+    let nodes = ref [] in
+    let edges = ref [] in
+    let error = ref None in
+    List.iter
+      (fun line ->
+        if !error = None then
+          match String.split_on_char ' ' line with
+          | "system" :: kvs_toks -> (
+            let kvs = parse_kvs kvs_toks in
+            match
+              ( kv_int kvs "tiles", kv_int kvs "noc",
+                Option.bind (List.assoc_opt "topo" kvs) topo_of_string,
+                kv_int kvs "banks", kv_int kvs "l2kb", kv_int kvs "dram" )
+            with
+            | Some tiles, Some noc_bytes, Some noc_topology, Some l2_banks,
+              Some l2_kb, Some dram_channels ->
+              system :=
+                { System.tiles; noc_bytes; noc_topology; l2_banks; l2_kb;
+                  dram_channels }
+            | _ -> error := Some ("bad system line: " ^ line))
+          | "node" :: id :: kind :: kvs_toks -> (
+            match (int_of_string_opt id, parse_comp kind (parse_kvs kvs_toks)) with
+            | Some id, Some comp -> nodes := (id, comp) :: !nodes
+            | _ -> error := Some ("bad node line: " ^ line))
+          | [ "edge"; a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some a, Some b -> edges := (a, b) :: !edges
+            | _ -> error := Some ("bad edge line: " ^ line))
+          | _ -> error := Some ("unrecognized line: " ^ line))
+      rest;
+    match !error with
+    | Some e -> Error e
+    | None -> (
+      try Ok (rebuild (List.rev !nodes) (List.rev !edges) !system)
+      with Failure m | Invalid_argument m -> Error m))
+  | _ -> Error "missing 'overgen-adg v1' header"
+
+let save sys ~path =
+  let oc = open_out path in
+  output_string oc (to_string sys);
+  close_out oc
+
+let load ~path =
+  try
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    of_string text
+  with Sys_error m -> Error m

@@ -1,0 +1,15 @@
+(** Textual serialization of system-level ADGs.
+
+    A generated overlay is the valuable output of hours of (modeled) DSE;
+    this format persists it: a line-based description of the system
+    parameters, every component with its parameters, and the edge list.
+    The format is stable, diff-friendly, and round-trips exactly. *)
+
+val to_string : Sys_adg.t -> string
+
+val of_string : string -> (Sys_adg.t, string) result
+(** Parse a design; node ids are preserved.  Errors carry the offending
+    line. *)
+
+val save : Sys_adg.t -> path:string -> unit
+val load : path:string -> (Sys_adg.t, string) result

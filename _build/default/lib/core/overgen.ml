@@ -1,0 +1,92 @@
+open Overgen_adg
+open Overgen_workload
+open Overgen_scheduler
+open Overgen_fpga
+open Overgen_mlp
+module Dse = Overgen_dse.Dse
+module Sim = Overgen_sim.Sim
+
+type overlay = {
+  design : Dse.design;
+  synth : Oracle.full;
+  model : Predict.t;
+  dse : Dse.result option;
+}
+
+let train_model ?(seed = 7) () = Predict.train ~seed ()
+
+let generate ?config ?(device = Device.default) ?(tuned = false) ~model kernels =
+  let result = Dse.explore_kernels ?config ~device ~tuned ~model kernels in
+  let synth = Oracle.synth_full ~device result.best.sys in
+  { design = result.best; synth; model; dse = Some result }
+
+let on_design ~model sys kernels =
+  let apps = Dse.compile_apps ~tuned:false kernels in
+  match Dse.evaluate ~model sys apps with
+  | Error e -> Error e
+  | Ok design -> Ok { design; synth = Oracle.synth_full sys; model; dse = None }
+
+let general ~model kernels = on_design ~model (Builder.general_overlay ()) kernels
+
+type report = {
+  kernel : string;
+  schedules : Schedule.t list;
+  cycles : int;
+  wall_ms : float;
+  ipc : float;
+  compile_seconds : float;
+}
+
+let stored_schedules overlay (k : Ir.kernel) =
+  List.find_opt
+    (fun scheds ->
+      match scheds with
+      | (s : Schedule.t) :: _ -> s.variant.kernel = k.name
+      | [] -> false)
+    overlay.design.per_app
+
+let compile_kernel ?(tuned = false) overlay (k : Ir.kernel) =
+  let t0 = Unix.gettimeofday () in
+  let compiled = Overgen_mdfg.Compile.compile ~tuned k in
+  let stored = if tuned then None else stored_schedules overlay k in
+  let fresh = Spatial.schedule_app overlay.design.sys compiled in
+  (* The DSE may have pruned capabilities down to exactly what its own
+     schedules exercise, and its annealed schedules can beat a one-shot
+     greedy mapping: use whichever estimates faster. *)
+  let est s = (Overgen_perf.Perf.app overlay.design.sys s).total_cycles in
+  match (fresh, stored) with
+  | Ok f, Some st ->
+    Ok ((if est f <= est st then f else st), Unix.gettimeofday () -. t0)
+  | Ok f, None -> Ok (f, Unix.gettimeofday () -. t0)
+  | Error _, Some st -> Ok (st, Unix.gettimeofday () -. t0)
+  | Error e, None -> Error e
+
+let run_kernel ?(tuned = false) overlay k =
+  match compile_kernel ~tuned overlay k with
+  | Error e -> Error e
+  | Ok (schedules, compile_seconds) ->
+    let sim = Sim.run overlay.design.sys schedules in
+    Ok
+      {
+        kernel = k.Ir.name;
+        schedules;
+        cycles = sim.total_cycles;
+        wall_ms = Sim.wall_time_ms overlay.design.sys ~freq_mhz:overlay.synth.freq_mhz sim;
+        ipc = sim.sim_ipc;
+        compile_seconds;
+      }
+
+let reconfigure_us overlay =
+  float_of_int (Sys_adg.reconfigure_cycles overlay.design.sys)
+  /. overlay.synth.freq_mhz
+
+let binary overlay schedules =
+  Overgen_isa.Assemble.assemble overlay.design.sys schedules
+
+let rtl overlay = Overgen_rtl.Emit.emit overlay.design.sys
+
+let verify_functional ?(unroll = 4) k = Overgen_exec.Exec.check ~unroll k
+
+(* Reflashing a full VCU118 bitstream takes on the order of seconds
+   (paper Section I cites > 1 s). *)
+let fpga_reflash_ms = 1400.0

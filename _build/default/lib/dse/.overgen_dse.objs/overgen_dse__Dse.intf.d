@@ -1,0 +1,1 @@
+lib/dse/dse.mli: Compile Device Ir Op Overgen_adg Overgen_fpga Overgen_mdfg Overgen_mlp Overgen_scheduler Overgen_workload Predict Res Schedule Stdlib Sys_adg System

@@ -1,0 +1,1 @@
+lib/dse/mutate.ml: Adg Comp Dfg Dtype Hashtbl List Op Option Overgen_adg Overgen_mdfg Overgen_scheduler Overgen_util Printf Schedule Stream

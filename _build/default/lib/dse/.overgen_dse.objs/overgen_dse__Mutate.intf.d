@@ -1,0 +1,1 @@
+lib/dse/mutate.mli: Adg Op Overgen_adg Overgen_scheduler Overgen_util Schedule

@@ -1,0 +1,98 @@
+(** The unified system + accelerator design-space explorer (paper Section V).
+
+    Graph-based simulated annealing over the ADG with nested exhaustive
+    system-parameter search: each iteration proposes a mutated ADG (random
+    or schedule-preserving), repairs or reschedules the pre-generated mDFG
+    variants onto it, exhaustively picks the best tile-count/NoC/L2
+    configuration under the ML resource model's FPGA budget, and accepts
+    stochastically on the bottleneck-model objective.
+
+    Wall-clock is accounted in {e modeled hours} at the paper's scale: full
+    recompilation, schedule repair, and synthesis each carry a calibrated
+    cost so the DSE-time figures (paper Q3, Q8) are reproducible. *)
+
+open Overgen_adg
+open Overgen_workload
+open Overgen_mdfg
+open Overgen_scheduler
+open Overgen_fpga
+open Overgen_mlp
+
+type config = {
+  seed : int;
+  iterations : int;
+  initial_temp : float;
+  schedule_preserving : bool;  (** the Q8 ablation switch *)
+  topologies : System.noc_topology list;
+      (** NoC topologies the nested system DSE may choose from; the paper
+          uses the crossbar only, the ring is the topology-specialization
+          extension *)
+}
+
+val default_config : config
+
+type design = {
+  sys : Sys_adg.t;
+  per_app : Schedule.t list list;  (** one schedule list per application *)
+  objective : float;               (** geomean estimated IPC *)
+  predicted : Res.t;               (** ML-model full-SoC resources *)
+}
+
+type trace_point = { iter : int; modeled_hours : float; est_ipc : float }
+
+type stats = {
+  accepted : int;
+  invalid : int;
+  repaired : int;
+  rescheduled : int;
+}
+
+type result = {
+  best : design;
+  trace : trace_point list;
+  stats : stats;
+  wall_seconds : float;    (** real OCaml runtime of this exploration *)
+  modeled_hours : float;   (** paper-scale DSE wall-clock *)
+}
+
+val compile_apps : tuned:bool -> Ir.kernel list -> Compile.compiled list
+(** Pre-generate all mDFG variants for the workload set (Section V-A). *)
+
+val caps_pool : Compile.compiled list -> Op.Cap.t
+(** Capability pairs any workload can use; the mutation vocabulary. *)
+
+val explore :
+  ?config:config ->
+  ?device:Device.t ->
+  model:Predict.t ->
+  Compile.compiled list ->
+  result
+(** Run the DSE for a pre-compiled workload set. *)
+
+val explore_kernels :
+  ?config:config ->
+  ?device:Device.t ->
+  ?tuned:bool ->
+  model:Predict.t ->
+  Ir.kernel list ->
+  result
+(** Convenience: compile then explore. *)
+
+val evaluate :
+  ?device:Device.t ->
+  model:Predict.t ->
+  Sys_adg.t ->
+  Compile.compiled list ->
+  (design, string) Stdlib.result
+(** Schedule a workload set on a fixed design (no exploration) and evaluate
+    the objective; used for the hand-built general overlay and for
+    leave-one-out mapping. *)
+
+(** Modeled time constants (paper-scale seconds), shared with the benchmark
+    harness so Figures 15 and 20 use one cost model. *)
+module Time : sig
+  val pregen_per_app_s : float
+  val reschedule_per_app_s : float
+  val repair_per_app_s : float
+  val iteration_overhead_s : float
+end

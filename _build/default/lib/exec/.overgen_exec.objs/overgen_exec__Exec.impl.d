@@ -1,0 +1,1 @@
+lib/exec/exec.ml: Array Compile Dfg Float Hashtbl Ir Kernels List Op Overgen_adg Overgen_mdfg Overgen_util Overgen_workload Printf

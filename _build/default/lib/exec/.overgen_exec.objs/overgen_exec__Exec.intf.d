@@ -1,0 +1,1 @@
+lib/exec/exec.mli: Compile Ir Overgen_mdfg Overgen_workload

@@ -1,0 +1,1 @@
+lib/fpga_model/device.ml: Res

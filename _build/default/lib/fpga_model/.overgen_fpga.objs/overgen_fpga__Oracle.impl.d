@@ -1,0 +1,1 @@
+lib/fpga_model/oracle.ml: Adg Comp Device Dtype Hashtbl List Op Option Overgen_adg Overgen_util Printf Res Set String Sys_adg System

@@ -1,0 +1,1 @@
+lib/fpga_model/oracle.mli: Adg Comp Device Dtype Op Overgen_adg Overgen_util Res Sys_adg System

@@ -1,0 +1,1 @@
+lib/fpga_model/res.ml: Float List Printf

@@ -1,0 +1,1 @@
+lib/fpga_model/res.mli:

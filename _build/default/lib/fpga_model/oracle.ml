@@ -1,0 +1,284 @@
+open Overgen_adg
+module Rng = Overgen_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Functional units                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fu_cost op dtype =
+  let w = Dtype.bits dtype in
+  match (Op.arith_class op, dtype) with
+  | `Simple, (Dtype.I8 | Dtype.I16 | Dtype.I32 | Dtype.I64) ->
+    { Res.lut = w + 8; ff = w; bram = 0; dsp = 0 }
+  | `Simple, Dtype.F32 -> { Res.lut = 220; ff = 320; bram = 0; dsp = 2 }
+  | `Simple, Dtype.F64 -> { Res.lut = 420; ff = 620; bram = 0; dsp = 3 }
+  | `Mul, (Dtype.I8 | Dtype.I16) -> { Res.lut = 40; ff = 60; bram = 0; dsp = 1 }
+  | `Mul, Dtype.I32 -> { Res.lut = 60; ff = 110; bram = 0; dsp = 4 }
+  | `Mul, Dtype.I64 -> { Res.lut = 120; ff = 220; bram = 0; dsp = 16 }
+  | `Mul, Dtype.F32 -> { Res.lut = 110; ff = 160; bram = 0; dsp = 3 }
+  | `Mul, Dtype.F64 -> { Res.lut = 210; ff = 320; bram = 0; dsp = 11 }
+  | `Div, (Dtype.I8 | Dtype.I16 | Dtype.I32 | Dtype.I64) ->
+    { Res.lut = (w * w / 4) + 100; ff = 2 * w; bram = 0; dsp = 0 }
+  | `Div, Dtype.F32 -> { Res.lut = 800; ff = 950; bram = 0; dsp = 0 }
+  | `Div, Dtype.F64 -> { Res.lut = 2800; ff = 3300; bram = 0; dsp = 0 }
+  | `Sqrt, (Dtype.I8 | Dtype.I16 | Dtype.I32 | Dtype.I64) ->
+    { Res.lut = (w * w / 5) + 80; ff = 2 * w; bram = 0; dsp = 0 }
+  | `Sqrt, Dtype.F32 -> { Res.lut = 600; ff = 750; bram = 0; dsp = 0 }
+  | `Sqrt, Dtype.F64 -> { Res.lut = 2100; ff = 2500; bram = 0; dsp = 0 }
+
+(* A PE instantiates one hardware unit per {e unit class}, not one per
+   capability pair: a single integer ALU serves every simple integer op at
+   its widest width, each float precision has one add-class IP and one
+   multiplier, and dividers/sqrt are dedicated blocks.  This matches how the
+   DSAGEN generator shares decoded FUs. *)
+let pe_fu_costs (caps : Op.Cap.t) =
+  let module S = Set.Make (String) in
+  let classes = ref S.empty and costs = Hashtbl.create 8 in
+  let need key cost =
+    if not (S.mem key !classes) then begin
+      classes := S.add key !classes;
+      Hashtbl.replace costs key cost
+    end
+    else
+      (* keep the widest/most expensive representative of the class *)
+      match Hashtbl.find_opt costs key with
+      | Some prev when prev.Res.lut >= cost.Res.lut && prev.Res.dsp >= cost.Res.dsp -> ()
+      | Some _ | None -> Hashtbl.replace costs key cost
+  in
+  Op.Cap.iter
+    (fun (op, dt) ->
+      let cls = Op.arith_class op in
+      let tag =
+        match cls with
+        | `Simple -> "alu"
+        | `Mul -> "mul"
+        | `Div -> "div"
+        | `Sqrt -> "sqrt"
+      in
+      let key =
+        if Dtype.is_float dt then Printf.sprintf "%s.%s" tag (Dtype.to_string dt)
+        else tag ^ ".int"
+      in
+      need key (fu_cost op dt))
+    caps;
+  (* an f64 iterative divider/rooter also serves the integer variants *)
+  if Hashtbl.mem costs "div.f64" then Hashtbl.remove costs "div.int";
+  if Hashtbl.mem costs "sqrt.f64" then Hashtbl.remove costs "sqrt.int";
+  Hashtbl.fold (fun _ cost acc -> Res.add acc cost) costs Res.zero
+
+let pe (p : Comp.pe) ~fan_in ~fan_out =
+  let fu = pe_fu_costs p.caps in
+  (* Subword SIMD: a PE wider than 64 bits replicates its datapath. *)
+  let lanes = max 1 (p.width_bits / 64) in
+  let fu = Res.scale lanes fu in
+  let mux_lut = 3 * p.width_bits * max 1 fan_in / 8 in
+  let out_lut = p.width_bits * max 1 fan_out / 8 in
+  let delay_lut = p.width_bits * 3 / 2 * max 1 (p.delay_fifo / 4) in
+  let const_ff = p.const_regs * p.width_bits in
+  let pred_lut = if p.predication then 64 else 0 in
+  Res.add fu
+    {
+      Res.lut = mux_lut + out_lut + delay_lut + pred_lut + 60;
+      ff = const_ff + p.width_bits + 80;
+      bram = 0;
+      dsp = 0;
+    }
+
+let switch ~width_bits ~fan_in ~fan_out =
+  let fan_in = max 1 fan_in and fan_out = max 1 fan_out in
+  (* a full crossbar on the first 64 bits; subword lanes beyond that share
+     the route decode and pack two lanes per LUT6 mux stage *)
+  let base = min width_bits 64 in
+  let extra = max 0 (width_bits - 64) in
+  {
+    Res.lut = (fan_out * fan_in * (base + (extra / 2)) / 3) + 30;
+    ff = (fan_out * width_bits) + 20;
+    bram = 0;
+    dsp = 0;
+  }
+
+let port (p : Comp.port) ~dir =
+  let bits = p.width_bytes * 8 in
+  let fifo_ff = bits * p.fifo_depth / 4 in
+  let extra = (if p.padding then 50 else 0) + if p.stated then 30 else 0 in
+  let ctrl = match dir with `In -> 60 | `Out -> 45 in
+  { Res.lut = (bits / 2) + extra + ctrl; ff = fifo_ff + 40; bram = 0; dsp = 0 }
+
+let engine (e : Comp.engine) =
+  let common = { Res.lut = 350; ff = 420; bram = 0; dsp = 0 } in
+  let specific =
+    match e.kind with
+    | Comp.Dma ->
+      let ind = if e.indirect then { Res.lut = 250; ff = 150; bram = 1; dsp = 0 } else Res.zero in
+      Res.add ind
+        { Res.lut = 600 + (e.bandwidth * 10) + 400; ff = 800; bram = 2 + 2; dsp = 0 }
+    | Comp.Spad ->
+      let blocks = Overgen_util.Stats.div_ceil e.capacity 4608 in
+      let ind = if e.indirect then { Res.lut = 250; ff = 150; bram = 1; dsp = 0 } else Res.zero in
+      Res.add ind
+        { Res.lut = 250 + (e.bandwidth * 6); ff = 300; bram = blocks; dsp = 0 }
+    | Comp.Rec -> { Res.lut = 220; ff = 250; bram = 0; dsp = 0 }
+    | Comp.Gen -> { Res.lut = 250; ff = 200; bram = 0; dsp = 0 }
+    | Comp.Reg -> { Res.lut = 120; ff = 150; bram = 0; dsp = 0 }
+  in
+  let dims_overhead =
+    (* each extra supported pattern dimension adds address generators *)
+    { Res.lut = 120 * max 0 (e.max_dims - 1); ff = 100 * max 0 (e.max_dims - 1); bram = 0; dsp = 0 }
+  in
+  Res.add common (Res.add specific dims_overhead)
+
+let control_core = { Res.lut = 16000; ff = 12000; bram = 12; dsp = 4 }
+
+let dispatcher ~n_engines ~n_ports =
+  {
+    Res.lut = 600 + (120 * n_engines) + (25 * n_ports);
+    ff = 700 + (100 * n_engines) + (20 * n_ports);
+    bram = 0;
+    dsp = 0;
+  }
+
+let noc ?(topology = System.Crossbar) ~tiles ~banks ~noc_bytes () =
+  match topology with
+  | System.Crossbar ->
+    (* Crossbar-based TileLink NoC; the paper notes this is one of the
+       biggest LUT consumers (Q4). *)
+    {
+      Res.lut = ((tiles + 1) * banks * noc_bytes * 8 / 2) + (tiles * 1500);
+      ff = ((tiles + 1) * banks * noc_bytes * 4) + (tiles * 1200);
+      bram = 0;
+      dsp = 0;
+    }
+  | System.Ring ->
+    (* one router per hop: two ports wide, linear in stops *)
+    {
+      Res.lut = ((tiles + banks) * noc_bytes * 8 / 3) + (tiles * 900);
+      ff = ((tiles + banks) * noc_bytes * 4) + (tiles * 700);
+      bram = 0;
+      dsp = 0;
+    }
+
+let l2 ~l2_kb ~banks =
+  {
+    Res.lut = 4000 + (banks * 2500);
+    ff = 3000 + (banks * 2000);
+    bram = Overgen_util.Stats.div_ceil (l2_kb * 1024) 4608 + 16;
+    dsp = 0;
+  }
+
+let shell = { Res.lut = 25000; ff = 30000; bram = 40; dsp = 0 }
+
+let component adg id =
+  let fan_in = List.length (Adg.preds adg id) in
+  let fan_out = List.length (Adg.succs adg id) in
+  match Adg.comp_exn adg id with
+  | Comp.Pe p -> pe p ~fan_in ~fan_out
+  | Comp.Switch { width_bits } -> switch ~width_bits ~fan_in ~fan_out
+  | Comp.In_port p -> port p ~dir:`In
+  | Comp.Out_port p -> port p ~dir:`Out
+  | Comp.Engine e -> engine e
+
+let accel_breakdown adg =
+  let cat = Hashtbl.create 8 in
+  let add name r =
+    Hashtbl.replace cat name
+      (Res.add r (Option.value ~default:Res.zero (Hashtbl.find_opt cat name)))
+  in
+  List.iter
+    (fun (id, c) ->
+      let r = component adg id in
+      match c with
+      | Comp.Pe _ -> add "pe" r
+      | Comp.Switch _ -> add "n/w" r
+      | Comp.In_port _ | Comp.Out_port _ -> add "vp" r
+      | Comp.Engine { kind = Comp.Spad; _ } -> add "spad" r
+      | Comp.Engine { kind = Comp.Dma | Comp.Rec | Comp.Gen | Comp.Reg; _ } ->
+        add "dma" r)
+    (Adg.nodes adg);
+  let n_engines = List.length (Adg.engines adg) in
+  let n_ports =
+    List.length (Adg.in_ports adg) + List.length (Adg.out_ports adg)
+  in
+  add "dma" (dispatcher ~n_engines ~n_ports);
+  List.filter_map
+    (fun name -> Option.map (fun r -> (name, r)) (Hashtbl.find_opt cat name))
+    [ "pe"; "n/w"; "vp"; "spad"; "dma" ]
+
+let accel adg = Res.sum (List.map snd (accel_breakdown adg))
+
+let ooc ~rng comp ~fan_in ~fan_out =
+  let base =
+    match comp with
+    | Comp.Pe p -> pe p ~fan_in ~fan_out
+    | Comp.Switch { width_bits } -> switch ~width_bits ~fan_in ~fan_out
+    | Comp.In_port p -> port p ~dir:`In
+    | Comp.Out_port p -> port p ~dir:`Out
+    | Comp.Engine e -> engine e
+  in
+  (* Out-of-context synthesis misses cross-module optimization: results are
+     pessimistic relative to the component's share of a full design. *)
+  let pessimism = 1.12 in
+  let noise = Rng.gaussian rng ~mean:1.0 ~stddev:0.04 in
+  Res.scale_f (pessimism *. Overgen_util.Stats.clamp ~lo:0.85 ~hi:1.15 noise) base
+
+type full = {
+  res : Res.t;
+  freq_mhz : float;
+  hours : float;
+  breakdown : (string * Res.t) list;
+}
+
+let system_overhead ?(device = Device.default) (sys : System.t) =
+  ignore device;
+  Res.sum
+    [
+      Res.scale sys.tiles control_core;
+      noc ~topology:sys.noc_topology ~tiles:sys.tiles ~banks:sys.l2_banks
+        ~noc_bytes:sys.noc_bytes ();
+      l2 ~l2_kb:sys.l2_kb ~banks:sys.l2_banks;
+      shell;
+    ]
+
+let synthesis_hours ~device res =
+  let lu, _, bu, _ = Res.utilization res ~device:device.Device.capacity in
+  0.3 +. (6.0 *. lu) +. (0.8 *. bu)
+
+let synth_full ?(device = Device.default) (s : Sys_adg.t) =
+  let tile_breakdown = accel_breakdown s.adg in
+  let tile = Res.sum (List.map snd tile_breakdown) in
+  let sys = s.system in
+  let cores = Res.scale sys.tiles control_core in
+  let noc_r =
+    noc ~topology:sys.noc_topology ~tiles:sys.tiles ~banks:sys.l2_banks
+      ~noc_bytes:sys.noc_bytes ()
+  in
+  let l2_r = l2 ~l2_kb:sys.l2_kb ~banks:sys.l2_banks in
+  let uncore = Res.sum [ noc_r; l2_r; shell ] in
+  (* In-context synthesis shares logic across module boundaries: a small
+     global optimization discount relative to the out-of-context estimates. *)
+  let optimized = Res.scale_f 0.94 (Res.add (Res.scale sys.tiles tile) (Res.add cores uncore)) in
+  let key =
+    Printf.sprintf "synth:%s:%d:%d:%d:%d" (Sys_adg.describe s) sys.tiles
+      sys.l2_banks sys.noc_bytes (Adg.node_count s.adg)
+  in
+  let rng = Rng.of_string key in
+  let noise = Overgen_util.Stats.clamp ~lo:0.95 ~hi:1.05 (Rng.gaussian rng ~mean:1.0 ~stddev:0.02) in
+  let res = Res.scale_f noise optimized in
+  let lut_util, _, _, _ = Res.utilization res ~device:device.Device.capacity in
+  let max_radix =
+    List.fold_left (fun acc sw -> max acc (Adg.switch_radix s.adg sw)) 0
+      (Adg.switches s.adg)
+  in
+  let freq =
+    let base = device.Device.base_clock_mhz in
+    let congestion = 0.35 *. base *. lut_util in
+    let radix_penalty = if max_radix > 4 then float_of_int (max_radix - 4) *. 2.0 else 0.0 in
+    let bank_penalty = if sys.l2_banks >= 8 then 4.0 else 0.0 in
+    let f = base -. congestion -. radix_penalty -. bank_penalty in
+    Overgen_util.Stats.clamp ~lo:40.0 ~hi:base
+      (f *. Overgen_util.Stats.clamp ~lo:0.97 ~hi:1.03 (Rng.gaussian rng ~mean:1.0 ~stddev:0.015))
+  in
+  let breakdown =
+    List.map (fun (n, r) -> (n, Res.scale sys.tiles r)) tile_breakdown
+    @ [ ("core", cores); ("noc", Res.sum [ noc_r; l2_r ]) ]
+  in
+  { res; freq_mhz = freq; hours = synthesis_hours ~device res; breakdown }

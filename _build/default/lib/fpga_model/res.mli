@@ -1,0 +1,18 @@
+(** FPGA resource vectors: LUTs, flip-flops, BRAM36 blocks, DSP slices. *)
+
+type t = { lut : int; ff : int; bram : int; dsp : int }
+
+val zero : t
+val add : t -> t -> t
+val sum : t list -> t
+val scale : int -> t -> t
+val scale_f : float -> t -> t
+(** Per-field multiply with rounding; used for optimization discounts. *)
+
+val fits : t -> within:t -> bool
+val utilization : t -> device:t -> float * float * float * float
+(** (lut, ff, bram, dsp) fractions of the device. *)
+
+val max_utilization : t -> device:t -> float
+val to_string : t -> string
+val describe_utilization : t -> device:t -> string

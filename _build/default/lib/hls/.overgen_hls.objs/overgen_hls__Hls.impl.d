@@ -1,0 +1,1 @@
+lib/hls/hls.ml: Compile Device Dfg Float Ir Kernels List Oracle Overgen_fpga Overgen_mdfg Overgen_util Overgen_workload Res Stream

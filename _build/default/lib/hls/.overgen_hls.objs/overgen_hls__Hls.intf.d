@@ -1,0 +1,1 @@
+lib/hls/hls.mli: Device Ir Overgen_fpga Overgen_workload Res

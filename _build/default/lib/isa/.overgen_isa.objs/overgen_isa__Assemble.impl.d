@@ -1,0 +1,1 @@
+lib/isa/assemble.ml: Adg Array Bitstream Buffer Comp Dfg Hashtbl Int64 List Op Option Overgen_adg Overgen_mdfg Overgen_scheduler Overgen_workload Printf Schedule Stream String Sys_adg

@@ -1,0 +1,1 @@
+lib/isa/assemble.mli: Adg Bitstream Overgen_adg Overgen_scheduler Schedule Sys_adg

@@ -1,0 +1,1 @@
+lib/isa/bitstream.ml: Array Buffer Int64 List Printf

@@ -1,0 +1,255 @@
+open Overgen_adg
+open Overgen_mdfg
+open Overgen_scheduler
+
+type stream_cmd = {
+  engine : Adg.id;
+  port : Adg.id option;
+  write : bool;
+  indirect : bool;
+  rec_forward : bool;
+  base_offset : int;
+  dims : (int * int) list;
+  elem_bytes : int;
+}
+
+type region_program = {
+  rname : string;
+  config_writes : int;
+  commands : stream_cmd list;
+}
+
+type program = {
+  kernel : string;
+  bitstream : Bitstream.t;
+  regions : region_program list;
+}
+
+let log2_ceil n =
+  let rec go b v = if v >= n then b else go (b + 1) (v * 2) in
+  max 1 (go 0 1)
+
+(* ---------------- configuration bitstream ---------------- *)
+
+let config_bitstream (sys : Sys_adg.t) schedules =
+  let adg = sys.adg in
+  let bs = ref Bitstream.empty in
+  let emit node tag value bits =
+    bs := Bitstream.add !bs { Bitstream.node; tag; value = Int64.of_int value; bits }
+  in
+  (* Switch route selects: for each ADG edge (sw -> next) used by a route,
+     program which input of the switch drives that output. *)
+  List.iteri
+    (fun ri (s : Schedule.t) ->
+      List.iter
+        (fun ((_, _), (r : Schedule.route)) ->
+          let rec walk = function
+            | a :: b :: (c :: _ as rest) ->
+              (match Adg.comp adg b with
+              | Some (Comp.Switch _) ->
+                let inputs = Adg.preds adg b in
+                let outputs = Adg.succs adg b in
+                let idx_of l x =
+                  let rec go i = function
+                    | [] -> 0
+                    | y :: rest -> if y = x then i else go (i + 1) rest
+                  in
+                  go 0 l
+                in
+                let in_idx = idx_of inputs a and out_idx = idx_of outputs c in
+                emit b
+                  (Printf.sprintf "r%d.route[out%d]" ri out_idx)
+                  in_idx
+                  (log2_ceil (max 2 (List.length inputs)))
+              | _ -> ());
+              walk (b :: rest)
+            | [ _; _ ] | [ _ ] | [] -> ()
+          in
+          walk r.hops)
+        s.routes;
+      (* PE opcodes, delay settings, constants *)
+      Schedule.Imap.iter
+        (fun inst pe_id ->
+          match (Adg.comp adg pe_id, (Dfg.node s.variant.dfg inst).kind) with
+          | Some (Comp.Pe p), Dfg.Inst { op; dtype; acc } ->
+            let caps = Op.Cap.elements p.caps in
+            let rec idx i = function
+              | [] -> 0
+              | c :: rest -> if c = (op, dtype) then i else idx (i + 1) rest
+            in
+            emit pe_id
+              (Printf.sprintf "r%d.opcode" ri)
+              (idx 0 caps)
+              (log2_ceil (max 2 (List.length caps)));
+            if acc then emit pe_id (Printf.sprintf "r%d.acc_en" ri) 1 1;
+            (* per-operand delay-FIFO settings *)
+            List.iter
+              (fun ((src, dst), (r : Schedule.route)) ->
+                if dst = inst then
+                  emit pe_id
+                    (Printf.sprintf "r%d.delay[%d]" ri src)
+                    r.delay
+                    (log2_ceil (max 2 (p.delay_fifo + 1))))
+              s.routes;
+            (* constant-register operands *)
+            List.iter
+              (fun (o : Dfg.operand) ->
+                match (Dfg.node s.variant.dfg o.src).kind with
+                | Dfg.Const { value; _ } ->
+                  emit pe_id
+                    (Printf.sprintf "r%d.const[%d]" ri o.src)
+                    (int_of_float value land 0xFFFF)
+                    16
+                | _ -> ())
+              (Dfg.node s.variant.dfg inst).operands
+          | _ -> ())
+        s.inst_pe;
+      (* port templates: width, stated enable *)
+      Schedule.Imap.iter
+        (fun dfg_port hw ->
+          let lanes =
+            match (Dfg.node s.variant.dfg dfg_port).kind with
+            | Dfg.Input { width_bytes; _ } | Dfg.Output { width_bytes } -> width_bytes
+            | _ -> 0
+          in
+          emit hw (Printf.sprintf "r%d.port_lanes" ri) lanes 8;
+          let stated =
+            List.exists
+              (fun (st : Stream.t) ->
+                st.port = Some dfg_port && st.reuse.stationary > 1.0)
+              s.variant.streams
+          in
+          if stated then emit hw (Printf.sprintf "r%d.stated" ri) 1 1)
+        s.port_map)
+    schedules;
+  !bs
+
+(* ---------------- stream commands ---------------- *)
+
+(* Reconstruct a coarse (stride, trip) shape from the region loops and the
+   stream's reuse: up to the 3 innermost loops the engines support. *)
+let dims_of_stream (s : Schedule.t) (st : Stream.t) =
+  let loops = s.variant.region.Overgen_workload.Ir.loops in
+  let rec last3 l =
+    if List.length l <= 3 then l else last3 (List.tl l)
+  in
+  let stride =
+    match st.access with
+    | Stream.Linear { stride } -> stride
+    | Stream.Indirect _ -> 1
+  in
+  List.mapi
+    (fun i (l : Overgen_workload.Ir.loop) ->
+      let trip = Overgen_workload.Ir.trip_max l.trip in
+      ((if i = 0 then stride else stride * trip), trip))
+    (List.rev (last3 loops))
+
+let assemble (sys : Sys_adg.t) schedules =
+  let kernel =
+    match schedules with
+    | (s : Schedule.t) :: _ -> s.variant.kernel
+    | [] -> "empty"
+  in
+  let offsets = Hashtbl.create 16 in
+  let next_offset = ref 0 in
+  let offset_of (a : Stream.array_info) =
+    match Hashtbl.find_opt offsets a.name with
+    | Some o -> o
+    | None ->
+      let o = !next_offset in
+      Hashtbl.add offsets a.name o;
+      next_offset := o + (a.elems * a.elem_bytes);
+      o
+  in
+  let regions =
+    List.map
+      (fun (s : Schedule.t) ->
+        let commands =
+          List.filter_map
+            (fun (st : Stream.t) ->
+              match Schedule.engine_of_stream s st with
+              | None -> None
+              | Some engine ->
+                let base_offset =
+                  match
+                    List.find_opt
+                      (fun (a : Stream.array_info) -> a.name = st.array)
+                      s.variant.arrays
+                  with
+                  | Some a -> offset_of a
+                  | None -> 0
+                in
+                Some
+                  {
+                    engine;
+                    port =
+                      Option.bind st.port (fun p ->
+                          Schedule.Imap.find_opt p s.port_map);
+                    write = st.dir = Stream.Write;
+                    indirect =
+                      (match st.access with
+                      | Stream.Indirect _ -> true
+                      | Stream.Linear _ -> false);
+                    rec_forward = Schedule.is_rec s st;
+                    base_offset;
+                    dims = dims_of_stream s st;
+                    elem_bytes = st.elem_bytes;
+                  })
+            s.variant.streams
+        in
+        {
+          rname = s.variant.region.Overgen_workload.Ir.rname;
+          config_writes = 2 + (2 * List.length commands);
+          commands;
+        })
+      schedules
+  in
+  { kernel; bitstream = config_bitstream sys schedules; regions }
+
+let encode_cmd c =
+  (* word 0: base address; word 1: flags + elem size; words 2..: dims *)
+  let flags =
+    (if c.write then 1 else 0)
+    lor (if c.indirect then 2 else 0)
+    lor (if c.rec_forward then 4 else 0)
+    lor (c.elem_bytes lsl 8)
+    lor ((match c.port with Some p -> p | None -> 0xFF) lsl 16)
+    lor (c.engine lsl 32)
+  in
+  Int64.of_int c.base_offset
+  :: Int64.of_int flags
+  :: List.map
+       (fun (stride, trip) ->
+         Int64.logor
+           (Int64.shift_left (Int64.of_int (stride land 0xFFFFFFFF)) 32)
+           (Int64.of_int (trip land 0xFFFFFFFF)))
+       c.dims
+
+let disassemble p =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "program %s\n" p.kernel);
+  Buffer.add_string buf
+    (Printf.sprintf "config: %d fields / %d words\n"
+       (List.length (Bitstream.fields p.bitstream))
+       (Array.length (Bitstream.words p.bitstream)));
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "region %s (%d register writes)\n" r.rname r.config_writes);
+      List.iter
+        (fun c ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  stream eng=%d port=%s %s%s%s base=%d dims=%s elem=%dB\n"
+               c.engine
+               (match c.port with Some p -> string_of_int p | None -> "-")
+               (if c.write then "write" else "read")
+               (if c.indirect then " indirect" else "")
+               (if c.rec_forward then " rec" else "")
+               c.base_offset
+               (String.concat "x"
+                  (List.map (fun (s, t) -> Printf.sprintf "(%d,%d)" s t) c.dims))
+               c.elem_bytes))
+        r.commands)
+    p.regions;
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Spatial-mapping bitstreams (paper Figure 3, "Spatial Mapping Bitstream").
+
+    A bitstream is the configuration the control core streams through the
+    D-cache into the computing substrate on reconfiguration: per-switch route
+    selects, per-PE opcode/constant/delay settings, and per-port stream
+    templates, framed into 64-bit words with a trailing checksum. *)
+
+type t
+
+(** A single configuration field: which node it programs, a tag for
+    disassembly, and its value/width. *)
+type field = { node : int; tag : string; value : int64; bits : int }
+
+val empty : t
+val add : t -> field -> t
+val fields : t -> field list
+(** In emission order. *)
+
+val bit_count : t -> int
+(** Total payload bits, before framing. *)
+
+val words : t -> int64 array
+(** The framed bitstream: a header word (magic, field count), the packed
+    payload, and a trailing additive checksum word. *)
+
+val checksum : int64 array -> int64
+(** Checksum as computed/verified by the reconfiguration network. *)
+
+val verify : int64 array -> bool
+(** Check framing: the magic and checksum of a word image. *)
+
+val disassemble : t -> string
+(** Human-readable dump, one field per line. *)

@@ -1,0 +1,1 @@
+lib/mdfg/compile.ml: Dfg Dtype Float Hashtbl Ir Kernels List Op Overgen_adg Overgen_util Overgen_workload Printf Stream String Suite

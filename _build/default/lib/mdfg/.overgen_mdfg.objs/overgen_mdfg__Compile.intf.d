@@ -1,0 +1,1 @@
+lib/mdfg/compile.mli: Dfg Ir Overgen_workload Stream Suite

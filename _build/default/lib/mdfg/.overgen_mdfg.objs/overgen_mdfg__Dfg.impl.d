@@ -1,0 +1,1 @@
+lib/mdfg/dfg.ml: Array Dtype Hashtbl List Op Option Overgen_adg Printf

@@ -1,0 +1,1 @@
+lib/mdfg/dfg.mli: Dtype Op Overgen_adg

@@ -1,0 +1,1 @@
+lib/mdfg/stream.ml: Printf

@@ -1,0 +1,58 @@
+type direction = Read | Write
+
+type access = Linear of { stride : int } | Indirect of { via : string }
+
+type reuse = { traffic : float; footprint : int; stationary : float }
+
+let general_reuse r =
+  if r.footprint <= 0 then 1.0 else r.traffic /. float_of_int r.footprint
+
+type rec_info = { concurrent : int; recurs : float; mem_traffic : float }
+
+type t = {
+  id : int;
+  array : string;
+  dir : direction;
+  access : access;
+  dims : int;
+  lanes : int;
+  elem_bytes : int;
+  port : int option;
+  partitioned : bool;
+  reuse : reuse;
+  recurrence : rec_info option;
+}
+
+let bytes_per_firing t = t.lanes * t.elem_bytes
+
+let mem_bytes t ~use_rec =
+  let elems =
+    match (use_rec, t.recurrence) with
+    | true, Some r -> r.mem_traffic
+    | true, None | false, _ -> t.reuse.traffic
+  in
+  elems *. float_of_int t.elem_bytes
+
+let describe t =
+  Printf.sprintf "%s %s%s lanes=%d traffic=%.0f foot=%d stat=%.1f%s"
+    (match t.dir with Read -> "read" | Write -> "write")
+    t.array
+    (match t.access with
+     | Linear { stride } -> Printf.sprintf "(+%d)" stride
+     | Indirect { via } -> Printf.sprintf "[%s[.]]" via)
+    t.lanes t.reuse.traffic t.reuse.footprint t.reuse.stationary
+    (match t.recurrence with
+     | Some r -> Printf.sprintf " rec(conc=%d)" r.concurrent
+     | None -> "")
+
+type array_info = {
+  name : string;
+  elems : int;
+  elem_bytes : int;
+  read_only : bool;
+}
+
+let array_bytes a =
+  (* Double-buffering space is reserved when the array is staged into a
+     scratchpad, matching the paper's size accounting (Section IV-A). *)
+  2 * a.elems * a.elem_bytes

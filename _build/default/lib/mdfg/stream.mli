@@ -1,0 +1,69 @@
+(** Streams and the reuse annotations of the memory-enhanced DFG.
+
+    A stream is a coarse-grain access pattern over one array, bound to one
+    DFG vector port.  The compiler's reuse analysis (paper Section IV-B)
+    annotates each stream with data traffic, footprint, stationary (port)
+    reuse, and recurrence candidacy; the spatial scheduler and the DSE
+    performance model consume these. *)
+
+type direction = Read | Write
+
+type access =
+  | Linear of { stride : int }
+      (** innermost element stride; 1 is fully coalesced *)
+  | Indirect of { via : string }  (** gather/scatter through an index array *)
+
+(** Reuse summary over the whole region execution, in {e elements}. *)
+type reuse = {
+  traffic : float;    (** elements crossing the port after stationary reuse *)
+  footprint : int;    (** distinct elements touched *)
+  stationary : float; (** port-FIFO reuse factor (>= 1) *)
+}
+
+val general_reuse : reuse -> float
+(** traffic / footprint: the reuse a scratchpad could capture. *)
+
+(** Loop-carried read-modify-write pair that can ride the recurrence stream
+    engine instead of going to memory (paper's "recurrent reuse"). *)
+type rec_info = {
+  concurrent : int;   (** simultaneously live partial results *)
+  recurs : float;     (** times each element recirculates *)
+  mem_traffic : float;(** per-direction memory traffic if the engine is used *)
+}
+
+type t = {
+  id : int;
+  array : string;
+  dir : direction;
+  access : access;
+  dims : int;         (** affine pattern dimensionality, 1..3 *)
+  lanes : int;        (** elements delivered per DFG firing *)
+  elem_bytes : int;
+  port : int option;  (** DFG port node id; [None] for engine-internal index
+                          streams of indirect accesses *)
+  partitioned : bool;
+      (** subscript involves the outermost (tile-parallelized) loop, so each
+          tile touches a disjoint slice; shared arrays are re-streamed by
+          every tile *)
+  reuse : reuse;
+  recurrence : rec_info option;
+}
+
+val bytes_per_firing : t -> int
+val mem_bytes : t -> use_rec:bool -> float
+(** Total bytes of memory traffic for the region: [reuse.traffic] scaled by
+    element size, or the recurrence-engine residual when [use_rec]. *)
+
+val describe : t -> string
+
+(** An array of the program, candidate for scratchpad or DRAM placement
+    (the mDFG "array node", paper Figure 5). *)
+type array_info = {
+  name : string;
+  elems : int;
+  elem_bytes : int;
+  read_only : bool;
+}
+
+val array_bytes : array_info -> int
+(** Footprint including double-buffering space when scratchpad-resident. *)

@@ -1,0 +1,1 @@
+lib/mlp/mlp.ml: Array List Overgen_util

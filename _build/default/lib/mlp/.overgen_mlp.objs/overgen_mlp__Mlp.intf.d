@@ -1,0 +1,1 @@
+lib/mlp/mlp.mli: Overgen_util

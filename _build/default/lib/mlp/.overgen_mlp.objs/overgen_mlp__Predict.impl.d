@@ -1,0 +1,1 @@
+lib/mlp/predict.ml: Adg Array Comp Dtype Float Hashtbl List Mlp Op Oracle Overgen_adg Overgen_fpga Overgen_util Res Sys_adg System

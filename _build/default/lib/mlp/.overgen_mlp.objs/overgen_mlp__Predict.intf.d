@@ -1,0 +1,1 @@
+lib/mlp/predict.mli: Adg Comp Overgen_adg Overgen_fpga Res Sys_adg

@@ -1,0 +1,150 @@
+module Rng = Overgen_util.Rng
+
+type layer = {
+  weights : float array array; (* [out][in] *)
+  bias : float array;
+  w_vel : float array array;
+  b_vel : float array;
+}
+
+type t = { layers : layer array; sizes : int list }
+
+let create ~rng ~layers:sizes =
+  if List.length sizes < 2 then invalid_arg "Mlp.create: need >= 2 layers";
+  let pairs =
+    List.combine
+      (List.filteri (fun i _ -> i < List.length sizes - 1) sizes)
+      (List.tl sizes)
+  in
+  let layers =
+    List.map
+      (fun (n_in, n_out) ->
+        let scale = sqrt (2.0 /. float_of_int n_in) in
+        {
+          weights =
+            Array.init n_out (fun _ ->
+                Array.init n_in (fun _ -> Rng.gaussian rng ~mean:0.0 ~stddev:scale));
+          bias = Array.make n_out 0.0;
+          w_vel = Array.init n_out (fun _ -> Array.make n_in 0.0);
+          b_vel = Array.make n_out 0.0;
+        })
+      pairs
+  in
+  { layers = Array.of_list layers; sizes }
+
+let n_inputs t = List.hd t.sizes
+let n_outputs t = List.nth t.sizes (List.length t.sizes - 1)
+
+let relu x = if x > 0.0 then x else 0.0
+
+(* Forward pass returning all activations (pre-output layers ReLU'd). *)
+let forward_all t x =
+  let n = Array.length t.layers in
+  let acts = Array.make (n + 1) x in
+  for i = 0 to n - 1 do
+    let l = t.layers.(i) in
+    let last = i = n - 1 in
+    let inp = acts.(i) in
+    let out =
+      Array.mapi
+        (fun j row ->
+          let s = ref l.bias.(j) in
+          Array.iteri (fun k w -> s := !s +. (w *. inp.(k))) row;
+          if last then !s else relu !s)
+        l.weights
+    in
+    acts.(i + 1) <- out
+  done;
+  acts
+
+let forward t x = (forward_all t x).(Array.length t.layers)
+
+let backprop t ~rate ~momentum x y =
+  let n = Array.length t.layers in
+  let acts = forward_all t x in
+  let out = acts.(n) in
+  (* dL/dout for MSE (factor 2 folded into the rate) *)
+  let delta = ref (Array.mapi (fun i o -> o -. y.(i)) out) in
+  for i = n - 1 downto 0 do
+    let l = t.layers.(i) in
+    let inp = acts.(i) in
+    let d = !delta in
+    (* propagate before updating weights *)
+    let prev_delta = Array.make (Array.length inp) 0.0 in
+    Array.iteri
+      (fun j row ->
+        Array.iteri
+          (fun k w -> prev_delta.(k) <- prev_delta.(k) +. (w *. d.(j)))
+          row)
+      l.weights;
+    (* ReLU derivative on the previous activation (skip for the input) *)
+    if i > 0 then
+      Array.iteri
+        (fun k a -> if a <= 0.0 then prev_delta.(k) <- 0.0)
+        acts.(i);
+    (* update *)
+    Array.iteri
+      (fun j row ->
+        let dj = d.(j) in
+        Array.iteri
+          (fun k _ ->
+            let g = dj *. inp.(k) in
+            l.w_vel.(j).(k) <- (momentum *. l.w_vel.(j).(k)) -. (rate *. g);
+            row.(k) <- row.(k) +. l.w_vel.(j).(k))
+          row;
+        l.b_vel.(j) <- (momentum *. l.b_vel.(j)) -. (rate *. dj);
+        l.bias.(j) <- l.bias.(j) +. l.b_vel.(j))
+      l.weights;
+    delta := prev_delta
+  done
+
+let train t ~rng ~rate ?(momentum = 0.9) ~epochs samples =
+  for _ = 1 to epochs do
+    let shuffled = Rng.shuffle rng samples in
+    List.iter (fun (x, y) -> backprop t ~rate ~momentum x y) shuffled
+  done
+
+let loss t samples =
+  match samples with
+  | [] -> 0.0
+  | _ ->
+    let total =
+      List.fold_left
+        (fun acc (x, y) ->
+          let o = forward t x in
+          let e = ref 0.0 in
+          Array.iteri (fun i v -> e := !e +. ((v -. y.(i)) ** 2.0)) o;
+          acc +. !e)
+        0.0 samples
+    in
+    total /. float_of_int (List.length samples)
+
+module Scaler = struct
+  type s = { mins : float array; maxs : float array }
+
+  let fit rows =
+    match rows with
+    | [] -> invalid_arg "Scaler.fit: empty"
+    | first :: _ ->
+      let n = Array.length first in
+      let mins = Array.make n infinity and maxs = Array.make n neg_infinity in
+      List.iter
+        (fun row ->
+          Array.iteri
+            (fun i v ->
+              if v < mins.(i) then mins.(i) <- v;
+              if v > maxs.(i) then maxs.(i) <- v)
+            row)
+        rows;
+      { mins; maxs }
+
+  let span s i =
+    let d = s.maxs.(i) -. s.mins.(i) in
+    if d <= 1e-12 then 1.0 else d
+
+  let apply s row =
+    Array.mapi (fun i v -> (v -. s.mins.(i)) /. span s i) row
+
+  let unapply s row =
+    Array.mapi (fun i v -> (v *. span s i) +. s.mins.(i)) row
+end

@@ -1,0 +1,38 @@
+(** A small multi-layer perceptron trained with SGD + momentum.
+
+    The paper's FPGA resource model is a 3-layer MLP per component type,
+    trained on out-of-context synthesis results with an 80/10/10 split
+    (Section V-D).  Hidden layers use ReLU; the output layer is linear. *)
+
+type t
+
+val create : rng:Overgen_util.Rng.t -> layers:int list -> t
+(** [create ~rng ~layers:[n_in; h1; ...; n_out]] with He-initialized
+    weights.  @raise Invalid_argument on fewer than two layers. *)
+
+val forward : t -> float array -> float array
+
+val train :
+  t ->
+  rng:Overgen_util.Rng.t ->
+  rate:float ->
+  ?momentum:float ->
+  epochs:int ->
+  (float array * float array) list ->
+  unit
+(** In-place minibatch-1 SGD over shuffled samples, mean-squared-error. *)
+
+val loss : t -> (float array * float array) list -> float
+(** Mean squared error over a dataset. *)
+
+val n_inputs : t -> int
+val n_outputs : t -> int
+
+(** Per-dimension min-max feature/target scaling, fit on the training set. *)
+module Scaler : sig
+  type s
+
+  val fit : float array list -> s
+  val apply : s -> float array -> float array
+  val unapply : s -> float array -> float array
+end

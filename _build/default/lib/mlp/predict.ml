@@ -1,0 +1,233 @@
+open Overgen_adg
+open Overgen_fpga
+module Rng = Overgen_util.Rng
+
+type kind = Pe_k | Switch_k | In_port_k | Out_port_k
+
+let kind_name = function
+  | Pe_k -> "Processing Elements"
+  | Switch_k -> "Switches"
+  | In_port_k -> "Input Port"
+  | Out_port_k -> "Output Port"
+
+let paper_counts =
+  [ (Pe_k, 100_000); (Switch_k, 56_700); (In_port_k, 34_412); (Out_port_k, 25_796) ]
+
+let default_counts =
+  List.map (fun (k, n) -> (k, n / 100)) paper_counts
+
+type model = {
+  net : Mlp.t;
+  in_scaler : Mlp.Scaler.s;
+  out_scaler : Mlp.Scaler.s;
+  test_err : float;
+  n_samples : int;
+}
+
+type t = {
+  pe_m : model;
+  sw_m : model;
+  ip_m : model;
+  op_m : model;
+}
+
+(* ---------- feature extraction ---------- *)
+
+(* The PE's cost is driven by which hardware unit classes it instantiates
+   (one int ALU, per-precision float IPs, dividers, ...), so the features
+   expose exactly those, plus the structural knobs.  The per-class presence
+   flags are what make the regression well-posed. *)
+let pe_features (p : Comp.pe) ~fan_in ~fan_out =
+  let has f = if Op.Cap.exists f p.caps then 1.0 else 0.0 in
+  let unit cls dt_sel =
+    has (fun (op, dt) -> Op.arith_class op = cls && dt_sel dt)
+  in
+  let is_int dt = not (Dtype.is_float dt) in
+  let int_width =
+    Op.Cap.fold
+      (fun (_, dt) acc -> if is_int dt then max acc (Dtype.bits dt) else acc)
+      p.caps 0
+  in
+  [|
+    float_of_int p.width_bits;
+    float_of_int p.delay_fifo;
+    float_of_int p.const_regs;
+    (if p.predication then 1.0 else 0.0);
+    float_of_int fan_in;
+    float_of_int fan_out;
+    float_of_int int_width;
+    unit `Simple is_int;
+    unit `Simple (( = ) Dtype.F32);
+    unit `Simple (( = ) Dtype.F64);
+    unit `Mul is_int;
+    unit `Mul (( = ) Dtype.F32);
+    unit `Mul (( = ) Dtype.F64);
+    unit `Div is_int;
+    unit `Div (( = ) Dtype.F32);
+    unit `Div (( = ) Dtype.F64);
+    unit `Sqrt is_int;
+    unit `Sqrt (( = ) Dtype.F32);
+    unit `Sqrt (( = ) Dtype.F64);
+  |]
+
+let sw_features ~width_bits ~fan_in ~fan_out =
+  [| float_of_int width_bits; float_of_int fan_in; float_of_int fan_out |]
+
+let port_features (p : Comp.port) =
+  [|
+    float_of_int p.width_bytes;
+    float_of_int p.fifo_depth;
+    (if p.padding then 1.0 else 0.0);
+    (if p.stated then 1.0 else 0.0);
+  |]
+
+(* Targets are regressed in log space: component resources span several
+   orders of magnitude and a linear-space MSE lets the largest designs
+   dominate the fit. *)
+let res_to_targets (r : Res.t) =
+  let f x = log (1.0 +. float_of_int x) in
+  [| f r.lut; f r.ff; f r.bram; f r.dsp |]
+
+let targets_to_res a =
+  let g i = max 0 (int_of_float (Float.round (exp a.(i) -. 1.0))) in
+  { Res.lut = g 0; ff = g 1; bram = g 2; dsp = g 3 }
+
+(* ---------- dataset generation ---------- *)
+
+let random_caps rng =
+  let dtypes =
+    let pool = [ [ Dtype.I16 ]; [ Dtype.I64 ]; [ Dtype.F32 ]; [ Dtype.F64 ];
+                 [ Dtype.I64; Dtype.F64 ]; Dtype.all ] in
+    Rng.choose rng pool
+  in
+  let ops =
+    let base = [ Op.Add; Op.Sub ] in
+    let extras =
+      List.filter (fun _ -> Rng.bool rng)
+        [ Op.Mul; Op.Div; Op.Sqrt; Op.Min; Op.Max; Op.Abs; Op.Shl; Op.Shr;
+          Op.Select; Op.Acc ]
+    in
+    base @ extras
+  in
+  Op.Cap.of_ops ops dtypes
+
+let random_sample rng kind =
+  match kind with
+  | Pe_k ->
+    let p =
+      {
+        Comp.caps = random_caps rng;
+        width_bits = Rng.choose rng [ 16; 32; 64; 128; 256; 512 ];
+        delay_fifo = Rng.choose rng [ 2; 4; 8; 16 ];
+        const_regs = Rng.int rng 5;
+        predication = Rng.bool rng;
+      }
+    in
+    let fan_in = 1 + Rng.int rng 6 and fan_out = 1 + Rng.int rng 4 in
+    (pe_features p ~fan_in ~fan_out, Comp.Pe p, fan_in, fan_out)
+  | Switch_k ->
+    let width_bits = Rng.choose rng [ 16; 32; 64; 128; 256; 512 ] in
+    let fan_in = 1 + Rng.int rng 8 and fan_out = 1 + Rng.int rng 8 in
+    (sw_features ~width_bits ~fan_in ~fan_out, Comp.Switch { width_bits }, fan_in, fan_out)
+  | In_port_k | Out_port_k ->
+    let p =
+      {
+        Comp.width_bytes = Rng.choose rng [ 2; 4; 8; 16; 32; 64 ];
+        fifo_depth = Rng.choose rng [ 2; 4; 8 ];
+        padding = Rng.bool rng;
+        stated = Rng.bool rng;
+      }
+    in
+    let comp = if kind = In_port_k then Comp.In_port p else Comp.Out_port p in
+    (port_features p, comp, 1, 1)
+
+let gen_dataset rng kind n =
+  List.init n (fun _ ->
+      let feats, comp, fan_in, fan_out = random_sample rng kind in
+      let res = Oracle.ooc ~rng comp ~fan_in ~fan_out in
+      (feats, res_to_targets res))
+
+let train_kind ~seed kind n =
+  let rng = Rng.create (seed + Hashtbl.hash (kind_name kind)) in
+  let data = gen_dataset rng kind n in
+  let in_scaler = Mlp.Scaler.fit (List.map fst data) in
+  let out_scaler = Mlp.Scaler.fit (List.map snd data) in
+  let scaled =
+    List.map
+      (fun (x, y) -> (Mlp.Scaler.apply in_scaler x, Mlp.Scaler.apply out_scaler y))
+      data
+  in
+  (* 80/10/10 split as in the paper. *)
+  let n_total = List.length scaled in
+  let n_train = n_total * 8 / 10 and n_val = n_total / 10 in
+  let idx = ref (-1) in
+  let train_set, rest =
+    List.partition (fun _ -> incr idx; !idx < n_train) scaled
+  in
+  idx := -1;
+  let _val_set, test_set =
+    List.partition (fun _ -> incr idx; !idx < n_val) rest
+  in
+  let n_in = Array.length (fst (List.hd scaled)) in
+  let net = Mlp.create ~rng ~layers:[ n_in; 32; 16; 4 ] in
+  Mlp.train net ~rng ~rate:0.002 ~epochs:200 train_set;
+  (* test error: mean relative LUT error in unscaled space *)
+  let rel_err =
+    let errs =
+      List.map
+        (fun (x, y) ->
+          let pred = targets_to_res (Mlp.Scaler.unapply out_scaler (Mlp.forward net x)) in
+          let truth = targets_to_res (Mlp.Scaler.unapply out_scaler y) in
+          Float.abs (float_of_int (pred.Res.lut - truth.Res.lut))
+          /. Float.max 1.0 (float_of_int truth.Res.lut))
+        test_set
+    in
+    Overgen_util.Stats.mean errs
+  in
+  { net; in_scaler; out_scaler; test_err = rel_err; n_samples = n_total }
+
+let train ?(counts = default_counts) ~seed () =
+  let n k = List.assoc k counts in
+  {
+    pe_m = train_kind ~seed Pe_k (n Pe_k);
+    sw_m = train_kind ~seed Switch_k (n Switch_k);
+    ip_m = train_kind ~seed In_port_k (n In_port_k);
+    op_m = train_kind ~seed Out_port_k (n Out_port_k);
+  }
+
+let run_model m feats =
+  targets_to_res (Mlp.Scaler.unapply m.out_scaler (Mlp.forward m.net (Mlp.Scaler.apply m.in_scaler feats)))
+
+let predict_comp t comp ~fan_in ~fan_out =
+  match comp with
+  | Comp.Pe p -> run_model t.pe_m (pe_features p ~fan_in ~fan_out)
+  | Comp.Switch { width_bits } -> run_model t.sw_m (sw_features ~width_bits ~fan_in ~fan_out)
+  | Comp.In_port p -> run_model t.ip_m (port_features p)
+  | Comp.Out_port p -> run_model t.op_m (port_features p)
+  | Comp.Engine e -> Oracle.engine e
+
+let predict_accel t adg =
+  let comps =
+    List.map
+      (fun (id, c) ->
+        predict_comp t c
+          ~fan_in:(List.length (Adg.preds adg id))
+          ~fan_out:(List.length (Adg.succs adg id)))
+      (Adg.nodes adg)
+  in
+  let n_engines = List.length (Adg.engines adg) in
+  let n_ports = List.length (Adg.in_ports adg) + List.length (Adg.out_ports adg) in
+  Res.add (Res.sum comps) (Oracle.dispatcher ~n_engines ~n_ports)
+
+let predict_full t (s : Sys_adg.t) =
+  let tile = predict_accel t s.adg in
+  Res.add (Res.scale s.system.System.tiles tile) (Oracle.system_overhead s.system)
+
+let model_of t = function
+  | Pe_k -> t.pe_m
+  | Switch_k -> t.sw_m
+  | In_port_k -> t.ip_m
+  | Out_port_k -> t.op_m
+
+let test_error t kind = (model_of t kind).test_err
+let samples_trained t kind = (model_of t kind).n_samples

@@ -1,0 +1,45 @@
+(** The ML-based FPGA resource model of paper Section V-D.
+
+    One MLP per hardware-unit kind (processing element, switch, input port,
+    output port), trained on out-of-context synthesis samples produced by the
+    oracle, with an 80/10/10 train/validation/test split.  Stream engines
+    have few parameters and are priced analytically (the paper exhaustively
+    synthesizes such units).  Because training data is out-of-context, the
+    model is pessimistic relative to full-design synthesis — exactly the bias
+    the paper reports. *)
+
+open Overgen_adg
+open Overgen_fpga
+
+type t
+
+type kind = Pe_k | Switch_k | In_port_k | Out_port_k
+
+val kind_name : kind -> string
+
+val paper_counts : (kind * int) list
+(** Paper Table I: modules synthesized per kind (100,000 / 56,700 / 34,412 /
+    25,796). *)
+
+val default_counts : (kind * int) list
+(** The scaled-down counts actually synthesized here (1/100 of Table I), so
+    training completes in seconds; recorded in EXPERIMENTS.md. *)
+
+val train : ?counts:(kind * int) list -> seed:int -> unit -> t
+(** Generate the dataset with the oracle and train all four models. *)
+
+val predict_comp : t -> Comp.t -> fan_in:int -> fan_out:int -> Res.t
+(** Resource prediction for one component. *)
+
+val predict_accel : t -> Adg.t -> Res.t
+(** Predicted resources of one accelerator tile (MLP for datapath units,
+    analytic for engines and the dispatcher). *)
+
+val predict_full : t -> Sys_adg.t -> Res.t
+(** Predicted whole-SoC resources: tiles + cores + NoC + L2 + shell.  Used
+    by the DSE as the resource constraint; pessimistic vs [Oracle.synth_full]. *)
+
+val test_error : t -> kind -> float
+(** Mean relative LUT error on the held-out test split. *)
+
+val samples_trained : t -> kind -> int

@@ -1,0 +1,1 @@
+lib/perf/perf.ml: Adg Comp Dfg Float Hashtbl List Option Overgen_adg Overgen_mdfg Overgen_scheduler Overgen_util Schedule Stream Sys_adg System

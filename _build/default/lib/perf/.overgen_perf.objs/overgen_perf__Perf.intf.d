@@ -1,0 +1,1 @@
+lib/perf/perf.mli: Overgen_adg Overgen_mdfg Overgen_scheduler Schedule Sys_adg

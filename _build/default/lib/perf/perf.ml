@@ -1,0 +1,189 @@
+open Overgen_adg
+open Overgen_mdfg
+open Overgen_scheduler
+
+type region_perf = {
+  ipc_single : float;
+  spad_factor : float;
+  noc_factor : float;
+  l2_factor : float;
+  dram_factor : float;
+  bottleneck : float;
+  est_ipc : float;
+  cycles : float;
+}
+
+type app_perf = {
+  regions : region_perf list;
+  total_cycles : float;
+  app_ipc : float;
+}
+
+let line_bytes = 64
+
+(* Fraction of fetched line bytes actually used by a strided stream. *)
+let stride_waste (s : Stream.t) =
+  match s.access with
+  | Stream.Linear { stride } ->
+    let line_elems = max 1 (line_bytes / s.elem_bytes) in
+    float_of_int (min (max 1 stride) line_elems)
+  | Stream.Indirect _ -> 2.0
+
+let clamp01 f = Overgen_util.Stats.clamp ~lo:1e-9 ~hi:1.0 f
+
+let region (sys : Sys_adg.t) (sched : Schedule.t) =
+  let adg = sys.adg in
+  let sysp = sys.system in
+  let v = sched.variant in
+  let tiles = float_of_int sysp.System.tiles in
+  let ii = float_of_int (max 1 sched.ii) in
+  let firings = Float.max 1.0 v.firings in
+  let ipc_single = Schedule.ipc sched in
+  (* Per-tile duration of the region in cycles, pre-bottleneck. *)
+  let duration_tile = firings /. tiles *. ii in
+  let engine_kind e =
+    match Adg.comp adg e with
+    | Some (Comp.Engine en) -> Some en
+    | Some (Comp.Pe _ | Comp.Switch _ | Comp.In_port _ | Comp.Out_port _) | None
+      -> None
+  in
+  let spad_arrays =
+    List.filter_map
+      (fun (name, e) ->
+        match engine_kind e with
+        | Some { Comp.kind = Comp.Spad; _ } -> Some name
+        | Some _ | None -> None)
+      sched.array_engine
+  in
+  let on_spad (s : Stream.t) = List.mem s.array spad_arrays in
+  (* --- scratchpad level: per engine, private to a tile --- *)
+  let spad_cons = Hashtbl.create 4 in
+  List.iter
+    (fun (s : Stream.t) ->
+      if on_spad s && not (Schedule.is_rec sched s) then
+        match List.assoc_opt s.array sched.array_engine with
+        | Some e ->
+          (* each tile's private spad serves that tile's share of firings *)
+          let bytes = Stream.mem_bytes s ~use_rec:false /. tiles in
+          Hashtbl.replace spad_cons e
+            ((bytes /. duration_tile)
+            +. Option.value ~default:0.0 (Hashtbl.find_opt spad_cons e))
+        | None -> ())
+    v.streams;
+  let spad_factor =
+    Hashtbl.fold
+      (fun e cons acc ->
+        match engine_kind e with
+        | Some en ->
+          Float.min acc (clamp01 (float_of_int en.Comp.bandwidth /. Float.max 1e-9 cons))
+        | None -> acc)
+      spad_cons 1.0
+  in
+  (* --- shared levels: DMA streams plus scratchpad fill --- *)
+  let dma_rate =
+    List.fold_left
+      (fun acc (s : Stream.t) ->
+        if on_spad s || Schedule.is_rec sched s then acc
+        else
+          match List.assoc_opt s.array sched.array_engine with
+          | Some e -> (
+            match engine_kind e with
+            | Some { Comp.kind = Comp.Dma; _ } ->
+              let bytes = Stream.mem_bytes s ~use_rec:false /. tiles in
+              acc +. (bytes *. stride_waste s /. duration_tile)
+            | Some _ | None -> acc)
+          | None -> acc)
+      0.0 v.streams
+  in
+  (* Scratchpad fill/drain.  A partitioned array's slices land in each
+     tile's spad (footprint total); a shared array must be copied whole into
+     every tile's spad — there is no DRAM->spad broadcast, which is exactly
+     the paper's ellpack outlier. *)
+  let array_partitioned name =
+    List.for_all
+      (fun (s : Stream.t) -> s.array <> name || s.partitioned)
+      v.streams
+  in
+  let fill_rate =
+    List.fold_left
+      (fun acc (a : Stream.array_info) ->
+        if List.mem a.name spad_arrays then
+          let bytes = float_of_int (a.elems * a.elem_bytes) in
+          let per_tile = if array_partitioned a.name then bytes /. tiles else bytes in
+          acc +. (per_tile /. duration_tile)
+        else acc)
+      0.0 v.arrays
+  in
+  (* recurrence fill/drain trickle *)
+  let rec_rate =
+    List.fold_left
+      (fun acc (s : Stream.t) ->
+        if Schedule.is_rec sched s then
+          acc +. (Stream.mem_bytes s ~use_rec:true /. tiles /. duration_tile)
+        else acc)
+      0.0 v.streams
+  in
+  let l2_cons_per_tile = dma_rate +. fill_rate +. rec_rate in
+  let noc_factor =
+    clamp01 (float_of_int sysp.System.noc_bytes /. Float.max 1e-9 l2_cons_per_tile)
+  in
+  let l2_cons_total = l2_cons_per_tile *. tiles in
+  (* the topology's aggregate tile<->L2 bandwidth caps the bank bandwidth
+     (the ring's bisection in the topology-specialization extension) *)
+  let l2_prod =
+    float_of_int
+      (min (System.l2_bytes_per_cycle sysp) (System.shared_bandwidth sysp))
+  in
+  let l2_factor = clamp01 (l2_prod /. Float.max 1e-9 l2_cons_total) in
+  (* --- DRAM: L2 misses --- *)
+  let working_set =
+    List.fold_left
+      (fun acc (a : Stream.array_info) -> acc + (a.elems * a.elem_bytes))
+      0 v.arrays
+  in
+  let fits_l2 = working_set <= sysp.System.l2_kb * 1024 in
+  let dram_cons =
+    if fits_l2 then
+      (* only cold misses: footprints once, amortized over the region *)
+      float_of_int working_set /. duration_tile
+    else l2_cons_total
+  in
+  let dram_prod = float_of_int (System.dram_bytes_per_cycle sysp) in
+  let dram_factor = clamp01 (dram_prod /. Float.max 1e-9 dram_cons) in
+  let bottleneck =
+    Float.min spad_factor (Float.min noc_factor (Float.min l2_factor dram_factor))
+  in
+  let est_ipc = ipc_single *. tiles *. bottleneck in
+  let ramp_up = float_of_int (Dfg.depth v.dfg + 100) in
+  let cycles = (duration_tile /. bottleneck) +. ramp_up in
+  {
+    ipc_single;
+    spad_factor;
+    noc_factor;
+    l2_factor;
+    dram_factor;
+    bottleneck;
+    est_ipc;
+    cycles;
+  }
+
+let app sys schedules =
+  let regions = List.map (region sys) schedules in
+  let total_cycles = List.fold_left (fun acc r -> acc +. r.cycles) 0.0 regions in
+  let total_work =
+    List.fold_left2
+      (fun acc (sched : Schedule.t) _ ->
+        acc
+        +. (float_of_int (Dfg.inst_count sched.variant.dfg + Schedule.mem_ops sched)
+           *. sched.variant.firings))
+      0.0 schedules regions
+  in
+  let app_ipc = total_work /. Float.max 1.0 total_cycles in
+  { regions; total_cycles; app_ipc }
+
+let objective sys apps =
+  match apps with
+  | [] -> 0.0
+  | _ ->
+    let ipcs = List.map (fun scheds -> Float.max 1e-6 (app sys scheds).app_ipc) apps in
+    Overgen_util.Stats.geomean ipcs

@@ -1,0 +1,43 @@
+(** The DSE's bottleneck performance model (paper Section V-C).
+
+    Estimated IPC of an application on a sysADG is the per-tile compute
+    bandwidth of its scheduled mDFGs, scaled by tile count, derated by the
+    most-bottlenecked memory level: scratchpad, L2 (and its NoC links), or
+    DRAM — each computed as production rate / consumption rate with the
+    streams' reuse factors (Equations 1 and 2). *)
+
+
+open Overgen_adg
+open Overgen_scheduler
+
+(** Per-region estimate. *)
+type region_perf = {
+  ipc_single : float;   (** (insts + memory ops) / II for one tile *)
+  spad_factor : float;  (** production/consumption, clamped to <= 1 *)
+  noc_factor : float;
+  l2_factor : float;
+  dram_factor : float;
+  bottleneck : float;   (** min of the four factors *)
+  est_ipc : float;      (** Equation 1: ipc_single * tiles * bottleneck *)
+  cycles : float;       (** firings * II / (tiles * bottleneck) + ramp-up *)
+}
+
+type app_perf = {
+  regions : region_perf list;
+  total_cycles : float;
+  app_ipc : float;      (** work-weighted aggregate IPC for the app *)
+}
+
+val region : Sys_adg.t -> Schedule.t -> region_perf
+val app : Sys_adg.t -> Schedule.t list -> app_perf
+
+val objective : Sys_adg.t -> Schedule.t list list -> float
+(** DSE objective over a workload set (one schedule list per application):
+    the weighted geometric mean of the per-app estimated IPCs. *)
+
+val line_bytes : int
+(** Cache-line granularity used for stride-efficiency derating. *)
+
+val stride_waste : Overgen_mdfg.Stream.t -> float
+(** Line-bandwidth inflation factor of a stream: strided accesses fetch
+    whole lines and use a fraction; indirect accesses pay a reorder tax. *)

@@ -1,0 +1,1 @@
+lib/rtl/emit.ml: Adg Buffer Comp Dtype Float Hashtbl List Op Overgen_adg Printf String Sys_adg System

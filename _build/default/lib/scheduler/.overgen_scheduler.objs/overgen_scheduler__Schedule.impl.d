@@ -1,0 +1,1 @@
+lib/scheduler/schedule.ml: Adg Comp Compile Dfg Dtype Float Hashtbl Int List Map Op Option Overgen_adg Overgen_mdfg Overgen_util Printf Stream Sys_adg

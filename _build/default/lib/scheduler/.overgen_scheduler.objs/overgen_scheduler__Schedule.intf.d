@@ -1,0 +1,1 @@
+lib/scheduler/schedule.mli: Adg Compile Map Overgen_adg Overgen_mdfg Stream Sys_adg

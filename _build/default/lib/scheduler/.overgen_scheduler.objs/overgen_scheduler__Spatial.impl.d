@@ -1,0 +1,1 @@
+lib/scheduler/spatial.ml: Adg Comp Compile Dfg Dtype Float Hashtbl List Op Option Overgen_adg Overgen_mdfg Overgen_util Printf Queue Schedule Stream String Sys_adg

@@ -1,0 +1,1 @@
+lib/scheduler/spatial.mli: Compile Overgen_adg Overgen_mdfg Schedule Sys_adg

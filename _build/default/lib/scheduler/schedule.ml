@@ -1,0 +1,247 @@
+open Overgen_adg
+open Overgen_mdfg
+module Imap = Map.Make (Int)
+
+type route = { hops : Adg.id list; delay : int }
+
+type t = {
+  variant : Compile.variant;
+  inst_pe : Adg.id Imap.t;
+  port_map : Adg.id Imap.t;
+  array_engine : (string * Adg.id) list;
+  rec_streams : (int * Adg.id) list;
+  reg_streams : (int * Adg.id) list;
+  routes : ((int * int) * route) list;
+  max_link_share : int;
+  skew_penalty : int;
+  ii : int;
+}
+
+let mem_ops t =
+  List.fold_left
+    (fun acc (s : Stream.t) ->
+      match s.port with Some _ -> acc + s.lanes | None -> acc)
+    0 t.variant.streams
+
+let ipc t =
+  float_of_int (Dfg.inst_count t.variant.dfg + mem_ops t) /. float_of_int (max 1 t.ii)
+
+let is_rec t (s : Stream.t) = List.mem_assoc s.id t.rec_streams
+
+let engine_of_stream t (s : Stream.t) =
+  match List.assoc_opt s.id t.rec_streams with
+  | Some e -> Some e
+  | None -> (
+    match List.assoc_opt s.id t.reg_streams with
+    | Some e -> Some e
+    | None -> List.assoc_opt s.array t.array_engine)
+
+let uses_node t id =
+  Imap.exists (fun _ v -> v = id) t.inst_pe
+  || Imap.exists (fun _ v -> v = id) t.port_map
+  || List.exists (fun (_, v) -> v = id) t.array_engine
+  || List.exists (fun (_, v) -> v = id) t.rec_streams
+  || List.exists (fun (_, v) -> v = id) t.reg_streams
+  || List.exists (fun (_, r) -> List.mem id r.hops) t.routes
+
+let used_edges t =
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | [ _ ] | [] -> []
+  in
+  List.concat_map (fun (_, r) -> pairs r.hops) t.routes
+  |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Initiation interval                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let compute_ii (sys : Sys_adg.t) t =
+  let adg = sys.adg in
+  let v = t.variant in
+  (* Port-width limit: a firing needs lanes*eb bytes through each port. *)
+  let port_ii =
+    Imap.fold
+      (fun dfg_port hw acc ->
+        let need =
+          match (Dfg.node v.dfg dfg_port).kind with
+          | Dfg.Input { width_bytes; _ } | Dfg.Output { width_bytes } -> width_bytes
+          | Dfg.Inst _ | Dfg.Const _ -> 0
+        in
+        let width =
+          match Adg.comp adg hw with
+          | Some (Comp.In_port p) | Some (Comp.Out_port p) -> p.width_bytes
+          | Some (Comp.Pe _ | Comp.Switch _ | Comp.Engine _) | None -> 1
+        in
+        max acc (Overgen_util.Stats.div_ceil (max 1 need) (max 1 width)))
+      t.port_map 1
+  in
+  (* Engine-bandwidth limit: average bytes an engine must move per firing. *)
+  let engine_demand = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Stream.t) ->
+      match engine_of_stream t s with
+      | None -> ()
+      | Some e ->
+        let bytes =
+          Stream.mem_bytes s ~use_rec:(is_rec t s) /. Float.max 1.0 v.firings
+        in
+        Hashtbl.replace engine_demand e
+          (bytes +. Option.value ~default:0.0 (Hashtbl.find_opt engine_demand e)))
+    v.streams;
+  let engine_ii =
+    Hashtbl.fold
+      (fun e demand acc ->
+        let bw =
+          match Adg.comp adg e with
+          | Some (Comp.Engine en) -> float_of_int (max 1 en.bandwidth)
+          | Some (Comp.Pe _ | Comp.Switch _ | Comp.In_port _ | Comp.Out_port _)
+          | None -> 1.0
+        in
+        max acc (int_of_float (ceil (demand /. bw))))
+      engine_demand 1
+  in
+  (* Recurrence distance: a loop-carried chain of pipeline depth D with C
+     concurrent instances initiates at best every ceil(D/C) cycles. *)
+  let rec_ii =
+    List.fold_left
+      (fun acc (s : Stream.t) ->
+        match s.recurrence with
+        | Some r when is_rec t s ->
+          let depth = Dfg.depth v.dfg + 4 (* port + engine forwarding *) in
+          max acc (Overgen_util.Stats.div_ceil depth (max 1 r.concurrent))
+        | Some _ | None -> acc)
+      1 v.streams
+  in
+  max (max port_ii (t.max_link_share * t.skew_penalty)) (max engine_ii rec_ii)
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let validate t (sys : Sys_adg.t) =
+  let adg = sys.adg in
+  let v = t.variant in
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  (* instructions on capable PEs *)
+  Imap.iter
+    (fun inst pe_id ->
+      match ((Dfg.node v.dfg inst).kind, Adg.comp adg pe_id) with
+      | Dfg.Inst { op; dtype; _ }, Some (Comp.Pe p) ->
+        if not (Op.Cap.supports p.caps op dtype) then
+          fail "pe %d lost cap %s.%s" pe_id (Op.to_string op) (Dtype.to_string dtype)
+        else if p.width_bits < Dtype.bits dtype then
+          fail "pe %d too narrow" pe_id
+      | Dfg.Inst _, _ -> fail "inst %d mapped to missing/non-pe %d" inst pe_id
+      | (Dfg.Const _ | Dfg.Input _ | Dfg.Output _), _ ->
+        fail "non-inst %d in inst_pe" inst)
+    t.inst_pe;
+  (* dedicated model: at most one instruction per PE *)
+  let seen = Hashtbl.create 16 in
+  Imap.iter
+    (fun inst pe_id ->
+      (match Hashtbl.find_opt seen pe_id with
+      | Some other -> fail "pe %d shared by insts %d and %d" pe_id other inst
+      | None -> ());
+      Hashtbl.replace seen pe_id inst)
+    t.inst_pe;
+  (* ports *)
+  Imap.iter
+    (fun dfg_port hw ->
+      match ((Dfg.node v.dfg dfg_port).kind, Adg.comp adg hw) with
+      | Dfg.Input _, Some (Comp.In_port p) | Dfg.Output _, Some (Comp.Out_port p) ->
+        (* the port must at least pass one element per cycle of its stream *)
+        let elem =
+          List.fold_left
+            (fun acc (s : Stream.t) ->
+              if s.port = Some dfg_port then max acc s.elem_bytes else acc)
+            1 v.streams
+        in
+        if p.width_bytes < elem then
+          fail "hw port %d narrower than element (%dB < %dB)" hw p.width_bytes elem;
+        (* stationary reuse holds values in the port FIFO and needs the
+           stream-state metadata capability *)
+        let needs_stated =
+          List.exists
+            (fun (s : Stream.t) ->
+              s.port = Some dfg_port && s.reuse.stationary > 1.0)
+            v.streams
+        in
+        if needs_stated && not p.stated then fail "hw port %d lacks stream-state" hw
+      | Dfg.Input _, _ -> fail "dfg input %d on non-in-port %d" dfg_port hw
+      | Dfg.Output _, _ -> fail "dfg output %d on non-out-port %d" dfg_port hw
+      | (Dfg.Inst _ | Dfg.Const _), _ -> fail "non-port %d in port_map" dfg_port)
+    t.port_map;
+  (* arrays on engines with capacity and feature support *)
+  let spad_load = Hashtbl.create 4 in
+  List.iter
+    (fun (name, e) ->
+      match Adg.comp adg e with
+      | Some (Comp.Engine en) ->
+        let info = List.find_opt (fun (a : Stream.array_info) -> a.name = name) v.arrays in
+        (match (en.kind, info) with
+        | Comp.Spad, Some a ->
+          let total =
+            Stream.array_bytes a
+            + Option.value ~default:0 (Hashtbl.find_opt spad_load e)
+          in
+          Hashtbl.replace spad_load e total;
+          if total > en.capacity then fail "spad %d over capacity" e
+        | (Comp.Dma | Comp.Spad | Comp.Rec | Comp.Gen | Comp.Reg), _ -> ());
+        (* feature support for this array's streams *)
+        List.iter
+          (fun (s : Stream.t) ->
+            if s.array = name then begin
+              (match s.access with
+              | Stream.Indirect _ when not en.indirect ->
+                if en.kind = Comp.Dma || en.kind = Comp.Spad then
+                  fail "engine %d lacks indirect for %s" e name
+              | Stream.Indirect _ | Stream.Linear _ -> ());
+              if s.dims > en.max_dims && (en.kind = Comp.Dma || en.kind = Comp.Spad)
+              then fail "engine %d lacks %dD patterns" e s.dims
+            end)
+          v.streams
+      | Some (Comp.Pe _ | Comp.Switch _ | Comp.In_port _ | Comp.Out_port _) | None ->
+        fail "array %s on missing engine %d" name e)
+    t.array_engine;
+  List.iter
+    (fun (_, e) ->
+      match Adg.comp adg e with
+      | Some (Comp.Engine { kind = Comp.Rec; _ }) -> ()
+      | _ -> fail "rec stream on non-rec engine %d" e)
+    t.rec_streams;
+  List.iter
+    (fun (_, e) ->
+      match Adg.comp adg e with
+      | Some (Comp.Engine { kind = Comp.Reg; _ }) -> ()
+      | _ -> fail "reg stream on non-reg engine %d" e)
+    t.reg_streams;
+  (* routes intact: every hop edge present, intermediates are switches *)
+  List.iter
+    (fun ((src, dst), r) ->
+      let rec walk = function
+        | a :: (b :: _ as rest) ->
+          if not (Adg.mem_edge adg a b) then fail "route %d->%d broken at %d->%d" src dst a b;
+          walk rest
+        | [ _ ] | [] -> ()
+      in
+      walk r.hops;
+      List.iteri
+        (fun i hop ->
+          if i > 0 && i < List.length r.hops - 1 then
+            match Adg.comp adg hop with
+            | Some (Comp.Switch _) -> ()
+            | _ -> fail "route %d->%d passes through non-switch %d" src dst hop)
+        r.hops;
+      (* delay budget on the consuming PE *)
+      match Imap.find_opt dst t.inst_pe with
+      | Some pe_id -> (
+        match Adg.comp adg pe_id with
+        | Some (Comp.Pe p) ->
+          if r.delay > p.delay_fifo then
+            fail "route %d->%d needs delay %d > fifo %d" src dst r.delay p.delay_fifo
+        | _ -> ())
+      | None -> ())
+    t.routes;
+  match !err with None -> Ok () | Some e -> Error e

@@ -1,0 +1,788 @@
+open Overgen_adg
+open Overgen_mdfg
+module Imap = Schedule.Imap
+
+type ctx = {
+  sys : Sys_adg.t;
+  mutable used_pes : (Adg.id, unit) Hashtbl.t;
+  mutable used_ports : (Adg.id, unit) Hashtbl.t;
+  mutable spad_used : (Adg.id, int) Hashtbl.t;
+  mutable engine_demand : (Adg.id, float) Hashtbl.t;
+  mutable link_owner : (Adg.id * Adg.id, int list) Hashtbl.t;
+  mutable next_tag : int;
+}
+
+let fresh_ctx sys =
+  {
+    sys;
+    used_pes = Hashtbl.create 32;
+    used_ports = Hashtbl.create 16;
+    spad_used = Hashtbl.create 4;
+    engine_demand = Hashtbl.create 8;
+    link_owner = Hashtbl.create 64;
+    next_tag = 0;
+  }
+
+type snap = {
+  s_pes : (Adg.id, unit) Hashtbl.t;
+  s_ports : (Adg.id, unit) Hashtbl.t;
+  s_spad : (Adg.id, int) Hashtbl.t;
+  s_demand : (Adg.id, float) Hashtbl.t;
+  s_links : (Adg.id * Adg.id, int list) Hashtbl.t;
+  s_tag : int;
+}
+
+let snapshot c =
+  {
+    s_pes = Hashtbl.copy c.used_pes;
+    s_ports = Hashtbl.copy c.used_ports;
+    s_spad = Hashtbl.copy c.spad_used;
+    s_demand = Hashtbl.copy c.engine_demand;
+    s_links = Hashtbl.copy c.link_owner;
+    s_tag = c.next_tag;
+  }
+
+let restore c s =
+  c.used_pes <- s.s_pes;
+  c.used_ports <- s.s_ports;
+  c.spad_used <- s.s_spad;
+  c.engine_demand <- s.s_demand;
+  c.link_owner <- s.s_links;
+  c.next_tag <- s.s_tag
+
+exception Fail of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+
+(* ---------- routing with link ownership ---------- *)
+
+(* Links are time-multiplexed: a link already carrying [k] other values can
+   still be used, at a cost; the worst sharing degree lower-bounds the II.
+   Routing is a small Dijkstra where reusing a link of the same source is
+   free and each additional foreign value costs dearly. *)
+let max_share = 4
+
+let owners ctx a b =
+  Option.value ~default:[] (Hashtbl.find_opt ctx.link_owner (a, b))
+
+(* How many distinct 64-bit values one hop can carry per cycle: wider
+   switches carry subword lanes in parallel; ports and engines aggregate a
+   whole vector, so their adjacent hops are not the bottleneck (the port
+   width is accounted separately in the II). *)
+let lane_capacity adg a b =
+  let width id =
+    match Adg.comp adg id with
+    | Some (Comp.Switch { width_bits }) -> Some width_bits
+    | Some (Comp.Pe p) -> Some p.Comp.width_bits
+    | Some (Comp.In_port _ | Comp.Out_port _ | Comp.Engine _) | None -> None
+  in
+  match (width a, width b) with
+  | Some wa, Some wb -> max 1 (min wa wb / 64)
+  | Some w, None | None, Some w -> max 1 (w / 64 * 4)
+  | None, None -> 16
+
+let effective_share ctx adg a b extra =
+  let n = List.length (owners ctx a b) + extra in
+  Overgen_util.Stats.div_ceil n (lane_capacity adg a b)
+
+let find_route ctx ~tag ~src ~dst =
+  let adg = ctx.sys.Sys_adg.adg in
+  let edge_cost a b =
+    let os = owners ctx a b in
+    if List.mem tag os then Some 1
+    else
+      let eff = effective_share ctx adg a b 1 in
+      if eff > max_share then None else Some (1 + (8 * (eff - 1)))
+  in
+  let is_switch id =
+    match Adg.comp adg id with Some (Comp.Switch _) -> true | _ -> false
+  in
+  let dist = Hashtbl.create 32 in
+  let parent = Hashtbl.create 32 in
+  let settled = Hashtbl.create 32 in
+  Hashtbl.replace dist src 0;
+  let rec pick_min () =
+    let best = ref None in
+    Hashtbl.iter
+      (fun id d ->
+        if not (Hashtbl.mem settled id) then
+          match !best with
+          | Some (_, bd) when bd <= d -> ()
+          | _ -> best := Some (id, d))
+      dist;
+    !best
+  and loop () =
+    match pick_min () with
+    | None -> ()
+    | Some (cur, d) ->
+      Hashtbl.replace settled cur ();
+      if cur <> dst then begin
+        let expand = cur = src || is_switch cur in
+        if expand then
+          List.iter
+            (fun next ->
+              match edge_cost cur next with
+              | Some c when next = dst || is_switch next ->
+                let nd = d + c in
+                let better =
+                  match Hashtbl.find_opt dist next with
+                  | Some old -> nd < old
+                  | None -> true
+                in
+                if better && not (Hashtbl.mem settled next) then begin
+                  Hashtbl.replace dist next nd;
+                  Hashtbl.replace parent next cur
+                end
+              | Some _ | None -> ())
+            (Adg.succs adg cur);
+        loop ()
+      end
+  in
+  loop ();
+  if not (Hashtbl.mem dist dst) || not (Hashtbl.mem settled dst) then None
+  else begin
+    let rec build acc id =
+      if id = src then src :: acc else build (id :: acc) (Hashtbl.find parent id)
+    in
+    Some (build [] dst)
+  end
+
+let claim_route ctx ~tag hops =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      let os = owners ctx a b in
+      if not (List.mem tag os) then
+        Hashtbl.replace ctx.link_owner (a, b) (tag :: os);
+      go rest
+    | [ _ ] | [] -> ()
+  in
+  go hops
+
+let max_share_on ctx hops_list =
+  let adg = ctx.sys.Sys_adg.adg in
+  List.fold_left
+    (fun acc hops ->
+      let rec go acc = function
+        | a :: (b :: _ as rest) ->
+          go (max acc (effective_share ctx adg a b 0)) rest
+        | [ _ ] | [] -> acc
+      in
+      go acc hops)
+    1 hops_list
+
+(* BFS distance through switches, for placement scoring. *)
+let distances ctx src =
+  let adg = ctx.sys.Sys_adg.adg in
+  let dist = Hashtbl.create 32 in
+  Hashtbl.replace dist src 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let cur = Queue.pop q in
+    let d = Hashtbl.find dist cur in
+    let expand =
+      cur = src
+      || match Adg.comp adg cur with Some (Comp.Switch _) -> true | _ -> false
+    in
+    if expand then
+      List.iter
+        (fun next ->
+          if not (Hashtbl.mem dist next) then begin
+            Hashtbl.replace dist next (d + 1);
+            Queue.add next q
+          end)
+        (Adg.succs adg cur)
+  done;
+  dist
+
+(* ---------- stream classification ---------- *)
+
+let is_scalar_stream (v : Compile.variant) (s : Stream.t) =
+  s.dir = Stream.Write && s.lanes = 1
+  && (match s.access with Stream.Linear { stride } -> stride = 0 | _ -> false)
+  && List.exists
+       (fun (a : Stream.array_info) -> a.name = s.array && a.elems = 1)
+       v.arrays
+
+let array_streams (v : Compile.variant) name =
+  List.filter (fun (s : Stream.t) -> s.array = name) v.streams
+
+(* ---------- the scheduler ---------- *)
+
+let schedule_variant ctx (v : Compile.variant) =
+  let adg = ctx.sys.Sys_adg.adg in
+  let saved = snapshot ctx in
+  try
+    let demand_of e = Option.value ~default:0.0 (Hashtbl.find_opt ctx.engine_demand e) in
+    let add_demand e d = Hashtbl.replace ctx.engine_demand e (demand_of e +. d) in
+    (* --- recurrence candidacy: decide which accum pairs ride a rec engine --- *)
+    let rec_engines = List.map fst (Adg.engines_of_kind adg Comp.Rec) in
+    let max_in_fifo =
+      List.fold_left
+        (fun acc (_, (p : Comp.port)) -> max acc p.fifo_depth)
+        0 (Adg.in_ports adg)
+    in
+    let dfg_depth = Dfg.depth v.dfg in
+    let rec_ok (s : Stream.t) =
+      match (s.recurrence, rec_engines) with
+      | Some r, _ :: _ -> r.concurrent <= (max_in_fifo * s.lanes) + dfg_depth
+      | Some _, [] | None, _ -> false
+    in
+    let rec_stream_ids =
+      List.filter_map
+        (fun (s : Stream.t) -> if rec_ok s then Some s.id else None)
+        v.streams
+    in
+    (* A pair is recurrent only if both directions qualify. *)
+    let rec_arrays =
+      List.sort_uniq String.compare
+        (List.filter_map
+           (fun (s : Stream.t) ->
+             if List.mem s.id rec_stream_ids then Some s.array else None)
+           v.streams)
+    in
+    let rec_pair_ok name =
+      let dirs =
+        List.filter_map
+          (fun (s : Stream.t) ->
+            if s.array = name && List.mem s.id rec_stream_ids then Some s.dir
+            else None)
+          v.streams
+      in
+      List.mem Stream.Read dirs && List.mem Stream.Write dirs
+    in
+    let rec_arrays = List.filter rec_pair_ok rec_arrays in
+    let rec_streams =
+      List.filter_map
+        (fun (s : Stream.t) ->
+          if List.mem s.array rec_arrays && s.recurrence <> None then
+            Some (s.id, List.hd rec_engines)
+          else None)
+        v.streams
+    in
+    let is_rec_stream (s : Stream.t) = List.mem_assoc s.id rec_streams in
+    (* --- scalar register streams --- *)
+    let reg_engines = List.map fst (Adg.engines_of_kind adg Comp.Reg) in
+    let reg_streams =
+      List.filter_map
+        (fun (s : Stream.t) ->
+          if is_scalar_stream v s then
+            match reg_engines with
+            | e :: _ -> Some (s.id, e)
+            | [] -> failf "no register engine for scalar %s" s.array
+          else None)
+        v.streams
+    in
+    let scalar_arrays =
+      List.filter_map
+        (fun (s : Stream.t) ->
+          if List.mem_assoc s.id reg_streams then Some s.array else None)
+        v.streams
+    in
+    (* --- arrays onto memory engines --- *)
+    let engine_supports (e : Comp.engine) streams =
+      List.for_all
+        (fun (s : Stream.t) ->
+          (match s.access with
+          | Stream.Indirect _ -> e.indirect
+          | Stream.Linear _ -> true)
+          && s.dims <= e.max_dims)
+        streams
+    in
+    let spads = Adg.engines_of_kind adg Comp.Spad in
+    let dmas = Adg.engines_of_kind adg Comp.Dma in
+    let array_traffic name =
+      List.fold_left
+        (fun acc (s : Stream.t) ->
+          acc +. Stream.mem_bytes s ~use_rec:(is_rec_stream s))
+        0.0 (array_streams v name)
+    in
+    let place_array (a : Stream.array_info) =
+      let streams = array_streams v a.name in
+      let want_spad =
+        let good_general =
+          List.exists
+            (fun (s : Stream.t) ->
+              Stream.general_reuse s.reuse >= 2.0
+              && s.reuse.stationary < Stream.general_reuse s.reuse)
+            streams
+        in
+        good_general
+      in
+      let spad_candidates =
+        List.filter
+          (fun (e_id, (e : Comp.engine)) ->
+            engine_supports e streams
+            && Stream.array_bytes a
+                 + Option.value ~default:0 (Hashtbl.find_opt ctx.spad_used e_id)
+               <= e.capacity)
+          spads
+      in
+      let pick_least = function
+        | [] -> None
+        | cands ->
+          Some
+            (fst
+               (List.fold_left
+                  (fun (best, bd) (e, _) ->
+                    let d = demand_of e in
+                    if d < bd then (e, d) else (best, bd))
+                  (fst (List.hd cands), demand_of (fst (List.hd cands)))
+                  (List.tl cands)))
+      in
+      let chosen =
+        if want_spad then
+          match pick_least spad_candidates with
+          | Some e -> Some e
+          | None ->
+            pick_least
+              (List.filter (fun (_, e) -> engine_supports e streams) dmas)
+        else
+          match
+            pick_least (List.filter (fun (_, e) -> engine_supports e streams) dmas)
+          with
+          | Some e -> Some e
+          | None -> pick_least spad_candidates
+      in
+      match chosen with
+      | None -> failf "no engine supports array %s" a.name
+      | Some e ->
+        (match Adg.comp_exn adg e with
+        | Comp.Engine { kind = Comp.Spad; _ } ->
+          Hashtbl.replace ctx.spad_used e
+            (Stream.array_bytes a
+            + Option.value ~default:0 (Hashtbl.find_opt ctx.spad_used e))
+        | _ -> ());
+        add_demand e (array_traffic a.name /. Float.max 1.0 v.firings);
+        (a.name, e)
+    in
+    let array_engine =
+      List.filter_map
+        (fun (a : Stream.array_info) ->
+          if List.mem a.name scalar_arrays then None else Some (place_array a))
+        v.arrays
+    in
+    (* recirculation load on the recurrence engine *)
+    List.iter
+      (fun (s : Stream.t) ->
+        match List.assoc_opt s.id rec_streams with
+        | Some e -> add_demand e (float_of_int (Stream.bytes_per_firing s))
+        | None -> ())
+      v.streams;
+    (* --- DFG ports onto hardware ports --- *)
+    let engine_for_array name = List.assoc_opt name array_engine in
+    let pick_port ~dir (s : Stream.t) =
+      let cands =
+        match dir with
+        | `In -> List.map (fun (id, p) -> (id, p)) (Adg.in_ports adg)
+        | `Out -> List.map (fun (id, p) -> (id, p)) (Adg.out_ports adg)
+      in
+      let eng =
+        match List.assoc_opt s.id rec_streams with
+        | Some e -> Some e
+        | None -> (
+          match List.assoc_opt s.id reg_streams with
+          | Some e -> Some e
+          | None -> engine_for_array s.array)
+      in
+      let mem_eng = engine_for_array s.array in
+      let ok (id, (p : Comp.port)) =
+        (not (Hashtbl.mem ctx.used_ports id))
+        && p.width_bytes >= s.elem_bytes
+        && ((not (s.reuse.stationary > 1.0)) || p.stated)
+        && (match eng with
+           | Some e -> (
+             match dir with
+             | `In -> Adg.mem_edge adg e id
+             | `Out -> Adg.mem_edge adg id e)
+           | None -> true)
+        && (* recurrence read ports must also be fed by the memory engine
+              holding the array, for the initial fill *)
+        (not (is_rec_stream s && dir = `In)
+        || match mem_eng with Some m -> Adg.mem_edge adg m id | None -> true)
+      in
+      let cands = List.filter ok cands in
+      (* smallest adequate width first, to keep wide ports available *)
+      let cands =
+        List.sort
+          (fun (_, (a : Comp.port)) (_, (b : Comp.port)) ->
+            let full = Stream.bytes_per_firing s in
+            let score (p : Comp.port) =
+              if p.width_bytes >= full then (0, p.width_bytes)
+              else (1, -p.width_bytes)
+            in
+            compare (score a) (score b))
+          cands
+      in
+      match cands with
+      | (id, _) :: _ ->
+        Hashtbl.replace ctx.used_ports id ();
+        id
+      | [] -> failf "no %s port for stream %s"
+                (match dir with `In -> "input" | `Out -> "output")
+                (Stream.describe s)
+    in
+    let port_map = ref Imap.empty in
+    List.iter
+      (fun (s : Stream.t) ->
+        match s.port with
+        | None -> ()
+        | Some dfg_port ->
+          let dir = match s.dir with Stream.Read -> `In | Stream.Write -> `Out in
+          let hw = pick_port ~dir s in
+          port_map := Imap.add dfg_port hw !port_map)
+      v.streams;
+    (* --- instruction placement --- *)
+    let tags = Hashtbl.create 32 in
+    let tag_of id =
+      match Hashtbl.find_opt tags id with
+      | Some t -> t
+      | None ->
+        let t = ctx.next_tag in
+        ctx.next_tag <- t + 1;
+        Hashtbl.replace tags id t;
+        t
+    in
+    let inst_pe = ref Imap.empty in
+    let adg_node_of dfg_id =
+      let n = Dfg.node v.dfg dfg_id in
+      match n.kind with
+      | Dfg.Input _ | Dfg.Output _ -> Imap.find_opt dfg_id !port_map
+      | Dfg.Inst _ -> Imap.find_opt dfg_id !inst_pe
+      | Dfg.Const _ -> None
+    in
+    let dist_memo = Hashtbl.create 16 in
+    let dist_from src =
+      match Hashtbl.find_opt dist_memo src with
+      | Some d -> d
+      | None ->
+        let d = distances ctx src in
+        Hashtbl.replace dist_memo src d;
+        d
+    in
+    List.iter
+      (fun (n : Dfg.node) ->
+        match n.kind with
+        | Dfg.Inst { op; dtype; _ } ->
+          let n_consts =
+            List.length
+              (List.filter
+                 (fun (o : Dfg.operand) ->
+                   match (Dfg.node v.dfg o.src).kind with
+                   | Dfg.Const _ -> true
+                   | _ -> false)
+                 n.operands)
+          in
+          let cands =
+            List.filter
+              (fun (pe_id, (p : Comp.pe)) ->
+                (not (Hashtbl.mem ctx.used_pes pe_id))
+                && Op.Cap.supports p.caps op dtype
+                && p.width_bits >= Dtype.bits dtype
+                && p.const_regs >= n_consts)
+              (Adg.pes adg)
+          in
+          let producers =
+            List.filter_map (fun (o : Dfg.operand) -> adg_node_of o.src) n.operands
+          in
+          let score pe_id =
+            List.fold_left
+              (fun acc src ->
+                match Hashtbl.find_opt (dist_from src) pe_id with
+                | Some d -> acc + d
+                | None -> acc + 1000)
+              0 producers
+          in
+          (match cands with
+          | [] ->
+            failf "no free PE for %s.%s" (Op.to_string op) (Dtype.to_string dtype)
+          | (first, _) :: _ ->
+            let best =
+              List.fold_left
+                (fun (b, bs) (pe_id, _) ->
+                  let s = score pe_id in
+                  if s < bs then (pe_id, s) else (b, bs))
+                (first, score first) (List.tl cands)
+            in
+            let pe_id = fst best in
+            Hashtbl.replace ctx.used_pes pe_id ();
+            inst_pe := Imap.add n.id pe_id !inst_pe)
+        | Dfg.Const _ | Dfg.Input _ | Dfg.Output _ -> ())
+      (Dfg.nodes v.dfg);
+    (* --- routing --- *)
+    let routes = ref [] in
+    List.iter
+      (fun (n : Dfg.node) ->
+        List.iter
+          (fun (o : Dfg.operand) ->
+            match (Dfg.node v.dfg o.src).kind with
+            | Dfg.Const _ -> () (* constants live in the PE's registers *)
+            | Dfg.Inst _ | Dfg.Input _ | Dfg.Output _ -> (
+              match (adg_node_of o.src, adg_node_of n.id) with
+              | Some src, Some dst -> (
+                let tag = tag_of o.src in
+                match find_route ctx ~tag ~src ~dst with
+                | Some hops ->
+                  claim_route ctx ~tag hops;
+                  routes := ((o.src, n.id), { Schedule.hops; delay = 0 }) :: !routes
+                | None -> failf "no route %d->%d" src dst)
+              | _ -> failf "unplaced endpoint for edge %d->%d" o.src n.id))
+          n.operands)
+      (Dfg.nodes v.dfg);
+    let routes = List.rev !routes in
+    (* --- delay balancing --- *)
+    let arrival = Hashtbl.create 32 in
+    let node_latency (n : Dfg.node) =
+      match n.kind with
+      | Dfg.Inst { op; dtype; _ } -> Op.latency op dtype
+      | Dfg.Const _ | Dfg.Input _ | Dfg.Output _ -> 0
+    in
+    let route_len src dst =
+      match List.assoc_opt (src, dst) routes with
+      | Some r -> max 0 (List.length r.Schedule.hops - 1)
+      | None -> 0
+    in
+    let routes_with_delay = ref [] in
+    let skew_penalty = ref 1 in
+    List.iter
+      (fun (n : Dfg.node) ->
+        let op_arrivals =
+          List.filter_map
+            (fun (o : Dfg.operand) ->
+              match (Dfg.node v.dfg o.src).kind with
+              | Dfg.Const _ -> None
+              | Dfg.Inst _ | Dfg.Input _ | Dfg.Output _ ->
+                let a =
+                  Option.value ~default:0 (Hashtbl.find_opt arrival o.src)
+                  + node_latency (Dfg.node v.dfg o.src)
+                  + route_len o.src n.id
+                in
+                Some (o.src, a))
+            n.operands
+        in
+        let t_max = List.fold_left (fun acc (_, a) -> max acc a) 0 op_arrivals in
+        Hashtbl.replace arrival n.id t_max;
+        (* set delays to balance operand arrival *)
+        List.iter
+          (fun (src, a) ->
+            let slack = t_max - a in
+            match List.assoc_opt (src, n.id) routes with
+            | Some r ->
+              let budget =
+                match Imap.find_opt n.id !inst_pe with
+                | Some pe_id -> (
+                  match Adg.comp_exn adg pe_id with
+                  | Comp.Pe p -> p.delay_fifo
+                  | _ -> 0)
+                | None -> 64 (* output ports tolerate skew via their FIFOs *)
+              in
+              (* skew beyond the FIFO budget bubbles the pipeline instead of
+                 failing the schedule; the DSE's edge-delay preservation
+                 exists precisely to remove this penalty *)
+              if slack > budget then
+                skew_penalty :=
+                  max !skew_penalty
+                    (Overgen_util.Stats.div_ceil (slack + 1) (budget + 1));
+              routes_with_delay :=
+                ((src, n.id), { r with Schedule.delay = min slack budget })
+                :: !routes_with_delay
+            | None -> ())
+          op_arrivals)
+      (Dfg.nodes v.dfg);
+    let final_routes = List.rev !routes_with_delay in
+    let share =
+      max_share_on ctx (List.map (fun (_, r) -> r.Schedule.hops) final_routes)
+    in
+    let sched =
+      {
+        Schedule.variant = v;
+        inst_pe = !inst_pe;
+        port_map = !port_map;
+        array_engine;
+        rec_streams;
+        reg_streams;
+        routes = final_routes;
+        max_link_share = share;
+        skew_penalty = !skew_penalty;
+        ii = 1;
+      }
+    in
+    let sched = { sched with Schedule.ii = Schedule.compute_ii ctx.sys sched } in
+    Ok sched
+  with Fail msg ->
+    restore ctx saved;
+    Error msg
+
+let schedule_app sys (c : Compile.compiled) =
+  let ctx = fresh_ctx sys in
+  let try_variants region_variants =
+    (* Evaluate every variant against the current context and keep the one
+       with the best single-tile IPC: a narrower DFG at II=1 often beats a
+       wide one strangled by link sharing or operand skew. *)
+    match region_variants with
+    | [] -> Error "region has no variants"
+    | _ ->
+      let sorted =
+        List.sort
+          (fun (a : Compile.variant) b -> compare b.unroll a.unroll)
+          region_variants
+      in
+      let scored =
+        List.filter_map
+          (fun v ->
+            let saved = snapshot ctx in
+            match schedule_variant ctx v with
+            | Ok s ->
+              restore ctx saved;
+              (* throughput in loop iterations per cycle *)
+              Some (float_of_int s.variant.unroll /. float_of_int (max 1 s.ii), v)
+            | Error _ -> None)
+          sorted
+      in
+      match scored with
+      | [] -> (
+        (* re-run the widest for its error message *)
+        match schedule_variant ctx (List.hd sorted) with
+        | Ok s -> Ok s (* cannot happen, but keep it if it does *)
+        | Error e -> Error e)
+      | _ ->
+        let _, best_v =
+          List.fold_left
+            (fun (bi, bv) (i, v) -> if i > bi then (i, v) else (bi, bv))
+            (List.hd scored) (List.tl scored)
+        in
+        schedule_variant ctx best_v
+  in
+  let rec all acc = function
+    | [] -> Ok (List.rev acc)
+    | region :: rest -> (
+      match try_variants region with
+      | Ok s -> all (s :: acc) rest
+      | Error e -> Error (Printf.sprintf "%s: %s" c.kname e))
+  in
+  all [] c.per_region
+
+(* ------------------------------------------------------------------ *)
+(* Schedule repair                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let repair sys schedules =
+  (* Fast path: everything still valid; just refresh IIs. *)
+  let revalidated =
+    List.map (fun s -> (s, Schedule.validate s sys)) schedules
+  in
+  if List.for_all (fun (_, r) -> r = Ok ()) revalidated then
+    Ok
+      (List.map
+         (fun (s, _) -> { s with Schedule.ii = Schedule.compute_ii sys s })
+         revalidated)
+  else begin
+    (* Re-route everything with placements pinned; fail if a placement
+       itself is broken. *)
+    let ctx = fresh_ctx sys in
+    let adg = sys.Sys_adg.adg in
+    (* re-claim placement resources *)
+    let claim_placements (s : Schedule.t) =
+      Imap.iter (fun _ pe -> Hashtbl.replace ctx.used_pes pe ()) s.inst_pe;
+      Imap.iter (fun _ p -> Hashtbl.replace ctx.used_ports p ()) s.port_map
+    in
+    List.iter claim_placements schedules;
+    let reroute (s : Schedule.t) =
+      let v = s.variant in
+      let placements_ok =
+        Imap.for_all
+          (fun inst pe ->
+            match (Adg.comp adg pe, (Dfg.node v.dfg inst).kind) with
+            | Some (Comp.Pe p), Dfg.Inst { op; dtype; _ } ->
+              Op.Cap.supports p.caps op dtype && p.width_bits >= Dtype.bits dtype
+            | _ -> false)
+          s.inst_pe
+        && Imap.for_all
+             (fun dfg_port hw ->
+               match ((Dfg.node v.dfg dfg_port).kind, Adg.comp adg hw) with
+               | Dfg.Input _, Some (Comp.In_port _)
+               | Dfg.Output _, Some (Comp.Out_port _) -> true
+               | _ -> false)
+             s.port_map
+        && List.for_all
+             (fun (_, e) ->
+               match Adg.comp adg e with Some (Comp.Engine _) -> true | _ -> false)
+             s.array_engine
+        && List.for_all
+             (fun (_, e) ->
+               match Adg.comp adg e with Some (Comp.Engine _) -> true | _ -> false)
+             (s.rec_streams @ s.reg_streams)
+      in
+      if not placements_ok then Error "placement broken"
+      else begin
+        let adg_node_of dfg_id =
+          let n = Dfg.node v.dfg dfg_id in
+          match n.kind with
+          | Dfg.Input _ | Dfg.Output _ -> Imap.find_opt dfg_id s.port_map
+          | Dfg.Inst _ -> Imap.find_opt dfg_id s.inst_pe
+          | Dfg.Const _ -> None
+        in
+        let tags = Hashtbl.create 16 in
+        let tag_of id =
+          match Hashtbl.find_opt tags id with
+          | Some t -> t
+          | None ->
+            let t = ctx.next_tag in
+            ctx.next_tag <- t + 1;
+            Hashtbl.replace tags id t;
+            t
+        in
+        try
+          let routes =
+            List.map
+              (fun ((src, dst), (old_r : Schedule.route)) ->
+                match (adg_node_of src, adg_node_of dst) with
+                | Some a, Some b -> (
+                  let tag = tag_of src in
+                  match find_route ctx ~tag ~src:a ~dst:b with
+                  | Some hops ->
+                    claim_route ctx ~tag hops;
+                    ((src, dst), { old_r with Schedule.hops })
+                  | None -> failf "reroute failed %d->%d" a b)
+                | _ -> failf "endpoint missing")
+              s.routes
+          in
+          let share =
+            max_share_on ctx (List.map (fun (_, r) -> r.Schedule.hops) routes)
+          in
+          (* clamp per-edge delays to the (possibly shrunken) FIFO budget *)
+          let budget_of dst =
+            match Imap.find_opt dst s.inst_pe with
+            | Some pe_id -> (
+              match Adg.comp adg pe_id with
+              | Some (Comp.Pe p) -> p.delay_fifo
+              | _ -> 64)
+            | None -> 64
+          in
+          let penalty = ref s.skew_penalty in
+          let routes =
+            List.map
+              (fun ((src, dst), (r : Schedule.route)) ->
+                let b = budget_of dst in
+                if r.delay > b then
+                  penalty :=
+                    max !penalty (Overgen_util.Stats.div_ceil (r.delay + 1) (b + 1));
+                ((src, dst), { r with Schedule.delay = min r.delay b }))
+              routes
+          in
+          let s' =
+            { s with Schedule.routes; max_link_share = share; skew_penalty = !penalty }
+          in
+          Ok { s' with Schedule.ii = Schedule.compute_ii sys s' }
+        with Fail m -> Error m
+      end
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: rest -> (
+        match reroute s with
+        | Ok s' -> go (s' :: acc) rest
+        | Error e -> Error e)
+    in
+    go [] schedules
+  end

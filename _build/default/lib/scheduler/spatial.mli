@@ -1,0 +1,34 @@
+(** The spatial scheduler (paper Sections II-B, IV-B).
+
+    A deterministic greedy mapper: arrays are bound to memory engines using
+    capacity, route and access-pattern legality plus the reuse heuristics of
+    Section IV-B; instructions are placed on capable PEs nearest their
+    producers; operand routes are found by BFS through switches with
+    link-sharing only for common sources; operand delays are balanced within
+    the delay-FIFO budget.  All code regions of one application share the
+    fabric, so scheduling is performed against a shared-usage context. *)
+
+open Overgen_adg
+open Overgen_mdfg
+
+type ctx
+(** Mutable resource usage shared by all regions of one application. *)
+
+val fresh_ctx : Sys_adg.t -> ctx
+
+val schedule_variant : ctx -> Compile.variant -> (Schedule.t, string) result
+(** Map one region variant onto the hardware, consuming context resources.
+    On failure the context is left unchanged. *)
+
+val schedule_app :
+  Sys_adg.t -> Compile.compiled -> (Schedule.t list, string) result
+(** Schedule every region of an application concurrently onto the fabric,
+    choosing for each region the most aggressive variant that fits ("relax
+    DFG complexity" fallback).  Returns one schedule per region. *)
+
+val repair :
+  Sys_adg.t -> Schedule.t list -> (Schedule.t list, string) result
+(** Schedule repair (paper Section V-A): revalidate prior schedules on
+    mutated hardware, recompute IIs, and attempt to re-route any broken
+    operand paths without touching placements.  Fails if placements
+    themselves became illegal. *)

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Adg Array Comp Compile Dfg Float List Option Overgen_adg Overgen_mdfg Overgen_perf Overgen_scheduler Overgen_util Overgen_workload Printf Queue Schedule Stream Sys_adg System

@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Overgen_adg Overgen_scheduler Schedule Sys_adg

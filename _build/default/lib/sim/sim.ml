@@ -1,0 +1,600 @@
+open Overgen_adg
+open Overgen_mdfg
+open Overgen_scheduler
+
+type config = {
+  one_hot_bypass : bool;
+  l2_hit_latency : int;
+  dram_latency : int;
+  spad_latency : int;
+  mshr_per_bank : int;
+  rob_bytes : float;      (* per-engine reorder-buffer capacity: how far a
+                             stream may run ahead of consumption *)
+  max_cycles : int;
+}
+
+let default_config =
+  {
+    one_hot_bypass = true;
+    l2_hit_latency = 20;
+    dram_latency = 100;
+    spad_latency = 2;
+    mshr_per_bank = 32;
+    rob_bytes = 1024.0;
+    max_cycles = 50_000_000;
+  }
+
+type region_result = {
+  rname : string;
+  cycles : int;
+  firings : int;
+  dispatches : int;
+}
+
+type t = {
+  total_cycles : int;
+  per_region : region_result list;
+  l2_bytes : float;
+  dram_bytes : float;
+  sim_ipc : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-stream simulation state                                         *)
+(* ------------------------------------------------------------------ *)
+
+type path = Local | Shared
+
+type role = Read | Write | Fill | Drain
+
+type sstate = {
+  role : role;
+  path : path;
+  engine : Adg.id;
+  port_cap : float;   (* bytes of port-side buffering *)
+  mpf : float;        (* memory-side bytes per firing *)
+  total : float;      (* memory-side bytes for the whole region, per tile *)
+  miss_frac : float;
+  waste : float;      (* line-granularity inflation on the shared path *)
+  latency : int;
+  mutable issued : float;
+  mutable done_ : float;
+  mutable write_buf : float;
+  pending : (int * float) Queue.t;
+}
+
+type engine_state = { bw : float; mutable rr : int; members : sstate array }
+
+type tile_state = {
+  streams : sstate array;
+  engines : engine_state array;
+  ii : int;
+  target : int;
+  mutable fired : int;
+  mutable cooldown : int;
+  mutable dispatch_left : int;
+}
+
+let fnear a b = a >= b -. 1e-6
+
+(* ------------------------------------------------------------------ *)
+(* Region setup                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let dispatches_of_region (v : Compile.variant) =
+  (* loops deeper than the engines' 3D affine patterns force per-chunk
+     stream re-dispatch *)
+  let loops = v.region.Overgen_workload.Ir.loops in
+  let extra = max 0 (List.length loops - 3) in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  let outer = take extra loops in
+  int_of_float
+    (List.fold_left
+       (fun acc (l : Overgen_workload.Ir.loop) ->
+         acc *. Overgen_workload.Ir.trip_avg l.trip)
+       1.0 outer)
+
+let setup_tile cfg (sys : Sys_adg.t) ~share (sched : Schedule.t) =
+  let adg = sys.adg in
+  let tiles = share in
+  let v = sched.variant in
+  let firings_tile =
+    max 1 (int_of_float (ceil (v.firings /. float_of_int tiles)))
+  in
+  let port_cap_of dfg_port fallback =
+    match Option.bind dfg_port (fun p -> Schedule.Imap.find_opt p sched.port_map) with
+    | Some hw -> (
+      match Adg.comp adg hw with
+      | Some (Comp.In_port p) | Some (Comp.Out_port p) ->
+        float_of_int (p.width_bytes * p.fifo_depth)
+      | Some (Comp.Pe _ | Comp.Switch _ | Comp.Engine _) | None -> fallback)
+    | None -> fallback
+  in
+  let working_set =
+    List.fold_left
+      (fun acc (a : Stream.array_info) -> acc + (a.elems * a.elem_bytes))
+      0 v.arrays
+  in
+  let fits_l2 = working_set <= sys.system.System.l2_kb * 1024 in
+  let spad_arrays =
+    List.filter_map
+      (fun (name, e) ->
+        match Adg.comp adg e with
+        | Some (Comp.Engine { kind = Comp.Spad; _ }) -> Some (name, e)
+        | Some _ | None -> None)
+      sched.array_engine
+  in
+  let miss_of (s : Stream.t) =
+    if fits_l2 then
+      let traffic = Float.max 1.0 s.reuse.traffic in
+      Overgen_util.Stats.clamp ~lo:0.0 ~hi:1.0
+        (float_of_int s.reuse.footprint /. traffic)
+    else 1.0
+  in
+  let mk_stream (s : Stream.t) =
+    let use_rec = Schedule.is_rec sched s in
+    let total = Stream.mem_bytes s ~use_rec /. float_of_int tiles in
+    let mpf = total /. float_of_int firings_tile in
+    let on_spad = List.mem_assoc s.array spad_arrays in
+    let path = if on_spad then Local else Shared in
+    let engine =
+      match Schedule.engine_of_stream sched s with
+      | Some e -> e
+      | None -> -1
+    in
+    let latency = if path = Local then cfg.spad_latency else cfg.l2_hit_latency in
+    {
+      role = (match s.dir with Stream.Read -> Read | Stream.Write -> Write);
+      path;
+      engine;
+      port_cap = port_cap_of s.port 128.0;
+      mpf;
+      total;
+      miss_frac = (if path = Local then 0.0 else miss_of s);
+      waste = (if path = Local then 1.0 else Overgen_perf.Perf.stride_waste s);
+      latency;
+      issued = 0.0;
+      done_ = 0.0;
+      write_buf = 0.0;
+      pending = Queue.create ();
+    }
+  in
+  let data_streams = List.map mk_stream v.streams in
+  (* scratchpad fill (before compute) and drain (after) on the shared path *)
+  let array_partitioned name =
+    List.for_all (fun (s : Stream.t) -> s.array <> name || s.partitioned) v.streams
+  in
+  let fills_drains =
+    List.concat_map
+      (fun (a : Stream.array_info) ->
+        match List.assoc_opt a.name spad_arrays with
+        | None -> []
+        | Some _ ->
+          let bytes = float_of_int (a.elems * a.elem_bytes) in
+          let per_tile =
+            if array_partitioned a.name then bytes /. float_of_int tiles else bytes
+          in
+          let dma =
+            match
+              List.find_opt
+                (fun (_, e) ->
+                  match Adg.comp adg e with
+                  | Some (Comp.Engine { kind = Comp.Dma; _ }) -> true
+                  | Some _ | None -> false)
+                sched.array_engine
+            with
+            | Some (_, e) -> e
+            | None -> -1
+          in
+          let base =
+            {
+              role = Fill;
+              path = Shared;
+              engine = dma;
+              port_cap = infinity;
+              mpf = 0.0;
+              total = per_tile;
+              miss_frac = 1.0;
+              waste = 1.0;
+              latency = cfg.dram_latency;
+              issued = 0.0;
+              done_ = 0.0;
+              write_buf = 0.0;
+              pending = Queue.create ();
+            }
+          in
+          if a.read_only then [ base ]
+          else [ base; { base with role = Drain; pending = Queue.create () } ])
+      v.arrays
+  in
+  let streams = Array.of_list (data_streams @ fills_drains) in
+  (* group streams by engine *)
+  let engine_ids =
+    Array.to_list streams
+    |> List.map (fun s -> s.engine)
+    |> List.sort_uniq compare
+  in
+  let engines =
+    List.map
+      (fun eid ->
+        let bw =
+          match Adg.comp adg eid with
+          | Some (Comp.Engine en) -> float_of_int en.Comp.bandwidth
+          | Some (Comp.Pe _ | Comp.Switch _ | Comp.In_port _ | Comp.Out_port _)
+          | None -> 8.0
+        in
+        {
+          bw;
+          rr = 0;
+          members =
+            Array.of_list
+              (List.filter (fun s -> s.engine = eid) (Array.to_list streams));
+        })
+      engine_ids
+    |> Array.of_list
+  in
+  let n_streams = Array.length streams in
+  let dispatch_events = dispatches_of_region v in
+  let dispatch_cost = 2 + (2 * n_streams) + (dispatch_events * 2) in
+  ( {
+      streams;
+      engines;
+      ii = max 1 sched.ii;
+      target = firings_tile;
+      fired = 0;
+      cooldown = 0;
+      dispatch_left = dispatch_cost;
+    },
+    dispatch_events )
+
+(* ------------------------------------------------------------------ *)
+(* Cycle loop for one region across all tiles                          *)
+(* ------------------------------------------------------------------ *)
+
+let tile_done t =
+  t.fired >= t.target
+  && Array.for_all
+       (fun s ->
+         match s.role with
+         | Read -> true
+         | Write -> s.write_buf <= 1e-6
+         | Fill -> fnear s.done_ s.total
+         | Drain -> fnear s.done_ s.total)
+       t.streams
+
+(* Phase 1: deliver memory responses whose latency has elapsed. *)
+let deliver_pending tiles c =
+  Array.iter
+    (fun t ->
+      Array.iter
+        (fun s ->
+          let continue_ = ref true in
+          while !continue_ && not (Queue.is_empty s.pending) do
+            let ready, bytes = Queue.peek s.pending in
+            if ready <= c then begin
+              ignore (Queue.pop s.pending);
+              s.done_ <- s.done_ +. bytes
+            end
+            else continue_ := false
+          done)
+        t.streams)
+    tiles
+
+(* Phase 2: stream engines issue; local requests complete against the
+   spad/recurrence path, shared ones are returned for global arbitration
+   after the per-tile NoC clamp. *)
+let collect_wants cfg ~noc_bw tiles c =
+  let shared_wants = ref [] in
+  Array.iter
+    (fun t ->
+      if t.dispatch_left > 0 then t.dispatch_left <- t.dispatch_left - 1
+      else begin
+        let tile_shared = ref [] in
+        Array.iter
+          (fun e ->
+            let active =
+              Array.to_list e.members
+              |> List.filter (fun s ->
+                     match s.role with
+                     | Read | Fill ->
+                       s.issued < s.total -. 1e-9
+                       && (s.role = Fill
+                          || s.issued -. (float_of_int t.fired *. s.mpf)
+                             < Float.max s.port_cap (2.0 *. s.mpf)
+                               +. (if s.path = Shared then cfg.rob_bytes else 0.0))
+                     | Write -> s.write_buf > 1e-9
+                     | Drain -> t.fired >= t.target && s.issued < s.total -. 1e-9)
+            in
+            let bw =
+              if List.length active = 1 && not cfg.one_hot_bypass then
+                e.bw /. 2.0
+              else e.bw
+            in
+            let budget = ref bw in
+            let n = List.length active in
+            if n > 0 then begin
+              e.rr <- (e.rr + 1) mod n;
+              let ordered =
+                (* rotate for round-robin fairness *)
+                let arr = Array.of_list active in
+                Array.to_list (Array.init n (fun i -> arr.((i + e.rr) mod n)))
+              in
+              List.iter
+                (fun s ->
+                  if !budget > 1e-9 then begin
+                    let want =
+                      match s.role with
+                      | Read | Fill ->
+                        let window =
+                          match s.role with
+                          | Fill -> s.total -. s.issued
+                          | _ ->
+                            Float.min (s.total -. s.issued)
+                              (Float.max s.port_cap (2.0 *. s.mpf)
+                              +. (if s.path = Shared then cfg.rob_bytes else 0.0)
+                              +. (float_of_int t.fired *. s.mpf)
+                              -. s.issued)
+                        in
+                        Float.max 0.0 (Float.min !budget window)
+                      | Write -> Float.min !budget s.write_buf
+                      | Drain -> Float.min !budget (s.total -. s.issued)
+                    in
+                    if want > 1e-9 then begin
+                      budget := !budget -. want;
+                      match s.path with
+                      | Local -> (
+                        match s.role with
+                        | Read | Fill ->
+                          s.issued <- s.issued +. want;
+                          Queue.add (c + s.latency, want) s.pending
+                        | Write -> s.write_buf <- s.write_buf -. want
+                        | Drain ->
+                          s.issued <- s.issued +. want;
+                          s.done_ <- s.done_ +. want)
+                      | Shared -> tile_shared := (s, want) :: !tile_shared
+                    end
+                  end)
+                ordered
+            end)
+          t.engines;
+        (* per-tile NoC clamp *)
+        let tot =
+          List.fold_left (fun acc (s, w) -> acc +. (w *. s.waste)) 0.0 !tile_shared
+        in
+        let scale = if tot > noc_bw then noc_bw /. tot else 1.0 in
+        List.iter
+          (fun (s, w) -> shared_wants := (s, w *. scale) :: !shared_wants)
+          !tile_shared
+      end)
+    tiles;
+  !shared_wants
+
+(* Phase 3: global L2 / DRAM arbitration over every tile's shared wants. *)
+let arbitrate cfg ~l2_bw ~dram_bw (l2_count, dram_count) shared_wants c =
+  let l2_demand =
+    List.fold_left (fun acc (s, w) -> acc +. (w *. s.waste)) 0.0 shared_wants
+  in
+  let l2_scale = if l2_demand > l2_bw then l2_bw /. l2_demand else 1.0 in
+  let miss_demand =
+    List.fold_left
+      (fun acc (s, w) -> acc +. (w *. s.waste *. l2_scale *. s.miss_frac))
+      0.0 shared_wants
+  in
+  let dram_scale = if miss_demand > dram_bw then dram_bw /. miss_demand else 1.0 in
+  List.iter
+    (fun (s, w) ->
+      let g = w *. l2_scale in
+      let hit = g *. (1.0 -. s.miss_frac) in
+      let miss = g *. s.miss_frac *. dram_scale in
+      let granted = hit +. miss in
+      l2_count := !l2_count +. (granted *. s.waste);
+      dram_count := !dram_count +. (miss *. s.waste);
+      if granted > 1e-9 then begin
+        let lat =
+          if s.miss_frac > 0.5 then cfg.dram_latency else cfg.l2_hit_latency
+        in
+        match s.role with
+        | Read | Fill ->
+          s.issued <- s.issued +. granted;
+          Queue.add (c + lat, granted) s.pending
+        | Write -> s.write_buf <- s.write_buf -. granted
+        | Drain ->
+          s.issued <- s.issued +. granted;
+          s.done_ <- s.done_ +. granted
+      end)
+    shared_wants
+
+(* Phase 4: the spatial fabric fires one DFG instance per II when ready. *)
+let fire_tiles tiles =
+  Array.iter
+    (fun t ->
+      if t.cooldown > 0 then t.cooldown <- t.cooldown - 1
+      else if t.dispatch_left = 0 && t.fired < t.target then begin
+        let ready =
+          Array.for_all
+            (fun s ->
+              match s.role with
+              | Read ->
+                fnear s.done_ (Float.min s.total (float_of_int (t.fired + 1) *. s.mpf))
+              | Write -> s.write_buf +. s.mpf <= s.port_cap +. 1e-6
+              | Fill -> fnear s.done_ s.total
+              | Drain -> true)
+            t.streams
+        in
+        if ready then begin
+          t.fired <- t.fired + 1;
+          t.cooldown <- t.ii - 1;
+          Array.iter
+            (fun s -> if s.role = Write then s.write_buf <- s.write_buf +. s.mpf)
+            t.streams
+        end
+      end)
+    tiles
+
+let shared_limits cfg (sysp : System.t) =
+  let l2_bw =
+    float_of_int
+      (min (System.l2_bytes_per_cycle sysp) (System.shared_bandwidth sysp))
+  in
+  let line = float_of_int Overgen_perf.Perf.line_bytes in
+  let mshr_bw =
+    float_of_int (cfg.mshr_per_bank * sysp.System.l2_banks)
+    *. line /. float_of_int cfg.dram_latency
+  in
+  let dram_bw =
+    Float.min (float_of_int (System.dram_bytes_per_cycle sysp)) mshr_bw
+  in
+  (l2_bw, dram_bw)
+
+let run_region cfg (sys : Sys_adg.t) (sched : Schedule.t) counters =
+  let sysp = sys.system in
+  let tiles_n = sysp.System.tiles in
+  let tiles =
+    Array.init tiles_n (fun _ -> fst (setup_tile cfg sys ~share:tiles_n sched))
+  in
+  let _, dispatch_events = setup_tile cfg sys ~share:tiles_n sched in
+  let l2_bw, dram_bw = shared_limits cfg sysp in
+  let noc_bw = float_of_int sysp.System.noc_bytes in
+  let cycle = ref 0 in
+  let all_done () = Array.for_all tile_done tiles in
+  while (not (all_done ())) && !cycle < cfg.max_cycles do
+    let c = !cycle in
+    deliver_pending tiles c;
+    let wants = collect_wants cfg ~noc_bw tiles c in
+    arbitrate cfg ~l2_bw ~dram_bw counters wants c;
+    fire_tiles tiles;
+    incr cycle
+  done;
+  if !cycle >= cfg.max_cycles then
+    failwith
+      (Printf.sprintf "Sim.run: region %s exceeded %d cycles (deadlock?)"
+         sched.variant.region.Overgen_workload.Ir.rname cfg.max_cycles);
+  (* pipeline drain *)
+  let drain = Dfg.depth sched.variant.dfg + cfg.l2_hit_latency in
+  {
+    rname = sched.variant.region.Overgen_workload.Ir.rname;
+    cycles = !cycle + drain;
+    firings = (Array.get tiles 0).target;
+    dispatches = dispatch_events;
+  }
+
+let run ?(config = default_config) sys schedules =
+  let l2_count = ref 0.0 and dram_count = ref 0.0 in
+  let per_region =
+    List.map (fun s -> run_region config sys s (l2_count, dram_count)) schedules
+  in
+  let total_cycles = List.fold_left (fun acc r -> acc + r.cycles) 0 per_region in
+  let work =
+    List.fold_left
+      (fun acc (sched : Schedule.t) ->
+        acc
+        +. (float_of_int (Dfg.inst_count sched.variant.dfg + Schedule.mem_ops sched)
+           *. sched.variant.firings))
+      0.0 schedules
+  in
+  {
+    total_cycles;
+    per_region;
+    l2_bytes = !l2_count;
+    dram_bytes = !dram_count;
+    sim_ipc = work /. float_of_int (max 1 total_cycles);
+  }
+
+let wall_time_ms (_sys : Sys_adg.t) ~freq_mhz t =
+  float_of_int t.total_cycles /. (freq_mhz *. 1000.0)
+
+let reconfigure_cycles = Sys_adg.reconfigure_cycles
+
+(* ------------------------------------------------------------------ *)
+(* Multi-tenant execution (paper future work: heterogeneous workload   *)
+(* mixes on one fabric)                                                *)
+(* ------------------------------------------------------------------ *)
+
+type tenant_result = {
+  t_kernel : string;
+  t_tiles : int;
+  t_cycles : int;  (* when this tenant finished *)
+}
+
+type multi_result = {
+  m_cycles : int;           (* makespan *)
+  tenants : tenant_result list;
+  m_l2_bytes : float;
+  m_dram_bytes : float;
+}
+
+type tenant_state = {
+  share : int;
+  mutable remaining : Schedule.t list;
+  mutable cur : tile_state array;  (* empty when finished *)
+  mutable finished_at : int;
+  name : string;
+}
+
+let run_multi ?(config = default_config) (sys : Sys_adg.t) assignments =
+  let cfg = config in
+  let sysp = sys.system in
+  let total_share = List.fold_left (fun acc (_, s) -> acc + s) 0 assignments in
+  if total_share > sysp.System.tiles then
+    invalid_arg "Sim.run_multi: tile shares exceed the system's tiles";
+  let counters = (ref 0.0, ref 0.0) in
+  let l2_bw, dram_bw = shared_limits cfg sysp in
+  let noc_bw = float_of_int sysp.System.noc_bytes in
+  let setup share sched =
+    Array.init share (fun _ -> fst (setup_tile cfg sys ~share sched))
+  in
+  let tenants =
+    List.map
+      (fun (schedules, share) ->
+        match schedules with
+        | [] -> invalid_arg "Sim.run_multi: tenant with no schedules"
+        | (first : Schedule.t) :: rest ->
+          {
+            share;
+            remaining = rest;
+            cur = setup share first;
+            finished_at = -1;
+            name = first.variant.kernel;
+          })
+      assignments
+  in
+  let cycle = ref 0 in
+  let active () = List.filter (fun t -> t.finished_at < 0) tenants in
+  while active () <> [] && !cycle < cfg.max_cycles do
+    let c = !cycle in
+    let live = active () in
+    List.iter (fun t -> deliver_pending t.cur c) live;
+    let wants =
+      List.concat_map (fun t -> collect_wants cfg ~noc_bw t.cur c) live
+    in
+    arbitrate cfg ~l2_bw ~dram_bw counters wants c;
+    List.iter (fun t -> fire_tiles t.cur) live;
+    (* region transitions and completion *)
+    List.iter
+      (fun t ->
+        if Array.for_all tile_done t.cur then
+          match t.remaining with
+          | next :: rest ->
+            t.remaining <- rest;
+            t.cur <- setup t.share next
+          | [] -> t.finished_at <- c + 1)
+      live;
+    incr cycle
+  done;
+  if !cycle >= cfg.max_cycles then
+    failwith "Sim.run_multi: exceeded max_cycles (deadlock?)";
+  let l2_count, dram_count = counters in
+  {
+    m_cycles = !cycle;
+    tenants =
+      List.map
+        (fun t ->
+          { t_kernel = t.name; t_tiles = t.share; t_cycles = t.finished_at })
+        tenants;
+    m_l2_bytes = !l2_count;
+    m_dram_bytes = !dram_count;
+  }

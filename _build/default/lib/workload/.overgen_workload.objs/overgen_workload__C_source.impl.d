@@ -1,0 +1,1 @@
+lib/workload/c_source.ml: Buffer Dtype Float Ir Kernels List Op Overgen_adg Printf String Suite

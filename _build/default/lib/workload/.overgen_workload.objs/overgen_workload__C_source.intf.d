@@ -1,0 +1,1 @@
+lib/workload/c_source.mli: Ir

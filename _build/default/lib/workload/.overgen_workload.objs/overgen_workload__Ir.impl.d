@@ -1,0 +1,1 @@
+lib/workload/ir.ml: Buffer Dtype Float List Op Overgen_adg Printf String Suite

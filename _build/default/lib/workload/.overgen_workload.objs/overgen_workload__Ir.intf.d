@@ -1,0 +1,1 @@
+lib/workload/ir.mli: Dtype Op Overgen_adg Suite

@@ -1,0 +1,1 @@
+lib/workload/kernels.ml: Dtype Ir List Op Overgen_adg Suite

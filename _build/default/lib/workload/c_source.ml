@@ -1,0 +1,167 @@
+open Overgen_adg
+
+let ctype (k : Ir.kernel) =
+  match k.dtype with
+  | Dtype.I8 -> "int8_t"
+  | Dtype.I16 -> "int16_t"
+  | Dtype.I32 -> "int32_t"
+  | Dtype.I64 -> "int64_t"
+  | Dtype.F32 -> "float"
+  | Dtype.F64 -> "double"
+
+(* IR names may collide with libc (e.g. an array called "sin"); emitted
+   globals carry a prefix. *)
+let mangle name = "og_" ^ name
+
+let affine_c (a : Ir.affine) =
+  let parts =
+    List.map
+      (fun (v, c) -> if c = 1 then v else Printf.sprintf "%d*%s" c v)
+      a.terms
+  in
+  let parts = if a.const <> 0 then parts @ [ string_of_int a.const ] else parts in
+  match parts with [] -> "0" | _ -> String.concat " + " parts
+
+let aref_c (r : Ir.aref) =
+  match r.index with
+  | Ir.Direct a -> Printf.sprintf "%s[%s]" (mangle r.array) (affine_c a)
+  | Ir.Indirect { idx_array; at } ->
+    Printf.sprintf "%s[%s[%s]]" (mangle r.array) (mangle idx_array) (affine_c at)
+
+let rec expr_c (e : Ir.expr) =
+  match e with
+  | Ir.Load r -> aref_c r
+  | Ir.Const f ->
+    if Float.is_integer f then string_of_int (int_of_float f)
+    else string_of_float f
+  | Ir.Param p -> mangle p
+  | Ir.Unop (Op.Sqrt, x) -> Printf.sprintf "sqrt(%s)" (expr_c x)
+  | Ir.Unop (Op.Abs, x) -> Printf.sprintf "fabs(%s)" (expr_c x)
+  | Ir.Unop (op, x) -> Printf.sprintf "%s(%s)" (Op.to_string op) (expr_c x)
+  | Ir.Binop (op, x, y) -> (
+    let bin sym = Printf.sprintf "(%s %s %s)" (expr_c x) sym (expr_c y) in
+    match op with
+    | Op.Add -> bin "+"
+    | Op.Sub -> bin "-"
+    | Op.Mul -> bin "*"
+    | Op.Div -> bin "/"
+    | Op.Shl -> bin "<<"
+    | Op.Shr -> bin ">>"
+    | Op.Band -> bin "&"
+    | Op.Bor -> bin "|"
+    | Op.Bxor -> bin "^"
+    | Op.Cmp_lt -> bin "<"
+    | Op.Cmp_eq -> bin "=="
+    | Op.Min -> Printf.sprintf "MIN(%s, %s)" (expr_c x) (expr_c y)
+    | Op.Max -> Printf.sprintf "MAX(%s, %s)" (expr_c x) (expr_c y)
+    | Op.Sqrt | Op.Abs | Op.Select | Op.Acc ->
+      Printf.sprintf "%s(%s, %s)" (Op.to_string op) (expr_c x) (expr_c y))
+
+let stmt_c ind s =
+  let pad = String.make ind ' ' in
+  match s with
+  | Ir.Store (r, e) -> Printf.sprintf "%s%s = %s;" pad (aref_c r) (expr_c e)
+  | Ir.Accum (r, Op.Add, e) ->
+    Printf.sprintf "%s%s += %s;" pad (aref_c r) (expr_c e)
+  | Ir.Accum (r, Op.Sub, e) ->
+    Printf.sprintf "%s%s -= %s;" pad (aref_c r) (expr_c e)
+  | Ir.Accum (r, op, e) ->
+    Printf.sprintf "%s%s = %s;" pad (aref_c r)
+      (expr_c (Ir.Binop (op, Ir.Load r, e)))
+  | Ir.Reduce (name, Op.Add, e) ->
+    Printf.sprintf "%s%s += %s;" pad (mangle name) (expr_c e)
+  | Ir.Reduce (name, op, e) ->
+    Printf.sprintf "%s%s = %s(%s, %s);" pad (mangle name) (Op.to_string op)
+      (mangle name) (expr_c e)
+
+let region_body (_k : Ir.kernel) (r : Ir.region) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "  #pragma dsa decouple\n";
+  let ind = ref 2 in
+  List.iter
+    (fun (l : Ir.loop) ->
+      let bound =
+        match l.trip with
+        | Ir.Fixed n -> string_of_int n
+        | Ir.Triangular n -> Printf.sprintf "%d /* data-dependent bound */" n
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%sfor (int %s = 0; %s < %s; ++%s) {\n"
+           (String.make !ind ' ') l.var l.var bound l.var);
+      ind := !ind + 2)
+    r.loops;
+  List.iter (fun s -> Buffer.add_string buf (stmt_c !ind s ^ "\n")) r.body;
+  List.iter
+    (fun (_ : Ir.loop) ->
+      ind := !ind - 2;
+      Buffer.add_string buf (String.make !ind ' ' ^ "}\n"))
+    r.loops;
+  Buffer.contents buf
+
+let params_of (k : Ir.kernel) =
+  let rec of_expr acc (e : Ir.expr) =
+    match e with
+    | Ir.Param p -> if List.mem p acc then acc else p :: acc
+    | Ir.Load _ | Ir.Const _ -> acc
+    | Ir.Unop (_, x) -> of_expr acc x
+    | Ir.Binop (_, x, y) -> of_expr (of_expr acc x) y
+  in
+  let of_stmt acc = function
+    | Ir.Store (_, e) | Ir.Accum (_, _, e) | Ir.Reduce (_, _, e) -> of_expr acc e
+  in
+  List.fold_left
+    (fun acc (r : Ir.region) -> List.fold_left of_stmt acc r.body)
+    []
+    (k.regions @ match k.og_tuning with Some t -> t.regions | None -> [])
+  |> List.rev
+
+let index_array_names (k : Ir.kernel) =
+  List.concat_map
+    (fun (r : Ir.region) ->
+      List.concat_map
+        (fun stmt ->
+          List.filter_map
+            (fun (a : Ir.aref) ->
+              match a.index with
+              | Ir.Indirect { idx_array; _ } -> Some idx_array
+              | Ir.Direct _ -> None)
+            (Ir.stmt_loads stmt))
+        r.body)
+    (k.regions @ match k.og_tuning with Some t -> t.regions | None -> [])
+  |> List.sort_uniq String.compare
+
+let emit ?(tuned = false) (k : Ir.kernel) =
+  let buf = Buffer.create 1024 in
+  let ty = ctype k in
+  let idx_arrays = index_array_names k in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "/* %s (%s, %s) - generated from the OverGen loop-nest IR%s */\n"
+       k.name (Suite.to_string k.suite) k.size_desc
+       (if tuned then "; manually tuned variant" else ""));
+  Buffer.add_string buf "#include <stdint.h>\n#include <math.h>\n\n";
+  Buffer.add_string buf "#define MIN(a, b) ((a) < (b) ? (a) : (b))\n";
+  Buffer.add_string buf "#define MAX(a, b) ((a) > (b) ? (a) : (b))\n\n";
+  List.iter
+    (fun (name, elems) ->
+      (* indirection indices must be an integer type regardless of the
+         kernel's element type *)
+      let aty = if List.mem name idx_arrays then "int32_t" else ty in
+      Buffer.add_string buf
+        (Printf.sprintf "static %s %s[%d];\n" aty (mangle name) elems))
+    k.arrays;
+  List.iter
+    (fun p -> Buffer.add_string buf (Printf.sprintf "static %s %s = 1;\n" ty (mangle p)))
+    (params_of k);
+  Buffer.add_string buf (Printf.sprintf "\nvoid %s_kernel(void) {\n"
+       (String.map (function '-' -> '_' | c -> c) k.name));
+  Buffer.add_string buf "#pragma dsa config\n{\n";
+  List.iter
+    (fun r -> Buffer.add_string buf (region_body k r))
+    (Kernels.regions_for ~tuned k);
+  Buffer.add_string buf "}\n}\n\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "int main(void) {\n  %s_kernel();\n  return 0;\n}\n"
+       (String.map (function '-' -> '_' | c -> c) k.name));
+  Buffer.contents buf

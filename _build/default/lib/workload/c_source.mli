@@ -1,0 +1,18 @@
+(** Emission of compilable C sources with the OverGen pragmas.
+
+    The paper's programming interface is "multithreaded C with pragmas"
+    (Section III-A); this module renders each IR kernel back into exactly
+    that artifact — a self-contained C translation unit with
+    [#pragma dsa config] / [#pragma dsa decouple] around the offloaded
+    regions, array definitions and a reference [main].  Useful for
+    inspecting what the flow consumes and for cross-checking the IR against
+    a host C compiler. *)
+
+val emit : ?tuned:bool -> Ir.kernel -> string
+(** The full translation unit. *)
+
+val region_body : Ir.kernel -> Ir.region -> string
+(** Just one region's loop nest. *)
+
+val ctype : Ir.kernel -> string
+(** The C element type, e.g. "double", "int16_t". *)

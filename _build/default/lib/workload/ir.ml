@@ -1,0 +1,250 @@
+open Overgen_adg
+
+type affine = { terms : (string * int) list; const : int }
+
+let normalize_terms terms =
+  terms
+  |> List.filter (fun (_, c) -> c <> 0)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let affine ?(const = 0) terms = { terms = normalize_terms terms; const }
+let affine_const const = { terms = []; const }
+let affine_vars a = List.map fst a.terms
+
+let affine_coeff a var =
+  match List.assoc_opt var a.terms with Some c -> c | None -> 0
+
+let affine_shift a off = { a with const = a.const + off }
+
+let affine_subst_scaled a ~var ~scale ~offset =
+  let c = affine_coeff a var in
+  if c = 0 then a
+  else
+    let terms = (var, c * scale) :: List.remove_assoc var a.terms in
+    { terms = normalize_terms terms; const = a.const + (c * offset) }
+
+let affine_equal a b = a.terms = b.terms && a.const = b.const
+
+let affine_to_string a =
+  let parts =
+    List.map
+      (fun (v, c) -> if c = 1 then v else Printf.sprintf "%d*%s" c v)
+      a.terms
+  in
+  let parts = if a.const <> 0 then parts @ [ string_of_int a.const ] else parts in
+  match parts with [] -> "0" | _ -> String.concat "+" parts
+
+type index = Direct of affine | Indirect of { idx_array : string; at : affine }
+
+type aref = { array : string; index : index }
+
+let aref_equal a b =
+  a.array = b.array
+  &&
+  match (a.index, b.index) with
+  | Direct x, Direct y -> affine_equal x y
+  | Indirect x, Indirect y -> x.idx_array = y.idx_array && affine_equal x.at y.at
+  | Direct _, Indirect _ | Indirect _, Direct _ -> false
+
+let aref_to_string r =
+  match r.index with
+  | Direct a -> Printf.sprintf "%s[%s]" r.array (affine_to_string a)
+  | Indirect { idx_array; at } ->
+    Printf.sprintf "%s[%s[%s]]" r.array idx_array (affine_to_string at)
+
+type expr =
+  | Load of aref
+  | Const of float
+  | Param of string
+  | Unop of Op.t * expr
+  | Binop of Op.t * expr * expr
+
+type stmt =
+  | Store of aref * expr
+  | Accum of aref * Op.t * expr
+  | Reduce of string * Op.t * expr
+
+type trip = Fixed of int | Triangular of int
+
+let trip_max = function Fixed n -> n | Triangular n -> n
+let trip_avg = function
+  | Fixed n -> float_of_int n
+  | Triangular n -> float_of_int n /. 2.0
+
+type loop = { var : string; trip : trip }
+
+type hls_pattern =
+  | Clean
+  | Variable_trip of { untuned_ii : int; tuned_ii : int }
+  | Strided of { untuned_ii : int }
+
+type region = {
+  rname : string;
+  loops : loop list;
+  body : stmt list;
+  hls : hls_pattern;
+}
+
+type tuning = { desc : string; regions : region list }
+
+type kernel = {
+  name : string;
+  suite : Suite.t;
+  dtype : Dtype.t;
+  lanes : int;
+  arrays : (string * int) list;
+  size_desc : string;
+  regions : region list;
+  og_tuning : tuning option;
+  window_reuse : bool;
+  needs_broadcast : bool;
+}
+
+let rec loads_of_expr = function
+  | Load r -> [ r ]
+  | Const _ | Param _ -> []
+  | Unop (_, e) -> loads_of_expr e
+  | Binop (_, a, b) -> loads_of_expr a @ loads_of_expr b
+
+let add_op histo op =
+  match List.assoc_opt op histo with
+  | Some n -> (op, n + 1) :: List.remove_assoc op histo
+  | None -> (op, 1) :: histo
+
+let rec ops_of_expr_acc acc = function
+  | Load _ | Const _ | Param _ -> acc
+  | Unop (op, e) -> ops_of_expr_acc (add_op acc op) e
+  | Binop (op, a, b) -> ops_of_expr_acc (ops_of_expr_acc (add_op acc op) a) b
+
+let ops_of_expr e = ops_of_expr_acc [] e
+
+let stmt_loads = function
+  | Store (_, e) -> loads_of_expr e
+  | Accum (r, _, e) -> r :: loads_of_expr e
+  | Reduce (_, _, e) -> loads_of_expr e
+
+let stmt_store = function
+  | Store (r, _) | Accum (r, _, _) -> Some r
+  | Reduce (_, _, _) -> None
+
+let stmt_ops = function
+  | Store (_, e) -> ops_of_expr e
+  | Accum (_, op, e) -> add_op (ops_of_expr e) op
+  | Reduce (_, op, e) -> add_op (ops_of_expr e) op
+
+let merge_histos a b = List.fold_left (fun acc (op, n) ->
+    match List.assoc_opt op acc with
+    | Some m -> (op, m + n) :: List.remove_assoc op acc
+    | None -> (op, n) :: acc)
+    a b
+
+let region_op_histogram r =
+  List.fold_left (fun acc s -> merge_histos acc (stmt_ops s)) [] r.body
+
+let region_iterations r =
+  List.fold_left (fun acc l -> acc *. trip_avg l.trip) 1.0 r.loops
+
+let region_arrays r =
+  let arrays =
+    List.concat_map
+      (fun s ->
+        let loads = List.map (fun (a : aref) -> a.array) (stmt_loads s) in
+        let idx_arrays =
+          List.filter_map
+            (fun (a : aref) ->
+              match a.index with
+              | Indirect { idx_array; _ } -> Some idx_array
+              | Direct _ -> None)
+            (stmt_loads s)
+        in
+        let stores =
+          match stmt_store s with Some a -> [ a.array ] | None -> []
+        in
+        loads @ idx_arrays @ stores)
+      r.body
+  in
+  List.sort_uniq String.compare arrays
+
+let innermost r =
+  match List.rev r.loops with
+  | [] -> invalid_arg "Ir.innermost: region with no loops"
+  | l :: _ -> l
+
+let elem_bytes k = Dtype.bytes k.dtype * k.lanes
+
+let rec pretty_expr = function
+  | Load r -> aref_to_string r
+  | Const f ->
+    if Float.is_integer f then string_of_int (int_of_float f)
+    else string_of_float f
+  | Param p -> p
+  | Unop (op, e) -> Printf.sprintf "%s(%s)" (Op.to_string op) (pretty_expr e)
+  | Binop (op, a, b) ->
+    let sym =
+      match op with
+      | Op.Add -> "+"
+      | Op.Sub -> "-"
+      | Op.Mul -> "*"
+      | Op.Div -> "/"
+      | Op.Shl -> "<<"
+      | Op.Shr -> ">>"
+      | Op.Band -> "&"
+      | Op.Bor -> "|"
+      | Op.Bxor -> "^"
+      | Op.Cmp_lt -> "<"
+      | Op.Cmp_eq -> "=="
+      | Op.Sqrt | Op.Min | Op.Max | Op.Abs | Op.Select | Op.Acc ->
+        Op.to_string op
+    in
+    (match op with
+     | Op.Min | Op.Max ->
+       Printf.sprintf "%s(%s, %s)" sym (pretty_expr a) (pretty_expr b)
+     | _ -> Printf.sprintf "(%s %s %s)" (pretty_expr a) sym (pretty_expr b))
+
+let pretty_stmt ind s =
+  let pad = String.make ind ' ' in
+  match s with
+  | Store (r, e) -> Printf.sprintf "%s%s = %s;" pad (aref_to_string r) (pretty_expr e)
+  | Accum (r, op, e) ->
+    Printf.sprintf "%s%s %s= %s;" pad (aref_to_string r)
+      (match op with
+       | Op.Add -> "+"
+       | Op.Sub -> "-"
+       | Op.Mul -> "*"
+       | _ -> Op.to_string op)
+      (pretty_expr e)
+  | Reduce (name, op, e) ->
+    Printf.sprintf "%s%s = %s(%s, %s);" pad name (Op.to_string op) name
+      (pretty_expr e)
+
+let pretty k =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "// %s (%s, %s%s, %s)\n" k.name (Suite.to_string k.suite)
+       (Dtype.to_string k.dtype)
+       (if k.lanes > 1 then Printf.sprintf "x%d" k.lanes else "")
+       k.size_desc);
+  Buffer.add_string buf "#pragma dsa config\n{\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (Printf.sprintf "  // region %s\n" r.rname);
+      Buffer.add_string buf "  #pragma dsa decouple\n";
+      let ind = ref 2 in
+      List.iter
+        (fun (l : loop) ->
+          let bound =
+            match l.trip with
+            | Fixed n -> string_of_int n
+            | Triangular n -> Printf.sprintf "%d-outer /*triangular*/" n
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%sfor (%s = 0; %s < %s; ++%s)\n"
+               (String.make !ind ' ') l.var l.var bound l.var);
+          ind := !ind + 2)
+        r.loops;
+      List.iter
+        (fun s -> Buffer.add_string buf (pretty_stmt !ind s ^ "\n"))
+        r.body)
+    k.regions;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,127 @@
+(** The affine loop-nest intermediate representation.
+
+    Kernels are perfect (or triangular) loop nests with constant trip counts
+    over restrict-qualified arrays — exactly the program class the OverGen
+    pragmas delimit ([#pragma dsa config] / [#pragma dsa decouple]).  The
+    decoupled-spatial compiler ({!Overgen_mdfg}) slices a region's body into
+    compute instructions and memory streams, and the reuse analysis of paper
+    Section IV-B is computed from the affine indices and trip counts here. *)
+
+open Overgen_adg
+
+(** Affine expression over loop induction variables: [sum coeff*var + const],
+    in units of array {e elements}. *)
+type affine = { terms : (string * int) list; const : int }
+
+val affine : ?const:int -> (string * int) list -> affine
+val affine_const : int -> affine
+val affine_vars : affine -> string list
+(** Variables with non-zero coefficient. *)
+
+val affine_coeff : affine -> string -> int
+val affine_shift : affine -> int -> affine
+(** Add a constant offset. *)
+
+val affine_subst_scaled : affine -> var:string -> scale:int -> offset:int -> affine
+(** [affine_subst_scaled a ~var ~scale ~offset] rewrites occurrences of [var]
+    as [scale*var + offset]; this is how unrolling by [scale] re-indexes the
+    lane at position [offset]. *)
+
+val affine_equal : affine -> affine -> bool
+val affine_to_string : affine -> string
+
+(** Array subscript: direct affine, or single-level indirect [a\[b\[e\]\]]. *)
+type index = Direct of affine | Indirect of { idx_array : string; at : affine }
+
+type aref = { array : string; index : index }
+
+val aref_equal : aref -> aref -> bool
+val aref_to_string : aref -> string
+
+type expr =
+  | Load of aref
+  | Const of float
+  | Param of string  (** scalar kernel parameter kept in a PE constant reg *)
+  | Unop of Op.t * expr
+  | Binop of Op.t * expr * expr
+
+type stmt =
+  | Store of aref * expr
+  | Accum of aref * Op.t * expr
+      (** [a\[i\] <op>= e]: read-modify-write carried across a reduction
+          loop; candidate for the recurrence stream engine. *)
+  | Reduce of string * Op.t * expr
+      (** scalar reduction collected through the register engine *)
+
+(** Trip count of one loop level. *)
+type trip =
+  | Fixed of int
+  | Triangular of int
+      (** bound depends on an outer induction variable; max [n], average
+          [n/2] — the "variable loop trip count" pattern of paper Q2 *)
+
+val trip_max : trip -> int
+val trip_avg : trip -> float
+
+type loop = { var : string; trip : trip }
+
+(** How a state-of-the-art HLS toolchain fares on this region's code pattern
+    before/after manual kernel tuning (paper Table IV). *)
+type hls_pattern =
+  | Clean  (** II = 1 out of the box *)
+  | Variable_trip of { untuned_ii : int; tuned_ii : int }
+  | Strided of { untuned_ii : int }  (** tuning restores II = 1 *)
+
+type region = {
+  rname : string;
+  loops : loop list;  (** outermost first; innermost is the vectorized one *)
+  body : stmt list;
+  hls : hls_pattern;
+}
+
+type tuning = { desc : string; regions : region list }
+
+type kernel = {
+  name : string;
+  suite : Suite.t;
+  dtype : Dtype.t;
+  lanes : int;  (** elements packed per logical value (fft is f32x2) *)
+  arrays : (string * int) list;  (** name, element count *)
+  size_desc : string;  (** Table II "Size" column *)
+  regions : region list;
+  og_tuning : tuning option;
+      (** OverGen-side manual kernel tuning (Q2): peeling, multi-dim unroll *)
+  window_reuse : bool;
+      (** sliding-window kernels where HLS line buffers excel (Q1 outliers) *)
+  needs_broadcast : bool;
+      (** kernels needing DRAM->all-scratchpad broadcast (ellpack outlier) *)
+}
+
+val loads_of_expr : expr -> aref list
+(** All loads, left-to-right, duplicates preserved. *)
+
+val ops_of_expr : expr -> (Op.t * int) list
+(** Operation histogram of an expression. *)
+
+val stmt_loads : stmt -> aref list
+(** Loads including the implicit read of an [Accum] target. *)
+
+val stmt_store : stmt -> aref option
+val stmt_ops : stmt -> (Op.t * int) list
+(** Includes the reduction op of [Accum]/[Reduce]. *)
+
+val region_op_histogram : region -> (Op.t * int) list
+val region_iterations : region -> float
+(** Product of average trip counts. *)
+
+val region_arrays : region -> string list
+(** Arrays touched by the region, without duplicates. *)
+
+val innermost : region -> loop
+(** @raise Invalid_argument on a region with no loops. *)
+
+val elem_bytes : kernel -> int
+(** Bytes per logical element: [Dtype.bytes dtype * lanes]. *)
+
+val pretty : kernel -> string
+(** Pseudo-C rendering with the dsa pragmas, for documentation output. *)

@@ -1,0 +1,527 @@
+open Overgen_adg
+open Ir
+
+(* Construction helpers.  Kernels below are data; these keep them terse. *)
+let v ?(scale = 1) ?(const = 0) var = affine ~const [ (var, scale) ]
+let a2 ?(const = 0) (v1, c1) (v2, c2) = affine ~const [ (v1, c1); (v2, c2) ]
+
+let a3 ?(const = 0) (v1, c1) (v2, c2) (v3, c3) =
+  affine ~const [ (v1, c1); (v2, c2); (v3, c3) ]
+
+let ld array index = Load { array; index = Direct index }
+let ldi array ~via at = Load { array; index = Indirect { idx_array = via; at } }
+let st array index e = Store ({ array; index = Direct index }, e)
+let acc array index op e = Accum ({ array; index = Direct index }, op, e)
+let ( *: ) a b = Binop (Op.Mul, a, b)
+let ( +: ) a b = Binop (Op.Add, a, b)
+let ( -: ) a b = Binop (Op.Sub, a, b)
+let ( /: ) a b = Binop (Op.Div, a, b)
+let fixed var trip = { var; trip = Fixed trip }
+let tri var trip = { var; trip = Triangular trip }
+
+let kernel ?(lanes = 1) ?og_tuning ?(window_reuse = false)
+    ?(needs_broadcast = false) name suite dtype ~arrays ~size regions =
+  {
+    name;
+    suite;
+    dtype;
+    lanes;
+    arrays;
+    size_desc = size;
+    regions;
+    og_tuning;
+    window_reuse;
+    needs_broadcast;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* DSP suite                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let cholesky =
+  let n = 48 in
+  kernel "cholesky" Suite.Dsp Dtype.F64
+    ~arrays:[ ("a", n * n); ("l", n * n) ]
+    ~size:"48^2"
+    [
+      {
+        rname = "update";
+        loops = [ fixed "j" n; tri "i" n; tri "k" n ];
+        body =
+          [
+            acc "l" (a2 ("i", n) ("j", 1)) Op.Sub
+              (ld "a" (a2 ("i", n) ("k", 1)) *: ld "a" (a2 ("j", n) ("k", 1)));
+          ];
+        hls = Variable_trip { untuned_ii = 10; tuned_ii = 5 };
+      };
+      {
+        rname = "scale";
+        loops = [ fixed "j" n; tri "i" n ];
+        body =
+          [
+            st "l"
+              (a2 ("i", n) ("j", 1))
+              (ld "l" (a2 ("i", n) ("j", 1))
+              /: Unop (Op.Sqrt, ld "a" (v ~scale:(n + 1) "j")));
+          ];
+        hls = Variable_trip { untuned_ii = 10; tuned_ii = 5 };
+      };
+    ]
+
+let fft =
+  (* One radix-2 stage over 2^12 complex singles; the butterfly twiddle
+     products are shared between the +/- outputs (the DFG builder CSEs
+     them, as the real compiler would). *)
+  let butterfly ~idx0 ~idx1 =
+    let tr =
+      (ld "wre" (v "j") *: ld "re" idx1) -: (ld "wim" (v "j") *: ld "im" idx1)
+    in
+    let ti =
+      (ld "wre" (v "j") *: ld "im" idx1) +: (ld "wim" (v "j") *: ld "re" idx1)
+    in
+    [
+      st "nre" idx0 (ld "re" idx0 +: tr);
+      st "nre" idx1 (ld "re" idx0 -: tr);
+      st "nim" idx0 (ld "im" idx0 +: ti);
+      st "nim" idx1 (ld "im" idx0 -: ti);
+    ]
+  in
+  let untuned =
+    {
+      rname = "butterfly";
+      loops = [ fixed "j" 64; fixed "i" 32 ];
+      body = butterfly ~idx0:(a2 ("j", 64) ("i", 1)) ~idx1:(a2 ~const:32 ("j", 64) ("i", 1));
+      hls = Variable_trip { untuned_ii = 2; tuned_ii = 1 };
+    }
+  in
+  let tuned =
+    (* Peeled/reordered so both butterfly legs are unit-stride pairs,
+       coalescing the scalar accesses (paper Q2). *)
+    {
+      untuned with
+      rname = "butterfly_peeled";
+      body =
+        butterfly ~idx0:(a2 ("j", 64) ("i", 2)) ~idx1:(a2 ~const:1 ("j", 64) ("i", 2));
+    }
+  in
+  kernel "fft" Suite.Dsp Dtype.F32 ~lanes:2
+    ~arrays:
+      [ ("re", 4096); ("im", 4096); ("nre", 4096); ("nim", 4096); ("wre", 64); ("wim", 64) ]
+    ~size:"2^12"
+    ~og_tuning:{ desc = "peel last iterations to coalesce strided scalar access"; regions = [ tuned ] }
+    [ untuned ]
+
+let fir =
+  (* Tiled FIR, the paper's running example (Figure 5): 2^10-tap output,
+     199-tap filter, inner tile of 128 concurrent accumulations carried by
+     the recurrence engine. *)
+  kernel "fir" Suite.Dsp Dtype.F64
+    ~arrays:[ ("a", 1222); ("b", 199); ("c", 1024) ]
+    ~size:"2^10x199"
+    [
+      {
+        rname = "taps";
+        loops = [ fixed "io" 16; fixed "j" 199; fixed "ii" 64 ];
+        body =
+          [
+            acc "c"
+              (a2 ("io", 64) ("ii", 1))
+              Op.Add
+              (ld "a" (a3 ("io", 64) ("ii", 1) ("j", 1)) *: ld "b" (v "j"));
+          ];
+        hls = Clean;
+      };
+    ]
+
+let solver =
+  let n = 48 in
+  kernel "solver" Suite.Dsp Dtype.F64
+    ~arrays:[ ("lm", n * n); ("x", n); ("b", n) ]
+    ~size:"48^2"
+    [
+      {
+        rname = "sweep";
+        loops = [ fixed "i" n; tri "j" n ];
+        body =
+          [ acc "x" (v "i") Op.Sub (ld "lm" (a2 ("i", n) ("j", 1)) *: ld "b" (v "j")) ];
+        hls = Clean;
+      };
+      {
+        rname = "scale";
+        loops = [ fixed "i" n ];
+        body = [ st "x" (v "i") (ld "x" (v "i") /: ld "lm" (v ~scale:(n + 1) "i")) ];
+        hls = Clean;
+      };
+    ]
+
+let mm =
+  let n = 32 in
+  kernel "mm" Suite.Dsp Dtype.F64
+    ~arrays:[ ("a", n * n); ("b", n * n); ("c", n * n) ]
+    ~size:"32^3"
+    [
+      {
+        rname = "matmul";
+        loops = [ fixed "i" n; fixed "k" n; fixed "j" n ];
+        body =
+          [
+            acc "c" (a2 ("i", n) ("j", 1)) Op.Add
+              (ld "a" (a2 ("i", n) ("k", 1)) *: ld "b" (a2 ("k", n) ("j", 1)));
+          ];
+        hls = Clean;
+      };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* MachSuite                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let stencil3d =
+  let plane = 34 * 34 in
+  let idx = a3 ("i", plane) ("j", 34) ("k", 1) in
+  let nbr off = ld "sin" (affine_shift idx off) in
+  kernel "stencil-3d" Suite.Machsuite Dtype.I64
+    ~arrays:[ ("sin", 34 * 34 * 34); ("sout", 34 * 34 * 34) ]
+    ~size:"34^3x8"
+    [
+      {
+        rname = "sweep";
+        loops = [ fixed "t" 8; fixed "i" 32; fixed "j" 32; fixed "k" 32 ];
+        body =
+          [
+            st "sout"
+              (affine_shift idx (plane + 34 + 1))
+              ((Param "c0" *: nbr (plane + 34 + 1))
+              +: (Param "c1"
+                 *: (nbr (plane + 34)
+                    +: nbr (plane + 34 + 2)
+                    +: nbr (plane + 1)
+                    +: nbr ((2 * plane) + 34 + 1)
+                    +: nbr 35
+                    +: nbr (plane + (2 * 34) + 1))));
+          ];
+        hls = Strided { untuned_ii = 6 };
+      };
+    ]
+
+let crs =
+  (* CRS sparse matrix-vector product: variable row lengths (avg 4, max 8)
+     and an indirect gather of the dense vector. *)
+  kernel "crs" Suite.Machsuite Dtype.F64
+    ~arrays:[ ("va", 1976); ("cidx", 1976); ("x", 494); ("y", 494) ]
+    ~size:"494x4"
+    [
+      {
+        rname = "spmv";
+        loops = [ fixed "row" 494; tri "nz" 8 ];
+        body =
+          [
+            acc "y" (v "row") Op.Add
+              (ld "va" (a2 ("row", 4) ("nz", 1))
+              *: ldi "x" ~via:"cidx" (a2 ("row", 4) ("nz", 1)));
+          ];
+        hls = Variable_trip { untuned_ii = 4; tuned_ii = 2 };
+      };
+    ]
+
+let gemm =
+  let n = 64 in
+  let untuned =
+    {
+      rname = "blocked";
+      loops = [ fixed "i" n; fixed "k" n; fixed "j" n ];
+      body =
+        [
+          acc "c" (a2 ("i", n) ("j", 1)) Op.Add
+            (ld "a" (a2 ("i", n) ("k", 1)) *: ld "b" (a2 ("k", n) ("j", 1)));
+        ];
+      hls = Clean;
+    }
+  in
+  let tuned =
+    (* Unrolled over two inner dimensions (tensorized): the a-operand is
+       shared across the j-pair and each b-column is reused across the
+       k-pair, halving ingest traffic per multiply. *)
+    {
+      untuned with
+      rname = "blocked_2d";
+      loops = [ fixed "i" n; fixed "k" (n / 2); fixed "j" (n / 2) ];
+      body =
+        (let aa kk = ld "a" (a2 ~const:kk ("i", n) ("k", 2)) in
+         let bb kk jj = ld "b" (a2 ~const:((kk * n) + jj) ("k", 2 * n) ("j", 2)) in
+         let cc jj = a2 ~const:jj ("i", n) ("j", 2) in
+         [
+           acc "c" (cc 0) Op.Add ((aa 0 *: bb 0 0) +: (aa 1 *: bb 1 0));
+           acc "c" (cc 1) Op.Add ((aa 0 *: bb 0 1) +: (aa 1 *: bb 1 1));
+         ]);
+    }
+  in
+  kernel "gemm" Suite.Machsuite Dtype.I64
+    ~arrays:[ ("a", n * n); ("b", n * n); ("c", n * n) ]
+    ~size:"64^2"
+    ~og_tuning:{ desc = "unroll across two inner-loop dimensions (tensorize)"; regions = [ tuned ] }
+    [ untuned ]
+
+let stencil2d =
+  let w = 66 in
+  let tap kr kc =
+    ld "f" (affine_const ((kr * 3) + kc)) *: ld "sin" (a2 ~const:((kr * w) + kc) ("r", w) ("c", 1))
+  in
+  let sum9 =
+    tap 0 0 +: tap 0 1 +: tap 0 2 +: tap 1 0 +: tap 1 1 +: tap 1 2 +: tap 2 0
+    +: tap 2 1 +: tap 2 2
+  in
+  let untuned =
+    {
+      rname = "conv3x3";
+      loops = [ fixed "t" 32; fixed "r" 64; fixed "c" 64 ];
+      body = [ st "sout" (a2 ("r", 64) ("c", 1)) sum9 ];
+      hls = Clean;
+    }
+  in
+  let tuned =
+    (* Manual unroll by two in the column dimension: 6 of the 18 input loads
+       overlap between the adjacent windows and are CSE'd. *)
+    let tap2 off kr kc =
+      ld "f" (affine_const ((kr * 3) + kc))
+      *: ld "sin" (a2 ~const:((kr * w) + kc + off) ("r", w) ("c", 2))
+    in
+    let sum9' off =
+      tap2 off 0 0 +: tap2 off 0 1 +: tap2 off 0 2 +: tap2 off 1 0
+      +: tap2 off 1 1 +: tap2 off 1 2 +: tap2 off 2 0 +: tap2 off 2 1
+      +: tap2 off 2 2
+    in
+    {
+      untuned with
+      rname = "conv3x3_unroll2";
+      loops = [ fixed "t" 32; fixed "r" 64; fixed "c" 32 ];
+      body =
+        [
+          st "sout" (a2 ("r", 64) ("c", 2)) (sum9' 0);
+          st "sout" (a2 ~const:1 ("r", 64) ("c", 2)) (sum9' 1);
+        ];
+    }
+  in
+  kernel "stencil-2d" Suite.Machsuite Dtype.I64
+    ~arrays:[ ("sin", w * w); ("sout", 64 * 64); ("f", 9) ]
+    ~size:"66^2x32" ~window_reuse:true
+    ~og_tuning:
+      { desc = "manually unroll columns to reuse overlapped window loads"; regions = [ tuned ] }
+    [ untuned ]
+
+let ellpack =
+  kernel "ellpack" Suite.Machsuite Dtype.F64
+    ~arrays:[ ("va", 1976); ("cidx", 1976); ("x", 494); ("y", 494) ]
+    ~size:"494x4" ~needs_broadcast:true
+    [
+      {
+        rname = "ell";
+        loops = [ fixed "row" 494; fixed "j" 4 ];
+        body =
+          [
+            acc "y" (v "row") Op.Add
+              (ld "va" (a2 ("row", 4) ("j", 1))
+              *: ldi "x" ~via:"cidx" (a2 ("row", 4) ("j", 1)));
+          ];
+        hls = Clean;
+      };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Vitis Vision                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let npix = 128 * 128 * 4
+
+let channel_ext =
+  kernel "channel-ext" Suite.Vision Dtype.I16
+    ~arrays:[ ("cin", npix * 4); ("cout", npix) ]
+    ~size:"128^2x4"
+    [
+      {
+        rname = "extract";
+        loops = [ fixed "i" npix ];
+        body = [ st "cout" (v "i") (ld "cin" (v ~scale:4 ~const:2 "i")) ];
+        hls = Strided { untuned_ii = 8 };
+      };
+    ]
+
+let bgr2grey =
+  kernel "bgr2grey" Suite.Vision Dtype.I16
+    ~arrays:[ ("bgr", npix * 3); ("grey", npix) ]
+    ~size:"128^2x4"
+    [
+      {
+        rname = "grey";
+        loops = [ fixed "i" npix ];
+        body =
+          [
+            st "grey" (v "i")
+              (((Param "wb" *: ld "bgr" (v ~scale:3 "i"))
+               +: (Param "wg" *: ld "bgr" (v ~scale:3 ~const:1 "i"))
+               +: (Param "wr" *: ld "bgr" (v ~scale:3 ~const:2 "i"))
+               +: Param "round")
+              /: Const 256.0);
+          ];
+        hls = Strided { untuned_ii = 9 };
+      };
+    ]
+
+let blur =
+  let w = 128 in
+  let pix ?(const = 0) cscale = ld "img" (a2 ~const ("r", w) ("c", cscale)) in
+  let window ~cscale ~off =
+    let p dr dc = pix ~const:((dr * w) + dc + off) cscale in
+    p 0 0 +: p 0 1 +: p 0 2 +: p 1 0 +: p 1 1 +: p 1 2 +: p 2 0 +: p 2 1 +: p 2 2
+  in
+  let untuned =
+    {
+      rname = "box3x3";
+      loops = [ fixed "t" 4; fixed "r" 126; fixed "c" 126 ];
+      body = [ st "out" (a2 ("r", 126) ("c", 1)) (window ~cscale:1 ~off:0 /: Const 9.0) ];
+      hls = Strided { untuned_ii = 6 };
+    }
+  in
+  let tuned =
+    {
+      untuned with
+      rname = "box3x3_unroll2";
+      loops = [ fixed "t" 4; fixed "r" 126; fixed "c" 63 ];
+      body =
+        [
+          st "out" (a2 ("r", 126) ("c", 2)) (window ~cscale:2 ~off:0 /: Const 9.0);
+          st "out" (a2 ~const:1 ("r", 126) ("c", 2)) (window ~cscale:2 ~off:1 /: Const 9.0);
+        ];
+    }
+  in
+  kernel "blur" Suite.Vision Dtype.I16
+    ~arrays:[ ("img", w * w); ("out", 126 * 126) ]
+    ~size:"128^2x4" ~window_reuse:true
+    ~og_tuning:
+      { desc = "manually unroll columns to reuse overlapped window loads"; regions = [ tuned ] }
+    [ untuned ]
+
+let accumulate =
+  kernel "accumulate" Suite.Vision Dtype.I16
+    ~arrays:[ ("accb", npix); ("ain", npix) ]
+    ~size:"128^2x4"
+    [
+      {
+        rname = "acc";
+        loops = [ fixed "i" npix ];
+        body = [ acc "accb" (v "i") Op.Add (ld "ain" (v "i")) ];
+        hls = Clean;
+      };
+    ]
+
+let acc_sqr =
+  kernel "acc-sqr" Suite.Vision Dtype.I16
+    ~arrays:[ ("accb", npix); ("ain", npix) ]
+    ~size:"128^2x4"
+    [
+      {
+        rname = "accsq";
+        loops = [ fixed "i" npix ];
+        body = [ acc "accb" (v "i") Op.Add (ld "ain" (v "i") *: ld "ain" (v "i")) ];
+        hls = Clean;
+      };
+    ]
+
+let vecmax =
+  kernel "vecmax" Suite.Vision Dtype.I16
+    ~arrays:[ ("xa", npix); ("xb", npix); ("xm", npix) ]
+    ~size:"128^2x4"
+    [
+      {
+        rname = "vmax";
+        loops = [ fixed "i" npix ];
+        body = [ st "xm" (v "i") (Binop (Op.Max, ld "xa" (v "i"), ld "xb" (v "i"))) ];
+        hls = Clean;
+      };
+    ]
+
+let acc_weight =
+  kernel "acc-weight" Suite.Vision Dtype.I16
+    ~arrays:[ ("accb", npix); ("ain", npix) ]
+    ~size:"128^2x4"
+    [
+      {
+        rname = "accw";
+        loops = [ fixed "i" npix ];
+        body =
+          [
+            st "accb" (v "i")
+              (((ld "accb" (v "i") *: Param "ialpha")
+               +: (ld "ain" (v "i") *: Param "alpha"))
+              /: Const 256.0);
+          ];
+        hls = Clean;
+      };
+    ]
+
+let convert_bit =
+  kernel "convert-bit" Suite.Vision Dtype.I16
+    ~arrays:[ ("cin", npix); ("cout", npix) ]
+    ~size:"128^2x4"
+    [
+      {
+        rname = "convert";
+        loops = [ fixed "i" npix ];
+        body =
+          [
+            st "cout" (v "i")
+              (Binop (Op.Shr, ld "cin" (v "i"), Const 4.0) +: Param "bias");
+          ];
+        hls = Clean;
+      };
+    ]
+
+let derivative =
+  let w = 130 in
+  kernel "derivative" Suite.Vision Dtype.I16
+    ~arrays:[ ("img", w * w); ("out", 128 * 128) ]
+    ~size:"130^2x4" ~window_reuse:true
+    [
+      {
+        rname = "sobel";
+        loops = [ fixed "t" 4; fixed "r" 128; fixed "c" 128 ];
+        body =
+          (let p dr dc = ld "img" (a2 ~const:((dr * w) + dc) ("r", w) ("c", 1)) in
+           [
+             st "out"
+               (a2 ("r", 128) ("c", 1))
+               (((Param "gx" *: Unop (Op.Abs, p 1 2 -: p 1 0))
+                +: (Param "gy" *: Unop (Op.Abs, p 2 1 -: p 0 1)))
+               /: Const 4.0);
+           ]);
+        hls = Clean;
+      };
+    ]
+
+let dsp = [ cholesky; fft; fir; solver; mm ]
+let machsuite = [ stencil3d; crs; gemm; stencil2d; ellpack ]
+
+let vision =
+  [
+    channel_ext; bgr2grey; blur; accumulate; acc_sqr; vecmax; acc_weight;
+    convert_bit; derivative;
+  ]
+
+let all = dsp @ machsuite @ vision
+
+let of_suite = function
+  | Suite.Dsp -> dsp
+  | Suite.Machsuite -> machsuite
+  | Suite.Vision -> vision
+
+let find name =
+  match List.find_opt (fun k -> k.name = name) all with
+  | Some k -> k
+  | None -> raise Not_found
+
+let names = List.map (fun k -> k.name) all
+
+let regions_for ~tuned k =
+  match (tuned, k.og_tuning) with
+  | true, Some t -> t.regions
+  | true, None | false, _ -> k.regions

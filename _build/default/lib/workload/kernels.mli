@@ -1,0 +1,17 @@
+(** The 19 evaluation workloads (paper Table II): 5 DSP kernels, 5 MachSuite
+    kernels, and 9 Vitis-Vision kernels, written in the loop-nest IR with the
+    paper's sizes and data types.  Kernels flagged in paper Q2 also carry
+    their OverGen-side tuned variants. *)
+
+val all : Ir.kernel list
+(** All 19, in the paper's Table II order. *)
+
+val of_suite : Suite.t -> Ir.kernel list
+val find : string -> Ir.kernel
+(** @raise Not_found for an unknown kernel name. *)
+
+val names : string list
+
+val regions_for : tuned:bool -> Ir.kernel -> Ir.region list
+(** The kernel's regions, substituting the manually tuned variant when
+    [tuned] is set and the kernel has one. *)

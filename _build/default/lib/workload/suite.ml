@@ -1,0 +1,11 @@
+type t = Dsp | Machsuite | Vision
+
+let all = [ Dsp; Machsuite; Vision ]
+
+let to_string = function
+  | Dsp -> "dsp"
+  | Machsuite -> "machsuite"
+  | Vision -> "vision"
+
+let equal = ( = )
+let compare = Stdlib.compare

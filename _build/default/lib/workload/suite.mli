@@ -1,0 +1,8 @@
+(** The three workload suites of the evaluation (paper Section VII). *)
+
+type t = Dsp | Machsuite | Vision
+
+val all : t list
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int

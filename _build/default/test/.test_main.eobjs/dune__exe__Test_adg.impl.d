@@ -1,0 +1,1 @@
+test/test_adg.ml: Adg Alcotest Builder Comp Digraph Dtype Filename Fun Int List Op Option Overgen_adg Overgen_dse Overgen_util QCheck QCheck_alcotest Serial String Sys Sys_adg System

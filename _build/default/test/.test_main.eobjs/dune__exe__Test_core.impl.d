@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Ir Kernels Lazy List Overgen Overgen_dse Overgen_workload

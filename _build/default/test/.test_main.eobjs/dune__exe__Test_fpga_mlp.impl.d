@@ -1,0 +1,1 @@
+test/test_fpga_mlp.ml: Alcotest Array Builder Comp Device Dtype Lazy List Op Oracle Overgen_adg Overgen_fpga Overgen_mlp Overgen_util Printf QCheck QCheck_alcotest Res Sys_adg System

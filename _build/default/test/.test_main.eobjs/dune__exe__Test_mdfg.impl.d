@@ -1,0 +1,1 @@
+test/test_mdfg.ml: Alcotest Compile Dfg Float Ir Kernels List Option Overgen_adg Overgen_mdfg Overgen_workload QCheck QCheck_alcotest Stream

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Float Fun Gen List Overgen_util QCheck QCheck_alcotest Render Rng Stats String

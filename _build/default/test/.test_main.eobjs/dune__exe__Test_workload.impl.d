@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest C_source Filename Ir Kernels List Option Overgen_adg Overgen_workload Printf QCheck QCheck_alcotest String Suite Sys

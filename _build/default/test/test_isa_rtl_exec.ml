@@ -1,0 +1,225 @@
+open Overgen_adg
+open Overgen_workload
+open Overgen_mdfg
+open Overgen_scheduler
+module Bitstream = Overgen_isa.Bitstream
+module Assemble = Overgen_isa.Assemble
+module Emit = Overgen_rtl.Emit
+module Exec = Overgen_exec.Exec
+
+let general = lazy (Builder.general_overlay ())
+
+let schedules name =
+  let sys = Lazy.force general in
+  match Spatial.schedule_app sys (Compile.compile (Kernels.find name)) with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+(* ---------------- bitstream ---------------- *)
+
+let test_bitstream_packing () =
+  let bs =
+    List.fold_left Bitstream.add Bitstream.empty
+      [
+        { Bitstream.node = 0; tag = "a"; value = 0x5L; bits = 3 };
+        { Bitstream.node = 1; tag = "b"; value = 0xFFL; bits = 8 };
+        { Bitstream.node = 2; tag = "c"; value = 0x1L; bits = 1 };
+      ]
+  in
+  Alcotest.(check int) "12 payload bits" 12 (Bitstream.bit_count bs);
+  let w = Bitstream.words bs in
+  (* header + 1 payload + checksum *)
+  Alcotest.(check int) "3 words" 3 (Array.length w);
+  (* payload: 0b1_11111111_101 = 0xFFD *)
+  Alcotest.(check int64) "packed payload" 0xFFDL w.(1)
+
+let test_bitstream_verify () =
+  let bs =
+    Bitstream.add Bitstream.empty
+      { Bitstream.node = 0; tag = "x"; value = 42L; bits = 16 }
+  in
+  let w = Bitstream.words bs in
+  Alcotest.(check bool) "verifies" true (Bitstream.verify w);
+  let corrupted = Array.copy w in
+  corrupted.(1) <- Int64.add corrupted.(1) 1L;
+  Alcotest.(check bool) "detects corruption" false (Bitstream.verify corrupted)
+
+let test_bitstream_rejects_bad_width () =
+  Alcotest.check_raises "width 0" (Invalid_argument "Bitstream.add: bits in 1..64")
+    (fun () ->
+      ignore
+        (Bitstream.add Bitstream.empty
+           { Bitstream.node = 0; tag = "x"; value = 0L; bits = 0 }))
+
+(* ---------------- assembler ---------------- *)
+
+let test_assemble_program () =
+  let sys = Lazy.force general in
+  let p = Assemble.assemble sys (schedules "fir") in
+  Alcotest.(check string) "kernel name" "fir" p.kernel;
+  Alcotest.(check int) "one region" 1 (List.length p.regions);
+  let r = List.hd p.regions in
+  Alcotest.(check bool) "streams present" true (List.length r.commands >= 3);
+  Alcotest.(check bool) "config fields emitted" true
+    (Bitstream.bit_count p.bitstream > 0);
+  Alcotest.(check bool) "bitstream verifies" true
+    (Bitstream.verify (Bitstream.words p.bitstream))
+
+let test_assemble_rec_flag () =
+  let sys = Lazy.force general in
+  let p = Assemble.assemble sys (schedules "fir") in
+  let cmds = (List.hd p.regions).commands in
+  Alcotest.(check bool) "recurrence-forward streams flagged" true
+    (List.exists (fun (c : Assemble.stream_cmd) -> c.rec_forward) cmds)
+
+let test_assemble_indirect_flag () =
+  let sys = Lazy.force general in
+  let p = Assemble.assemble sys (schedules "crs") in
+  let cmds = (List.hd p.regions).commands in
+  Alcotest.(check bool) "indirect streams flagged" true
+    (List.exists (fun (c : Assemble.stream_cmd) -> c.indirect) cmds)
+
+let test_encode_cmd_roundtrippable_flags () =
+  let c =
+    {
+      Assemble.engine = 5;
+      port = Some 9;
+      write = true;
+      indirect = false;
+      rec_forward = true;
+      base_offset = 4096;
+      dims = [ (1, 64); (64, 199) ];
+      elem_bytes = 8;
+    }
+  in
+  match Assemble.encode_cmd c with
+  | base :: flags :: dims ->
+    Alcotest.(check int64) "base" 4096L base;
+    Alcotest.(check int) "write bit" 1 (Int64.to_int (Int64.logand flags 1L));
+    Alcotest.(check int) "rec bit" 4 (Int64.to_int (Int64.logand flags 4L));
+    Alcotest.(check int) "two dim words" 2 (List.length dims)
+  | _ -> Alcotest.fail "encoding too short"
+
+let test_disassemble_readable () =
+  let sys = Lazy.force general in
+  let p = Assemble.assemble sys (schedules "mm") in
+  let text = Assemble.disassemble p in
+  Alcotest.(check bool) "mentions kernel" true
+    (String.length text > 0
+    && String.sub text 0 10 = "program mm")
+
+let test_distinct_kernels_distinct_bitstreams () =
+  let sys = Lazy.force general in
+  let a = Assemble.config_bitstream sys (schedules "fir") in
+  let b = Assemble.config_bitstream sys (schedules "mm") in
+  Alcotest.(check bool) "different configurations" true
+    (Bitstream.words a <> Bitstream.words b)
+
+(* ---------------- RTL emitter ---------------- *)
+
+let rtl = lazy (Emit.emit (Lazy.force general))
+
+let count_sub text sub =
+  let sl = String.length sub and tl = String.length text in
+  let rec go i acc =
+    if i + sl > tl then acc
+    else if String.sub text i sl = sub then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_rtl_module_balance () =
+  let text = Emit.to_string (Lazy.force rtl) in
+  Alcotest.(check int) "module/endmodule balanced"
+    (count_sub text "\nendmodule")
+    (count_sub text "module overgen_")
+
+let test_rtl_instance_counts () =
+  let sys = Lazy.force general in
+  let stats = Emit.stats (Lazy.force rtl) in
+  let get k = List.assoc k stats in
+  Alcotest.(check int) "24 PEs instantiated" (List.length (Adg.pes sys.adg)) (get "pe");
+  Alcotest.(check int) "35 switches" (List.length (Adg.switches sys.adg)) (get "switch");
+  Alcotest.(check int) "engines" (List.length (Adg.engines sys.adg)) (get "engine")
+
+let test_rtl_tiles_replicated () =
+  let sys = Lazy.force general in
+  let top = List.assoc "overgen_top" (Lazy.force rtl).modules in
+  Alcotest.(check int) "tile instances" sys.system.System.tiles
+    (count_sub top "overgen_tile u_tile_")
+
+let test_rtl_has_dispatcher_and_bypass () =
+  let text = Emit.to_string (Lazy.force rtl) in
+  Alcotest.(check bool) "dispatcher module" true
+    (count_sub text "module overgen_dispatcher" = 1);
+  Alcotest.(check bool) "one-hot bypass logic present" true
+    (count_sub text "one_hot" > 0)
+
+let test_rtl_unique_module_names () =
+  let names = List.map fst (Lazy.force rtl).modules in
+  Alcotest.(check int) "no duplicate module names"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+(* ---------------- functional executor ---------------- *)
+
+let test_all_kernels_functionally_correct () =
+  List.iter
+    (fun (k : Ir.kernel) ->
+      List.iter
+        (fun u ->
+          match Exec.check ~unroll:u k with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "u=%d: %s" u e)
+        [ 1; 2; 4 ])
+    Kernels.all
+
+let test_tuned_variants_functionally_correct () =
+  List.iter
+    (fun (k : Ir.kernel) ->
+      if k.og_tuning <> None then
+        match Exec.check ~tuned:true ~unroll:2 k with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "tuned %s" e)
+    Kernels.all
+
+let test_executor_detects_injected_bug () =
+  (* sanity: the checker is not vacuous — a wrong reference must differ *)
+  let k = Kernels.find "acc-sqr" in
+  let env = Exec.make_env k in
+  let a = Exec.copy_env env and b = Exec.copy_env env in
+  Exec.run_reference a k (List.hd k.regions);
+  (* b left unexecuted: must differ *)
+  Alcotest.(check bool) "difference detected" true (Exec.max_abs_diff a b > 1e-6)
+
+let prop_exec_deterministic =
+  QCheck.Test.make ~name:"executor deterministic across seeds" ~count:5
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      match Exec.check ~seed ~unroll:4 (Kernels.find "bgr2grey") with
+      | Ok () -> true
+      | Error _ -> false)
+
+let tests =
+  [
+    Alcotest.test_case "bitstream packing" `Quick test_bitstream_packing;
+    Alcotest.test_case "bitstream verify" `Quick test_bitstream_verify;
+    Alcotest.test_case "bitstream widths" `Quick test_bitstream_rejects_bad_width;
+    Alcotest.test_case "assemble program" `Quick test_assemble_program;
+    Alcotest.test_case "rec flag" `Quick test_assemble_rec_flag;
+    Alcotest.test_case "indirect flag" `Quick test_assemble_indirect_flag;
+    Alcotest.test_case "encode cmd" `Quick test_encode_cmd_roundtrippable_flags;
+    Alcotest.test_case "disassemble" `Quick test_disassemble_readable;
+    Alcotest.test_case "distinct bitstreams" `Quick test_distinct_kernels_distinct_bitstreams;
+    Alcotest.test_case "rtl module balance" `Quick test_rtl_module_balance;
+    Alcotest.test_case "rtl instance counts" `Quick test_rtl_instance_counts;
+    Alcotest.test_case "rtl tile replication" `Quick test_rtl_tiles_replicated;
+    Alcotest.test_case "rtl dispatcher+bypass" `Quick test_rtl_has_dispatcher_and_bypass;
+    Alcotest.test_case "rtl unique modules" `Quick test_rtl_unique_module_names;
+    Alcotest.test_case "all kernels functional (VCS analog)" `Slow
+      test_all_kernels_functionally_correct;
+    Alcotest.test_case "tuned variants functional" `Slow
+      test_tuned_variants_functionally_correct;
+    Alcotest.test_case "checker not vacuous" `Quick test_executor_detects_injected_bug;
+    QCheck_alcotest.to_alcotest prop_exec_deterministic;
+  ]

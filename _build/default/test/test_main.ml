@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "overgen"
+    [
+      ("util", Test_util.tests);
+      ("adg", Test_adg.tests);
+      ("workload", Test_workload.tests);
+      ("mdfg", Test_mdfg.tests);
+      ("scheduler", Test_scheduler.tests);
+      ("perf+sim", Test_perf_sim.tests);
+      ("fpga+mlp", Test_fpga_mlp.tests);
+      ("dse+hls", Test_dse_hls.tests);
+      ("isa+rtl+exec", Test_isa_rtl_exec.tests);
+      ("core", Test_core.tests);
+      ("properties", Test_properties.tests);
+    ]

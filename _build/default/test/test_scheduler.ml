@@ -1,0 +1,279 @@
+open Overgen_adg
+open Overgen_workload
+open Overgen_mdfg
+open Overgen_scheduler
+
+let general () = Builder.general_overlay ()
+
+let schedule_kernel ?(tuned = false) sys name =
+  let k = Kernels.find name in
+  let c = Compile.compile ~tuned k in
+  Spatial.schedule_app sys c
+
+let ok_schedules sys name =
+  match schedule_kernel sys name with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "%s failed to schedule: %s" name e
+
+let test_all_kernels_schedule_on_general () =
+  let sys = general () in
+  List.iter
+    (fun (k : Ir.kernel) ->
+      match schedule_kernel sys k.name with
+      | Ok scheds ->
+        Alcotest.(check int)
+          (k.name ^ " one schedule per region")
+          (List.length (Kernels.regions_for ~tuned:false k))
+          (List.length scheds)
+      | Error e -> Alcotest.failf "%s: %s" k.name e)
+    Kernels.all
+
+let test_schedules_validate () =
+  let sys = general () in
+  List.iter
+    (fun (k : Ir.kernel) ->
+      List.iter
+        (fun s ->
+          match Schedule.validate s sys with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s invalid: %s" k.name e)
+        (ok_schedules sys k.name))
+    Kernels.all
+
+let test_dedicated_pes () =
+  (* no PE hosts two instructions, within or across regions of one app *)
+  let sys = general () in
+  let scheds = ok_schedules sys "cholesky" in
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Schedule.t) ->
+      Schedule.Imap.iter
+        (fun _ pe ->
+          Alcotest.(check bool) "pe not shared" false (Hashtbl.mem seen pe);
+          Hashtbl.replace seen pe ())
+        s.inst_pe)
+    scheds
+
+let test_ports_not_shared_across_regions () =
+  let sys = general () in
+  let scheds = ok_schedules sys "solver" in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Schedule.t) ->
+      Schedule.Imap.iter
+        (fun _ hw ->
+          Alcotest.(check bool) "port not shared" false (Hashtbl.mem seen hw);
+          Hashtbl.replace seen hw ())
+        s.port_map)
+    scheds
+
+let test_fir_uses_recurrence_engine () =
+  let sys = general () in
+  let scheds = ok_schedules sys "fir" in
+  let s = List.hd scheds in
+  Alcotest.(check bool) "recurrence streams bound" true (s.rec_streams <> []);
+  List.iter
+    (fun (_, e) ->
+      match Adg.comp_exn sys.adg e with
+      | Comp.Engine { kind = Comp.Rec; _ } -> ()
+      | _ -> Alcotest.fail "rec stream on non-rec engine")
+    s.rec_streams
+
+let test_indirect_arrays_on_indirect_engine () =
+  let sys = general () in
+  let scheds = ok_schedules sys "crs" in
+  let s = List.hd scheds in
+  let x_engine = List.assoc "x" s.array_engine in
+  match Adg.comp_exn sys.adg x_engine with
+  | Comp.Engine e -> Alcotest.(check bool) "indirect support" true e.indirect
+  | _ -> Alcotest.fail "x not on an engine"
+
+let test_routes_start_and_end_correctly () =
+  let sys = general () in
+  let scheds = ok_schedules sys "mm" in
+  List.iter
+    (fun (s : Schedule.t) ->
+      List.iter
+        (fun ((src, dst), (r : Schedule.route)) ->
+          (match r.hops with
+          | [] -> Alcotest.fail "empty route"
+          | first :: _ ->
+            let expected =
+              match (Dfg.node s.variant.dfg src).kind with
+              | Dfg.Input _ -> Schedule.Imap.find_opt src s.port_map
+              | _ -> Schedule.Imap.find_opt src s.inst_pe
+            in
+            Alcotest.(check (option int)) "route starts at src" (Some first) expected);
+          let last = List.nth r.hops (List.length r.hops - 1) in
+          let expected_dst =
+            match (Dfg.node s.variant.dfg dst).kind with
+            | Dfg.Output _ -> Schedule.Imap.find_opt dst s.port_map
+            | _ -> Schedule.Imap.find_opt dst s.inst_pe
+          in
+          Alcotest.(check (option int)) "route ends at dst" (Some last) expected_dst)
+        s.routes)
+    scheds
+
+let test_ii_at_least_one () =
+  let sys = general () in
+  List.iter
+    (fun (k : Ir.kernel) ->
+      List.iter
+        (fun (s : Schedule.t) ->
+          Alcotest.(check bool) "ii >= 1" true (s.ii >= 1);
+          Alcotest.(check bool) "ipc positive" true (Schedule.ipc s > 0.0))
+        (ok_schedules sys k.name))
+    Kernels.all
+
+let test_repair_after_harmless_change () =
+  let sys = general () in
+  let scheds = ok_schedules sys "fir" in
+  (* adding an unrelated PE must not break anything: fast-path repair *)
+  let adg, _ =
+    Adg.add sys.adg (Comp.Pe (Comp.default_pe (Op.Cap.of_ops [ Op.Add ] [ Dtype.I64 ])))
+  in
+  let sys' = Sys_adg.with_adg sys adg in
+  match Spatial.repair sys' scheds with
+  | Ok scheds' -> Alcotest.(check int) "same count" (List.length scheds) (List.length scheds')
+  | Error e -> Alcotest.failf "repair failed: %s" e
+
+let test_repair_reroutes_after_switch_removal () =
+  let sys = general () in
+  let scheds = ok_schedules sys "accumulate" in
+  (* remove one switch used by a route, after adding bypass edges around it
+     (what node collapsing does) *)
+  let used =
+    List.concat_map (fun (s : Schedule.t) -> Schedule.used_edges s) scheds
+  in
+  let victim =
+    List.find_map
+      (fun (a, b) ->
+        match (Adg.comp_exn sys.adg a, Adg.comp_exn sys.adg b) with
+        | Comp.Switch _, Comp.Switch _ -> Some b
+        | _ -> None)
+      used
+  in
+  match victim with
+  | None -> () (* degenerate mapping: nothing to test *)
+  | Some sw ->
+    (* connect the victim's neighbours directly, then delete it *)
+    let adg =
+      List.fold_left
+        (fun adg p ->
+          List.fold_left
+            (fun adg n ->
+              if p <> n && not (Adg.mem_edge adg p n) then
+                try Adg.add_edge adg p n with Invalid_argument _ -> adg
+              else adg)
+            adg (Adg.succs sys.adg sw))
+        sys.adg (Adg.preds sys.adg sw)
+    in
+    let adg = Adg.remove_node adg sw in
+    let sys' = Sys_adg.with_adg sys adg in
+    (match Spatial.repair sys' scheds with
+    | Ok scheds' ->
+      List.iter
+        (fun s ->
+          match Schedule.validate s sys' with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "repaired schedule invalid: %s" e)
+        scheds'
+    | Error e -> Alcotest.failf "repair should reroute: %s" e)
+
+let test_repair_fails_when_pe_capability_lost () =
+  let sys = general () in
+  let scheds = ok_schedules sys "mm" in
+  let s = List.hd scheds in
+  (* strip the capability of a PE actually used by an instruction *)
+  let inst, pe = Schedule.Imap.min_binding s.inst_pe in
+  let op, dtype =
+    match (Dfg.node s.variant.dfg inst).kind with
+    | Dfg.Inst { op; dtype; _ } -> (op, dtype)
+    | _ -> Alcotest.fail "inst expected"
+  in
+  let adg =
+    match Adg.comp_exn sys.adg pe with
+    | Comp.Pe p ->
+      Adg.set_comp sys.adg pe (Comp.Pe { p with caps = Op.Cap.remove (op, dtype) p.caps })
+    | _ -> Alcotest.fail "pe expected"
+  in
+  let sys' = Sys_adg.with_adg sys adg in
+  (match Schedule.validate s sys' with
+  | Ok () -> Alcotest.fail "validation should notice the missing capability"
+  | Error _ -> ());
+  match Spatial.repair sys' scheds with
+  | Ok _ -> Alcotest.fail "repair cannot fix placements"
+  | Error _ -> ()
+
+let test_relaxation_on_small_fabric () =
+  (* a tiny fabric forces fallback to a narrow variant, not failure *)
+  let caps = Op.Cap.of_ops [ Op.Add; Op.Mul; Op.Acc ] [ Dtype.I16 ] in
+  let adg =
+    Builder.mesh ~rows:2 ~cols:3 ~caps ~sw_width_bits:64 ~width_bits:64
+      ~in_port_widths:[ 16; 16; 8 ] ~out_port_widths:[ 16; 8 ]
+      ~engines:
+        [ Comp.default_engine Comp.Dma; Comp.default_engine Comp.Rec;
+          Comp.default_engine Comp.Reg ]
+  in
+  let sys = Sys_adg.make adg System.default in
+  match schedule_kernel sys "acc-sqr" with
+  | Ok [ s ] ->
+    Alcotest.(check bool) "relaxed below max unroll" true (s.variant.unroll <= 8)
+  | Ok _ -> Alcotest.fail "one region expected"
+  | Error e -> Alcotest.failf "should relax, not fail: %s" e
+
+let test_compute_ii_respects_port_width () =
+  let sys = general () in
+  let scheds = ok_schedules sys "stencil-2d" in
+  let s = List.hd scheds in
+  (* stencil-2d at unroll u needs 9+ lanes through one port; ii must cover *)
+  let needed =
+    Schedule.Imap.fold
+      (fun dfg_port hw acc ->
+        let w =
+          match (Dfg.node s.variant.dfg dfg_port).kind with
+          | Dfg.Input { width_bytes; _ } | Dfg.Output { width_bytes } -> width_bytes
+          | _ -> 0
+        in
+        let hw_w =
+          match Adg.comp_exn sys.adg hw with
+          | Comp.In_port p | Comp.Out_port p -> p.width_bytes
+          | _ -> 1
+        in
+        max acc (Overgen_util.Stats.div_ceil (max 1 w) (max 1 hw_w)))
+      s.port_map 1
+  in
+  Alcotest.(check bool) "ii >= port pressure" true (s.ii >= needed)
+
+let prop_schedule_deterministic =
+  QCheck.Test.make ~name:"scheduling is deterministic" ~count:3 QCheck.unit
+    (fun () ->
+      let sys = general () in
+      match (schedule_kernel sys "fir", schedule_kernel sys "fir") with
+      | Ok a, Ok b ->
+        List.for_all2
+          (fun (x : Schedule.t) (y : Schedule.t) ->
+            x.ii = y.ii
+            && Schedule.Imap.equal ( = ) x.inst_pe y.inst_pe
+            && Schedule.Imap.equal ( = ) x.port_map y.port_map)
+          a b
+      | _ -> false)
+
+let tests =
+  [
+    Alcotest.test_case "all kernels schedule on general" `Quick
+      test_all_kernels_schedule_on_general;
+    Alcotest.test_case "schedules validate" `Quick test_schedules_validate;
+    Alcotest.test_case "dedicated PEs" `Quick test_dedicated_pes;
+    Alcotest.test_case "ports not shared" `Quick test_ports_not_shared_across_regions;
+    Alcotest.test_case "fir recurrence engine" `Quick test_fir_uses_recurrence_engine;
+    Alcotest.test_case "crs indirect engine" `Quick test_indirect_arrays_on_indirect_engine;
+    Alcotest.test_case "route endpoints" `Quick test_routes_start_and_end_correctly;
+    Alcotest.test_case "ii sanity" `Quick test_ii_at_least_one;
+    Alcotest.test_case "repair fast path" `Quick test_repair_after_harmless_change;
+    Alcotest.test_case "repair reroutes" `Quick test_repair_reroutes_after_switch_removal;
+    Alcotest.test_case "repair detects lost caps" `Quick test_repair_fails_when_pe_capability_lost;
+    Alcotest.test_case "relax on small fabric" `Quick test_relaxation_on_small_fabric;
+    Alcotest.test_case "ii covers port width" `Quick test_compute_ii_respects_port_width;
+    QCheck_alcotest.to_alcotest prop_schedule_deterministic;
+  ]

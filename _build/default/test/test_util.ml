@@ -1,0 +1,165 @@
+open Overgen_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let sub = Rng.split a in
+  let x = Rng.int sub 1000000 in
+  let y = Rng.int a 1000000 in
+  Alcotest.(check bool) "streams differ" true (x <> y || Rng.int sub 10 >= 0)
+
+let test_rng_bounds () =
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17);
+    let f = Rng.float r 3.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 3.5)
+  done
+
+let test_rng_of_string_stable () =
+  let a = Rng.of_string "experiment-1" and b = Rng.of_string "experiment-1" in
+  Alcotest.(check int) "string seeding stable" (Rng.int a 9999) (Rng.int b 9999)
+
+let test_rng_choose_weighted () =
+  let r = Rng.create 3 in
+  let count = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.choose_weighted r [ (9.0, `A); (1.0, `B) ] = `A then incr count
+  done;
+  Alcotest.(check bool) "heavy side dominates" true (!count > 800)
+
+let test_rng_gaussian () =
+  let r = Rng.create 5 in
+  let n = 5000 in
+  let samples = List.init n (fun _ -> Rng.gaussian r ~mean:10.0 ~stddev:2.0) in
+  let m = Stats.mean samples in
+  Alcotest.(check bool) "mean near 10" true (Float.abs (m -. 10.0) < 0.2);
+  let sd = Stats.stddev samples in
+  Alcotest.(check bool) "stddev near 2" true (Float.abs (sd -. 2.0) < 0.2)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 11 in
+  let l = List.init 50 Fun.id in
+  let s = Rng.shuffle r l in
+  Alcotest.(check (list int)) "same multiset" l (List.sort compare s)
+
+let test_geomean () =
+  check_float "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  check_float "singleton" 5.0 (Stats.geomean [ 5.0 ]);
+  check_float "empty" 0.0 (Stats.geomean [])
+
+let test_geomean_rejects_nonpositive () =
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geomean: non-positive value") (fun () ->
+      ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+let test_weighted_geomean () =
+  check_float "uniform weights match geomean"
+    (Stats.geomean [ 2.0; 8.0 ])
+    (Stats.weighted_geomean [ (1.0, 2.0); (1.0, 8.0) ]);
+  check_float "all weight on one value" 8.0
+    (Stats.weighted_geomean [ (0.0, 2.0); (5.0, 8.0) ])
+
+let test_median () =
+  check_float "odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "even" 2.5 (Stats.median [ 1.0; 2.0; 3.0; 4.0 ])
+
+let test_round_up_pow2 () =
+  Alcotest.(check int) "1" 1 (Stats.round_up_pow2 1);
+  Alcotest.(check int) "3" 4 (Stats.round_up_pow2 3);
+  Alcotest.(check int) "17" 32 (Stats.round_up_pow2 17)
+
+let test_div_ceil () =
+  Alcotest.(check int) "7/2" 4 (Stats.div_ceil 7 2);
+  Alcotest.(check int) "8/2" 4 (Stats.div_ceil 8 2)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table_render () =
+  let s =
+    Render.table ~headers:[ "a"; "b" ] ~rows:[ [ "1"; "2" ]; [ "333" ] ]
+  in
+  Alcotest.(check bool) "contains header cell" true (contains s "| a");
+  Alcotest.(check bool) "pads short rows" true (contains s "| 333 |")
+
+let test_bar_chart_runs () =
+  let s =
+    Render.bar_chart ~log2:true ~title:"t"
+      [ ("w1", [ 0.5; 2.0 ]); ("w2", [ 1.0; 4.0 ]) ]
+      ~series:[ "x"; "y" ]
+  in
+  Alcotest.(check bool) "non-empty" true (String.length s > 10)
+
+let test_line_chart_runs () =
+  let s =
+    Render.line_chart ~title:"conv" ~xlabel:"h" ~ylabel:"ipc"
+      [ ("a", [ (0.0, 1.0); (1.0, 2.0) ]); ("b", [ (0.5, 1.5) ]) ]
+  in
+  Alcotest.(check bool) "non-empty" true (String.length s > 10)
+
+(* Property tests. *)
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"rng int always in bounds" ~count:500
+    QCheck.(pair int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let prop_geomean_between_min_max =
+  QCheck.Test.make ~name:"geomean between min and max" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_range 0.001 1000.0))
+    (fun l ->
+      let g = Stats.geomean l in
+      let lo = List.fold_left Float.min infinity l in
+      let hi = List.fold_left Float.max neg_infinity l in
+      g >= lo *. 0.999 && g <= hi *. 1.001)
+
+let prop_shuffle_preserves =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
+    QCheck.(pair int (small_list int))
+    (fun (seed, l) ->
+      let r = Rng.create seed in
+      List.sort compare (Rng.shuffle r l) = List.sort compare l)
+
+let prop_pow2 =
+  QCheck.Test.make ~name:"round_up_pow2 is a bounding power" ~count:200
+    QCheck.(int_range 1 100000)
+    (fun n ->
+      let p = Stats.round_up_pow2 n in
+      p >= n && p < 2 * n && p land (p - 1) = 0)
+
+let tests =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng of_string" `Quick test_rng_of_string_stable;
+    Alcotest.test_case "rng weighted choice" `Quick test_rng_choose_weighted;
+    Alcotest.test_case "rng gaussian moments" `Quick test_rng_gaussian;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutation;
+    Alcotest.test_case "geomean" `Quick test_geomean;
+    Alcotest.test_case "geomean rejects <=0" `Quick test_geomean_rejects_nonpositive;
+    Alcotest.test_case "weighted geomean" `Quick test_weighted_geomean;
+    Alcotest.test_case "median" `Quick test_median;
+    Alcotest.test_case "round_up_pow2" `Quick test_round_up_pow2;
+    Alcotest.test_case "div_ceil" `Quick test_div_ceil;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "bar chart" `Quick test_bar_chart_runs;
+    Alcotest.test_case "line chart" `Quick test_line_chart_runs;
+    QCheck_alcotest.to_alcotest prop_rng_int_in_bounds;
+    QCheck_alcotest.to_alcotest prop_geomean_between_min_max;
+    QCheck_alcotest.to_alcotest prop_shuffle_preserves;
+    QCheck_alcotest.to_alcotest prop_pow2;
+  ]
