@@ -1,0 +1,20 @@
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Full gate: build everything, run the whole test suite, and smoke the CLI
+# (`overgen list` + a small deterministic serve-bench trace).
+check:
+	dune build @check
+
+clean:
+	dune clean

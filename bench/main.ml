@@ -18,6 +18,7 @@ let experiments =
     ("fig20", Figures2.fig20);
     ("ablation", Ablation.run);
     ("extensions", Extensions.run);
+    ("service", Service_bench.run);
     ("micro", Micro.run);
   ]
 

@@ -4,7 +4,9 @@
    overgen show <kernel>                - pseudo-C source and mDFG summary
    overgen generate <suite|kernel...>   - run the DSE and print the design
    overgen run <suite|kernel...>        - generate, compile and simulate
-   overgen compare <suite|kernel...>    - OverGen vs the AutoDSE baseline *)
+   overgen compare <suite|kernel...>    - OverGen vs the AutoDSE baseline
+   overgen serve-bench                  - replay a multi-user compile-request
+                                          trace against the compile service *)
 
 open Cmdliner
 open Overgen_workload
@@ -222,9 +224,177 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Compare an overlay against the AutoDSE HLS baseline.")
     Term.(const run $ iterations_arg $ seed_arg $ targets_arg)
 
+(* --- serve-bench --- *)
+
+module Service = Overgen_service.Service
+module Registry = Overgen_service.Registry
+module Cache = Overgen_service.Cache
+module Trace = Overgen_service.Trace
+module Telemetry = Overgen_service.Telemetry
+
+(* A digest of everything mode-independent in the responses: request id,
+   success/failure, schedule count, summed II.  Equal digests between a
+   --deterministic run and a --workers N run of the same seed demonstrate
+   that worker parallelism does not change results. *)
+let result_digest responses =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (r : Service.response) ->
+      match r.result with
+      | Ok schedules ->
+        Printf.bprintf buf "%d ok %d %d\n" r.request.id (List.length schedules)
+          (List.fold_left
+             (fun acc (s : Overgen_scheduler.Schedule.t) -> acc + s.ii)
+             0 schedules)
+      | Error e ->
+        Printf.bprintf buf "%d err %s\n" r.request.id (Service.error_to_string e))
+    responses;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let serve_bench_cmd =
+  let run requests workers deterministic seed users working_set cache_capacity
+      queue_capacity dse =
+    let usage what = `Error (false, Printf.sprintf "%s must be positive" what) in
+    if requests < 1 then usage "--requests"
+    else if (not deterministic) && workers < 1 then usage "--workers"
+    else if users < 1 then usage "--users"
+    else if working_set < 1 then usage "--working-set"
+    else if cache_capacity < 1 then usage "--cache-capacity"
+    else if queue_capacity < 1 then usage "--queue-capacity"
+    else begin
+    let model = Overgen.train_model () in
+    let registry = Registry.create () in
+    let must = function
+      | Ok v -> v
+      | Error e ->
+        Printf.eprintf "serve-bench setup failed: %s\n" e;
+        exit 1
+    in
+    let general = must (Overgen.general ~model Kernels.all) in
+    ignore (must (Registry.register registry ~name:"general" general));
+    let overlays =
+      ("general", Kernels.all)
+      ::
+      (if dse <= 0 then []
+       else
+         List.map
+           (fun suite ->
+             let kernels = Kernels.of_suite suite in
+             let name = Suite.to_string suite in
+             let config =
+               { Overgen_dse.Dse.default_config with iterations = dse; seed }
+             in
+             let overlay = Overgen.generate ~config ~model kernels in
+             ignore (must (Registry.register registry ~name overlay));
+             (name, kernels))
+           Suite.all)
+    in
+    Printf.printf "registry: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun name ->
+              let e = Option.get (Registry.find registry name) in
+              Printf.sprintf "%s [%s]" name (String.sub e.fingerprint 0 8))
+            (Registry.names registry)));
+    let spec = Trace.spec ~seed ~requests ~users ~working_set ~overlays () in
+    let trace = Trace.generate spec in
+    Printf.printf
+      "trace: %d requests, %d users, %d distinct (overlay, kernel) pairs\n"
+      requests users (Trace.distinct_keys spec);
+    let mode =
+      if deterministic then Service.Deterministic else Service.Workers workers
+    in
+    Printf.printf "mode: %s\n\n"
+      (if deterministic then "deterministic (single-threaded)"
+       else Printf.sprintf "%d worker domains" workers);
+    let replay ~caching label =
+      let svc =
+        Service.create ~mode ~queue_capacity ~caching
+          ~cache:(Cache.create ~capacity:cache_capacity ())
+          registry
+      in
+      let t0 = Unix.gettimeofday () in
+      let responses = Service.run svc trace in
+      let wall_s = Unix.gettimeofday () -. t0 in
+      Service.shutdown svc;
+      print_string
+        (Telemetry.report ~label ~wall_s (Telemetry.snapshot (Service.telemetry svc)));
+      (match Service.cache svc with
+      | Some c ->
+        let s = Cache.stats c in
+        Printf.printf
+          "cache       hits %d / misses %d (hit rate %.1f %%), %d/%d entries, %d evictions\n"
+          s.hits s.misses
+          (100.0 *. Cache.hit_rate s)
+          s.entries s.capacity s.evictions
+      | None -> ());
+      Printf.printf "result digest %s\n\n" (result_digest responses);
+      (responses, wall_s)
+    in
+    let _, cold_s = replay ~caching:false "cold: cache disabled" in
+    let warm_responses, warm_s = replay ~caching:true "warm: schedule cache" in
+    let failures =
+      List.length
+        (List.filter
+           (fun (r : Service.response) -> Result.is_error r.result)
+           warm_responses)
+    in
+    let rps wall = float_of_int requests /. wall in
+    Printf.printf
+      "cold %8.1f req/s   warm %8.1f req/s   cache speedup %.1fx   failures %d\n"
+      (rps cold_s) (rps warm_s) (cold_s /. warm_s) failures;
+    `Ok ()
+    end
+  in
+  let requests_arg =
+    Arg.(value & opt int 200
+         & info [ "requests" ] ~docv:"N" ~doc:"Number of compile requests to replay.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 4
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker domains (ignored with $(b,--deterministic)).")
+  in
+  let deterministic_arg =
+    Arg.(value & flag
+         & info [ "deterministic" ]
+             ~doc:"Process requests single-threaded in submission order.")
+  in
+  let users_arg =
+    Arg.(value & opt int 6 & info [ "users" ] ~docv:"N" ~doc:"Simulated user population.")
+  in
+  let ws_arg =
+    Arg.(value & opt int 2
+         & info [ "working-set" ] ~docv:"N" ~doc:"Kernels per user working set.")
+  in
+  let cache_cap_arg =
+    Arg.(value & opt int 1024
+         & info [ "cache-capacity" ] ~docv:"N" ~doc:"Schedule cache entries (LRU beyond).")
+  in
+  let queue_cap_arg =
+    Arg.(value & opt int 1024
+         & info [ "queue-capacity" ] ~docv:"N"
+             ~doc:"Pending-request bound; admission rejects beyond it.")
+  in
+  let dse_arg =
+    Arg.(value & opt int 0
+         & info [ "dse" ] ~docv:"ITERS"
+             ~doc:"Also register one DSE-specialized overlay per suite, explored
+                   for $(docv) iterations (0 = general overlay only).")
+  in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:"Replay a synthetic multi-user compile-request trace against the \
+             overlay compile service, cold (cache disabled) then warm, and \
+             report throughput, latency percentiles and cache statistics.")
+    Term.(ret
+            (const run $ requests_arg $ workers_arg $ deterministic_arg
+             $ seed_arg $ users_arg $ ws_arg $ cache_cap_arg $ queue_cap_arg
+             $ dse_arg))
+
 let () =
   let doc = "domain-specific FPGA overlay generation (OverGen, MICRO 2022)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "overgen" ~doc)
-          [ list_cmd; show_cmd; generate_cmd; run_cmd; compare_cmd; emit_cmd; verify_cmd ]))
+          [ list_cmd; show_cmd; generate_cmd; run_cmd; compare_cmd; emit_cmd;
+            verify_cmd; serve_bench_cmd ]))

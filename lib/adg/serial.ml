@@ -65,6 +65,8 @@ let to_string (sys : Sys_adg.t) =
     (Adg.edges sys.adg);
   Buffer.contents buf
 
+let fingerprint sys = Digest.to_hex (Digest.string (to_string sys))
+
 (* ---------------- parsing ---------------- *)
 
 let kv_int kvs key =

@@ -7,6 +7,12 @@
 
 val to_string : Sys_adg.t -> string
 
+val fingerprint : Sys_adg.t -> string
+(** Stable structural fingerprint of a design: the hex digest of its
+    canonical serialization.  Equal for a design and its save/load round
+    trip (ids are preserved), distinct for structurally different designs;
+    the overlay registry and schedule cache use it as a content address. *)
+
 val of_string : string -> (Sys_adg.t, string) result
 (** Parse a design; node ids are preserved.  Errors carry the offending
     line. *)

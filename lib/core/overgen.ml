@@ -35,20 +35,23 @@ type report = {
   wall_ms : float;
   ipc : float;
   compile_seconds : float;
+  from_cache : bool;
 }
 
-let stored_schedules overlay (k : Ir.kernel) =
+let fingerprint overlay = Serial.fingerprint overlay.design.sys
+
+let stored_schedules overlay kname =
   List.find_opt
     (fun scheds ->
       match scheds with
-      | (s : Schedule.t) :: _ -> s.variant.kernel = k.name
+      | (s : Schedule.t) :: _ -> s.variant.kernel = kname
       | [] -> false)
     overlay.design.per_app
 
-let compile_kernel ?(tuned = false) overlay (k : Ir.kernel) =
+let schedule_compiled ?(use_stored = true) overlay
+    (compiled : Overgen_mdfg.Compile.compiled) =
   let t0 = Unix.gettimeofday () in
-  let compiled = Overgen_mdfg.Compile.compile ~tuned k in
-  let stored = if tuned then None else stored_schedules overlay k in
+  let stored = if use_stored then stored_schedules overlay compiled.kname else None in
   let fresh = Spatial.schedule_app overlay.design.sys compiled in
   (* The DSE may have pruned capabilities down to exactly what its own
      schedules exercise, and its annealed schedules can beat a one-shot
@@ -61,10 +64,46 @@ let compile_kernel ?(tuned = false) overlay (k : Ir.kernel) =
   | Error _, Some st -> Ok (st, Unix.gettimeofday () -. t0)
   | Error e, None -> Error e
 
-let run_kernel ?(tuned = false) overlay k =
-  match compile_kernel ~tuned overlay k with
+let compile_kernel ?(tuned = false) overlay (k : Ir.kernel) =
+  schedule_compiled ~use_stored:(not tuned) overlay
+    (Overgen_mdfg.Compile.compile ~tuned k)
+
+type cache_hooks = {
+  lookup : string -> (Schedule.t list, string) result option;
+  store : string -> (Schedule.t list, string) result -> unit;
+}
+
+let schedule_key overlay (compiled : Overgen_mdfg.Compile.compiled) =
+  fingerprint overlay ^ ":" ^ Overgen_mdfg.Compile.hash_compiled compiled
+
+let compile_cached ?(tuned = false) ~cache overlay (k : Ir.kernel) =
+  let t0 = Unix.gettimeofday () in
+  let compiled = Overgen_mdfg.Compile.compile ~tuned k in
+  let key = schedule_key overlay compiled in
+  match cache.lookup key with
+  | Some (Ok schedules) -> Ok (schedules, Unix.gettimeofday () -. t0, true)
+  | Some (Error e) -> Error e
+  | None -> (
+    match schedule_compiled ~use_stored:(not tuned) overlay compiled with
+    | Ok (schedules, _) ->
+      cache.store key (Ok schedules);
+      Ok (schedules, Unix.gettimeofday () -. t0, false)
+    | Error e ->
+      cache.store key (Error e);
+      Error e)
+
+let run_kernel ?(tuned = false) ?cache overlay k =
+  let compiled =
+    match cache with
+    | None -> (
+      match compile_kernel ~tuned overlay k with
+      | Ok (s, dt) -> Ok (s, dt, false)
+      | Error e -> Error e)
+    | Some hooks -> compile_cached ~tuned ~cache:hooks overlay k
+  in
+  match compiled with
   | Error e -> Error e
-  | Ok (schedules, compile_seconds) ->
+  | Ok (schedules, compile_seconds, from_cache) ->
     let sim = Sim.run overlay.design.sys schedules in
     Ok
       {
@@ -74,6 +113,7 @@ let run_kernel ?(tuned = false) overlay k =
         wall_ms = Sim.wall_time_ms overlay.design.sys ~freq_mhz:overlay.synth.freq_mhz sim;
         ipc = sim.sim_ipc;
         compile_seconds;
+        from_cache;
       }
 
 let reconfigure_us overlay =

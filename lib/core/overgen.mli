@@ -56,16 +56,60 @@ type report = {
   wall_ms : float;
   ipc : float;
   compile_seconds : float;  (** real, measured compile+schedule time *)
+  from_cache : bool;        (** schedules served from a cache, not scheduled *)
 }
+
+val fingerprint : overlay -> string
+(** Structural fingerprint of the overlay's sysADG
+    ({!Overgen_adg.Serial.fingerprint}); the first half of every schedule
+    cache key. *)
 
 val compile_kernel :
   ?tuned:bool -> overlay -> Ir.kernel -> (Schedule.t list * float, string) result
 (** Compile an application onto an existing overlay; the float is measured
     wall-clock seconds — the paper's "compilation is 10000x faster" claim. *)
 
-val run_kernel : ?tuned:bool -> overlay -> Ir.kernel -> (report, string) result
+val schedule_compiled :
+  ?use_stored:bool ->
+  overlay ->
+  Overgen_mdfg.Compile.compiled ->
+  (Schedule.t list * float, string) result
+(** Spatially schedule an already-compiled application (its mDFG variant
+    sets) onto the overlay, preferring the DSE's stored schedules when they
+    estimate faster.  [use_stored] defaults to true; the compile service
+    calls this with memoized mDFGs so cache hits skip the compiler
+    entirely. *)
+
+(** External schedule-cache hooks: keys are content addresses
+    ({!schedule_key}), values are scheduling outcomes so failures can be
+    negatively cached.  {!Overgen_service.Cache} provides an LRU-bounded
+    implementation. *)
+type cache_hooks = {
+  lookup : string -> (Schedule.t list, string) result option;
+  store : string -> (Schedule.t list, string) result -> unit;
+}
+
+val schedule_key : overlay -> Overgen_mdfg.Compile.compiled -> string
+(** [fingerprint overlay ^ ":" ^ Compile.hash_compiled compiled]: the
+    content address of one (overlay, application) scheduling problem.
+    Structurally identical overlays share keys, so registry entries that
+    alias the same design also share cached schedules. *)
+
+val compile_cached :
+  ?tuned:bool ->
+  cache:cache_hooks ->
+  overlay ->
+  Ir.kernel ->
+  (Schedule.t list * float * bool, string) result
+(** [compile_kernel] through a schedule cache: on a key hit the spatial
+    scheduler is skipped and the cached schedules are returned in
+    microseconds.  The returned bool is true on a hit. *)
+
+val run_kernel :
+  ?tuned:bool -> ?cache:cache_hooks -> overlay -> Ir.kernel -> (report, string) result
 (** Compile, then simulate cycle-level, and convert to wall time at the
-    synthesized clock. *)
+    synthesized clock.  With [cache], compilation goes through
+    {!compile_cached} and the report's [from_cache] reflects the hit. *)
 
 val reconfigure_us : overlay -> float
 (** Microseconds to switch the overlay to another application's

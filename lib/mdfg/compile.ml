@@ -597,3 +597,69 @@ let summarize c =
               || op = Op.Shl || op = Op.Shr));
     n_div = count (fun v -> ops_matching v (fun op -> Op.is_div op || op = Op.Sqrt));
   }
+
+(* ---------- content hashing ---------- *)
+
+(* A canonical textual dump of everything the spatial scheduler consumes:
+   the DFG (nodes, kinds, operands), the streams with their reuse
+   annotations, the array nodes and the port slots.  Floats are printed in
+   hex notation so the dump is exact.  The digest of this dump is the
+   content address of the variant in the compile-service schedule cache. *)
+
+let dump_variant buf (v : variant) =
+  Printf.bprintf buf "variant %s region=%s tuned=%b unroll=%d iters=%h firings=%h\n"
+    v.kernel v.region.Ir.rname v.tuned v.unroll v.iters v.firings;
+  List.iter
+    (fun (n : Dfg.node) ->
+      (match n.kind with
+      | Dfg.Inst { op; dtype; acc } ->
+        Printf.bprintf buf "n%d inst %s %s acc=%b" n.id (Op.to_string op)
+          (Dtype.to_string dtype) acc
+      | Dfg.Const { value; name } ->
+        Printf.bprintf buf "n%d const %h %s" n.id value
+          (Option.value name ~default:"-")
+      | Dfg.Input { width_bytes; stated } ->
+        Printf.bprintf buf "n%d in %d stated=%b" n.id width_bytes stated
+      | Dfg.Output { width_bytes } -> Printf.bprintf buf "n%d out %d" n.id width_bytes);
+      List.iter (fun (o : Dfg.operand) -> Printf.bprintf buf " %d.%d" o.src o.lane)
+        n.operands;
+      Buffer.add_char buf '\n')
+    (Dfg.nodes v.dfg);
+  List.iter
+    (fun (s : Stream.t) ->
+      Printf.bprintf buf "s%d %s %s %s dims=%d lanes=%d eb=%d port=%s part=%b %h/%d/%h"
+        s.id s.array
+        (match s.dir with Stream.Read -> "r" | Stream.Write -> "w")
+        (match s.access with
+        | Stream.Linear { stride } -> Printf.sprintf "lin%d" stride
+        | Stream.Indirect { via } -> "ind:" ^ via)
+        s.dims s.lanes s.elem_bytes
+        (match s.port with Some p -> string_of_int p | None -> "-")
+        s.partitioned s.reuse.traffic s.reuse.footprint s.reuse.stationary;
+      (match s.recurrence with
+      | Some r -> Printf.bprintf buf " rec=%d/%h/%h" r.concurrent r.recurs r.mem_traffic
+      | None -> ());
+      Buffer.add_char buf '\n')
+    v.streams;
+  List.iter
+    (fun (a : Stream.array_info) ->
+      Printf.bprintf buf "a %s %d %d ro=%b\n" a.name a.elems a.elem_bytes a.read_only)
+    v.arrays;
+  List.iter
+    (fun (port, refs) ->
+      Printf.bprintf buf "p%d" port;
+      List.iter (fun r -> Printf.bprintf buf " %s" (Ir.aref_to_string r)) refs;
+      Buffer.add_char buf '\n')
+    v.port_slots
+
+let hash_variant v =
+  let buf = Buffer.create 1024 in
+  dump_variant buf v;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let hash_compiled c =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "compiled %s %s wr=%b bc=%b\n" c.kname (Suite.to_string c.suite)
+    c.window_reuse c.needs_broadcast;
+  List.iter (List.iter (dump_variant buf)) c.per_region;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -50,6 +50,18 @@ val widest : variant list -> variant
 (** The most aggressive (largest-unroll) variant.
     @raise Invalid_argument on the empty list. *)
 
+val hash_variant : variant -> string
+(** Content address of one mDFG variant: the hex digest of a canonical dump
+    of everything the spatial scheduler consumes (DFG nodes and operands,
+    streams with reuse annotations, array nodes, port slots).  Structurally
+    identical variants hash equal regardless of how they were produced. *)
+
+val hash_compiled : compiled -> string
+(** Content address over every variant of every region of a compiled
+    application, plus its suite-level flags.  Together with a sysADG
+    fingerprint ({!Overgen_adg.Serial.fingerprint}) this keys the compile
+    service's schedule cache. *)
+
 (** Per-kernel summary used for the paper's Table II. *)
 type summary = {
   n_in_ports : int;

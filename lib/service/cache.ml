@@ -1,0 +1,106 @@
+open Overgen_scheduler
+
+type outcome = (Schedule.t list, string) result
+
+type t = {
+  lru : (string, outcome) Lru.t;
+  pending : (string, unit) Hashtbl.t;  (* keys being computed right now *)
+  mutable hits : int;
+  mutable misses : int;
+  m : Mutex.t;
+  resolved : Condition.t;
+}
+
+let create ?(capacity = 1024) () =
+  {
+    lru = Lru.create ~capacity;
+    pending = Hashtbl.create 16;
+    hits = 0;
+    misses = 0;
+    m = Mutex.create ();
+    resolved = Condition.create ();
+  }
+
+let key ~fingerprint ~variant_hash = fingerprint ^ ":" ^ variant_hash
+
+let find t k =
+  Mutex.lock t.m;
+  let r = Lru.find t.lru k in
+  (match r with None -> t.misses <- t.misses + 1 | Some _ -> t.hits <- t.hits + 1);
+  Mutex.unlock t.m;
+  r
+
+let add t k v =
+  Mutex.lock t.m;
+  Lru.add t.lru k v;
+  Mutex.unlock t.m
+
+(* With t.m held: either the cached outcome, or the right to compute it.
+   Waiting re-checks after every resolution broadcast; if the entry was
+   already evicted by then, the waiter simply computes it itself. *)
+let rec acquire t k =
+  match Lru.find t.lru k with
+  | Some outcome -> `Hit outcome
+  | None ->
+    if Hashtbl.mem t.pending k then begin
+      Condition.wait t.resolved t.m;
+      acquire t k
+    end
+    else begin
+      Hashtbl.add t.pending k ();
+      `Compute
+    end
+
+let find_or_compute t k compute =
+  Mutex.lock t.m;
+  match acquire t k with
+  | `Hit outcome ->
+    t.hits <- t.hits + 1;
+    Mutex.unlock t.m;
+    (outcome, true)
+  | `Compute ->
+    t.misses <- t.misses + 1;
+    Mutex.unlock t.m;
+    let outcome =
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.lock t.m;
+          Hashtbl.remove t.pending k;
+          Condition.broadcast t.resolved;
+          Mutex.unlock t.m)
+        (fun () ->
+          let outcome = compute () in
+          Mutex.lock t.m;
+          Lru.add t.lru k outcome;
+          Mutex.unlock t.m;
+          outcome)
+    in
+    (outcome, false)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+let stats t =
+  Mutex.lock t.m;
+  let s =
+    {
+      hits = t.hits;
+      misses = t.misses;
+      evictions = Lru.evictions t.lru;
+      entries = Lru.length t.lru;
+      capacity = Lru.capacity t.lru;
+    }
+  in
+  Mutex.unlock t.m;
+  s
+
+let hit_rate s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+let hooks t = { Overgen.lookup = find t; store = add t }

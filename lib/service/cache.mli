@@ -1,0 +1,55 @@
+(** The content-addressed schedule cache.
+
+    Keys are content addresses: a sysADG structural fingerprint
+    ({!Overgen_adg.Serial.fingerprint}) joined with an mDFG content hash
+    ({!Overgen_mdfg.Compile.hash_compiled}).  Values are scheduling
+    outcomes — failures are cached too (negative caching), so a kernel that
+    cannot map onto an overlay is rejected from the cache instead of
+    re-running the scheduler on every retry.
+
+    Capacity is bounded with LRU eviction.  All operations are
+    thread-safe; {!find_or_compute} additionally coalesces concurrent
+    requests for the same key so the spatial scheduler runs at most once
+    per key no matter how many workers race on it — which also makes
+    hit/miss totals identical between the deterministic and parallel
+    service modes. *)
+
+open Overgen_scheduler
+
+type outcome = (Schedule.t list, string) result
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 1024 entries. *)
+
+val key : fingerprint:string -> variant_hash:string -> string
+(** The cache key for one (overlay structure, compiled application) pair.
+    Equal to {!Overgen.schedule_key} on the same inputs. *)
+
+val find : t -> string -> outcome option
+(** Counted lookup: a [Some] is a hit, a [None] a miss. *)
+
+val add : t -> string -> outcome -> unit
+
+val find_or_compute : t -> string -> (unit -> outcome) -> outcome * bool
+(** [find_or_compute t key compute] returns the cached outcome (flag
+    [true]) or runs [compute], stores its outcome and returns it (flag
+    [false]).  If another thread is already computing [key], blocks until
+    that computation resolves and returns its outcome as a hit. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+val stats : t -> stats
+
+val hit_rate : stats -> float
+(** hits / (hits + misses); 0 when empty. *)
+
+val hooks : t -> Overgen.cache_hooks
+(** Adapt the cache to the core {!Overgen.compile_cached} entry point. *)

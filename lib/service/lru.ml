@@ -1,0 +1,77 @@
+type ('k, 'v) node = {
+  nkey : 'k;
+  mutable nvalue : 'v;
+  mutable prev : ('k, 'v) node option;  (* towards MRU *)
+  mutable next : ('k, 'v) node option;  (* towards LRU *)
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;  (* most recently used *)
+  mutable tail : ('k, 'v) node option;  (* least recently used *)
+  mutable evicted : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity < 1";
+  { cap = capacity; tbl = Hashtbl.create 64; head = None; tail = None; evicted = 0 }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+let mem t k = Hashtbl.mem t.tbl k
+let evictions t = t.evicted
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let promote t n =
+  match t.head with
+  | Some h when h == n -> ()
+  | _ ->
+    unlink t n;
+    push_front t n
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some n ->
+    promote t n;
+    Some n.nvalue
+
+let evict_over_capacity t =
+  while Hashtbl.length t.tbl > t.cap do
+    match t.tail with
+    | None -> assert false
+    | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl n.nkey;
+      t.evicted <- t.evicted + 1
+  done
+
+let add t k v =
+  (match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+    n.nvalue <- v;
+    promote t n
+  | None ->
+    let n = { nkey = k; nvalue = v; prev = None; next = None } in
+    Hashtbl.add t.tbl k n;
+    push_front t n);
+  evict_over_capacity t
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go ((n.nkey, n.nvalue) :: acc) n.next
+  in
+  go [] t.head

@@ -1,0 +1,52 @@
+type entry = { name : string; overlay : Overgen.overlay; fingerprint : string }
+
+type t = {
+  tbl : (string, entry) Hashtbl.t;
+  mutable order : string list;  (* reverse registration order *)
+  m : Mutex.t;
+}
+
+let create () = { tbl = Hashtbl.create 8; order = []; m = Mutex.create () }
+
+let register t ~name overlay =
+  Mutex.lock t.m;
+  let r =
+    if Hashtbl.mem t.tbl name then
+      Error (Printf.sprintf "overlay %S is already registered" name)
+    else begin
+      let entry = { name; overlay; fingerprint = Overgen.fingerprint overlay } in
+      Hashtbl.add t.tbl name entry;
+      t.order <- name :: t.order;
+      Ok entry
+    end
+  in
+  Mutex.unlock t.m;
+  r
+
+let find t name =
+  Mutex.lock t.m;
+  let r = Hashtbl.find_opt t.tbl name in
+  Mutex.unlock t.m;
+  r
+
+let names t =
+  Mutex.lock t.m;
+  let r = List.rev t.order in
+  Mutex.unlock t.m;
+  r
+
+let find_fingerprint t fp =
+  Mutex.lock t.m;
+  let r =
+    List.rev t.order
+    |> List.filter_map (Hashtbl.find_opt t.tbl)
+    |> List.filter (fun e -> e.fingerprint = fp)
+  in
+  Mutex.unlock t.m;
+  r
+
+let length t =
+  Mutex.lock t.m;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.m;
+  n

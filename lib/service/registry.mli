@@ -1,0 +1,32 @@
+(** The overlay registry: named, already-generated overlays kept warm for
+    the compile service.
+
+    Each entry pairs an overlay (sysADG + synthesized resources + trained
+    model) with the stable structural fingerprint of its sysADG.  Two
+    entries registered under different names but structurally identical
+    designs share the same fingerprint — and therefore share schedule
+    cache entries, which is exactly what content addressing buys.
+    Thread-safe. *)
+
+type entry = {
+  name : string;
+  overlay : Overgen.overlay;
+  fingerprint : string;  (** {!Overgen_adg.Serial.fingerprint} of the sysADG *)
+}
+
+type t
+
+val create : unit -> t
+
+val register : t -> name:string -> Overgen.overlay -> (entry, string) result
+(** Errors if [name] is already taken. *)
+
+val find : t -> string -> entry option
+
+val find_fingerprint : t -> string -> entry list
+(** All entries aliasing one design structure, registration order. *)
+
+val names : t -> string list
+(** Registration order. *)
+
+val length : t -> int

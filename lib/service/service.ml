@@ -1,0 +1,240 @@
+open Overgen_workload
+module Compile = Overgen_mdfg.Compile
+
+type mode = Deterministic | Workers of int
+
+type request = {
+  id : int;
+  user : string;
+  overlay : string;
+  kernel : Ir.kernel;
+  tuned : bool;
+}
+
+type error =
+  | Unknown_overlay of string
+  | Queue_full
+  | Compile_error of string
+  | Shutdown
+
+let error_to_string = function
+  | Unknown_overlay name -> Printf.sprintf "unknown overlay %S" name
+  | Queue_full -> "queue full (admission rejected)"
+  | Compile_error e -> "compile error: " ^ e
+  | Shutdown -> "service is shut down"
+
+type response = {
+  request : request;
+  result : (Overgen_scheduler.Schedule.t list, error) result;
+  cache_hit : bool;
+  service_s : float;
+}
+
+type t = {
+  registry : Registry.t;
+  cache_ : Cache.t option;
+  telemetry_ : Telemetry.t;
+  mode : mode;
+  queue_capacity : int;
+  m : Mutex.t;
+  nonempty : Condition.t;  (* workers: the queue gained a request *)
+  all_done : Condition.t;  (* drain: outstanding reached zero *)
+  queue : request Queue.t;
+  mutable outstanding : int;  (* accepted, not yet completed *)
+  mutable responses : response list;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  (* kernel content hash -> (mDFG variant sets, their content hash); the
+     second memoization level that lets cache hits skip the compiler *)
+  memo : (string, Compile.compiled * string) Hashtbl.t;
+  memo_m : Mutex.t;
+}
+
+let telemetry t = t.telemetry_
+let cache t = t.cache_
+let registry t = t.registry
+
+let memoized_compile t (k : Ir.kernel) tuned =
+  let khash = Digest.to_hex (Digest.string (Ir.pretty k)) ^ if tuned then "+t" else "" in
+  Mutex.lock t.memo_m;
+  let found = Hashtbl.find_opt t.memo khash in
+  Mutex.unlock t.memo_m;
+  match found with
+  | Some cc -> cc
+  | None ->
+    let compiled = Compile.compile ~tuned k in
+    let cc = (compiled, Compile.hash_compiled compiled) in
+    Mutex.lock t.memo_m;
+    if not (Hashtbl.mem t.memo khash) then Hashtbl.add t.memo khash cc;
+    Mutex.unlock t.memo_m;
+    cc
+
+let process t req =
+  let t0 = Unix.gettimeofday () in
+  let result, cache_hit =
+    match Registry.find t.registry req.overlay with
+    | None -> (Error (Unknown_overlay req.overlay), false)
+    | Some entry -> (
+      let compiled, chash = memoized_compile t req.kernel req.tuned in
+      let compute () =
+        match
+          Overgen.schedule_compiled ~use_stored:(not req.tuned) entry.overlay compiled
+        with
+        | Ok (schedules, _) -> Ok schedules
+        | Error e -> Error e
+      in
+      let lift = function Ok s -> Ok s | Error e -> Error (Compile_error e) in
+      match t.cache_ with
+      | None -> (lift (compute ()), false)
+      | Some c ->
+        let key = Cache.key ~fingerprint:entry.fingerprint ~variant_hash:chash in
+        let outcome, hit = Cache.find_or_compute c key compute in
+        (lift outcome, hit))
+  in
+  let service_s = Unix.gettimeofday () -. t0 in
+  let outcome =
+    match result with
+    | Error _ -> Telemetry.Failed
+    | Ok _ ->
+      if Option.is_none t.cache_ then Telemetry.Uncached
+      else if cache_hit then Telemetry.Hit
+      else Telemetry.Miss
+  in
+  Telemetry.record t.telemetry_ outcome ~service_s;
+  { request = req; result; cache_hit; service_s }
+
+let complete t resp =
+  Mutex.lock t.m;
+  t.responses <- resp :: t.responses;
+  t.outstanding <- t.outstanding - 1;
+  if t.outstanding = 0 then Condition.broadcast t.all_done;
+  Mutex.unlock t.m
+
+let rec worker t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.nonempty t.m
+  done;
+  match Queue.take_opt t.queue with
+  | None ->
+    Mutex.unlock t.m  (* stopping with an empty queue *)
+  | Some req ->
+    Mutex.unlock t.m;
+    complete t (process t req);
+    worker t
+
+let create ?(mode = Deterministic) ?(queue_capacity = 1024) ?(caching = true)
+    ?cache registry =
+  if queue_capacity < 1 then invalid_arg "Service.create: queue_capacity < 1";
+  let cache_ =
+    if not caching then None
+    else Some (match cache with Some c -> c | None -> Cache.create ())
+  in
+  let t =
+    {
+      registry;
+      cache_;
+      telemetry_ = Telemetry.create ();
+      mode;
+      queue_capacity;
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      all_done = Condition.create ();
+      queue = Queue.create ();
+      outstanding = 0;
+      responses = [];
+      stopping = false;
+      domains = [];
+      memo = Hashtbl.create 32;
+      memo_m = Mutex.create ();
+    }
+  in
+  (match mode with
+  | Deterministic -> ()
+  | Workers n ->
+    if n < 1 then invalid_arg "Service.create: Workers n with n < 1";
+    t.domains <- List.init n (fun _ -> Domain.spawn (fun () -> worker t)));
+  t
+
+let submit t req =
+  Mutex.lock t.m;
+  let r =
+    if t.stopping then Error Shutdown
+    else if Queue.length t.queue >= t.queue_capacity then begin
+      Telemetry.record_rejection t.telemetry_;
+      Error Queue_full
+    end
+    else begin
+      Queue.push req t.queue;
+      t.outstanding <- t.outstanding + 1;
+      Condition.signal t.nonempty;
+      Ok ()
+    end
+  in
+  Mutex.unlock t.m;
+  r
+
+let by_id a b = compare a.request.id b.request.id
+
+let take_responses t =
+  let rs = t.responses in
+  t.responses <- [];
+  rs
+
+let drain t =
+  match t.mode with
+  | Workers _ ->
+    Mutex.lock t.m;
+    while t.outstanding > 0 do
+      Condition.wait t.all_done t.m
+    done;
+    let rs = take_responses t in
+    Mutex.unlock t.m;
+    List.sort by_id rs
+  | Deterministic ->
+    let rec loop () =
+      Mutex.lock t.m;
+      match Queue.take_opt t.queue with
+      | None ->
+        let rs = take_responses t in
+        Mutex.unlock t.m;
+        rs
+      | Some req ->
+        Mutex.unlock t.m;
+        complete t (process t req);
+        loop ()
+    in
+    List.sort by_id (loop ())
+
+let run t reqs =
+  let collected = ref [] in
+  List.iter
+    (fun req ->
+      let rec admit () =
+        match submit t req with
+        | Ok () -> ()
+        | Error Queue_full -> (
+          match t.mode with
+          | Deterministic ->
+            collected := drain t @ !collected;
+            admit ()
+          | Workers _ ->
+            Unix.sleepf 0.0002;
+            admit ())
+        | Error e ->
+          collected :=
+            { request = req; result = Error e; cache_hit = false; service_s = 0.0 }
+            :: !collected
+      in
+      admit ())
+    reqs;
+  List.sort by_id (drain t @ !collected)
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  let ds = t.domains in
+  t.domains <- [];
+  Mutex.unlock t.m;
+  List.iter Domain.join ds

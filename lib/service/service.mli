@@ -1,0 +1,86 @@
+(** The overlay compile service.
+
+    An in-process server for the paper's deployment model: overlays are
+    generated once (hours of modeled DSE + synthesis), then kept warm in a
+    {!Registry} while many users submit compile requests against them.
+    Each request resolves a named overlay, compiles the kernel to its mDFG
+    variant set (memoized by kernel content hash), and spatially schedules
+    it — unless the content-addressed {!Cache} already holds the schedules,
+    in which case the request is served in microseconds.
+
+    Two execution modes:
+    - [Deterministic]: requests are queued by {!submit} and processed in
+      FIFO order on the caller's thread by {!drain} — single-threaded and
+      exactly reproducible, the mode tests use.
+    - [Workers n]: [n] OCaml 5 domains process the queue concurrently.
+      Scheduling is deterministic and the cache coalesces concurrent
+      computations of one key, so the responses and the hit/miss totals
+      match the deterministic mode for the same request list.
+
+    Admission is bounded: {!submit} rejects with {!Queue_full} when
+    [queue_capacity] requests are already waiting (backpressure), and the
+    rejection is counted in {!Telemetry}. *)
+
+open Overgen_workload
+
+type mode = Deterministic | Workers of int
+
+type request = {
+  id : int;           (** caller-chosen; responses are sorted by it *)
+  user : string;      (** for telemetry/tracing only *)
+  overlay : string;   (** registry name to compile against *)
+  kernel : Ir.kernel;
+  tuned : bool;
+}
+
+type error =
+  | Unknown_overlay of string
+  | Queue_full        (** backpressure: admission rejected *)
+  | Compile_error of string
+  | Shutdown
+
+val error_to_string : error -> string
+
+type response = {
+  request : request;
+  result : (Overgen_scheduler.Schedule.t list, error) result;
+  cache_hit : bool;
+  service_s : float;  (** processing time, excluding queue wait *)
+}
+
+type t
+
+val create :
+  ?mode:mode ->
+  ?queue_capacity:int ->
+  ?caching:bool ->
+  ?cache:Cache.t ->
+  Registry.t ->
+  t
+(** [mode] defaults to [Deterministic]; [queue_capacity] to 1024 pending
+    requests; [caching:false] disables the schedule cache entirely (every
+    request runs the scheduler — the cold baseline); [cache] supplies a
+    shared cache instance instead of the default fresh 1024-entry one.
+    Under [Workers n] the domains are spawned immediately. *)
+
+val submit : t -> request -> (unit, error) result
+(** Non-blocking admission; [Error Queue_full] when the queue is at
+    capacity. *)
+
+val drain : t -> response list
+(** Process ([Deterministic]) or await ([Workers]) everything accepted so
+    far; returns the completed responses sorted by request id and clears
+    them from the service. *)
+
+val run : t -> request list -> response list
+(** Replay a whole trace: submit every request — on [Queue_full],
+    draining ([Deterministic]) or backing off ([Workers]) until admitted —
+    then drain.  Responses sorted by request id. *)
+
+val telemetry : t -> Telemetry.t
+val cache : t -> Cache.t option
+val registry : t -> Registry.t
+
+val shutdown : t -> unit
+(** Stop and join the worker domains ([Workers] mode).  Idempotent; the
+    queue must be drained first. *)

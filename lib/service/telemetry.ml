@@ -1,0 +1,96 @@
+module Stats = Overgen_util.Stats
+
+type outcome = Hit | Miss | Uncached | Failed
+
+type t = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable uncached : int;
+  mutable failures : int;
+  mutable rejections : int;
+  mutable latencies_s : float list;
+  m : Mutex.t;
+}
+
+let create () =
+  {
+    hits = 0;
+    misses = 0;
+    uncached = 0;
+    failures = 0;
+    rejections = 0;
+    latencies_s = [];
+    m = Mutex.create ();
+  }
+
+let record t outcome ~service_s =
+  Mutex.lock t.m;
+  (match outcome with
+  | Hit -> t.hits <- t.hits + 1
+  | Miss -> t.misses <- t.misses + 1
+  | Uncached -> t.uncached <- t.uncached + 1
+  | Failed -> t.failures <- t.failures + 1);
+  t.latencies_s <- service_s :: t.latencies_s;
+  Mutex.unlock t.m
+
+let record_rejection t =
+  Mutex.lock t.m;
+  t.rejections <- t.rejections + 1;
+  Mutex.unlock t.m
+
+type snapshot = {
+  requests : int;
+  hits : int;
+  misses : int;
+  uncached : int;
+  failures : int;
+  rejections : int;
+  mean_ms : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+let snapshot t =
+  Mutex.lock t.m;
+  let ms = List.map (fun s -> s *. 1000.0) t.latencies_s in
+  let s =
+    {
+      requests = t.hits + t.misses + t.uncached + t.failures;
+      hits = t.hits;
+      misses = t.misses;
+      uncached = t.uncached;
+      failures = t.failures;
+      rejections = t.rejections;
+      mean_ms = Stats.mean ms;
+      p50_ms = Stats.percentile ~p:50.0 ms;
+      p90_ms = Stats.percentile ~p:90.0 ms;
+      p99_ms = Stats.percentile ~p:99.0 ms;
+      max_ms = List.fold_left Float.max 0.0 ms;
+    }
+  in
+  Mutex.unlock t.m;
+  s
+
+let hit_rate s =
+  let cached = s.hits + s.misses in
+  if cached = 0 then 0.0 else float_of_int s.hits /. float_of_int cached
+
+let report ?(label = "") ~wall_s s =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  line "-- compile service telemetry%s %s"
+    (if label = "" then "" else " [" ^ label ^ "]")
+    (String.make (max 2 (40 - String.length label)) '-');
+  line "requests    %6d   (hits %d, misses %d, uncached %d, failures %d)"
+    s.requests s.hits s.misses s.uncached s.failures;
+  if s.hits + s.misses > 0 then line "hit rate    %6.1f %%" (100.0 *. hit_rate s);
+  line "rejections  %6d" s.rejections;
+  line "latency      p50 %.3f ms   p90 %.3f ms   p99 %.3f ms   mean %.3f ms   max %.3f ms"
+    s.p50_ms s.p90_ms s.p99_ms s.mean_ms s.max_ms;
+  if wall_s > 0.0 then
+    line "throughput  %8.1f req/s   (%d requests in %.3f s)"
+      (float_of_int s.requests /. wall_s)
+      s.requests wall_s;
+  Buffer.contents b

@@ -1,0 +1,43 @@
+(** Request telemetry for the compile service.
+
+    Counts completed requests by outcome, admission rejections, and
+    per-request service latencies; prints a one-screen report with
+    percentiles (via {!Overgen_util.Stats.percentile}).  Thread-safe. *)
+
+(** How a completed request was served.  [Uncached] means caching was
+    disabled for the service; [Failed] covers unknown overlays, compile
+    errors and negatively-cached errors. *)
+type outcome = Hit | Miss | Uncached | Failed
+
+type t
+
+val create : unit -> t
+
+val record : t -> outcome -> service_s:float -> unit
+(** Record one completed request and its processing time. *)
+
+val record_rejection : t -> unit
+(** Record one admission rejection (queue full). *)
+
+type snapshot = {
+  requests : int;  (** completed; hits + misses + uncached + failures *)
+  hits : int;
+  misses : int;
+  uncached : int;
+  failures : int;
+  rejections : int;
+  mean_ms : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+val snapshot : t -> snapshot
+
+val hit_rate : snapshot -> float
+(** hits / (hits + misses); 0 when no cached requests completed. *)
+
+val report : ?label:string -> wall_s:float -> snapshot -> string
+(** One-screen text report; [wall_s] is the trace wall-clock used for the
+    throughput line. *)

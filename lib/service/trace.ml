@@ -1,0 +1,50 @@
+open Overgen_workload
+module Rng = Overgen_util.Rng
+
+type spec = {
+  seed : int;
+  requests : int;
+  users : int;
+  working_set : int;
+  overlays : (string * Ir.kernel list) list;
+}
+
+let spec ?(seed = 42) ?(requests = 200) ?(users = 8) ?(working_set = 3) ~overlays ()
+    =
+  { seed; requests; users; working_set; overlays }
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let generate s =
+  if s.overlays = [] then invalid_arg "Trace.generate: no overlays";
+  if List.exists (fun (_, pool) -> pool = []) s.overlays then
+    invalid_arg "Trace.generate: overlay with an empty kernel pool";
+  if s.users < 1 || s.requests < 0 then invalid_arg "Trace.generate: bad spec";
+  let rng = Rng.create s.seed in
+  let users =
+    Array.init s.users (fun _ ->
+        let overlay, pool = Rng.choose rng s.overlays in
+        let ws = take (max 1 s.working_set) (Rng.shuffle rng pool) in
+        (* rank-weighted: a user's first kernel dominates their requests *)
+        let weighted =
+          List.mapi (fun rank k -> (1.0 /. float_of_int (rank + 1), k)) ws
+        in
+        (weighted, overlay))
+  in
+  List.init s.requests (fun id ->
+      let u = Rng.int rng s.users in
+      let weighted, overlay = users.(u) in
+      {
+        Service.id;
+        user = Printf.sprintf "user-%d" u;
+        overlay;
+        kernel = Rng.choose_weighted rng weighted;
+        tuned = false;
+      })
+
+let distinct_keys s =
+  generate s
+  |> List.map (fun (r : Service.request) -> (r.overlay, r.kernel.Ir.name))
+  |> List.sort_uniq compare |> List.length

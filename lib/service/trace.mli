@@ -1,0 +1,39 @@
+(** Synthetic multi-user request traces for the compile service.
+
+    Models the deployment the paper motivates: a population of users, each
+    with a small working set of kernels they recompile repeatedly (edit /
+    tune / rerun loops), all hitting shared pre-generated overlays.  Each
+    user is pinned to one overlay and draws a working set from that
+    overlay's kernel pool; kernel choice within the set is rank-weighted
+    (zipf-like), so traces show the heavy repetition real compile farms
+    see — which is what the schedule cache exploits.  Fully deterministic
+    for a given spec. *)
+
+open Overgen_workload
+
+type spec = {
+  seed : int;
+  requests : int;
+  users : int;         (** user population *)
+  working_set : int;   (** kernels per user (clamped to the pool size) *)
+  overlays : (string * Ir.kernel list) list;
+      (** registry name and the kernel pool its users draw from *)
+}
+
+val spec :
+  ?seed:int ->
+  ?requests:int ->
+  ?users:int ->
+  ?working_set:int ->
+  overlays:(string * Ir.kernel list) list ->
+  unit ->
+  spec
+(** Defaults: seed 42, 200 requests, 8 users, working sets of 3. *)
+
+val generate : spec -> Service.request list
+(** Requests numbered 0.. in arrival order.
+    @raise Invalid_argument on an empty overlay list or kernel pool. *)
+
+val distinct_keys : spec -> int
+(** Distinct (overlay, kernel) pairs the trace touches — the number of
+    scheduler runs a warm cache needs. *)

@@ -44,6 +44,20 @@ let median = function
     if n mod 2 = 1 then List.nth sorted (n / 2)
     else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
 
+let percentile ~p = function
+  | [] -> 0.0
+  | l ->
+    if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0, 100]";
+    let sorted = List.sort compare l in
+    let n = List.length sorted in
+    (* linear interpolation between closest ranks *)
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    let xlo = List.nth sorted lo and xhi = List.nth sorted hi in
+    xlo +. (frac *. (xhi -. xlo))
+
 let clamp ~lo ~hi x = Float.max lo (Float.min hi x)
 let clamp_int ~lo ~hi x = max lo (min hi x)
 

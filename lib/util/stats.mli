@@ -17,6 +17,11 @@ val stddev : float list -> float
 val median : float list -> float
 (** Median; 0 for the empty list. *)
 
+val percentile : p:float -> float list -> float
+(** [percentile ~p l] is the p-th percentile of [l] (linear interpolation
+    between closest ranks); 0 for the empty list.
+    @raise Invalid_argument unless [0 <= p <= 100]. *)
+
 val clamp : lo:float -> hi:float -> float -> float
 val clamp_int : lo:int -> hi:int -> int -> int
 

@@ -11,5 +11,6 @@ let () =
       ("dse+hls", Test_dse_hls.tests);
       ("isa+rtl+exec", Test_isa_rtl_exec.tests);
       ("core", Test_core.tests);
+      ("service", Test_service.tests);
       ("properties", Test_properties.tests);
     ]

@@ -237,9 +237,25 @@ let prop_dfg_outputs_have_producers =
             c.per_region)
         Kernels.all)
 
+let test_content_hash_deterministic () =
+  List.iter
+    (fun name ->
+      let k = Kernels.find name in
+      let h1 = Compile.hash_compiled (Compile.compile k) in
+      let h2 = Compile.hash_compiled (Compile.compile k) in
+      Alcotest.(check string) (name ^ " hash reproducible") h1 h2)
+    [ "fir"; "gemm"; "blur" ];
+  let all = List.map (fun k -> Compile.hash_compiled (Compile.compile k)) Kernels.all in
+  Alcotest.(check int) "19 kernels, 19 distinct hashes" (List.length all)
+    (List.length (List.sort_uniq String.compare all));
+  let v1 = compile_one "fir" ~unroll:2 and v2 = compile_one "fir" ~unroll:4 in
+  Alcotest.(check bool) "unroll changes the variant hash" false
+    (Compile.hash_variant v1 = Compile.hash_variant v2)
+
 let tests =
   [
     Alcotest.test_case "all kernels compile" `Quick test_all_kernels_compile_all_unrolls;
+    Alcotest.test_case "content hashes" `Quick test_content_hash_deterministic;
     Alcotest.test_case "fft CSE" `Quick test_cse_shares_fft_twiddle_products;
     Alcotest.test_case "unroll scales ops" `Quick test_unroll_scales_muls;
     Alcotest.test_case "fir stationary reuse" `Quick test_fir_stationary_reuse;

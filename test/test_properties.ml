@@ -212,9 +212,40 @@ let prop_repair_or_fail_cleanly =
             repaired
         | Error _ -> true))
 
+(* ---------------- serialization round trip ---------------- *)
+
+let prop_serial_round_trip =
+  QCheck.Test.make
+    ~name:"sysADG serialization round-trips (text, structure, fingerprint)"
+    ~count:25
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let base = Builder.general_overlay () in
+      let pool =
+        Op.Cap.of_ops [ Op.Add; Op.Mul; Op.Max ] [ Dtype.I16; Dtype.F64 ]
+      in
+      let usage = Mutate.usage_of [] in
+      let adg = ref base.Sys_adg.adg in
+      for _ = 1 to Rng.int rng 20 do
+        let adg', _ = Mutate.propose rng ~preserve:false ~caps_pool:pool !adg usage in
+        adg := adg'
+      done;
+      let system = Rng.choose rng (System.candidates ()) in
+      let sys = Sys_adg.make !adg system in
+      let text = Serial.to_string sys in
+      match Serial.of_string text with
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e
+      | Ok sys' ->
+        (* re-serializing the parse reproduces the text exactly, so the
+           structural fingerprint is stable across save/load *)
+        Serial.to_string sys' = text
+        && Serial.fingerprint sys' = Serial.fingerprint sys)
+
 let tests =
   List.map QCheck_alcotest.to_alcotest
     [
+      prop_serial_round_trip;
       prop_affine_subst_identity;
       prop_affine_subst_compose;
       prop_affine_shift;

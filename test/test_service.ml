@@ -1,0 +1,357 @@
+(* The compile-service subsystem: LRU mechanics, the registry, the
+   content-addressed schedule cache (including negative caching and the
+   cache-correctness invariant that served schedules validate against the
+   overlay), backpressure, and deterministic-vs-parallel equivalence. *)
+
+open Overgen_adg
+open Overgen_workload
+module Lru = Overgen_service.Lru
+module Registry = Overgen_service.Registry
+module Cache = Overgen_service.Cache
+module Service = Overgen_service.Service
+module Trace = Overgen_service.Trace
+module Telemetry = Overgen_service.Telemetry
+module Schedule = Overgen_scheduler.Schedule
+module Oracle = Overgen_fpga.Oracle
+module Mutate = Overgen_dse.Mutate
+module Rng = Overgen_util.Rng
+
+let model = lazy (Overgen.train_model ~seed:21 ())
+
+let general =
+  lazy
+    (match Overgen.general ~model:(Lazy.force model) Kernels.all with
+    | Ok o -> o
+    | Error e -> failwith ("general overlay: " ^ e))
+
+(* ---------------- LRU ---------------- *)
+
+let test_lru_basics () =
+  let l = Lru.create ~capacity:3 in
+  Lru.add l "a" 1;
+  Lru.add l "b" 2;
+  Lru.add l "c" 3;
+  Alcotest.(check int) "full" 3 (Lru.length l);
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find l "a");
+  (* "a" just promoted; adding "d" must evict "b", the LRU entry *)
+  Lru.add l "d" 4;
+  Alcotest.(check bool) "b evicted" false (Lru.mem l "b");
+  Alcotest.(check bool) "a survived via promote" true (Lru.mem l "a");
+  Alcotest.(check int) "one eviction" 1 (Lru.evictions l);
+  Alcotest.(check (list string))
+    "recency order MRU-first" [ "d"; "a"; "c" ]
+    (List.map fst (Lru.to_list l))
+
+let test_lru_replace_and_capacity () =
+  let l = Lru.create ~capacity:2 in
+  Lru.add l 1 "x";
+  Lru.add l 1 "y";
+  Alcotest.(check int) "replace keeps length 1" 1 (Lru.length l);
+  Alcotest.(check (option string)) "replaced value" (Some "y") (Lru.find l 1);
+  Alcotest.(check int) "replace is not an eviction" 0 (Lru.evictions l);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Lru.create: capacity < 1") (fun () ->
+      ignore (Lru.create ~capacity:0))
+
+(* ---------------- registry ---------------- *)
+
+let test_registry () =
+  let r = Registry.create () in
+  let o = Lazy.force general in
+  (match Registry.register r ~name:"g1" o with
+  | Ok e ->
+    Alcotest.(check string) "fingerprint matches core" (Overgen.fingerprint o)
+      e.Registry.fingerprint
+  | Error e -> Alcotest.failf "register: %s" e);
+  (match Registry.register r ~name:"g1" o with
+  | Ok _ -> Alcotest.fail "duplicate name accepted"
+  | Error _ -> ());
+  (* a second name for the same structure shares the fingerprint *)
+  (match Registry.register r ~name:"g2" o with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "register alias: %s" e);
+  Alcotest.(check (list string)) "registration order" [ "g1"; "g2" ]
+    (Registry.names r);
+  Alcotest.(check int) "aliases share the fingerprint" 2
+    (List.length (Registry.find_fingerprint r (Overgen.fingerprint o)));
+  Alcotest.(check bool) "find" true (Registry.find r "g2" <> None);
+  Alcotest.(check bool) "find missing" true (Registry.find r "nope" = None)
+
+(* ---------------- cache ---------------- *)
+
+let test_cache_counting_and_coalescing () =
+  let c = Cache.create ~capacity:8 () in
+  let k = Cache.key ~fingerprint:"f" ~variant_hash:"v" in
+  Alcotest.(check bool) "miss counted" true (Cache.find c k = None);
+  let runs = ref 0 in
+  let compute () =
+    incr runs;
+    Ok []
+  in
+  let _, hit1 = Cache.find_or_compute c k compute in
+  let _, hit2 = Cache.find_or_compute c k compute in
+  Alcotest.(check bool) "first computes" false hit1;
+  Alcotest.(check bool) "second hits" true hit2;
+  Alcotest.(check int) "compute ran once" 1 !runs;
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 1 s.hits;
+  Alcotest.(check int) "misses" 2 s.misses;
+  Alcotest.(check (float 1e-9)) "hit rate" (1.0 /. 3.0) (Cache.hit_rate s)
+
+(* The cache-correctness satellite: any schedule list served out of the
+   cache must still validate against the sysADG of the overlay whose
+   fingerprint keyed it. *)
+let test_cached_schedules_validate () =
+  let o = Lazy.force general in
+  let registry = Registry.create () in
+  (match Registry.register registry ~name:"general" o with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let svc = Service.create ~caching:true registry in
+  let spec =
+    Trace.spec ~seed:5 ~requests:60 ~users:4 ~working_set:2
+      ~overlays:[ ("general", Kernels.all) ]
+      ()
+  in
+  let responses = Service.run svc (Trace.generate spec) in
+  Alcotest.(check int) "all answered" 60 (List.length responses);
+  let hits = ref 0 in
+  List.iter
+    (fun (r : Service.response) ->
+      if r.cache_hit then incr hits;
+      match r.result with
+      | Error e -> Alcotest.failf "request %d failed: %s" r.request.id
+          (Service.error_to_string e)
+      | Ok scheds ->
+        Alcotest.(check bool) "schedules nonempty" true (scheds <> []);
+        List.iter
+          (fun s ->
+            match Schedule.validate s o.Overgen.design.sys with
+            | Ok () -> ()
+            | Error e ->
+              Alcotest.failf "request %d (%s): cached schedule invalid: %s"
+                r.request.id r.request.kernel.Ir.name e)
+          scheds)
+    responses;
+  Alcotest.(check bool) "trace actually exercised the cache" true (!hits > 0)
+
+let test_hit_miss_accounting () =
+  let o = Lazy.force general in
+  let registry = Registry.create () in
+  (match Registry.register registry ~name:"general" o with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let spec =
+    Trace.spec ~seed:11 ~requests:50 ~users:3 ~working_set:2
+      ~overlays:[ ("general", Kernels.all) ]
+      ()
+  in
+  let svc = Service.create ~caching:true registry in
+  ignore (Service.run svc (Trace.generate spec));
+  let s = Option.get (Service.cache svc) in
+  let stats = Cache.stats s in
+  let distinct = Trace.distinct_keys spec in
+  Alcotest.(check int) "one scheduler run per distinct key" distinct stats.misses;
+  Alcotest.(check int) "everything else hits" (50 - distinct) stats.hits;
+  let snap = Telemetry.snapshot (Service.telemetry svc) in
+  Alcotest.(check int) "telemetry agrees" distinct snap.misses;
+  Alcotest.(check int) "telemetry requests" 50 snap.requests
+
+(* ---------------- deterministic vs parallel ---------------- *)
+
+let outline (r : Service.response) =
+  ( r.request.id,
+    match r.result with
+    | Ok scheds ->
+      Ok (List.length scheds, List.fold_left (fun a s -> a + s.Schedule.ii) 0 scheds)
+    | Error e -> Error (Service.error_to_string e) )
+
+let test_workers_match_deterministic () =
+  let o = Lazy.force general in
+  let registry = Registry.create () in
+  (match Registry.register registry ~name:"general" o with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let spec =
+    Trace.spec ~seed:7 ~requests:80 ~users:5 ~working_set:2
+      ~overlays:[ ("general", Kernels.all) ]
+      ()
+  in
+  let trace = Trace.generate spec in
+  let replay mode =
+    let svc = Service.create ~mode ~caching:true registry in
+    let rs = Service.run svc trace in
+    Service.shutdown svc;
+    (List.map outline rs, Cache.stats (Option.get (Service.cache svc)))
+  in
+  let det, det_stats = replay Service.Deterministic in
+  let par, par_stats = replay (Service.Workers 3) in
+  Alcotest.(check int) "same response count" (List.length det) (List.length par);
+  List.iter2
+    (fun (id_d, r_d) (id_p, r_p) ->
+      Alcotest.(check int) "ids align" id_d id_p;
+      Alcotest.(check bool)
+        (Printf.sprintf "request %d identical across modes" id_d)
+        true (r_d = r_p))
+    det par;
+  (* compute-once coalescing makes the totals mode-independent *)
+  Alcotest.(check int) "same miss total" det_stats.misses par_stats.misses;
+  Alcotest.(check int) "same hit total" det_stats.hits par_stats.hits
+
+(* ---------------- backpressure ---------------- *)
+
+let test_backpressure () =
+  let o = Lazy.force general in
+  let registry = Registry.create () in
+  (match Registry.register registry ~name:"general" o with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let svc = Service.create ~queue_capacity:4 registry in
+  let req id =
+    { Service.id; user = "u"; overlay = "general";
+      kernel = Kernels.find "fir"; tuned = false }
+  in
+  let accepted, rejected =
+    List.fold_left
+      (fun (a, r) id ->
+        match Service.submit svc (req id) with
+        | Ok () -> (a + 1, r)
+        | Error Service.Queue_full -> (a, r + 1)
+        | Error e -> Alcotest.failf "unexpected: %s" (Service.error_to_string e))
+      (0, 0)
+      [ 0; 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check int) "capacity admitted" 4 accepted;
+  Alcotest.(check int) "overflow rejected" 2 rejected;
+  Alcotest.(check int) "rejections counted" 2
+    (Telemetry.snapshot (Service.telemetry svc)).rejections;
+  Alcotest.(check int) "admitted requests complete" 4
+    (List.length (Service.drain svc))
+
+let test_unknown_overlay () =
+  let registry = Registry.create () in
+  let svc = Service.create registry in
+  let r =
+    { Service.id = 0; user = "u"; overlay = "missing";
+      kernel = Kernels.find "fir"; tuned = false }
+  in
+  (match Service.submit svc r with Ok () -> () | Error _ -> Alcotest.fail "admit");
+  match Service.drain svc with
+  | [ { result = Error (Service.Unknown_overlay "missing"); _ } ] -> ()
+  | _ -> Alcotest.fail "expected Unknown_overlay failure"
+
+(* ---------------- core compile_cached through the hooks ---------------- *)
+
+let test_compile_cached_hooks () =
+  let o = Lazy.force general in
+  let c = Cache.create ~capacity:16 () in
+  let cache = Cache.hooks c in
+  let k = Kernels.find "gemm" in
+  (match Overgen.compile_cached ~cache o k with
+  | Ok (_, _, hit) -> Alcotest.(check bool) "cold is a miss" false hit
+  | Error e -> Alcotest.failf "compile_cached: %s" e);
+  (match Overgen.compile_cached ~cache o k with
+  | Ok (scheds, _, hit) ->
+    Alcotest.(check bool) "second is a hit" true hit;
+    List.iter
+      (fun s ->
+        match Schedule.validate s o.Overgen.design.sys with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "cached schedule invalid: %s" e)
+      scheds
+  | Error e -> Alcotest.failf "compile_cached hit: %s" e);
+  match Overgen.run_kernel ~cache o k with
+  | Ok report ->
+    Alcotest.(check bool) "report marks the cache hit" true report.from_cache
+  | Error e -> Alcotest.failf "run_kernel ~cache: %s" e
+
+(* ---------------- negative caching ---------------- *)
+
+(* A deliberately incapable overlay: the 2x2 seed design with Add-only
+   16-bit PEs cannot host most kernels, so scheduling fails — and the
+   failure must be cached like any other outcome. *)
+let tiny_overlay () =
+  let caps = Op.Cap.of_ops [ Op.Add ] [ Dtype.I16 ] in
+  let sys = Sys_adg.make (Builder.seed ~caps ~width_bits:16) System.default in
+  let synth = Oracle.synth_full sys in
+  let design =
+    { Overgen_dse.Dse.sys; per_app = []; objective = 0.0; predicted = synth.res }
+  in
+  { Overgen.design; synth; model = Lazy.force model; dse = None }
+
+let test_negative_caching () =
+  let o = tiny_overlay () in
+  let c = Cache.create ~capacity:16 () in
+  let cache = Cache.hooks c in
+  let k = Kernels.find "gemm" in
+  (match Overgen.compile_cached ~cache o k with
+  | Ok _ -> Alcotest.fail "gemm should not schedule on the Add-only seed"
+  | Error _ -> ());
+  let after_first = Cache.stats c in
+  (match Overgen.compile_cached ~cache o k with
+  | Ok _ -> Alcotest.fail "still should not schedule"
+  | Error _ -> ());
+  let after_second = Cache.stats c in
+  Alcotest.(check int) "failure was stored" 1 after_first.entries;
+  Alcotest.(check int) "retry hits the cached failure"
+    (after_first.hits + 1) after_second.hits;
+  Alcotest.(check int) "no second scheduler run"
+    after_first.misses after_second.misses
+
+(* ---------------- fingerprint collision probe ---------------- *)
+
+(* Walk >=200 mutated designs; structurally distinct serializations must
+   never share a fingerprint, and equal serializations must share one. *)
+let test_fingerprint_collisions () =
+  let rng = Rng.create 2024 in
+  let pool =
+    Op.Cap.of_ops [ Op.Add; Op.Mul; Op.Div; Op.Max ] [ Dtype.I16; Dtype.I64; Dtype.F64 ]
+  in
+  let usage = Mutate.usage_of [] in
+  let base = Builder.general_overlay () in
+  let seen : (string, string) Hashtbl.t = Hashtbl.create 512 in
+  let designs = ref 0 in
+  let adg = ref base.Sys_adg.adg in
+  for _ = 1 to 250 do
+    let adg', _ = Mutate.propose rng ~preserve:false ~caps_pool:pool !adg usage in
+    adg := adg';
+    let sys = Sys_adg.with_adg base !adg in
+    let serial = Serial.to_string sys in
+    let fp = Serial.fingerprint sys in
+    incr designs;
+    (match Hashtbl.find_opt seen serial with
+    | Some fp' ->
+      Alcotest.(check string) "equal serialization, equal fingerprint" fp' fp
+    | None ->
+      Hashtbl.iter
+        (fun serial' fp' ->
+          if fp' = fp && serial' <> serial then
+            Alcotest.fail "distinct designs share a fingerprint")
+        seen;
+      Hashtbl.add seen serial fp)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "probe covered %d designs" !designs)
+    true (!designs >= 200);
+  Alcotest.(check bool) "mutation walk explored distinct structures" true
+    (Hashtbl.length seen >= 100)
+
+let tests =
+  [
+    Alcotest.test_case "lru basics" `Quick test_lru_basics;
+    Alcotest.test_case "lru replace + capacity" `Quick test_lru_replace_and_capacity;
+    Alcotest.test_case "registry" `Slow test_registry;
+    Alcotest.test_case "cache counting + coalescing" `Quick
+      test_cache_counting_and_coalescing;
+    Alcotest.test_case "cached schedules validate" `Slow
+      test_cached_schedules_validate;
+    Alcotest.test_case "hit/miss accounting" `Slow test_hit_miss_accounting;
+    Alcotest.test_case "workers match deterministic" `Slow
+      test_workers_match_deterministic;
+    Alcotest.test_case "backpressure" `Slow test_backpressure;
+    Alcotest.test_case "unknown overlay" `Quick test_unknown_overlay;
+    Alcotest.test_case "compile_cached hooks" `Slow test_compile_cached_hooks;
+    Alcotest.test_case "negative caching" `Slow test_negative_caching;
+    Alcotest.test_case "fingerprint collision probe" `Quick
+      test_fingerprint_collisions;
+  ]

@@ -133,6 +133,33 @@ let prop_shuffle_preserves =
       let r = Rng.create seed in
       List.sort compare (Rng.shuffle r l) = List.sort compare l)
 
+let test_percentile () =
+  let l = [ 15.0; 20.0; 35.0; 40.0; 50.0 ] in
+  check_float "p0 is the min" 15.0 (Stats.percentile ~p:0.0 l);
+  check_float "p100 is the max" 50.0 (Stats.percentile ~p:100.0 l);
+  check_float "p50 matches median" (Stats.median l) (Stats.percentile ~p:50.0 l);
+  (* linear interpolation between closest ranks: p30 of 5 points sits
+     1.2 ranks in, 20% of the way from 20 to 35 *)
+  check_float "p30 interpolates" 23.0 (Stats.percentile ~p:30.0 l);
+  check_float "empty list" 0.0 (Stats.percentile ~p:90.0 []);
+  check_float "singleton" 7.0 (Stats.percentile ~p:99.0 [ 7.0 ]);
+  check_float "unsorted input" 23.0 (Stats.percentile ~p:30.0 [ 50.0; 20.0; 35.0; 15.0; 40.0 ]);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p outside [0, 100]") (fun () ->
+      ignore (Stats.percentile ~p:101.0 l))
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~name:"percentile lies within [min, max]" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 30) (float_range (-500.0) 1000.0))
+        (float_range 0.0 100.0))
+    (fun (l, p) ->
+      let v = Stats.percentile ~p l in
+      let lo = List.fold_left min infinity l
+      and hi = List.fold_left max neg_infinity l in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
 let prop_pow2 =
   QCheck.Test.make ~name:"round_up_pow2 is a bounding power" ~count:200
     QCheck.(int_range 1 100000)
@@ -153,6 +180,7 @@ let tests =
     Alcotest.test_case "geomean rejects <=0" `Quick test_geomean_rejects_nonpositive;
     Alcotest.test_case "weighted geomean" `Quick test_weighted_geomean;
     Alcotest.test_case "median" `Quick test_median;
+    Alcotest.test_case "percentile" `Quick test_percentile;
     Alcotest.test_case "round_up_pow2" `Quick test_round_up_pow2;
     Alcotest.test_case "div_ceil" `Quick test_div_ceil;
     Alcotest.test_case "table render" `Quick test_table_render;
@@ -161,5 +189,6 @@ let tests =
     QCheck_alcotest.to_alcotest prop_rng_int_in_bounds;
     QCheck_alcotest.to_alcotest prop_geomean_between_min_max;
     QCheck_alcotest.to_alcotest prop_shuffle_preserves;
+    QCheck_alcotest.to_alcotest prop_percentile_bounded;
     QCheck_alcotest.to_alcotest prop_pow2;
   ]
