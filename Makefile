@@ -11,10 +11,16 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Full gate: build everything, run the whole test suite, and smoke the CLI
-# (`overgen list` + a small deterministic serve-bench trace).
+# Full gate: build everything, run the whole test suite, smoke the CLI
+# (`overgen list` + a small deterministic serve-bench trace) and the
+# island-model DSE bench, and fail if build artifacts ever got committed.
 check:
 	dune build @check
+	@if [ -n "$$(git ls-files _build)" ]; then \
+	  echo "error: _build artifacts are tracked by git:"; \
+	  git ls-files _build; \
+	  exit 1; \
+	fi
 
 clean:
 	dune clean

@@ -66,7 +66,10 @@ let og_report ?(tuned = false) ~tag overlay kname =
   match Hashtbl.find_opt report_memo key with
   | Some r -> r
   | None -> (
-    match Overgen.run_kernel ~tuned overlay (Kernels.find kname) with
+    match
+      Overgen.run ~opts:{ Overgen.default_opts with tuned } overlay
+        (Kernels.find kname)
+    with
     | Ok r ->
       Hashtbl.add report_memo key r;
       r

@@ -27,7 +27,7 @@ let fig17 () =
             ~iterations:Exp_common.suite_iterations rest
         in
         (* map the held-out workload on the leave-one-out overlay *)
-        match Overgen.run_kernel loo k with
+        match Overgen.run loo k with
         | Error e ->
           Printf.printf "%-10s does not map: %s\n" (Exp_common.short k.name) e;
           None
@@ -203,7 +203,8 @@ let fig20 () =
               Dse.default_config with
               seed = 500 + Hashtbl.hash (Suite.to_string suite);
               iterations = Exp_common.suite_iterations;
-              schedule_preserving = preserve;
+              mutation_policy =
+                (if preserve then Dse.Schedule_preserving else Dse.Random);
             }
           ~model apps
       in

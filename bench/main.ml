@@ -1,48 +1,66 @@
 (* The benchmark harness: regenerates every table and figure of the paper's
    evaluation (Section VIII).  Run with no argument for the full set, or pass
-   experiment names: table1..table4, fig13..fig20, micro. *)
+   experiment names: table1..table4, fig13..fig20, micro.  Arguments after an
+   experiment name are handed to that experiment, e.g.
+   `main.exe dse --islands 2,4 --iterations 200`. *)
+
+let no_args f (_ : string list) = f ()
 
 let experiments =
   [
-    ("table1", Tables.table1);
-    ("table2", Tables.table2);
-    ("table3", Tables.table3);
-    ("table4", Tables.table4);
-    ("fig13", Figures.fig13);
-    ("fig14", Figures.fig14);
-    ("fig15", Figures.fig15);
-    ("fig16", Figures.fig16);
-    ("fig17", Figures2.fig17);
-    ("fig18", Figures2.fig18);
-    ("fig19", Figures2.fig19);
-    ("fig20", Figures2.fig20);
-    ("ablation", Ablation.run);
-    ("extensions", Extensions.run);
-    ("service", Service_bench.run);
-    ("micro", Micro.run);
+    ("table1", no_args Tables.table1);
+    ("table2", no_args Tables.table2);
+    ("table3", no_args Tables.table3);
+    ("table4", no_args Tables.table4);
+    ("fig13", no_args Figures.fig13);
+    ("fig14", no_args Figures.fig14);
+    ("fig15", no_args Figures.fig15);
+    ("fig16", no_args Figures.fig16);
+    ("fig17", no_args Figures2.fig17);
+    ("fig18", no_args Figures2.fig18);
+    ("fig19", no_args Figures2.fig19);
+    ("fig20", no_args Figures2.fig20);
+    ("ablation", no_args Ablation.run);
+    ("extensions", no_args Extensions.run);
+    ("service", no_args Service_bench.run);
+    ("dse", Dse_bench.run);
+    ("micro", no_args Micro.run);
   ]
+
+(* Group the command line into (experiment, its-arguments) runs: each
+   experiment name starts a run and collects the arguments up to the next
+   experiment name. *)
+let group args =
+  let runs =
+    List.fold_left
+      (fun runs arg ->
+        match List.assoc_opt arg experiments with
+        | Some f -> (arg, f, ref []) :: runs
+        | None -> (
+          match runs with
+          | (_, _, extra) :: _ ->
+            extra := arg :: !extra;
+            runs
+          | [] ->
+            Printf.eprintf "unknown experiment %s; available: %s\n" arg
+              (String.concat " " (List.map (fun (n, _) -> n) experiments));
+            exit 1))
+      [] args
+  in
+  List.rev_map (fun (name, f, extra) -> (name, f, List.rev !extra)) runs
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let to_run =
     match args with
-    | [] -> experiments
-    | names ->
-      List.map
-        (fun n ->
-          match List.assoc_opt n experiments with
-          | Some f -> (n, f)
-          | None ->
-            Printf.eprintf "unknown experiment %s; available: %s\n" n
-              (String.concat " " (List.map fst experiments));
-            exit 1)
-        names
+    | [] -> List.map (fun (name, f) -> (name, f, [])) experiments
+    | args -> group args
   in
   let t0 = Unix.gettimeofday () in
   List.iter
-    (fun (name, f) ->
+    (fun (name, f, extra) ->
       let t = Unix.gettimeofday () in
-      f ();
+      f extra;
       Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t))
     to_run;
   Printf.printf "\nAll experiments completed in %.1fs\n" (Unix.gettimeofday () -. t0)

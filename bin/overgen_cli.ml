@@ -3,6 +3,7 @@
    overgen list                         - show the built-in workloads
    overgen show <kernel>                - pseudo-C source and mDFG summary
    overgen generate <suite|kernel...>   - run the DSE and print the design
+   overgen dse <suite|kernel...>        - island-model DSE with a trace dump
    overgen run <suite|kernel...>        - generate, compile and simulate
    overgen compare <suite|kernel...>    - OverGen vs the AutoDSE baseline
    overgen serve-bench                  - replay a multi-user compile-request
@@ -40,9 +41,25 @@ let seed_arg =
 let tuned_arg =
   Arg.(value & flag & info [ "tuned" ] ~doc:"Use manually tuned kernel sources.")
 
-let gen_overlay ~iterations ~seed ~tuned kernels =
+let islands_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "islands" ] ~docv:"N"
+        ~doc:"Parallel annealing islands; 1 reproduces the sequential explorer.")
+
+let migration_arg =
+  Arg.(
+    value & opt int Overgen_dse.Dse.default_config.migration_interval
+    & info [ "migration-interval" ] ~docv:"N"
+        ~doc:"Iterations between elite migrations across islands.")
+
+let gen_overlay ?(islands = 1)
+    ?(migration_interval = Overgen_dse.Dse.default_config.migration_interval)
+    ~iterations ~seed ~tuned kernels =
   let model = Overgen.train_model () in
-  let config = { Overgen_dse.Dse.default_config with iterations; seed } in
+  let config =
+    { Overgen_dse.Dse.default_config with iterations; seed; islands; migration_interval }
+  in
   Overgen.generate ~config ~tuned ~model kernels
 
 (* --- list --- *)
@@ -83,9 +100,11 @@ let show_cmd =
 (* --- generate --- *)
 
 let generate_cmd =
-  let run iterations seed tuned save names =
+  let run iterations seed tuned islands migration_interval save names =
     let kernels = resolve_targets names in
-    let overlay = gen_overlay ~iterations ~seed ~tuned kernels in
+    let overlay =
+      gen_overlay ~islands ~migration_interval ~iterations ~seed ~tuned kernels
+    in
     Printf.printf "design: %s\n" (Overgen_adg.Sys_adg.describe overlay.design.sys);
     Printf.printf "objective (est. IPC geomean): %.1f\n" overlay.design.objective;
     Printf.printf "synthesis: %.1f MHz, %s, %.1f modeled hours\n"
@@ -106,7 +125,70 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Run the overlay-generation DSE for a workload set.")
-    Term.(const run $ iterations_arg $ seed_arg $ tuned_arg $ save_arg $ targets_arg)
+    Term.(const run $ iterations_arg $ seed_arg $ tuned_arg $ islands_arg
+          $ migration_arg $ save_arg $ targets_arg)
+
+(* --- dse --- *)
+
+let trace_json (result : Overgen_dse.Dse.result) =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf
+    "{\n  \"objective\": %.4f,\n  \"modeled_hours\": %.4f,\n  \"wall_seconds\": %.4f,\n  \"trace\": [\n"
+    result.best.objective result.modeled_hours result.wall_seconds;
+  List.iteri
+    (fun i (t : Overgen_dse.Dse.trace_point) ->
+      Printf.bprintf buf
+        "    {\"island\": %d, \"iter\": %d, \"modeled_hours\": %.6f, \"est_ipc\": %.4f}%s\n"
+        t.island t.iter t.modeled_hours t.est_ipc
+        (if i = List.length result.trace - 1 then "" else ","))
+    result.trace;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let dse_cmd =
+  let run iterations seed tuned islands migration_interval trace_out names =
+    if islands < 1 then `Error (false, "--islands must be positive")
+    else if migration_interval < 1 then
+      `Error (false, "--migration-interval must be positive")
+    else begin
+      let kernels = resolve_targets names in
+      let model = Overgen.train_model () in
+      let apps = Overgen_dse.Dse.compile_apps ~tuned kernels in
+      let config =
+        { Overgen_dse.Dse.default_config with
+          iterations; seed; islands; migration_interval }
+      in
+      let result = Overgen_dse.Dse.explore ~config ~model apps in
+      Printf.printf "design: %s\n" (Overgen_adg.Sys_adg.describe result.best.sys);
+      Printf.printf "objective (est. IPC geomean): %.1f\n" result.best.objective;
+      Printf.printf
+        "%d island(s), %d total iterations: %d accepted, %d invalid, %d repaired, %d rescheduled\n"
+        islands iterations result.stats.accepted result.stats.invalid
+        result.stats.repaired result.stats.rescheduled;
+      Printf.printf "modeled DSE time %.1f h (wall %.2f s), %d trace points\n"
+        result.modeled_hours result.wall_seconds (List.length result.trace);
+      (match trace_out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (trace_json result);
+        close_out oc;
+        Printf.printf "trace written to %s\n" path
+      | None -> ());
+      `Ok ()
+    end
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Dump the merged exploration trace as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "dse"
+       ~doc:"Run the island-model design-space exploration and report the \
+             merged trace (without synthesizing the winner).")
+    Term.(ret
+            (const run $ iterations_arg $ seed_arg $ tuned_arg $ islands_arg
+             $ migration_arg $ trace_out_arg $ targets_arg))
 
 (* --- run --- *)
 
@@ -133,7 +215,7 @@ let run_cmd =
       overlay.synth.freq_mhz;
     List.iter
       (fun (k : Ir.kernel) ->
-        match Overgen.run_kernel ~tuned overlay k with
+        match Overgen.run ~opts:{ Overgen.default_opts with tuned } overlay k with
         | Ok r ->
           Printf.printf "%-12s %10d cycles  %8.4f ms  ipc %6.1f  (compiled in %.1f ms)\n"
             k.name r.cycles r.wall_ms r.ipc (r.compile_seconds *. 1000.0)
@@ -164,9 +246,10 @@ let emit_cmd =
     | "binary" ->
       List.iter
         (fun (k : Ir.kernel) ->
-          match Overgen.compile_kernel overlay k with
-          | Ok (schedules, _) ->
-            print_string (Overgen_isa.Assemble.disassemble (Overgen.binary overlay schedules))
+          match Overgen.compile overlay k with
+          | Ok c ->
+            print_string
+              (Overgen_isa.Assemble.disassemble (Overgen.binary overlay c.schedules))
           | Error e -> Printf.printf "%s: %s\n" k.name e)
         kernels
     | other ->
@@ -212,7 +295,7 @@ let compare_cmd =
     Printf.printf "%-12s %12s %12s %10s\n" "kernel" "overlay(ms)" "AutoDSE(ms)" "speedup";
     List.iter
       (fun (k : Ir.kernel) ->
-        match Overgen.run_kernel overlay k with
+        match Overgen.run overlay k with
         | Ok r ->
           let ad = Hls.runtime_ms (Hls.autodse ~tuned:false k).best in
           Printf.printf "%-12s %12.4f %12.4f %9.2fx\n" k.name r.wall_ms ad
@@ -396,5 +479,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "overgen" ~doc)
-          [ list_cmd; show_cmd; generate_cmd; run_cmd; compare_cmd; emit_cmd;
-            verify_cmd; serve_bench_cmd ]))
+          [ list_cmd; show_cmd; generate_cmd; dse_cmd; run_cmd; compare_cmd;
+            emit_cmd; verify_cmd; serve_bench_cmd ]))

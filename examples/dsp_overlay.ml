@@ -33,7 +33,7 @@ let () =
     "AutoDSE(ms)" "speedup";
   List.iter
     (fun (k : Ir.kernel) ->
-      match Overgen.run_kernel overlay k with
+      match Overgen.run overlay k with
       | Error e -> Printf.printf "%-10s unmappable: %s\n" k.name e
       | Ok r ->
         let ad = Hls.runtime_ms (Hls.autodse ~tuned:false k).best in

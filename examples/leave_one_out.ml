@@ -23,7 +23,7 @@ let () =
   Printf.printf "overlay generated for: %s\n"
     (String.concat ", " (List.map (fun (k : Ir.kernel) -> k.name) rest));
   let overlay = Overgen.generate ~config ~model rest in
-  match Overgen.run_kernel overlay held_out with
+  match Overgen.run overlay held_out with
   | Error e ->
     Printf.printf "gemm does not map on this overlay (%s);\n\
                    a DSE rerun would be needed - the compiler can signal this.\n" e
@@ -31,7 +31,7 @@ let () =
     Printf.printf "gemm compiled onto the overlay in %.1f ms and runs in %.4f ms\n"
       (r.compile_seconds *. 1000.0) r.wall_ms;
     let full = Overgen.generate ~config:{ config with seed = 99 } ~model (held_out :: rest) in
-    (match Overgen.run_kernel full held_out with
+    (match Overgen.run full held_out with
     | Ok r_full ->
       Printf.printf
         "an overlay that had seen gemm would run it in %.4f ms (%.0f%% of that\n\

@@ -61,7 +61,7 @@ let () =
 
   (* 3. Compile the application onto the overlay (seconds, not hours). *)
   print_endline "[3/4] compiling the application onto the overlay...";
-  (match Overgen.run_kernel overlay vecmla with
+  (match Overgen.run overlay vecmla with
   | Error e -> Printf.printf "  failed: %s\n" e
   | Ok report ->
     Printf.printf "  compile time: %.1f ms (an HLS run would be hours)\n"

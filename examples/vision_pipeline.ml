@@ -24,7 +24,7 @@ let () =
   let frame_ms =
     List.fold_left
       (fun acc name ->
-        match Overgen.run_kernel overlay (Kernels.find name) with
+        match Overgen.run overlay (Kernels.find name) with
         | Error e -> failwith (name ^ ": " ^ e)
         | Ok r ->
           Printf.printf "  stage %-11s %8d cycles  %.4f ms\n" name r.cycles r.wall_ms;

@@ -48,73 +48,119 @@ let stored_schedules overlay kname =
       | [] -> false)
     overlay.design.per_app
 
-let schedule_compiled ?(use_stored = true) overlay
-    (compiled : Overgen_mdfg.Compile.compiled) =
-  let t0 = Unix.gettimeofday () in
-  let stored = if use_stored then stored_schedules overlay compiled.kname else None in
-  let fresh = Spatial.schedule_app overlay.design.sys compiled in
-  (* The DSE may have pruned capabilities down to exactly what its own
-     schedules exercise, and its annealed schedules can beat a one-shot
-     greedy mapping: use whichever estimates faster. *)
-  let est s = (Overgen_perf.Perf.app overlay.design.sys s).total_cycles in
-  match (fresh, stored) with
-  | Ok f, Some st ->
-    Ok ((if est f <= est st then f else st), Unix.gettimeofday () -. t0)
-  | Ok f, None -> Ok (f, Unix.gettimeofday () -. t0)
-  | Error _, Some st -> Ok (st, Unix.gettimeofday () -. t0)
-  | Error e, None -> Error e
-
-let compile_kernel ?(tuned = false) overlay (k : Ir.kernel) =
-  schedule_compiled ~use_stored:(not tuned) overlay
-    (Overgen_mdfg.Compile.compile ~tuned k)
-
 type cache_hooks = {
   lookup : string -> (Schedule.t list, string) result option;
   store : string -> (Schedule.t list, string) result -> unit;
 }
 
+type compile_opts = {
+  tuned : bool;
+  stored : [ `Auto | `Use | `Ignore ];
+  cache : cache_hooks option;
+}
+
+let default_opts = { tuned = false; stored = `Auto; cache = None }
+
+type compiled = {
+  schedules : Schedule.t list;
+  seconds : float;
+  from_cache : bool;
+}
+
 let schedule_key overlay (compiled : Overgen_mdfg.Compile.compiled) =
   fingerprint overlay ^ ":" ^ Overgen_mdfg.Compile.hash_compiled compiled
 
-let compile_cached ?(tuned = false) ~cache overlay (k : Ir.kernel) =
-  let t0 = Unix.gettimeofday () in
-  let compiled = Overgen_mdfg.Compile.compile ~tuned k in
-  let key = schedule_key overlay compiled in
-  match cache.lookup key with
-  | Some (Ok schedules) -> Ok (schedules, Unix.gettimeofday () -. t0, true)
-  | Some (Error e) -> Error e
-  | None -> (
-    match schedule_compiled ~use_stored:(not tuned) overlay compiled with
-    | Ok (schedules, _) ->
-      cache.store key (Ok schedules);
-      Ok (schedules, Unix.gettimeofday () -. t0, false)
-    | Error e ->
-      cache.store key (Error e);
-      Error e)
+let schedule_on_overlay ~use_stored overlay
+    (cc : Overgen_mdfg.Compile.compiled) =
+  let stored = if use_stored then stored_schedules overlay cc.kname else None in
+  let fresh = Spatial.schedule_app overlay.design.sys cc in
+  (* The DSE may have pruned capabilities down to exactly what its own
+     schedules exercise, and its annealed schedules can beat a one-shot
+     greedy mapping: use whichever estimates faster. *)
+  let est s = (Overgen_perf.Perf.app overlay.design.sys s).total_cycles in
+  match (fresh, stored) with
+  | Ok f, Some st -> Ok (if est f <= est st then f else st)
+  | Ok f, None -> Ok f
+  | Error _, Some st -> Ok st
+  | Error e, None -> Error e
 
-let run_kernel ?(tuned = false) ?cache overlay k =
-  let compiled =
-    match cache with
-    | None -> (
-      match compile_kernel ~tuned overlay k with
-      | Ok (s, dt) -> Ok (s, dt, false)
-      | Error e -> Error e)
-    | Some hooks -> compile_cached ~tuned ~cache:hooks overlay k
+let compile_variants ?(opts = default_opts) overlay
+    (cc : Overgen_mdfg.Compile.compiled) =
+  let t0 = Unix.gettimeofday () in
+  let use_stored =
+    match opts.stored with
+    | `Auto -> not opts.tuned
+    | `Use -> true
+    | `Ignore -> false
   in
-  match compiled with
+  let done_ schedules from_cache =
+    Ok { schedules; seconds = Unix.gettimeofday () -. t0; from_cache }
+  in
+  match opts.cache with
+  | None -> (
+    match schedule_on_overlay ~use_stored overlay cc with
+    | Ok schedules -> done_ schedules false
+    | Error e -> Error e)
+  | Some hooks -> (
+    let key = schedule_key overlay cc in
+    match hooks.lookup key with
+    | Some (Ok schedules) -> done_ schedules true
+    | Some (Error e) -> Error e
+    | None -> (
+      match schedule_on_overlay ~use_stored overlay cc with
+      | Ok schedules ->
+        hooks.store key (Ok schedules);
+        done_ schedules false
+      | Error e ->
+        hooks.store key (Error e);
+        Error e))
+
+let compile ?(opts = default_opts) overlay (k : Ir.kernel) =
+  let t0 = Unix.gettimeofday () in
+  match
+    compile_variants ~opts overlay (Overgen_mdfg.Compile.compile ~tuned:opts.tuned k)
+  with
+  | Ok c -> Ok { c with seconds = Unix.gettimeofday () -. t0 }
   | Error e -> Error e
-  | Ok (schedules, compile_seconds, from_cache) ->
-    let sim = Sim.run overlay.design.sys schedules in
+
+let run ?(opts = default_opts) overlay (k : Ir.kernel) =
+  match compile ~opts overlay k with
+  | Error e -> Error e
+  | Ok c ->
+    let sim = Sim.run overlay.design.sys c.schedules in
     Ok
       {
         kernel = k.Ir.name;
-        schedules;
+        schedules = c.schedules;
         cycles = sim.total_cycles;
         wall_ms = Sim.wall_time_ms overlay.design.sys ~freq_mhz:overlay.synth.freq_mhz sim;
         ipc = sim.sim_ipc;
-        compile_seconds;
-        from_cache;
+        compile_seconds = c.seconds;
+        from_cache = c.from_cache;
       }
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated pre-compile_opts entry points (thin wrappers)            *)
+(* ------------------------------------------------------------------ *)
+
+let compile_kernel ?(tuned = false) overlay (k : Ir.kernel) =
+  match compile ~opts:{ default_opts with tuned } overlay k with
+  | Ok c -> Ok (c.schedules, c.seconds)
+  | Error e -> Error e
+
+let schedule_compiled ?(use_stored = true) overlay cc =
+  let stored = if use_stored then `Use else `Ignore in
+  match compile_variants ~opts:{ default_opts with stored } overlay cc with
+  | Ok c -> Ok (c.schedules, c.seconds)
+  | Error e -> Error e
+
+let compile_cached ?(tuned = false) ~cache overlay k =
+  match compile ~opts:{ tuned; stored = `Auto; cache = Some cache } overlay k with
+  | Ok c -> Ok (c.schedules, c.seconds, c.from_cache)
+  | Error e -> Error e
+
+let run_kernel ?(tuned = false) ?cache overlay k =
+  run ~opts:{ tuned; stored = `Auto; cache } overlay k
 
 let reconfigure_us overlay =
   float_of_int (Sys_adg.reconfigure_cycles overlay.design.sys)

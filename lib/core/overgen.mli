@@ -7,10 +7,14 @@
       (* one-time, per domain: generate a specialized overlay *)
       let overlay = Overgen.generate ~model Overgen_workload.Kernels.(of_suite Suite.Dsp) in
       (* seconds, per application: compile and run *)
-      match Overgen.run_kernel overlay (Overgen_workload.Kernels.find "fir") with
+      match Overgen.run overlay (Overgen_workload.Kernels.find "fir") with
       | Ok report -> Format.printf "%.3f ms@n" report.wall_ms
       | Error e -> prerr_endline e
     ]}
+
+    All compilation entry points thread one {!compile_opts} record
+    ({!default_opts} gives the stock behavior); the pre-[compile_opts]
+    functions survive as thin deprecated wrappers.
 
     The heavy phases (DSE hours, synthesis hours) are modeled at paper scale
     but execute in seconds; compilation and simulation are real. *)
@@ -64,22 +68,6 @@ val fingerprint : overlay -> string
     ({!Overgen_adg.Serial.fingerprint}); the first half of every schedule
     cache key. *)
 
-val compile_kernel :
-  ?tuned:bool -> overlay -> Ir.kernel -> (Schedule.t list * float, string) result
-(** Compile an application onto an existing overlay; the float is measured
-    wall-clock seconds — the paper's "compilation is 10000x faster" claim. *)
-
-val schedule_compiled :
-  ?use_stored:bool ->
-  overlay ->
-  Overgen_mdfg.Compile.compiled ->
-  (Schedule.t list * float, string) result
-(** Spatially schedule an already-compiled application (its mDFG variant
-    sets) onto the overlay, preferring the DSE's stored schedules when they
-    estimate faster.  [use_stored] defaults to true; the compile service
-    calls this with memoized mDFGs so cache hits skip the compiler
-    entirely. *)
-
 (** External schedule-cache hooks: keys are content addresses
     ({!schedule_key}), values are scheduling outcomes so failures can be
     negatively cached.  {!Overgen_service.Cache} provides an LRU-bounded
@@ -89,11 +77,73 @@ type cache_hooks = {
   store : string -> (Schedule.t list, string) result -> unit;
 }
 
+(** Options threaded through every compilation entry point.
+
+    - [tuned]: run the tuned mDFG compiler passes.
+    - [stored]: whether to consider the DSE's stored per-app schedules as
+      candidates (they win only when they estimate faster than a fresh
+      spatial schedule).  [`Auto] considers them iff [not tuned] — tuned
+      variant sets don't match the DSE-era schedules — which is the stock
+      pre-[compile_opts] behavior.  [`Use] / [`Ignore] force it.
+    - [cache]: external schedule cache; on a key hit the spatial scheduler
+      is skipped and schedules are served in microseconds. *)
+type compile_opts = {
+  tuned : bool;
+  stored : [ `Auto | `Use | `Ignore ];
+  cache : cache_hooks option;
+}
+
+val default_opts : compile_opts
+(** [{ tuned = false; stored = `Auto; cache = None }]. *)
+
+(** Result of a compilation: the chosen schedules, measured wall-clock
+    seconds, and whether they were served from [opts.cache]. *)
+type compiled = {
+  schedules : Schedule.t list;
+  seconds : float;
+  from_cache : bool;
+}
+
 val schedule_key : overlay -> Overgen_mdfg.Compile.compiled -> string
 (** [fingerprint overlay ^ ":" ^ Compile.hash_compiled compiled]: the
     content address of one (overlay, application) scheduling problem.
     Structurally identical overlays share keys, so registry entries that
     alias the same design also share cached schedules. *)
+
+val compile :
+  ?opts:compile_opts -> overlay -> Ir.kernel -> (compiled, string) result
+(** Compile an application onto an existing overlay — mDFG variant sets,
+    then spatial scheduling, through the cache when [opts.cache] is set.
+    [compiled.seconds] is measured wall-clock time: the paper's
+    "compilation is 10000x faster" claim. *)
+
+val compile_variants :
+  ?opts:compile_opts ->
+  overlay ->
+  Overgen_mdfg.Compile.compiled ->
+  (compiled, string) result
+(** Like {!compile} but starting from already-compiled mDFG variant sets;
+    the compile service calls this with memoized mDFGs so cache hits skip
+    the compiler entirely.  [opts.tuned] only affects the [`Auto] stored
+    policy here — the variant sets were compiled by the caller. *)
+
+val run :
+  ?opts:compile_opts -> overlay -> Ir.kernel -> (report, string) result
+(** {!compile}, then simulate cycle-level and convert to wall time at the
+    synthesized clock.  The report's [from_cache] reflects a cache hit. *)
+
+val compile_kernel :
+  ?tuned:bool -> overlay -> Ir.kernel -> (Schedule.t list * float, string) result
+  [@@ocaml.deprecated "use Overgen.compile with compile_opts"]
+(** @deprecated [compile ~opts:{ default_opts with tuned }]. *)
+
+val schedule_compiled :
+  ?use_stored:bool ->
+  overlay ->
+  Overgen_mdfg.Compile.compiled ->
+  (Schedule.t list * float, string) result
+  [@@ocaml.deprecated "use Overgen.compile_variants with compile_opts"]
+(** @deprecated [compile_variants] with [stored = `Use] / [`Ignore]. *)
 
 val compile_cached :
   ?tuned:bool ->
@@ -101,15 +151,13 @@ val compile_cached :
   overlay ->
   Ir.kernel ->
   (Schedule.t list * float * bool, string) result
-(** [compile_kernel] through a schedule cache: on a key hit the spatial
-    scheduler is skipped and the cached schedules are returned in
-    microseconds.  The returned bool is true on a hit. *)
+  [@@ocaml.deprecated "use Overgen.compile with compile_opts"]
+(** @deprecated [compile] with [cache = Some hooks]. *)
 
 val run_kernel :
   ?tuned:bool -> ?cache:cache_hooks -> overlay -> Ir.kernel -> (report, string) result
-(** Compile, then simulate cycle-level, and convert to wall time at the
-    synthesized clock.  With [cache], compilation goes through
-    {!compile_cached} and the report's [from_cache] reflects the hit. *)
+  [@@ocaml.deprecated "use Overgen.run with compile_opts"]
+(** @deprecated [run] with [compile_opts]. *)
 
 val reconfigure_us : overlay -> float
 (** Microseconds to switch the overlay to another application's

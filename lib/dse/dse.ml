@@ -4,19 +4,25 @@ open Overgen_scheduler
 open Overgen_fpga
 open Overgen_mlp
 module Rng = Overgen_util.Rng
+module Pool = Overgen_par.Pool
 module Perf = Overgen_perf.Perf
+
+type mutation_policy = Random | Schedule_preserving
 
 type config = {
   seed : int;
   iterations : int;
   initial_temp : float;
-  schedule_preserving : bool;
+  mutation_policy : mutation_policy;
+  islands : int;
+  migration_interval : int;
   topologies : System.noc_topology list;
 }
 
 let default_config =
   { seed = 17; iterations = 250; initial_temp = 0.35;
-    schedule_preserving = true; topologies = [ System.Crossbar ] }
+    mutation_policy = Schedule_preserving; islands = 1;
+    migration_interval = 25; topologies = [ System.Crossbar ] }
 
 type design = {
   sys : Sys_adg.t;
@@ -25,7 +31,12 @@ type design = {
   predicted : Res.t;
 }
 
-type trace_point = { iter : int; modeled_hours : float; est_ipc : float }
+type trace_point = {
+  island : int;
+  iter : int;
+  modeled_hours : float;
+  est_ipc : float;
+}
 
 type stats = {
   accepted : int;
@@ -179,14 +190,108 @@ let evaluate ?(device = Device.default) ~model (sys : Sys_adg.t) apps =
       }
 
 (* ------------------------------------------------------------------ *)
-(* The annealer                                                        *)
+(* The island-model annealer                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* One independent annealing chain.  Mutable state is only ever touched by
+   the island's own worker job between migration barriers; the driver reads
+   and migrates at the barriers, after the pool's drain synchronizes. *)
+type island = {
+  idx : int;
+  rng : Rng.t;
+  iters : int;  (* this island's share of the total iteration budget *)
+  mutable iter : int;  (* completed iterations *)
+  mutable cur_score : float;
+  mutable cur : design;
+  mutable best_score : float;
+  mutable best : design;
+  mutable trace_rev : trace_point list;
+  mutable modeled_s : float;
+  mutable accepted : int;
+  mutable invalid : int;
+  mutable repaired : int;
+  mutable rescheduled : int;
+}
+
+(* One annealing iteration; draw-for-draw identical to the historical
+   sequential explorer so a single island reproduces it bit for bit. *)
+let step ~config ~device ~model ~caps apps isl =
+  let iter = isl.iter + 1 in
+  let temp =
+    config.initial_temp
+    *. exp (-3.0 *. float_of_int iter /. float_of_int (max 1 isl.iters))
+  in
+  let cur = isl.cur in
+  let usage = Mutate.usage_of (List.concat cur.per_app) in
+  let preserve = config.mutation_policy = Schedule_preserving in
+  let adg', desc =
+    Mutate.propose isl.rng ~preserve ~caps_pool:caps cur.sys.Sys_adg.adg usage
+  in
+  let additive =
+    String.length desc >= 3
+    && (String.sub desc 0 3 = "add"
+       || String.length desc >= 6 && String.sub desc 0 6 = "retune")
+  in
+  isl.modeled_s <- isl.modeled_s +. Time.iteration_overhead_s;
+  (if Adg.node_count adg' > 400 then isl.invalid <- isl.invalid + 1
+   else
+     let sys' = Sys_adg.with_adg cur.sys adg' in
+     match schedule_all ~additive sys' apps cur.per_app with
+     | None -> isl.invalid <- isl.invalid + 1
+     | Some outcome -> (
+       isl.repaired <- isl.repaired + outcome.n_repaired;
+       isl.rescheduled <- isl.rescheduled + outcome.n_rescheduled;
+       isl.modeled_s <-
+         isl.modeled_s
+         +. (Time.repair_per_app_s *. float_of_int outcome.n_repaired)
+         +. (Time.reschedule_per_app_s *. float_of_int outcome.n_rescheduled);
+       match
+         system_dse ~topologies:config.topologies ~device ~model adg'
+           outcome.per_app
+       with
+       | None -> isl.invalid <- isl.invalid + 1
+       | Some (score', sysp', obj', pred') ->
+         let accept =
+           score' >= isl.cur_score
+           ||
+           let delta = (score' -. isl.cur_score) /. Float.max 1e-9 isl.cur_score in
+           Rng.float isl.rng 1.0 < exp (delta /. Float.max 1e-6 temp)
+         in
+         if accept then begin
+           isl.accepted <- isl.accepted + 1;
+           let d =
+             {
+               sys = Sys_adg.make adg' sysp';
+               per_app = outcome.per_app;
+               objective = obj';
+               predicted = pred';
+             }
+           in
+           isl.cur_score <- score';
+           isl.cur <- d;
+           if score' > isl.best_score then begin
+             isl.best_score <- score';
+             isl.best <- d
+           end
+         end));
+  isl.iter <- iter;
+  isl.trace_rev <-
+    { island = isl.idx; iter; modeled_hours = isl.modeled_s /. 3600.0;
+      est_ipc = isl.cur.objective }
+    :: isl.trace_rev
+
+let run_span ~config ~device ~model ~caps apps isl ~upto =
+  while isl.iter < upto do
+    step ~config ~device ~model ~caps apps isl
+  done
+
 let explore ?(config = default_config) ?(device = Device.default) ~model apps =
+  if config.islands < 1 then invalid_arg "Dse.explore: islands < 1";
+  if config.migration_interval < 1 then
+    invalid_arg "Dse.explore: migration_interval < 1";
   let t_start = Unix.gettimeofday () in
-  let rng = Rng.create config.seed in
-  let pool = caps_pool apps in
-  let modeled = ref (Time.pregen_per_app_s *. float_of_int (List.length apps)) in
+  let caps = caps_pool apps in
+  let pregen_s = Time.pregen_per_app_s *. float_of_int (List.length apps) in
   (* Seed designs of increasing size: the smallest mesh able to host every
      workload at some unrolling degree wins. *)
   let seed_candidates =
@@ -200,14 +305,14 @@ let explore ?(config = default_config) ?(device = Device.default) ~model apps =
       ]
     in
     [
-      Builder.seed ~caps:pool ~width_bits:64;
-      Builder.mesh ~rows:3 ~cols:4 ~caps:pool ~sw_width_bits:128 ~width_bits:64
+      Builder.seed ~caps ~width_bits:64;
+      Builder.mesh ~rows:3 ~cols:4 ~caps ~sw_width_bits:128 ~width_bits:64
         ~in_port_widths:[ 32; 32; 16; 16; 16; 8; 8; 8 ]
         ~out_port_widths:[ 32; 16; 16; 8; 8 ] ~engines;
-      Builder.mesh ~rows:4 ~cols:6 ~caps:pool ~sw_width_bits:256 ~width_bits:64
+      Builder.mesh ~rows:4 ~cols:6 ~caps ~sw_width_bits:256 ~width_bits:64
         ~in_port_widths:[ 64; 32; 32; 16; 16; 16; 8; 8; 8; 8 ]
         ~out_port_widths:[ 64; 32; 16; 16; 8; 8 ] ~engines;
-      Builder.mesh ~rows:5 ~cols:8 ~caps:pool ~sw_width_bits:256 ~width_bits:64
+      Builder.mesh ~rows:5 ~cols:8 ~caps ~sw_width_bits:256 ~width_bits:64
         ~in_port_widths:[ 64; 64; 32; 32; 16; 16; 16; 16; 8; 8; 8; 8 ]
         ~out_port_widths:[ 64; 32; 32; 16; 16; 8; 8; 8 ] ~engines;
     ]
@@ -242,91 +347,104 @@ let explore ?(config = default_config) ?(device = Device.default) ~model apps =
     | Some r -> r
     | None -> failwith "Dse.explore: seed design does not fit the device"
   in
-  let current =
-    ref
-      ( score0,
-        { sys = Sys_adg.make seed_adg sysp0; per_app = prior0; objective = obj0; predicted = pred0 }
-      )
+  let init_design =
+    { sys = Sys_adg.make seed_adg sysp0; per_app = prior0; objective = obj0;
+      predicted = pred0 }
   in
-  let best = ref (snd !current) in
-  let best_score = ref score0 in
-  let trace = ref [] in
-  let accepted = ref 0 and invalid = ref 0 in
-  let repaired = ref 0 and rescheduled = ref 0 in
-  for iter = 1 to config.iterations do
-    let temp =
-      config.initial_temp
-      *. exp (-3.0 *. float_of_int iter /. float_of_int config.iterations)
-    in
-    let _, cur = !current in
-    let usage = Mutate.usage_of (List.concat cur.per_app) in
-    let adg', desc =
-      Mutate.propose rng ~preserve:config.schedule_preserving ~caps_pool:pool
-        cur.sys.Sys_adg.adg usage
-    in
-    let additive =
-      String.length desc >= 3
-      && (String.sub desc 0 3 = "add"
-         || String.length desc >= 6 && String.sub desc 0 6 = "retune")
-    in
-    modeled := !modeled +. Time.iteration_overhead_s;
-    if Adg.node_count adg' > 400 then incr invalid
-    else begin
-      let sys' = Sys_adg.with_adg cur.sys adg' in
-      match schedule_all ~additive sys' apps cur.per_app with
-      | None -> incr invalid
-      | Some outcome -> (
-        repaired := !repaired + outcome.n_repaired;
-        rescheduled := !rescheduled + outcome.n_rescheduled;
-        modeled :=
-          !modeled
-          +. (Time.repair_per_app_s *. float_of_int outcome.n_repaired)
-          +. (Time.reschedule_per_app_s *. float_of_int outcome.n_rescheduled);
-        match
-          system_dse ~topologies:config.topologies ~device ~model adg'
-            outcome.per_app
-        with
-        | None -> incr invalid
-        | Some (score', sysp', obj', pred') ->
-          let accept =
-            score' >= fst !current
-            ||
-            let delta = (score' -. fst !current) /. Float.max 1e-9 (fst !current) in
-            Rng.float rng 1.0 < exp (delta /. Float.max 1e-6 temp)
-          in
-          if accept then begin
-            incr accepted;
-            let d =
-              {
-                sys = Sys_adg.make adg' sysp';
-                per_app = outcome.per_app;
-                objective = obj';
-                predicted = pred';
-              }
-            in
-            current := (score', d);
-            if score' > !best_score then begin
-              best_score := score';
-              best := d
-            end
+  let n = config.islands in
+  (* Total budget split across islands; earlier islands take the remainder,
+     so islands=1 runs exactly [config.iterations]. *)
+  let share i =
+    (config.iterations / n) + (if i < config.iterations mod n then 1 else 0)
+  in
+  let islands =
+    List.mapi
+      (fun i rng ->
+        { idx = i; rng; iters = share i; iter = 0; cur_score = score0;
+          cur = init_design; best_score = score0; best = init_design;
+          trace_rev = []; modeled_s = pregen_s; accepted = 0; invalid = 0;
+          repaired = 0; rescheduled = 0 })
+      (Rng.streams config.seed n)
+  in
+  let pool =
+    Pool.create
+      (if n = 1 then Pool.Deterministic
+       else Pool.Domains (min n (max 1 (Domain.recommended_domain_count ()))))
+  in
+  (* The shared elite pool: (score, design) pairs published at migration
+     barriers, best first, capped.  Driver-owned, mutated only between
+     rounds, so migration is deterministic regardless of worker timing. *)
+  let elites = ref [] in
+  let migrate () =
+    List.iter
+      (fun isl -> elites := (isl.best_score, isl.best) :: !elites)
+      islands;
+    elites :=
+      List.filteri
+        (fun i _ -> i < max 2 n)
+        (List.stable_sort (fun (a, _) (b, _) -> compare b a) !elites);
+    match !elites with
+    | [] -> ()
+    | (es, ed) :: _ ->
+      List.iter
+        (fun isl ->
+          (* island 0 is the anchor chain: it never adopts migrants, so it
+             replays the sequential explorer exactly and the parallel run's
+             best can only dominate it *)
+          if isl.idx > 0 && isl.cur_score < es then begin
+            isl.cur_score <- es;
+            isl.cur <- ed
           end)
-    end;
-    trace :=
-      { iter; modeled_hours = !modeled /. 3600.0; est_ipc = (snd !current).objective }
-      :: !trace
-  done;
+        islands
+  in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let rec rounds () =
+        match List.filter (fun isl -> isl.iter < isl.iters) islands with
+        | [] -> ()
+        | active ->
+          ignore
+            (Pool.map pool
+               (fun isl ->
+                 run_span ~config ~device ~model ~caps apps isl
+                   ~upto:(min isl.iters (isl.iter + config.migration_interval));
+                 isl.idx)
+               active);
+          if n > 1 then migrate ();
+          rounds ()
+      in
+      rounds ());
+  let best_isl =
+    List.fold_left
+      (fun acc isl -> if isl.best_score > acc.best_score then isl else acc)
+      (List.hd islands) islands
+  in
+  (* Merge per-island traces once, after every worker has joined: stable
+     sort on modeled time keeps a single island's trace untouched and makes
+     the merged trace monotone in modeled_hours. *)
+  let trace =
+    List.stable_sort
+      (fun (a : trace_point) (b : trace_point) ->
+        compare a.modeled_hours b.modeled_hours)
+      (List.concat_map (fun isl -> List.rev isl.trace_rev) islands)
+  in
+  let sum f = List.fold_left (fun acc isl -> acc + f isl) 0 islands in
+  let modeled_s =
+    List.fold_left (fun acc isl -> Float.max acc isl.modeled_s) 0.0 islands
+  in
   {
-    best = !best;
-    trace = List.rev !trace;
+    best = best_isl.best;
+    trace;
     stats =
       {
-        accepted = !accepted;
-        invalid = !invalid;
-        repaired = !repaired;
-        rescheduled = !rescheduled;
+        accepted = sum (fun i -> i.accepted);
+        invalid = sum (fun i -> i.invalid);
+        repaired = sum (fun i -> i.repaired);
+        rescheduled = sum (fun i -> i.rescheduled);
       };
     wall_seconds = Unix.gettimeofday () -. t_start;
-    modeled_hours = !modeled /. 3600.0;
+    modeled_hours = modeled_s /. 3600.0;
   }
 
 let explore_kernels ?config ?device ?(tuned = false) ~model kernels =

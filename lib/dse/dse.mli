@@ -1,4 +1,5 @@
-(** The unified system + accelerator design-space explorer (paper Section V).
+(** The unified system + accelerator design-space explorer (paper Section V),
+    parallelized as an island model over OCaml 5 domains.
 
     Graph-based simulated annealing over the ADG with nested exhaustive
     system-parameter search: each iteration proposes a mutated ADG (random
@@ -7,9 +8,31 @@
     configuration under the ML resource model's FPGA budget, and accepts
     stochastically on the bottleneck-model objective.
 
+    {2 Island model}
+
+    [config.islands] independent annealing chains split the total
+    [config.iterations] budget and run concurrently on the shared
+    {!Overgen_par.Pool}.  Each island draws from its own
+    {!Overgen_util.Rng.streams} stream.  Every [config.migration_interval]
+    iterations the islands hit a barrier: their bests are published to a
+    shared elite pool and islands whose current design scores below the
+    elite head adopt it.  Island 0 is the {e anchor}: it uses the exact
+    sequential RNG stream and never adopts migrants, so
+
+    - [islands = 1] reproduces the historical sequential explorer bit for
+      bit for the same seed, and
+    - an [islands = n] run with an [n]-times larger total budget (the same
+      {e modeled-hours} budget, since islands run concurrently) always
+      achieves an objective at least as good as the sequential run.
+
+    Migration happens between rounds, on the driver, after the pool's
+    barrier — results are deterministic in [(seed, islands,
+    migration_interval, iterations)] regardless of worker timing.
+
     Wall-clock is accounted in {e modeled hours} at the paper's scale: full
     recompilation, schedule repair, and synthesis each carry a calibrated
-    cost so the DSE-time figures (paper Q3, Q8) are reproducible. *)
+    cost so the DSE-time figures (paper Q3, Q8) are reproducible.  A
+    parallel run's modeled time is the maximum over its islands. *)
 
 open Overgen_adg
 open Overgen_workload
@@ -18,11 +41,20 @@ open Overgen_scheduler
 open Overgen_fpga
 open Overgen_mlp
 
+(** How mutations are proposed (the Q8 ablation switch):
+    [Schedule_preserving] repairs existing schedules across transforms,
+    [Random] allows arbitrary mutations with full rescheduling. *)
+type mutation_policy = Random | Schedule_preserving
+
 type config = {
   seed : int;
   iterations : int;
+      (** total iteration budget, split evenly across the islands *)
   initial_temp : float;
-  schedule_preserving : bool;  (** the Q8 ablation switch *)
+  mutation_policy : mutation_policy;
+  islands : int;  (** parallel annealing chains; 1 = sequential *)
+  migration_interval : int;
+      (** iterations between elite-migration barriers *)
   topologies : System.noc_topology list;
       (** NoC topologies the nested system DSE may choose from; the paper
           uses the crossbar only, the ring is the topology-specialization
@@ -30,6 +62,8 @@ type config = {
 }
 
 val default_config : config
+(** Today's sequential behaviour: [islands = 1],
+    [mutation_policy = Schedule_preserving], [migration_interval = 25]. *)
 
 type design = {
   sys : Sys_adg.t;
@@ -38,7 +72,12 @@ type design = {
   predicted : Res.t;               (** ML-model full-SoC resources *)
 }
 
-type trace_point = { iter : int; modeled_hours : float; est_ipc : float }
+type trace_point = {
+  island : int;           (** which chain produced the point *)
+  iter : int;             (** island-local iteration number *)
+  modeled_hours : float;
+  est_ipc : float;
+}
 
 type stats = {
   accepted : int;
@@ -50,9 +89,11 @@ type stats = {
 type result = {
   best : design;
   trace : trace_point list;
-  stats : stats;
+      (** all islands' traces merged once after the run, stably sorted so
+          [modeled_hours] is monotone *)
+  stats : stats;           (** summed across islands *)
   wall_seconds : float;    (** real OCaml runtime of this exploration *)
-  modeled_hours : float;   (** paper-scale DSE wall-clock *)
+  modeled_hours : float;   (** paper-scale DSE wall-clock: max over islands *)
 }
 
 val compile_apps : tuned:bool -> Ir.kernel list -> Compile.compiled list
@@ -67,7 +108,9 @@ val explore :
   model:Predict.t ->
   Compile.compiled list ->
   result
-(** Run the DSE for a pre-compiled workload set. *)
+(** Run the island-model DSE for a pre-compiled workload set.
+    @raise Invalid_argument if [config.islands < 1] or
+    [config.migration_interval < 1]. *)
 
 val explore_kernels :
   ?config:config ->

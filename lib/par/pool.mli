@@ -1,0 +1,61 @@
+(** A generic OCaml 5 domain worker pool with a bounded job queue.
+
+    Extracted from the compile service so every parallel subsystem — the
+    service's request processing and the DSE's island annealers — runs on
+    one implementation of queueing, backpressure and domain lifecycle.
+
+    Two modes:
+    - [Deterministic]: no domains are spawned.  Jobs accepted by {!submit}
+      wait in the queue until {!drain} runs them FIFO on the caller's
+      thread, and {!map} applies the function sequentially in list order.
+      Exactly reproducible; what the tests use.
+    - [Domains n]: [n] OCaml 5 domains consume the shared queue
+      concurrently.  Job order of {e completion} is unspecified, but
+      {!map} always returns results in input order.
+
+    Admission is bounded: {!submit} rejects with [Saturated] once
+    [queue_capacity] jobs are waiting (backpressure).  {!map} instead
+    blocks until space frees up, so arbitrarily large batches complete. *)
+
+type mode = Deterministic | Domains of int
+
+type t
+
+type error =
+  | Saturated  (** the bounded queue is full; admission rejected *)
+  | Stopped    (** the pool was shut down *)
+
+val create : ?queue_capacity:int -> mode -> t
+(** [queue_capacity] defaults to 1024 pending jobs.  Under [Domains n] the
+    worker domains are spawned immediately.
+    @raise Invalid_argument if [queue_capacity < 1] or [Domains n] with
+    [n < 1]. *)
+
+val mode : t -> mode
+
+val workers : t -> int
+(** Concurrency width: [n] for [Domains n], [1] for [Deterministic]. *)
+
+val submit : t -> (unit -> unit) -> (unit, error) result
+(** Non-blocking admission of one job.  A job that raises does not kill
+    its worker: the first such exception is held and re-raised by the next
+    {!drain} or {!map}. *)
+
+val pending : t -> int
+(** Jobs accepted but not yet completed (queued or running). *)
+
+val drain : t -> unit
+(** [Deterministic]: run every queued job FIFO on the caller's thread
+    (including jobs those jobs enqueue).  [Domains]: block until every
+    accepted job has completed.  Re-raises the first job exception, if
+    any. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Apply [f] to every element and return the results in input order.
+    [Deterministic]: sequential [List.map].  [Domains]: one job per
+    element, blocking (not rejecting) on a full queue, then a {!drain}
+    barrier.  Re-raises the first exception [f] raised. *)
+
+val shutdown : t -> unit
+(** Stop accepting jobs and join the worker domains.  Idempotent.  Jobs
+    still queued are discarded; call {!drain} first to complete them. *)

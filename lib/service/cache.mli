@@ -52,4 +52,5 @@ val hit_rate : stats -> float
 (** hits / (hits + misses); 0 when empty. *)
 
 val hooks : t -> Overgen.cache_hooks
-(** Adapt the cache to the core {!Overgen.compile_cached} entry point. *)
+(** Adapt the cache to the core API: pass as [Overgen.compile_opts.cache]
+    to {!Overgen.compile} / {!Overgen.run}. *)

@@ -1,5 +1,6 @@
 open Overgen_workload
 module Compile = Overgen_mdfg.Compile
+module Pool = Overgen_par.Pool
 
 type mode = Deterministic | Workers of int
 
@@ -35,15 +36,9 @@ type t = {
   cache_ : Cache.t option;
   telemetry_ : Telemetry.t;
   mode : mode;
-  queue_capacity : int;
-  m : Mutex.t;
-  nonempty : Condition.t;  (* workers: the queue gained a request *)
-  all_done : Condition.t;  (* drain: outstanding reached zero *)
-  queue : request Queue.t;
-  mutable outstanding : int;  (* accepted, not yet completed *)
+  pool : Pool.t;
+  resp_m : Mutex.t;
   mutable responses : response list;
-  mutable stopping : bool;
-  mutable domains : unit Domain.t list;
   (* kernel content hash -> (mDFG variant sets, their content hash); the
      second memoization level that lets cache hits skip the compiler *)
   memo : (string, Compile.compiled * string) Hashtbl.t;
@@ -78,9 +73,11 @@ let process t req =
       let compiled, chash = memoized_compile t req.kernel req.tuned in
       let compute () =
         match
-          Overgen.schedule_compiled ~use_stored:(not req.tuned) entry.overlay compiled
+          Overgen.compile_variants
+            ~opts:{ Overgen.default_opts with tuned = req.tuned }
+            entry.overlay compiled
         with
-        | Ok (schedules, _) -> Ok schedules
+        | Ok c -> Ok c.Overgen.schedules
         | Error e -> Error e
       in
       let lift = function Ok s -> Ok s | Error e -> Error (Compile_error e) in
@@ -104,107 +101,53 @@ let process t req =
   { request = req; result; cache_hit; service_s }
 
 let complete t resp =
-  Mutex.lock t.m;
+  Mutex.lock t.resp_m;
   t.responses <- resp :: t.responses;
-  t.outstanding <- t.outstanding - 1;
-  if t.outstanding = 0 then Condition.broadcast t.all_done;
-  Mutex.unlock t.m
-
-let rec worker t =
-  Mutex.lock t.m;
-  while Queue.is_empty t.queue && not t.stopping do
-    Condition.wait t.nonempty t.m
-  done;
-  match Queue.take_opt t.queue with
-  | None ->
-    Mutex.unlock t.m  (* stopping with an empty queue *)
-  | Some req ->
-    Mutex.unlock t.m;
-    complete t (process t req);
-    worker t
+  Mutex.unlock t.resp_m
 
 let create ?(mode = Deterministic) ?(queue_capacity = 1024) ?(caching = true)
     ?cache registry =
   if queue_capacity < 1 then invalid_arg "Service.create: queue_capacity < 1";
+  let pool_mode =
+    match mode with
+    | Deterministic -> Pool.Deterministic
+    | Workers n ->
+      if n < 1 then invalid_arg "Service.create: Workers n with n < 1";
+      Pool.Domains n
+  in
   let cache_ =
     if not caching then None
     else Some (match cache with Some c -> c | None -> Cache.create ())
   in
-  let t =
-    {
-      registry;
-      cache_;
-      telemetry_ = Telemetry.create ();
-      mode;
-      queue_capacity;
-      m = Mutex.create ();
-      nonempty = Condition.create ();
-      all_done = Condition.create ();
-      queue = Queue.create ();
-      outstanding = 0;
-      responses = [];
-      stopping = false;
-      domains = [];
-      memo = Hashtbl.create 32;
-      memo_m = Mutex.create ();
-    }
-  in
-  (match mode with
-  | Deterministic -> ()
-  | Workers n ->
-    if n < 1 then invalid_arg "Service.create: Workers n with n < 1";
-    t.domains <- List.init n (fun _ -> Domain.spawn (fun () -> worker t)));
-  t
+  {
+    registry;
+    cache_;
+    telemetry_ = Telemetry.create ();
+    mode;
+    pool = Pool.create ~queue_capacity pool_mode;
+    resp_m = Mutex.create ();
+    responses = [];
+    memo = Hashtbl.create 32;
+    memo_m = Mutex.create ();
+  }
 
 let submit t req =
-  Mutex.lock t.m;
-  let r =
-    if t.stopping then Error Shutdown
-    else if Queue.length t.queue >= t.queue_capacity then begin
-      Telemetry.record_rejection t.telemetry_;
-      Error Queue_full
-    end
-    else begin
-      Queue.push req t.queue;
-      t.outstanding <- t.outstanding + 1;
-      Condition.signal t.nonempty;
-      Ok ()
-    end
-  in
-  Mutex.unlock t.m;
-  r
+  match Pool.submit t.pool (fun () -> complete t (process t req)) with
+  | Ok () -> Ok ()
+  | Error Pool.Saturated ->
+    Telemetry.record_rejection t.telemetry_;
+    Error Queue_full
+  | Error Pool.Stopped -> Error Shutdown
 
 let by_id a b = compare a.request.id b.request.id
 
-let take_responses t =
+let drain t =
+  Pool.drain t.pool;
+  Mutex.lock t.resp_m;
   let rs = t.responses in
   t.responses <- [];
-  rs
-
-let drain t =
-  match t.mode with
-  | Workers _ ->
-    Mutex.lock t.m;
-    while t.outstanding > 0 do
-      Condition.wait t.all_done t.m
-    done;
-    let rs = take_responses t in
-    Mutex.unlock t.m;
-    List.sort by_id rs
-  | Deterministic ->
-    let rec loop () =
-      Mutex.lock t.m;
-      match Queue.take_opt t.queue with
-      | None ->
-        let rs = take_responses t in
-        Mutex.unlock t.m;
-        rs
-      | Some req ->
-        Mutex.unlock t.m;
-        complete t (process t req);
-        loop ()
-    in
-    List.sort by_id (loop ())
+  Mutex.unlock t.resp_m;
+  List.sort by_id rs
 
 let run t reqs =
   let collected = ref [] in
@@ -230,11 +173,4 @@ let run t reqs =
     reqs;
   List.sort by_id (drain t @ !collected)
 
-let shutdown t =
-  Mutex.lock t.m;
-  t.stopping <- true;
-  Condition.broadcast t.nonempty;
-  let ds = t.domains in
-  t.domains <- [];
-  Mutex.unlock t.m;
-  List.iter Domain.join ds
+let shutdown t = Pool.shutdown t.pool

@@ -8,7 +8,9 @@
     it — unless the content-addressed {!Cache} already holds the schedules,
     in which case the request is served in microseconds.
 
-    Two execution modes:
+    Two execution modes, both running on the shared
+    {!Overgen_par.Pool} worker pool (the same one the island-model DSE
+    uses):
     - [Deterministic]: requests are queued by {!submit} and processed in
       FIFO order on the caller's thread by {!drain} — single-threaded and
       exactly reproducible, the mode tests use.

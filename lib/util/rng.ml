@@ -28,6 +28,20 @@ let split t =
   let s = next_int64 t in
   { state = mix64 s }
 
+let streams seed n =
+  if n < 1 then invalid_arg "Rng.streams: n < 1";
+  (* Stream 0 is exactly [create seed] (the sequential stream); the others
+     are split off a private master so stream 0's own draws are untouched.
+     Explicit recursion: splits must happen in index order 1..n-1. *)
+  let master = create seed in
+  let rec rest i =
+    if i >= n then []
+    else
+      let s = split master in
+      s :: rest (i + 1)
+  in
+  create seed :: rest 1
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Keep 62 bits so the value fits OCaml's 63-bit native int positively. *)

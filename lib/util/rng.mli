@@ -19,6 +19,14 @@ val split : t -> t
 (** [split t] returns a new generator statistically independent from the
     future output of [t].  [t] itself advances. *)
 
+val streams : int -> int -> t list
+(** [streams seed n] derives [n] independent generators for parallel
+    workers.  Stream 0 is {e exactly} [create seed] — a single-stream run
+    reproduces the sequential draw sequence bit for bit — and streams
+    1..n-1 are {!split} off a private master in index order, so the list
+    is deterministic in [seed] and [n].  @raise Invalid_argument if
+    [n < 1]. *)
+
 val int : t -> int -> int
 (** [int t bound] draws uniformly from [0, bound).  [bound] must be > 0. *)
 

@@ -14,7 +14,7 @@ let test_generate_and_run () =
   let o = Lazy.force small_overlay in
   Alcotest.(check bool) "synth clock plausible" true
     (o.synth.freq_mhz > 40.0 && o.synth.freq_mhz <= 150.0);
-  match Overgen.run_kernel o (Kernels.find "vecmax") with
+  match Overgen.run o (Kernels.find "vecmax") with
   | Ok r ->
     Alcotest.(check bool) "cycles positive" true (r.cycles > 0);
     Alcotest.(check bool) "wall time positive" true (r.wall_ms > 0.0);
@@ -25,7 +25,7 @@ let test_in_domain_kernels_always_run () =
   let o = Lazy.force small_overlay in
   List.iter
     (fun name ->
-      match Overgen.run_kernel o (Kernels.find name) with
+      match Overgen.run o (Kernels.find name) with
       | Ok _ -> ()
       | Error e -> Alcotest.failf "%s should run on its own overlay: %s" name e)
     [ "vecmax"; "accumulate" ]
@@ -35,7 +35,7 @@ let test_general_hosts_all () =
   | Ok o ->
     List.iter
       (fun (k : Ir.kernel) ->
-        match Overgen.run_kernel o k with
+        match Overgen.run o k with
         | Ok _ -> ()
         | Error e -> Alcotest.failf "%s on general: %s" k.name e)
       Kernels.all
@@ -50,7 +50,7 @@ let test_reconfigure_fast () =
 
 let test_report_consistency () =
   let o = Lazy.force small_overlay in
-  match Overgen.run_kernel o (Kernels.find "accumulate") with
+  match Overgen.run o (Kernels.find "accumulate") with
   | Ok r ->
     Alcotest.(check (float 1e-9)) "wall time = cycles/freq"
       (float_of_int r.cycles /. (o.synth.freq_mhz *. 1000.0))

@@ -1,0 +1,113 @@
+(* The island-model parallel DSE: determinism, the anchor-island dominance
+   contract, and the merged-trace invariants. *)
+
+open Overgen_workload
+module Dse = Overgen_dse.Dse
+module Predict = Overgen_mlp.Predict
+module Serial = Overgen_adg.Serial
+
+let model = lazy (Predict.train ~seed:11 ())
+
+let apps = lazy (Dse.compile_apps ~tuned:false [ Kernels.find "vecmax" ])
+
+let cfg ?(iterations = 40) ?(islands = 1) ?(migration_interval = 10) seed =
+  { Dse.default_config with seed; iterations; islands; migration_interval }
+
+let explore config = Dse.explore ~config ~model:(Lazy.force model) (Lazy.force apps)
+
+let same_result (a : Dse.result) (b : Dse.result) =
+  Alcotest.(check (float 1e-12)) "same objective" a.best.objective b.best.objective;
+  Alcotest.(check string) "same design"
+    (Serial.fingerprint a.best.sys) (Serial.fingerprint b.best.sys);
+  Alcotest.(check int) "same trace length" (List.length a.trace) (List.length b.trace);
+  List.iter2
+    (fun (x : Dse.trace_point) (y : Dse.trace_point) ->
+      Alcotest.(check int) "same island" x.island y.island;
+      Alcotest.(check int) "same iter" x.iter y.iter;
+      Alcotest.(check (float 1e-12)) "same est_ipc" x.est_ipc y.est_ipc;
+      Alcotest.(check (float 1e-12)) "same modeled time" x.modeled_hours
+        y.modeled_hours)
+    a.trace b.trace;
+  Alcotest.(check int) "same accepted" a.stats.accepted b.stats.accepted;
+  Alcotest.(check int) "same invalid" a.stats.invalid b.stats.invalid;
+  Alcotest.(check int) "same repaired" a.stats.repaired b.stats.repaired;
+  Alcotest.(check int) "same rescheduled" a.stats.rescheduled b.stats.rescheduled
+
+let test_single_island_deterministic () =
+  same_result (explore (cfg 21)) (explore (cfg 21))
+
+let test_parallel_deterministic () =
+  (* worker timing must not leak into the result *)
+  same_result
+    (explore (cfg ~iterations:80 ~islands:4 22))
+    (explore (cfg ~iterations:80 ~islands:4 22))
+
+let test_anchor_dominance () =
+  (* same modeled-hours budget: islands run concurrently, so 4 islands x 40
+     iterations cost the same modeled time as a sequential 40-iteration run.
+     Island 0 replays the sequential chain exactly (same stream, never
+     adopts migrants), so the parallel best can only dominate. *)
+  let seq = explore (cfg ~iterations:40 21) in
+  let par = explore (cfg ~iterations:160 ~islands:4 21) in
+  Alcotest.(check bool) "parallel best >= sequential best" true
+    (par.best.objective >= seq.best.objective -. 1e-9)
+
+let test_trace_covers_budget_and_is_monotone () =
+  let r = explore (cfg ~iterations:50 ~islands:3 23) in
+  Alcotest.(check int) "one trace point per iteration of the total budget" 50
+    (List.length r.trace);
+  let rec monotone = function
+    | (a : Dse.trace_point) :: (b : Dse.trace_point) :: rest ->
+      Alcotest.(check bool) "modeled_hours monotone" true
+        (a.modeled_hours <= b.modeled_hours +. 1e-12);
+      monotone (b :: rest)
+    | _ -> ()
+  in
+  monotone r.trace;
+  (* every island contributed, with island-local iteration numbering *)
+  List.iter
+    (fun isl ->
+      let pts =
+        List.filter (fun (t : Dse.trace_point) -> t.island = isl) r.trace
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "island %d contributed" isl)
+        true
+        (List.length pts > 0);
+      List.iteri
+        (fun i (t : Dse.trace_point) ->
+          Alcotest.(check int) "island-local iters are 1..n" (i + 1) t.iter)
+        (List.sort
+           (fun (a : Dse.trace_point) (b : Dse.trace_point) ->
+             compare a.iter b.iter)
+           pts))
+    [ 0; 1; 2 ];
+  (* modeled time is the slowest island, not the sum *)
+  let island_hours isl =
+    List.fold_left
+      (fun acc (t : Dse.trace_point) ->
+        if t.island = isl then Float.max acc t.modeled_hours else acc)
+      0.0 r.trace
+  in
+  let max_h = List.fold_left (fun m i -> Float.max m (island_hours i)) 0.0 [ 0; 1; 2 ] in
+  Alcotest.(check (float 1e-9)) "modeled_hours = max island" max_h r.modeled_hours
+
+let test_config_validation () =
+  Alcotest.check_raises "islands < 1"
+    (Invalid_argument "Dse.explore: islands < 1") (fun () ->
+      ignore (explore { (cfg 1) with islands = 0 }));
+  Alcotest.check_raises "migration_interval < 1"
+    (Invalid_argument "Dse.explore: migration_interval < 1") (fun () ->
+      ignore (explore { (cfg 1) with migration_interval = 0 }))
+
+let tests =
+  [
+    Alcotest.test_case "single island deterministic" `Quick
+      test_single_island_deterministic;
+    Alcotest.test_case "parallel run deterministic" `Slow
+      test_parallel_deterministic;
+    Alcotest.test_case "anchor dominance" `Slow test_anchor_dominance;
+    Alcotest.test_case "merged trace invariants" `Slow
+      test_trace_covers_budget_and_is_monotone;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+  ]

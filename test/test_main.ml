@@ -2,6 +2,7 @@ let () =
   Alcotest.run "overgen"
     [
       ("util", Test_util.tests);
+      ("par", Test_par.tests);
       ("adg", Test_adg.tests);
       ("workload", Test_workload.tests);
       ("mdfg", Test_mdfg.tests);
@@ -9,6 +10,7 @@ let () =
       ("perf+sim", Test_perf_sim.tests);
       ("fpga+mlp", Test_fpga_mlp.tests);
       ("dse+hls", Test_dse_hls.tests);
+      ("dse islands", Test_dse_islands.tests);
       ("isa+rtl+exec", Test_isa_rtl_exec.tests);
       ("core", Test_core.tests);
       ("service", Test_service.tests);

@@ -1,0 +1,128 @@
+(* The generic domain worker pool: queueing, backpressure, barriers and
+   failure propagation — in both execution modes. *)
+
+module Pool = Overgen_par.Pool
+
+let test_deterministic_fifo () =
+  let p = Pool.create Pool.Deterministic in
+  let order = ref [] in
+  List.iter
+    (fun i ->
+      match Pool.submit p (fun () -> order := i :: !order) with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "submit rejected below capacity")
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "jobs wait for drain" 5 (Pool.pending p);
+  Alcotest.(check (list int)) "nothing ran yet" [] !order;
+  Pool.drain p;
+  Alcotest.(check (list int)) "FIFO order" [ 1; 2; 3; 4; 5 ] (List.rev !order);
+  Alcotest.(check int) "queue empty" 0 (Pool.pending p);
+  Pool.shutdown p
+
+let test_deterministic_nested_submit () =
+  (* a job may enqueue another job; one drain completes both *)
+  let p = Pool.create Pool.Deterministic in
+  let hit = ref false in
+  (match
+     Pool.submit p (fun () ->
+         match Pool.submit p (fun () -> hit := true) with
+         | Ok () -> ()
+         | Error _ -> Alcotest.fail "nested submit rejected")
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "outer submit rejected");
+  Pool.drain p;
+  Alcotest.(check bool) "nested job ran" true !hit;
+  Pool.shutdown p
+
+let test_backpressure () =
+  let p = Pool.create ~queue_capacity:2 Pool.Deterministic in
+  let ok () = Pool.submit p (fun () -> ()) in
+  Alcotest.(check bool) "first admitted" true (ok () = Ok ());
+  Alcotest.(check bool) "second admitted" true (ok () = Ok ());
+  Alcotest.(check bool) "third rejected" true (ok () = Error Pool.Saturated);
+  Pool.drain p;
+  Alcotest.(check bool) "admits again after drain" true (ok () = Ok ());
+  Pool.drain p;
+  Pool.shutdown p
+
+let test_stopped_after_shutdown () =
+  let p = Pool.create Pool.Deterministic in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* idempotent *)
+  match Pool.submit p (fun () -> ()) with
+  | Error Pool.Stopped -> ()
+  | _ -> Alcotest.fail "expected Stopped after shutdown"
+
+let test_map_orders = function
+  | mode ->
+    let p = Pool.create mode in
+    let input = List.init 100 (fun i -> i) in
+    let out = Pool.map p (fun i -> i * i) input in
+    Alcotest.(check (list int)) "map preserves input order"
+      (List.map (fun i -> i * i) input)
+      out;
+    Pool.shutdown p
+
+exception Boom
+
+let test_exception_propagates () =
+  List.iter
+    (fun mode ->
+      let p = Pool.create mode in
+      (match Pool.submit p (fun () -> raise Boom) with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "submit rejected");
+      (try
+         Pool.drain p;
+         Alcotest.fail "drain should re-raise the job's exception"
+       with Boom -> ());
+      (* the pool survives a failed job *)
+      let out = Pool.map p (fun i -> i + 1) [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "pool usable after failure" [ 2; 3; 4 ] out;
+      Pool.shutdown p)
+    [ Pool.Deterministic; Pool.Domains 2 ]
+
+let test_domains_match_deterministic () =
+  let work i = (i * 37) mod 101 in
+  let input = List.init 500 (fun i -> i) in
+  let run mode =
+    let p = Pool.create mode in
+    let out = Pool.map p work input in
+    Pool.shutdown p;
+    out
+  in
+  Alcotest.(check (list int)) "Domains 3 = Deterministic"
+    (run Pool.Deterministic)
+    (run (Pool.Domains 3))
+
+let test_workers_width () =
+  let p = Pool.create Pool.Deterministic in
+  Alcotest.(check int) "deterministic width" 1 (Pool.workers p);
+  Pool.shutdown p;
+  let p = Pool.create (Pool.Domains 3) in
+  Alcotest.(check int) "domains width" 3 (Pool.workers p);
+  Pool.shutdown p;
+  Alcotest.check_raises "Domains 0 rejected"
+    (Invalid_argument "Pool.create: Domains n with n < 1") (fun () ->
+      ignore (Pool.create (Pool.Domains 0)));
+  Alcotest.check_raises "queue_capacity 0 rejected"
+    (Invalid_argument "Pool.create: queue_capacity < 1") (fun () ->
+      ignore (Pool.create ~queue_capacity:0 Pool.Deterministic))
+
+let tests =
+  [
+    Alcotest.test_case "deterministic FIFO drain" `Quick test_deterministic_fifo;
+    Alcotest.test_case "nested submit" `Quick test_deterministic_nested_submit;
+    Alcotest.test_case "backpressure" `Quick test_backpressure;
+    Alcotest.test_case "stopped after shutdown" `Quick test_stopped_after_shutdown;
+    Alcotest.test_case "map order (deterministic)" `Quick (fun () ->
+        test_map_orders Pool.Deterministic);
+    Alcotest.test_case "map order (domains)" `Quick (fun () ->
+        test_map_orders (Pool.Domains 4));
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "domains match deterministic" `Quick
+      test_domains_match_deterministic;
+    Alcotest.test_case "workers + validation" `Quick test_workers_width;
+  ]

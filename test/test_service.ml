@@ -240,30 +240,30 @@ let test_unknown_overlay () =
   | [ { result = Error (Service.Unknown_overlay "missing"); _ } ] -> ()
   | _ -> Alcotest.fail "expected Unknown_overlay failure"
 
-(* ---------------- core compile_cached through the hooks ---------------- *)
+(* ---------------- core compile through the cache hooks ---------------- *)
 
 let test_compile_cached_hooks () =
   let o = Lazy.force general in
   let c = Cache.create ~capacity:16 () in
-  let cache = Cache.hooks c in
+  let opts = { Overgen.default_opts with cache = Some (Cache.hooks c) } in
   let k = Kernels.find "gemm" in
-  (match Overgen.compile_cached ~cache o k with
-  | Ok (_, _, hit) -> Alcotest.(check bool) "cold is a miss" false hit
-  | Error e -> Alcotest.failf "compile_cached: %s" e);
-  (match Overgen.compile_cached ~cache o k with
-  | Ok (scheds, _, hit) ->
-    Alcotest.(check bool) "second is a hit" true hit;
+  (match Overgen.compile ~opts o k with
+  | Ok r -> Alcotest.(check bool) "cold is a miss" false r.Overgen.from_cache
+  | Error e -> Alcotest.failf "compile: %s" e);
+  (match Overgen.compile ~opts o k with
+  | Ok r ->
+    Alcotest.(check bool) "second is a hit" true r.Overgen.from_cache;
     List.iter
       (fun s ->
         match Schedule.validate s o.Overgen.design.sys with
         | Ok () -> ()
         | Error e -> Alcotest.failf "cached schedule invalid: %s" e)
-      scheds
-  | Error e -> Alcotest.failf "compile_cached hit: %s" e);
-  match Overgen.run_kernel ~cache o k with
+      r.Overgen.schedules
+  | Error e -> Alcotest.failf "compile hit: %s" e);
+  match Overgen.run ~opts o k with
   | Ok report ->
     Alcotest.(check bool) "report marks the cache hit" true report.from_cache
-  | Error e -> Alcotest.failf "run_kernel ~cache: %s" e
+  | Error e -> Alcotest.failf "run ~cache: %s" e
 
 (* ---------------- negative caching ---------------- *)
 
@@ -282,13 +282,13 @@ let tiny_overlay () =
 let test_negative_caching () =
   let o = tiny_overlay () in
   let c = Cache.create ~capacity:16 () in
-  let cache = Cache.hooks c in
+  let opts = { Overgen.default_opts with cache = Some (Cache.hooks c) } in
   let k = Kernels.find "gemm" in
-  (match Overgen.compile_cached ~cache o k with
+  (match Overgen.compile ~opts o k with
   | Ok _ -> Alcotest.fail "gemm should not schedule on the Add-only seed"
   | Error _ -> ());
   let after_first = Cache.stats c in
-  (match Overgen.compile_cached ~cache o k with
+  (match Overgen.compile ~opts o k with
   | Ok _ -> Alcotest.fail "still should not schedule"
   | Error _ -> ());
   let after_second = Cache.stats c in

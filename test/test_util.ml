@@ -15,6 +15,43 @@ let test_rng_split_independent () =
   let y = Rng.int a 1000000 in
   Alcotest.(check bool) "streams differ" true (x <> y || Rng.int sub 10 >= 0)
 
+let test_rng_streams_anchor () =
+  (* stream 0 must be exactly [create seed]: the island-model DSE's
+     single-island determinism contract rests on it *)
+  let anchor = List.hd (Rng.streams 42 4) in
+  let direct = Rng.create 42 in
+  for _ = 1 to 1000 do
+    Alcotest.(check int) "stream 0 is create seed" (Rng.int direct 1_000_000)
+      (Rng.int anchor 1_000_000)
+  done
+
+let test_rng_streams_nonoverlapping () =
+  (* 10k draws from each of 4 streams over a ~2^62 space: any repeated
+     value would mean overlapping substreams *)
+  let streams = Rng.streams 9 4 in
+  let seen = Hashtbl.create 80_000 in
+  List.iter
+    (fun s ->
+      for _ = 1 to 10_000 do
+        let v = Rng.int s max_int in
+        Alcotest.(check bool) "draw not seen in any stream" false
+          (Hashtbl.mem seen v);
+        Hashtbl.add seen v ()
+      done)
+    streams;
+  Alcotest.(check int) "40k distinct draws" 40_000 (Hashtbl.length seen)
+
+let test_rng_streams_deterministic () =
+  let a = Rng.streams 5 3 and b = Rng.streams 5 3 in
+  List.iter2
+    (fun x y ->
+      for _ = 1 to 50 do
+        Alcotest.(check int) "same stream list" (Rng.int x 1000) (Rng.int y 1000)
+      done)
+    a b;
+  Alcotest.check_raises "n < 1 rejected"
+    (Invalid_argument "Rng.streams: n < 1") (fun () -> ignore (Rng.streams 1 0))
+
 let test_rng_bounds () =
   let r = Rng.create 1 in
   for _ = 1 to 1000 do
@@ -171,6 +208,11 @@ let tests =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
     Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng streams anchor" `Quick test_rng_streams_anchor;
+    Alcotest.test_case "rng streams non-overlapping" `Slow
+      test_rng_streams_nonoverlapping;
+    Alcotest.test_case "rng streams deterministic" `Quick
+      test_rng_streams_deterministic;
     Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
     Alcotest.test_case "rng of_string" `Quick test_rng_of_string_stable;
     Alcotest.test_case "rng weighted choice" `Quick test_rng_choose_weighted;
