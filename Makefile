@@ -1,4 +1,4 @@
-.PHONY: all build test bench check clean
+.PHONY: all build test bench check check-obs clean
 
 all: build
 
@@ -11,9 +11,15 @@ test:
 bench:
 	dune exec bench/main.exe
 
+# Observability smoke: compile one kernel with --trace-out and validate
+# the emitted Chrome trace JSON.
+check-obs:
+	dune build @obs-smoke
+
 # Full gate: build everything, run the whole test suite, smoke the CLI
-# (`overgen list` + a small deterministic serve-bench trace) and the
-# island-model DSE bench, and fail if build artifacts ever got committed.
+# (`overgen list` + a small deterministic serve-bench trace), the
+# island-model DSE bench and the observability trace path, and fail if
+# build artifacts ever got committed.
 check:
 	dune build @check
 	@if [ -n "$$(git ls-files _build)" ]; then \

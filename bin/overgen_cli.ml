@@ -5,13 +5,67 @@
    overgen generate <suite|kernel...>   - run the DSE and print the design
    overgen dse <suite|kernel...>        - island-model DSE with a trace dump
    overgen run <suite|kernel...>        - generate, compile and simulate
+   overgen compile <suite|kernel...>    - compile only (spans via --trace-out)
+   overgen trace-validate <file>        - check an emitted Chrome trace
    overgen compare <suite|kernel...>    - OverGen vs the AutoDSE baseline
    overgen serve-bench                  - replay a multi-user compile-request
-                                          trace against the compile service *)
+                                          trace against the compile service
+
+   compile, dse and serve-bench accept --trace-out FILE.json (Chrome
+   trace-event spans) and --metrics-out FILE (Prometheus dump). *)
 
 open Cmdliner
 open Overgen_workload
 module Hls = Overgen_hls.Hls
+module Obs = Overgen_obs.Obs
+
+(* --- observability plumbing (--trace-out / --metrics-out) --- *)
+
+let trace_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE.json"
+        ~doc:
+          "Record phase spans and write them as Chrome trace-event JSON \
+           (load in chrome://tracing or Perfetto).")
+
+let metrics_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Dump pipeline metrics in Prometheus text exposition format on \
+           exit.")
+
+(* Runs [f] with recording enabled iff an output was requested, then emits
+   the requested artifacts.  Every Chrome trace is passed through the
+   exporter's own JSON validator before it reaches disk. *)
+let with_obs ?(registries = fun () -> []) ~trace_out ~metrics_out f =
+  if trace_out <> None || metrics_out <> None then Obs.enable ();
+  let r = f () in
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    let spans = Obs.Span.spans () in
+    let json = Obs.Export.to_chrome spans in
+    (match Obs.Export.validate_json json with
+    | Ok () -> ()
+    | Error e ->
+      Printf.eprintf "internal error: emitted trace is not valid JSON: %s\n" e;
+      exit 1);
+    Obs.Export.write_file ~path json;
+    Printf.printf "trace written to %s (%d spans)\n" path (List.length spans));
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+    let dump =
+      String.concat ""
+        (List.map Obs.Metrics.render_prometheus
+           (registries () @ [ Obs.Metrics.default ]))
+    in
+    Obs.Export.write_file ~path dump;
+    Printf.printf "metrics written to %s\n" path);
+  r
 
 let resolve_targets names =
   List.concat_map
@@ -146,12 +200,14 @@ let trace_json (result : Overgen_dse.Dse.result) =
   Buffer.contents buf
 
 let dse_cmd =
-  let run iterations seed tuned islands migration_interval trace_out names =
+  let run iterations seed tuned islands migration_interval explore_out
+      trace_out metrics_out names =
     if islands < 1 then `Error (false, "--islands must be positive")
     else if migration_interval < 1 then
       `Error (false, "--migration-interval must be positive")
     else begin
       let kernels = resolve_targets names in
+      with_obs ~trace_out ~metrics_out @@ fun () ->
       let model = Overgen.train_model () in
       let apps = Overgen_dse.Dse.compile_apps ~tuned kernels in
       let config =
@@ -167,20 +223,21 @@ let dse_cmd =
         result.stats.repaired result.stats.rescheduled;
       Printf.printf "modeled DSE time %.1f h (wall %.2f s), %d trace points\n"
         result.modeled_hours result.wall_seconds (List.length result.trace);
-      (match trace_out with
+      (match explore_out with
       | Some path ->
         let oc = open_out path in
         output_string oc (trace_json result);
         close_out oc;
-        Printf.printf "trace written to %s\n" path
+        Printf.printf "exploration trace written to %s\n" path
       | None -> ());
       `Ok ()
     end
   in
-  let trace_out_arg =
+  let explore_out_arg =
     Arg.(value & opt (some string) None
-         & info [ "trace-out" ] ~docv:"FILE"
-             ~doc:"Dump the merged exploration trace as JSON.")
+         & info [ "explore-out" ] ~docv:"FILE"
+             ~doc:"Dump the merged exploration trace (objective vs modeled \
+                   hours per island) as JSON.")
   in
   Cmd.v
     (Cmd.info "dse"
@@ -188,28 +245,30 @@ let dse_cmd =
              merged trace (without synthesizing the winner).")
     Term.(ret
             (const run $ iterations_arg $ seed_arg $ tuned_arg $ islands_arg
-             $ migration_arg $ trace_out_arg $ targets_arg))
+             $ migration_arg $ explore_out_arg $ trace_out_arg
+             $ metrics_out_arg $ targets_arg))
 
 (* --- run --- *)
+
+let load_or_generate ~iterations ~seed ~tuned ~design kernels =
+  match design with
+  | None -> gen_overlay ~iterations ~seed ~tuned kernels
+  | Some path -> (
+    match Overgen_adg.Serial.load ~path with
+    | Error e ->
+      Printf.eprintf "cannot load %s: %s\n" path e;
+      exit 1
+    | Ok sys -> (
+      match Overgen.on_design ~model:(Overgen.train_model ()) sys kernels with
+      | Ok o -> o
+      | Error e ->
+        Printf.eprintf "workloads do not map on %s: %s\n" path e;
+        exit 1))
 
 let run_cmd =
   let run iterations seed tuned design names =
     let kernels = resolve_targets names in
-    let overlay =
-      match design with
-      | None -> gen_overlay ~iterations ~seed ~tuned kernels
-      | Some path -> (
-        match Overgen_adg.Serial.load ~path with
-        | Error e ->
-          Printf.eprintf "cannot load %s: %s\n" path e;
-          exit 1
-        | Ok sys -> (
-          match Overgen.on_design ~model:(Overgen.train_model ()) sys kernels with
-          | Ok o -> o
-          | Error e ->
-            Printf.eprintf "workloads do not map on %s: %s\n" path e;
-            exit 1))
-    in
+    let overlay = load_or_generate ~iterations ~seed ~tuned ~design kernels in
     Printf.printf "overlay: %s @ %.1f MHz\n"
       (Overgen_adg.Sys_adg.describe overlay.design.sys)
       overlay.synth.freq_mhz;
@@ -230,6 +289,84 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Generate an overlay, then compile and simulate each workload.")
     Term.(const run $ iterations_arg $ seed_arg $ tuned_arg $ design_arg $ targets_arg)
+
+(* --- compile --- *)
+
+let compile_cmd =
+  let run iterations seed tuned design trace_out metrics_out names =
+    let kernels = resolve_targets names in
+    with_obs ~trace_out ~metrics_out @@ fun () ->
+    let overlay = load_or_generate ~iterations ~seed ~tuned ~design kernels in
+    Printf.printf "overlay: %s\n"
+      (Overgen_adg.Sys_adg.describe overlay.design.sys);
+    List.iter
+      (fun (k : Ir.kernel) ->
+        match
+          Overgen.compile ~opts:{ Overgen.default_opts with tuned } overlay k
+        with
+        | Ok c ->
+          let ii_sum =
+            List.fold_left
+              (fun acc (s : Overgen_scheduler.Schedule.t) -> acc + s.ii)
+              0 c.schedules
+          in
+          Printf.printf
+            "%-12s %d region schedule(s)  II sum %2d  compiled in %.1f ms%s\n"
+            k.name (List.length c.schedules) ii_sum (c.seconds *. 1000.0)
+            (if c.from_cache then "  (cached)" else "")
+        | Error e -> Printf.printf "%-12s unmappable: %s\n" k.name e)
+      kernels
+  in
+  let design_arg =
+    Arg.(value & opt (some string) None
+         & info [ "design" ] ~docv:"FILE"
+             ~doc:"Use a saved design instead of running the DSE.")
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile workloads onto an overlay without simulating; with \
+             $(b,--trace-out) the compile phases (mDFG build, scheduling, \
+             spatial mapping, perf model) are recorded as nested spans.")
+    Term.(const run $ iterations_arg $ seed_arg $ tuned_arg $ design_arg
+          $ trace_out_arg $ metrics_out_arg $ targets_arg)
+
+(* --- trace-validate --- *)
+
+let trace_validate_cmd =
+  let run path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    match Obs.Export.validate_json contents with
+    | Error e ->
+      Printf.eprintf "%s: invalid JSON: %s\n" path e;
+      exit 1
+    | Ok () ->
+      (* a Chrome trace document must carry a traceEvents array *)
+      let has_events =
+        let needle = "\"traceEvents\"" in
+        let n = String.length needle and l = String.length contents in
+        let rec scan i =
+          i + n <= l && (String.sub contents i n = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      if not has_events then begin
+        Printf.eprintf "%s: valid JSON but no \"traceEvents\" key\n" path;
+        exit 1
+      end;
+      Printf.printf "%s: valid Chrome trace JSON\n" path
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE.json" ~doc:"Trace file to validate.")
+  in
+  Cmd.v
+    (Cmd.info "trace-validate"
+       ~doc:"Check that a file emitted by $(b,--trace-out) is well-formed \
+             Chrome trace-event JSON.")
+    Term.(const run $ path_arg)
 
 (* --- emit --- *)
 
@@ -336,7 +473,7 @@ let result_digest responses =
 
 let serve_bench_cmd =
   let run requests workers deterministic seed users working_set cache_capacity
-      queue_capacity dse =
+      queue_capacity dse trace_out metrics_out =
     let usage what = `Error (false, Printf.sprintf "%s must be positive" what) in
     if requests < 1 then usage "--requests"
     else if (not deterministic) && workers < 1 then usage "--workers"
@@ -345,6 +482,10 @@ let serve_bench_cmd =
     else if cache_capacity < 1 then usage "--cache-capacity"
     else if queue_capacity < 1 then usage "--queue-capacity"
     else begin
+    (* the warm replay's service telemetry joins the Prometheus dump *)
+    let warm_registry = ref None in
+    let registries () = Option.to_list !warm_registry in
+    with_obs ~registries ~trace_out ~metrics_out @@ fun () ->
     let model = Overgen.train_model () in
     let registry = Registry.create () in
     let must = function
@@ -400,6 +541,8 @@ let serve_bench_cmd =
       let responses = Service.run svc trace in
       let wall_s = Unix.gettimeofday () -. t0 in
       Service.shutdown svc;
+      if caching then
+        warm_registry := Some (Telemetry.registry (Service.telemetry svc));
       print_string
         (Telemetry.report ~label ~wall_s (Telemetry.snapshot (Service.telemetry svc)));
       (match Service.cache svc with
@@ -472,12 +615,13 @@ let serve_bench_cmd =
     Term.(ret
             (const run $ requests_arg $ workers_arg $ deterministic_arg
              $ seed_arg $ users_arg $ ws_arg $ cache_cap_arg $ queue_cap_arg
-             $ dse_arg))
+             $ dse_arg $ trace_out_arg $ metrics_out_arg))
 
 let () =
   let doc = "domain-specific FPGA overlay generation (OverGen, MICRO 2022)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "overgen" ~doc)
-          [ list_cmd; show_cmd; generate_cmd; dse_cmd; run_cmd; compare_cmd;
-            emit_cmd; verify_cmd; serve_bench_cmd ]))
+          [ list_cmd; show_cmd; generate_cmd; dse_cmd; run_cmd; compile_cmd;
+            trace_validate_cmd; compare_cmd; emit_cmd; verify_cmd;
+            serve_bench_cmd ]))

@@ -5,6 +5,30 @@ open Overgen_fpga
 open Overgen_mlp
 module Dse = Overgen_dse.Dse
 module Sim = Overgen_sim.Sim
+module Obs = Overgen_obs.Obs
+
+(* Pipeline-level metrics on the shared default registry (gated: no-ops
+   until [Obs.enable]).  Created lazily so merely linking the library
+   never registers metrics. *)
+let m_compiles =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.default "overgen_compile_total"
+       ~help:"kernel compiles through Overgen.compile_variants")
+
+let m_compile_errors =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.default "overgen_compile_errors_total"
+       ~help:"kernel compiles that ended in a scheduling error")
+
+let m_cache_hits =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.default "overgen_compile_cache_hits_total"
+       ~help:"compiles served from a schedule cache")
+
+let m_compile_s =
+  lazy
+    (Obs.Metrics.histogram Obs.Metrics.default "overgen_compile_seconds"
+       ~help:"wall time of Overgen.compile_variants")
 
 type overlay = {
   design : Dse.design;
@@ -73,11 +97,17 @@ let schedule_key overlay (compiled : Overgen_mdfg.Compile.compiled) =
 let schedule_on_overlay ~use_stored overlay
     (cc : Overgen_mdfg.Compile.compiled) =
   let stored = if use_stored then stored_schedules overlay cc.kname else None in
-  let fresh = Spatial.schedule_app overlay.design.sys cc in
+  let fresh =
+    Obs.Span.with_span "spatial_schedule" ~attrs:[ ("kernel", cc.kname) ]
+    @@ fun () -> Spatial.schedule_app overlay.design.sys cc
+  in
   (* The DSE may have pruned capabilities down to exactly what its own
      schedules exercise, and its annealed schedules can beat a one-shot
      greedy mapping: use whichever estimates faster. *)
-  let est s = (Overgen_perf.Perf.app overlay.design.sys s).total_cycles in
+  let est s =
+    Obs.Span.with_span "perf_model" @@ fun () ->
+    (Overgen_perf.Perf.app overlay.design.sys s).total_cycles
+  in
   match (fresh, stored) with
   | Ok f, Some st -> Ok (if est f <= est st then f else st)
   | Ok f, None -> Ok f
@@ -86,7 +116,9 @@ let schedule_on_overlay ~use_stored overlay
 
 let compile_variants ?(opts = default_opts) overlay
     (cc : Overgen_mdfg.Compile.compiled) =
+  Obs.Span.with_span "schedule" ~attrs:[ ("kernel", cc.kname) ] @@ fun () ->
   let t0 = Unix.gettimeofday () in
+  Obs.incr (Lazy.force m_compiles);
   let use_stored =
     match opts.stored with
     | `Auto -> not opts.tuned
@@ -94,18 +126,26 @@ let compile_variants ?(opts = default_opts) overlay
     | `Ignore -> false
   in
   let done_ schedules from_cache =
-    Ok { schedules; seconds = Unix.gettimeofday () -. t0; from_cache }
+    let seconds = Unix.gettimeofday () -. t0 in
+    Obs.observe (Lazy.force m_compile_s) seconds;
+    if from_cache then Obs.incr (Lazy.force m_cache_hits);
+    Obs.Span.add_attr "from_cache" (string_of_bool from_cache);
+    Ok { schedules; seconds; from_cache }
+  in
+  let errored e =
+    Obs.incr (Lazy.force m_compile_errors);
+    Error e
   in
   match opts.cache with
   | None -> (
     match schedule_on_overlay ~use_stored overlay cc with
     | Ok schedules -> done_ schedules false
-    | Error e -> Error e)
+    | Error e -> errored e)
   | Some hooks -> (
     let key = schedule_key overlay cc in
     match hooks.lookup key with
     | Some (Ok schedules) -> done_ schedules true
-    | Some (Error e) -> Error e
+    | Some (Error e) -> errored e
     | None -> (
       match schedule_on_overlay ~use_stored overlay cc with
       | Ok schedules ->
@@ -113,13 +153,16 @@ let compile_variants ?(opts = default_opts) overlay
         done_ schedules false
       | Error e ->
         hooks.store key (Error e);
-        Error e))
+        errored e))
 
 let compile ?(opts = default_opts) overlay (k : Ir.kernel) =
+  Obs.Span.with_span "compile" ~attrs:[ ("kernel", k.Ir.name) ] @@ fun () ->
   let t0 = Unix.gettimeofday () in
-  match
-    compile_variants ~opts overlay (Overgen_mdfg.Compile.compile ~tuned:opts.tuned k)
-  with
+  let cc =
+    Obs.Span.with_span "mdfg_build" @@ fun () ->
+    Overgen_mdfg.Compile.compile ~tuned:opts.tuned k
+  in
+  match compile_variants ~opts overlay cc with
   | Ok c -> Ok { c with seconds = Unix.gettimeofday () -. t0 }
   | Error e -> Error e
 
@@ -127,7 +170,10 @@ let run ?(opts = default_opts) overlay (k : Ir.kernel) =
   match compile ~opts overlay k with
   | Error e -> Error e
   | Ok c ->
-    let sim = Sim.run overlay.design.sys c.schedules in
+    let sim =
+      Obs.Span.with_span "simulate" ~attrs:[ ("kernel", k.Ir.name) ]
+      @@ fun () -> Sim.run overlay.design.sys c.schedules
+    in
     Ok
       {
         kernel = k.Ir.name;

@@ -6,6 +6,30 @@ open Overgen_mlp
 module Rng = Overgen_util.Rng
 module Pool = Overgen_par.Pool
 module Perf = Overgen_perf.Perf
+module Obs = Overgen_obs.Obs
+
+(* DSE counters on the shared default registry (gated).  Per-island
+   objective gauges are registered on demand — the island count is a run
+   parameter. *)
+let m_iterations =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.default "overgen_dse_iterations_total"
+       ~help:"annealer iterations across all islands")
+
+let m_moves_accepted =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.default "overgen_dse_accepted_total"
+       ~help:"accepted annealer moves across all islands")
+
+let m_moves_invalid =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.default "overgen_dse_invalid_total"
+       ~help:"proposals rejected as unschedulable or unfittable")
+
+let island_gauge idx =
+  Obs.Metrics.gauge Obs.Metrics.default "overgen_dse_island_objective"
+    ~help:"current objective (weighted-geomean IPC) per island"
+    ~labels:[ ("island", string_of_int idx) ]
 
 type mutation_policy = Random | Schedule_preserving
 
@@ -216,6 +240,7 @@ type island = {
 (* One annealing iteration; draw-for-draw identical to the historical
    sequential explorer so a single island reproduces it bit for bit. *)
 let step ~config ~device ~model ~caps apps isl =
+  let accepted0 = isl.accepted and invalid0 = isl.invalid in
   let iter = isl.iter + 1 in
   let temp =
     config.initial_temp
@@ -275,15 +300,25 @@ let step ~config ~device ~model ~caps apps isl =
            end
          end));
   isl.iter <- iter;
+  if Obs.on () then begin
+    Obs.incr (Lazy.force m_iterations);
+    if isl.accepted > accepted0 then Obs.incr (Lazy.force m_moves_accepted);
+    if isl.invalid > invalid0 then Obs.incr (Lazy.force m_moves_invalid)
+  end;
   isl.trace_rev <-
     { island = isl.idx; iter; modeled_hours = isl.modeled_s /. 3600.0;
       est_ipc = isl.cur.objective }
     :: isl.trace_rev
 
 let run_span ~config ~device ~model ~caps apps isl ~upto =
+  Obs.Span.with_span "dse_island"
+    ~attrs:
+      [ ("island", string_of_int isl.idx); ("upto", string_of_int upto) ]
+  @@ fun () ->
   while isl.iter < upto do
     step ~config ~device ~model ~caps apps isl
-  done
+  done;
+  if Obs.on () then Obs.set_gauge (island_gauge isl.idx) isl.cur.objective
 
 let explore ?(config = default_config) ?(device = Device.default) ~model apps =
   if config.islands < 1 then invalid_arg "Dse.explore: islands < 1";

@@ -1,0 +1,14 @@
+(* The single global gate for hot-path instrumentation.
+
+   Every gated call site (span recording, hot-loop counters in the
+   scheduler / simulator / DSE) starts with one atomic load and a branch.
+   With the gate off — the default — that is the whole cost of the "null
+   backend": no time is read, nothing is allocated, nothing is recorded.
+   Registries used directly (the compile service's telemetry) are NOT
+   gated; their counting is part of their API contract. *)
+
+let enabled = Atomic.make false
+
+let on () = Atomic.get enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false

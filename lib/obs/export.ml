@@ -1,0 +1,215 @@
+(* ---------- JSON emission ---------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* JSON numbers may not be nan/inf; clamp defensively. *)
+let num v =
+  if Float.is_nan v then "0"
+  else if v = infinity then "1e308"
+  else if v = neg_infinity then "-1e308"
+  else Printf.sprintf "%.3f" v
+
+let args_json (s : Span.span) =
+  let fields =
+    [ ("span_id", string_of_int s.id); ("parent_id", string_of_int s.parent) ]
+    @ s.attrs
+  in
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)) fields)
+  ^ "}"
+
+let chrome_event (s : Span.span) =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"cat\":\"overgen\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":%s}"
+    (escape s.name) s.domain
+    (num (s.start_s *. 1e6))
+    (num (s.dur_s *. 1e6))
+    (args_json s)
+
+let to_chrome spans =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b (chrome_event s))
+    spans;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let jsonl_line (s : Span.span) =
+  Printf.sprintf
+    "{\"id\":%d,\"parent\":%d,\"name\":\"%s\",\"domain\":%d,\"start_s\":%s,\"dur_s\":%s,\"attrs\":%s}"
+    s.id s.parent (escape s.name) s.domain
+    (Printf.sprintf "%.9f" s.start_s)
+    (Printf.sprintf "%.9f" s.dur_s)
+    ("{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v))
+           s.attrs)
+    ^ "}")
+
+let to_jsonl spans = String.concat "\n" (List.map jsonl_line spans) ^ "\n"
+
+(* ---------- JSON validation (grammar only, values discarded) ---------- *)
+
+exception Bad of string * int
+
+let validate_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (msg, !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected %c, got %c" c c')
+    | None -> fail (Printf.sprintf "expected %c, got end of input" c)
+  in
+  let literal w =
+    String.iter expect w
+  in
+  let hex_digit () =
+    match peek () with
+    | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+    | _ -> fail "bad \\u escape"
+  in
+  let parse_string () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+          advance ();
+          go ()
+        | Some 'u' ->
+          advance ();
+          hex_digit ();
+          hex_digit ();
+          hex_digit ();
+          hex_digit ();
+          go ()
+        | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ()
+  in
+  let digits () =
+    let saw = ref false in
+    let rec go () =
+      match peek () with
+      | Some '0' .. '9' ->
+        saw := true;
+        advance ();
+        go ()
+      | _ -> ()
+    in
+    go ();
+    if not !saw then fail "expected digit"
+  in
+  let parse_number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    (match peek () with
+    | Some '0' -> advance ()
+    | Some '1' .. '9' -> digits ()
+    | _ -> fail "bad number");
+    (match peek () with
+    | Some '.' ->
+      advance ();
+      digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec parse_value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' -> parse_object ()
+    | Some '[' -> parse_array ()
+    | Some '"' -> parse_string ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected %c" c)
+    | None -> fail "unexpected end of input");
+    skip_ws ()
+  and parse_object () =
+    expect '{';
+    skip_ws ();
+    (match peek () with
+    | Some '}' -> advance ()
+    | _ ->
+      let rec members () =
+        skip_ws ();
+        parse_string ();
+        skip_ws ();
+        expect ':';
+        parse_value ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          members ()
+        | _ -> expect '}'
+      in
+      members ())
+  and parse_array () =
+    expect '[';
+    skip_ws ();
+    match peek () with
+    | Some ']' -> advance ()
+    | _ ->
+      let rec elements () =
+        parse_value ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          elements ()
+        | _ -> expect ']'
+      in
+      elements ()
+  in
+  try
+    parse_value ();
+    if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+    else Ok ()
+  with Bad (msg, at) -> Error (Printf.sprintf "%s at offset %d" msg at)
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)

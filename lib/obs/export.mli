@@ -1,0 +1,20 @@
+(** Span exporters: Chrome trace-event JSON and JSONL.
+
+    {!to_chrome} produces a document loadable by [chrome://tracing] /
+    Perfetto: one complete ("ph":"X") event per span, microsecond
+    timestamps, the recording domain as the thread id, attributes (plus
+    the span/parent ids) under ["args"].  {!to_jsonl} emits one
+    self-contained JSON object per line, convenient for [jq] pipelines.
+
+    {!validate_json} is a dependency-free well-formedness check (full
+    RFC 8259 grammar, values discarded); the CLI runs every emitted trace
+    through it before writing. *)
+
+val to_chrome : Span.span list -> string
+val to_jsonl : Span.span list -> string
+
+val validate_json : string -> (unit, string) result
+(** [Ok ()] iff the whole string is exactly one valid JSON value. *)
+
+val write_file : path:string -> string -> unit
+(** Write contents to [path] (truncating). *)

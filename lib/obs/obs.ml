@@ -1,0 +1,11 @@
+module Metrics = Metrics
+module Span = Span
+module Export = Export
+
+let enable = Control.enable
+let disable = Control.disable
+let on = Control.on
+
+let incr ?by c = if Control.on () then Metrics.incr ?by c
+let observe h v = if Control.on () then Metrics.observe h v
+let set_gauge g v = if Control.on () then Metrics.set g v

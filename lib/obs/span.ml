@@ -1,0 +1,108 @@
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  attrs : (string * string) list;
+  domain : int;
+  start_s : float;
+  dur_s : float;
+}
+
+(* An open (not yet finished) span. *)
+type frame = {
+  fid : int;
+  fname : string;
+  mutable fattrs : (string * string) list;
+  ft0 : float;
+}
+
+(* Per-domain recording state; registered globally on first use so the
+   merge can find every buffer. *)
+type dbuf = {
+  dom : int;
+  mutable stack : frame list;   (* open spans, innermost first *)
+  mutable acc : span list;      (* finished spans, newest first *)
+}
+
+let bufs_m = Mutex.create ()
+let all_bufs : dbuf list ref = ref []
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      let b = { dom = (Domain.self () :> int); stack = []; acc = [] } in
+      Mutex.lock bufs_m;
+      all_bufs := b :: !all_bufs;
+      Mutex.unlock bufs_m;
+      b)
+
+let next_id = Atomic.make 1
+
+(* Epoch: all start times are relative to it, keeping exported timestamps
+   small.  Mutated only by [reset] (quiescent by contract). *)
+let epoch = ref (Unix.gettimeofday ())
+
+let with_span ?(attrs = []) name f =
+  if not (Control.on ()) then f ()
+  else begin
+    let b = Domain.DLS.get dls_key in
+    let fr =
+      {
+        fid = Atomic.fetch_and_add next_id 1;
+        fname = name;
+        (* kept reversed while open so [add_attr] is a cons; un-reversed
+           when the span is finished *)
+        fattrs = List.rev attrs;
+        ft0 = Unix.gettimeofday ();
+      }
+    in
+    let parent = match b.stack with [] -> 0 | p :: _ -> p.fid in
+    b.stack <- fr :: b.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Unix.gettimeofday () in
+        (match b.stack with _ :: rest -> b.stack <- rest | [] -> ());
+        b.acc <-
+          {
+            id = fr.fid;
+            parent;
+            name = fr.fname;
+            attrs = List.rev fr.fattrs;
+            domain = b.dom;
+            start_s = fr.ft0 -. !epoch;
+            dur_s = t1 -. fr.ft0;
+          }
+          :: b.acc)
+      f
+  end
+
+let add_attr k v =
+  if Control.on () then
+    let b = Domain.DLS.get dls_key in
+    match b.stack with
+    | [] -> ()
+    | fr :: _ -> fr.fattrs <- (k, v) :: fr.fattrs
+
+let current_id () =
+  if not (Control.on ()) then 0
+  else
+    let b = Domain.DLS.get dls_key in
+    match b.stack with [] -> 0 | fr :: _ -> fr.fid
+
+let gather () =
+  Mutex.lock bufs_m;
+  let bs = !all_bufs in
+  Mutex.unlock bufs_m;
+  bs
+
+let spans () =
+  let all = List.concat_map (fun b -> b.acc) (gather ()) in
+  List.stable_sort
+    (fun a b ->
+      match compare a.start_s b.start_s with 0 -> compare a.id b.id | c -> c)
+    all
+
+let count () = List.fold_left (fun n b -> n + List.length b.acc) 0 (gather ())
+
+let reset () =
+  List.iter (fun b -> b.acc <- []) (gather ());
+  epoch := Unix.gettimeofday ()

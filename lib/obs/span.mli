@@ -1,0 +1,43 @@
+(** Scoped span tracing with per-domain buffers.
+
+    {!with_span} times a scope, records its parent (the innermost span
+    open {e on the same domain}) and key/value attributes, and appends the
+    finished span to a buffer local to the recording domain — no
+    cross-domain synchronization on the hot path.  {!spans} merges every
+    domain's buffer deterministically: ordered by start time, ties broken
+    by span id.
+
+    Recording is gated by {!Control}: with the gate off (the null
+    backend, the default) [with_span name f] is [f ()] plus one atomic
+    load — no clock read, no allocation. *)
+
+type span = {
+  id : int;             (** unique, process-wide; never 0 *)
+  parent : int;         (** enclosing span's id, 0 for a root span *)
+  name : string;
+  attrs : (string * string) list;
+  domain : int;         (** id of the domain that recorded the span *)
+  start_s : float;      (** seconds since the collector epoch ({!reset}) *)
+  dur_s : float;
+}
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span.  The span is recorded even if the thunk
+    raises.  When recording is disabled this is just [f ()]. *)
+
+val add_attr : string -> string -> unit
+(** Attach an attribute to the innermost span open on this domain; no-op
+    when recording is disabled or no span is open. *)
+
+val current_id : unit -> int
+(** Id of the innermost open span on this domain; 0 when none. *)
+
+val spans : unit -> span list
+(** Merge all per-domain buffers: sorted by [(start_s, id)]. *)
+
+val count : unit -> int
+(** Total recorded spans across all domains. *)
+
+val reset : unit -> unit
+(** Drop every recorded span and restart the epoch.  Call only while no
+    other domain is recording. *)

@@ -54,6 +54,33 @@ exception Fail of string
 
 let failf fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
 
+(* ---------- inner-loop counters (gated; no-ops until Obs.enable) ---------- *)
+
+module Obs = Overgen_obs.Obs
+
+let m_tried =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.default
+       "overgen_scheduler_variants_tried_total"
+       ~help:"variant scheduling attempts")
+
+let m_accepted =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.default
+       "overgen_scheduler_variants_accepted_total"
+       ~help:"variant scheduling attempts that produced a schedule")
+
+let m_route_fail =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.default
+       "overgen_scheduler_routing_failures_total"
+       ~help:"failed route searches (initial and repair rerouting)")
+
+let m_repairs =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.default "overgen_scheduler_repairs_total"
+       ~help:"schedule repair passes")
+
 (* ---------- routing with link ownership ---------- *)
 
 (* Links are time-multiplexed: a link already carrying [k] other values can
@@ -212,6 +239,7 @@ let array_streams (v : Compile.variant) name =
 let schedule_variant ctx (v : Compile.variant) =
   let adg = ctx.sys.Sys_adg.adg in
   let saved = snapshot ctx in
+  Obs.incr (Lazy.force m_tried);
   try
     let demand_of e = Option.value ~default:0.0 (Hashtbl.find_opt ctx.engine_demand e) in
     let add_demand e d = Hashtbl.replace ctx.engine_demand e (demand_of e +. d) in
@@ -525,7 +553,9 @@ let schedule_variant ctx (v : Compile.variant) =
                 | Some hops ->
                   claim_route ctx ~tag hops;
                   routes := ((o.src, n.id), { Schedule.hops; delay = 0 }) :: !routes
-                | None -> failf "no route %d->%d" src dst)
+                | None ->
+                  Obs.incr (Lazy.force m_route_fail);
+                  failf "no route %d->%d" src dst)
               | _ -> failf "unplaced endpoint for edge %d->%d" o.src n.id))
           n.operands)
       (Dfg.nodes v.dfg);
@@ -608,6 +638,7 @@ let schedule_variant ctx (v : Compile.variant) =
       }
     in
     let sched = { sched with Schedule.ii = Schedule.compute_ii ctx.sys sched } in
+    Obs.incr (Lazy.force m_accepted);
     Ok sched
   with Fail msg ->
     restore ctx saved;
@@ -667,6 +698,7 @@ let schedule_app sys (c : Compile.compiled) =
 (* ------------------------------------------------------------------ *)
 
 let repair sys schedules =
+  Obs.incr (Lazy.force m_repairs);
   (* Fast path: everything still valid; just refresh IIs. *)
   let revalidated =
     List.map (fun s -> (s, Schedule.validate s sys)) schedules
@@ -743,7 +775,9 @@ let repair sys schedules =
                   | Some hops ->
                     claim_route ctx ~tag hops;
                     ((src, dst), { old_r with Schedule.hops })
-                  | None -> failf "reroute failed %d->%d" a b)
+                  | None ->
+                    Obs.incr (Lazy.force m_route_fail);
+                    failf "reroute failed %d->%d" a b)
                 | _ -> failf "endpoint missing")
               s.routes
           in

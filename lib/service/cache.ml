@@ -70,6 +70,9 @@ let find_or_compute t k compute =
           Mutex.unlock t.m)
         (fun () ->
           let outcome = compute () in
+          Overgen_obs.Obs.Span.with_span "cache_store"
+            ~attrs:[ ("key", String.sub k 0 (min 12 (String.length k))) ]
+          @@ fun () ->
           Mutex.lock t.m;
           Lru.add t.lru k outcome;
           Mutex.unlock t.m;

@@ -1,6 +1,7 @@
 open Overgen_workload
 module Compile = Overgen_mdfg.Compile
 module Pool = Overgen_par.Pool
+module Obs = Overgen_obs.Obs
 
 type mode = Deterministic | Workers of int
 
@@ -35,6 +36,8 @@ type t = {
   registry : Registry.t;
   cache_ : Cache.t option;
   telemetry_ : Telemetry.t;
+  queue_wait : Overgen_obs.Metrics.histogram;
+      (* admission-to-processing wait, on the telemetry registry *)
   mode : mode;
   pool : Pool.t;
   resp_m : Mutex.t;
@@ -64,14 +67,29 @@ let memoized_compile t (k : Ir.kernel) tuned =
     Mutex.unlock t.memo_m;
     cc
 
-let process t req =
+(* One request's processing lifecycle, traced as a "request" span with
+   the queue wait ([submitted_at] to now) and outcome as attributes, and
+   the compile itself as a nested "compile_schedule" span. *)
+let process t ~submitted_at req =
   let t0 = Unix.gettimeofday () in
+  Overgen_obs.Metrics.observe t.queue_wait (t0 -. submitted_at);
+  Obs.Span.with_span "request"
+    ~attrs:
+      [
+        ("id", string_of_int req.id);
+        ("user", req.user);
+        ("overlay", req.overlay);
+        ("kernel", req.kernel.Ir.name);
+        ("queue_wait_ms", Printf.sprintf "%.3f" ((t0 -. submitted_at) *. 1000.0));
+      ]
+  @@ fun () ->
   let result, cache_hit =
     match Registry.find t.registry req.overlay with
     | None -> (Error (Unknown_overlay req.overlay), false)
     | Some entry -> (
       let compiled, chash = memoized_compile t req.kernel req.tuned in
       let compute () =
+        Obs.Span.with_span "compile_schedule" @@ fun () ->
         match
           Overgen.compile_variants
             ~opts:{ Overgen.default_opts with tuned = req.tuned }
@@ -97,6 +115,12 @@ let process t req =
       else if cache_hit then Telemetry.Hit
       else Telemetry.Miss
   in
+  Obs.Span.add_attr "outcome"
+    (match outcome with
+    | Telemetry.Hit -> "hit"
+    | Telemetry.Miss -> "miss"
+    | Telemetry.Uncached -> "uncached"
+    | Telemetry.Failed -> "failed");
   Telemetry.record t.telemetry_ outcome ~service_s;
   { request = req; result; cache_hit; service_s }
 
@@ -119,10 +143,16 @@ let create ?(mode = Deterministic) ?(queue_capacity = 1024) ?(caching = true)
     if not caching then None
     else Some (match cache with Some c -> c | None -> Cache.create ())
   in
+  let telemetry_ = Telemetry.create () in
   {
     registry;
     cache_;
-    telemetry_ = Telemetry.create ();
+    telemetry_;
+    queue_wait =
+      Overgen_obs.Metrics.histogram
+        (Telemetry.registry telemetry_)
+        "overgen_service_queue_wait_seconds"
+        ~help:"admission-to-processing wait";
     mode;
     pool = Pool.create ~queue_capacity pool_mode;
     resp_m = Mutex.create ();
@@ -132,7 +162,10 @@ let create ?(mode = Deterministic) ?(queue_capacity = 1024) ?(caching = true)
   }
 
 let submit t req =
-  match Pool.submit t.pool (fun () -> complete t (process t req)) with
+  let submitted_at = Unix.gettimeofday () in
+  match
+    Pool.submit t.pool (fun () -> complete t (process t ~submitted_at req))
+  with
   | Ok () -> Ok ()
   | Error Pool.Saturated ->
     Telemetry.record_rejection t.telemetry_;

@@ -1,42 +1,64 @@
 module Stats = Overgen_util.Stats
+module Metrics = Overgen_obs.Metrics
 
 type outcome = Hit | Miss | Uncached | Failed
 
+(* Counts live in a private Overgen_obs.Metrics registry (one per service
+   instance, so Prometheus dumps are per-service and agree with the
+   snapshot exactly); raw latencies are additionally kept under a mutex so
+   the snapshot's percentiles stay exact rather than bucket-approximated. *)
 type t = {
-  mutable hits : int;
-  mutable misses : int;
-  mutable uncached : int;
-  mutable failures : int;
-  mutable rejections : int;
+  reg : Metrics.registry;
+  hits : Metrics.counter;
+  misses : Metrics.counter;
+  uncached : Metrics.counter;
+  failures : Metrics.counter;
+  rejections : Metrics.counter;
+  latency : Metrics.histogram;
   mutable latencies_s : float list;
   m : Mutex.t;
 }
 
+let requests_metric = "overgen_service_requests_total"
+
 let create () =
+  let reg = Metrics.create_registry ~label:"compile service" () in
+  let req outcome =
+    Metrics.counter reg requests_metric
+      ~help:"completed compile requests by outcome"
+      ~labels:[ ("outcome", outcome) ]
+  in
   {
-    hits = 0;
-    misses = 0;
-    uncached = 0;
-    failures = 0;
-    rejections = 0;
+    reg;
+    hits = req "hit";
+    misses = req "miss";
+    uncached = req "uncached";
+    failures = req "failed";
+    rejections =
+      Metrics.counter reg "overgen_service_rejections_total"
+        ~help:"admission rejections (queue full)";
+    latency =
+      Metrics.histogram reg "overgen_service_latency_seconds"
+        ~help:"request service time, excluding queue wait";
     latencies_s = [];
     m = Mutex.create ();
   }
 
+let registry t = t.reg
+
 let record t outcome ~service_s =
+  Metrics.incr
+    (match outcome with
+    | Hit -> t.hits
+    | Miss -> t.misses
+    | Uncached -> t.uncached
+    | Failed -> t.failures);
+  Metrics.observe t.latency service_s;
   Mutex.lock t.m;
-  (match outcome with
-  | Hit -> t.hits <- t.hits + 1
-  | Miss -> t.misses <- t.misses + 1
-  | Uncached -> t.uncached <- t.uncached + 1
-  | Failed -> t.failures <- t.failures + 1);
   t.latencies_s <- service_s :: t.latencies_s;
   Mutex.unlock t.m
 
-let record_rejection t =
-  Mutex.lock t.m;
-  t.rejections <- t.rejections + 1;
-  Mutex.unlock t.m
+let record_rejection t = Metrics.incr t.rejections
 
 type snapshot = {
   requests : int;
@@ -54,24 +76,35 @@ type snapshot = {
 
 let snapshot t =
   Mutex.lock t.m;
-  let ms = List.map (fun s -> s *. 1000.0) t.latencies_s in
-  let s =
-    {
-      requests = t.hits + t.misses + t.uncached + t.failures;
-      hits = t.hits;
-      misses = t.misses;
-      uncached = t.uncached;
-      failures = t.failures;
-      rejections = t.rejections;
-      mean_ms = Stats.mean ms;
-      p50_ms = Stats.percentile ~p:50.0 ms;
-      p90_ms = Stats.percentile ~p:90.0 ms;
-      p99_ms = Stats.percentile ~p:99.0 ms;
-      max_ms = List.fold_left Float.max 0.0 ms;
-    }
-  in
+  let raw = t.latencies_s in
   Mutex.unlock t.m;
-  s
+  let ms = Array.of_list (List.rev_map (fun s -> s *. 1000.0) raw) in
+  (* Stats.percentiles: one sort for all three quantiles, and 0.0 — not an
+     exception or NaN — on an empty latency buffer *)
+  let p50_ms, p90_ms, p99_ms =
+    match Stats.percentiles ms [ 50.0; 90.0; 99.0 ] with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> (0.0, 0.0, 0.0)
+  in
+  let hits = Metrics.counter_value t.hits
+  and misses = Metrics.counter_value t.misses
+  and uncached = Metrics.counter_value t.uncached
+  and failures = Metrics.counter_value t.failures in
+  {
+    requests = hits + misses + uncached + failures;
+    hits;
+    misses;
+    uncached;
+    failures;
+    rejections = Metrics.counter_value t.rejections;
+    mean_ms =
+      (if Array.length ms = 0 then 0.0
+       else Array.fold_left ( +. ) 0.0 ms /. float_of_int (Array.length ms));
+    p50_ms;
+    p90_ms;
+    p99_ms;
+    max_ms = Array.fold_left Float.max 0.0 ms;
+  }
 
 let hit_rate s =
   let cached = s.hits + s.misses in

@@ -1,8 +1,16 @@
 (** Request telemetry for the compile service.
 
     Counts completed requests by outcome, admission rejections, and
-    per-request service latencies; prints a one-screen report with
-    percentiles (via {!Overgen_util.Stats.percentile}).  Thread-safe. *)
+    per-request service latencies; prints a one-screen report with exact
+    percentiles (one sort via {!Overgen_util.Stats.percentiles}).
+    Thread-safe.
+
+    Implemented on a private {!Overgen_obs.Metrics} registry — one per
+    instance, exposed by {!registry} — so the same counts can be dumped in
+    Prometheus exposition format ([overgen_service_requests_total] by
+    outcome, [overgen_service_rejections_total], and an
+    [overgen_service_latency_seconds] histogram) and are guaranteed to
+    agree with {!snapshot}. *)
 
 (** How a completed request was served.  [Uncached] means caching was
     disabled for the service; [Failed] covers unknown overlays, compile
@@ -12,6 +20,11 @@ type outcome = Hit | Miss | Uncached | Failed
 type t
 
 val create : unit -> t
+
+val registry : t -> Overgen_obs.Metrics.registry
+(** The backing metrics registry, e.g. for
+    {!Overgen_obs.Metrics.render_prometheus}.  The service also registers
+    its queue-wait histogram here. *)
 
 val record : t -> outcome -> service_s:float -> unit
 (** Record one completed request and its processing time. *)

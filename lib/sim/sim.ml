@@ -1,6 +1,30 @@
 open Overgen_adg
 open Overgen_mdfg
 open Overgen_scheduler
+module Obs = Overgen_obs.Obs
+
+(* Simulator counters on the shared default registry; incremented once per
+   simulated region (never inside the cycle loop), so the enabled-path
+   overhead is independent of region length. *)
+let m_regions =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.default "overgen_sim_regions_total"
+       ~help:"simulated regions")
+
+let m_cycles =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.default "overgen_sim_cycles_total"
+       ~help:"simulated cycles, summed over regions")
+
+let m_firings =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.default "overgen_sim_firings_total"
+       ~help:"DFG instance firings, summed over tiles")
+
+let m_stalls =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.default "overgen_sim_stall_cycles_total"
+       ~help:"tile-cycles not covered by a firing's II occupancy")
 
 type config = {
   one_hot_bypass : bool;
@@ -451,6 +475,9 @@ let shared_limits cfg (sysp : System.t) =
   (l2_bw, dram_bw)
 
 let run_region cfg (sys : Sys_adg.t) (sched : Schedule.t) counters =
+  Obs.Span.with_span "sim_region"
+    ~attrs:[ ("region", sched.variant.region.Overgen_workload.Ir.rname) ]
+  @@ fun () ->
   let sysp = sys.system in
   let tiles_n = sysp.System.tiles in
   let tiles =
@@ -473,6 +500,14 @@ let run_region cfg (sys : Sys_adg.t) (sched : Schedule.t) counters =
     failwith
       (Printf.sprintf "Sim.run: region %s exceeded %d cycles (deadlock?)"
          sched.variant.region.Overgen_workload.Ir.rname cfg.max_cycles);
+  if Obs.on () then begin
+    let busy = Array.fold_left (fun acc t -> acc + (t.fired * t.ii)) 0 tiles in
+    Obs.incr (Lazy.force m_regions);
+    Obs.incr (Lazy.force m_cycles) ~by:!cycle;
+    Obs.incr (Lazy.force m_firings)
+      ~by:(Array.fold_left (fun acc t -> acc + t.fired) 0 tiles);
+    Obs.incr (Lazy.force m_stalls) ~by:(max 0 ((!cycle * tiles_n) - busy))
+  end;
   (* pipeline drain *)
   let drain = Dfg.depth sched.variant.dfg + cfg.l2_hit_latency in
   {

@@ -22,6 +22,12 @@ val percentile : p:float -> float list -> float
     between closest ranks); 0 for the empty list.
     @raise Invalid_argument unless [0 <= p <= 100]. *)
 
+val percentiles : float array -> float list -> float list
+(** [percentiles data ps] computes every percentile in [ps] of [data]
+    with a single sort ([data] itself is not mutated); prefer this over
+    repeated {!percentile} calls.  Each result is 0 for empty [data].
+    @raise Invalid_argument unless every p satisfies [0 <= p <= 100]. *)
+
 val clamp : lo:float -> hi:float -> float -> float
 val clamp_int : lo:int -> hi:int -> int -> int
 

@@ -12,6 +12,7 @@ let () =
       ("dse+hls", Test_dse_hls.tests);
       ("dse islands", Test_dse_islands.tests);
       ("isa+rtl+exec", Test_isa_rtl_exec.tests);
+      ("obs", Test_obs.tests);
       ("core", Test_core.tests);
       ("service", Test_service.tests);
       ("properties", Test_properties.tests);

@@ -1,0 +1,252 @@
+(* The observability subsystem: registry exactness under domain
+   parallelism, span nesting invariants, exporter well-formedness, and the
+   null backend's zero-cost contract. *)
+
+module Obs = Overgen_obs.Obs
+module Metrics = Overgen_obs.Metrics
+module Span = Overgen_obs.Span
+module Export = Overgen_obs.Export
+
+(* Every test leaves the global gate off and the span buffers empty, so
+   tests cannot contaminate each other (alcotest runs them in order). *)
+let with_recording f =
+  Obs.enable ();
+  Span.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Span.reset ())
+    f
+
+(* --- registry --- *)
+
+let test_counter_concurrent () =
+  let reg = Metrics.create_registry () in
+  let c = Metrics.counter reg "hammered_total" in
+  let domains = 4 and per_domain = 50_000 in
+  let workers =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Metrics.incr c
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int)
+    "no lost increments" (domains * per_domain) (Metrics.counter_value c)
+
+let test_histogram_concurrent () =
+  let reg = Metrics.create_registry () in
+  let h = Metrics.histogram reg "obs_seconds" ~buckets:[| 0.5; 1.5 |] in
+  let domains = 4 and per_domain = 20_000 in
+  let workers =
+    List.init domains (fun i ->
+        Domain.spawn (fun () ->
+            (* even domains observe 1.0 (second bucket), odd 2.0 (+inf) *)
+            let v = if i mod 2 = 0 then 1.0 else 2.0 in
+            for _ = 1 to per_domain do
+              Metrics.observe h v
+            done))
+  in
+  List.iter Domain.join workers;
+  let s = Metrics.histogram_snapshot h in
+  let n = domains * per_domain in
+  Alcotest.(check int) "count exact" n s.h_count;
+  Alcotest.(check (float 1e-3))
+    "sum exact" (float_of_int (n / 2) *. 3.0) s.h_sum;
+  Alcotest.(check int) "buckets incl +inf" 3 (Array.length s.h_buckets);
+  Alcotest.(check int) "nothing under 0.5" 0 (snd s.h_buckets.(0));
+  Alcotest.(check int) "half at <= 1.5" (n / 2) (snd s.h_buckets.(1));
+  Alcotest.(check int) "+inf cumulative = count" n (snd s.h_buckets.(2));
+  Alcotest.(check bool)
+    "last bound is infinity" true
+    (fst s.h_buckets.(2) = infinity)
+
+let test_get_or_create () =
+  let reg = Metrics.create_registry () in
+  let a = Metrics.counter reg "same_total" ~labels:[ ("k", "v") ] in
+  let b = Metrics.counter reg "same_total" ~labels:[ ("k", "v") ] in
+  Metrics.incr a;
+  Metrics.incr b ~by:2;
+  Alcotest.(check int) "one underlying metric" 3 (Metrics.counter_value a);
+  let other = Metrics.counter reg "same_total" ~labels:[ ("k", "w") ] in
+  Alcotest.(check int) "different labels are distinct" 0
+    (Metrics.counter_value other);
+  Alcotest.(check bool) "kind mismatch rejected" true
+    (match Metrics.gauge reg "same_total" ~labels:[ ("k", "v") ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_gauge () =
+  let reg = Metrics.create_registry () in
+  let g = Metrics.gauge reg "level" in
+  Alcotest.(check (float 0.0)) "initial" 0.0 (Metrics.gauge_value g);
+  Metrics.set g 42.5;
+  Metrics.set g 17.25;
+  Alcotest.(check (float 0.0)) "last write wins" 17.25 (Metrics.gauge_value g)
+
+let contains ~needle hay =
+  let n = String.length needle and l = String.length hay in
+  let rec scan i = i + n <= l && (String.sub hay i n = needle || scan (i + 1)) in
+  scan 0
+
+let test_prometheus_render () =
+  let reg = Metrics.create_registry () in
+  let c = Metrics.counter reg "reqs_total" ~help:"requests" ~labels:[ ("user", "a\"b") ] in
+  Metrics.incr c ~by:7;
+  let h = Metrics.histogram reg "lat_seconds" ~buckets:[| 0.1 |] in
+  Metrics.observe h 0.05;
+  Metrics.observe h 0.5;
+  let dump = Metrics.render_prometheus reg in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains ~needle dump))
+    [
+      "# HELP reqs_total requests";
+      "# TYPE reqs_total counter";
+      "reqs_total{user=\"a\\\"b\"} 7";
+      "# TYPE lat_seconds histogram";
+      "lat_seconds_bucket{le=\"0.1\"} 1";
+      "lat_seconds_bucket{le=\"+Inf\"} 2";
+      "lat_seconds_count 2";
+    ];
+  (* reset zeroes values but keeps registrations *)
+  Metrics.reset reg;
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.counter_value c)
+
+(* --- spans --- *)
+
+let test_span_nesting () =
+  with_recording @@ fun () ->
+  let inner_id = ref 0 in
+  Span.with_span "root" ~attrs:[ ("k", "v") ] (fun () ->
+      Span.with_span "child_a" (fun () -> inner_id := Span.current_id ());
+      Span.add_attr "late" "yes";
+      Span.with_span "child_b" (fun () -> ()));
+  Span.with_span "sibling_root" (fun () -> ());
+  let spans = Span.spans () in
+  Alcotest.(check int) "four spans" 4 (List.length spans);
+  let find name = List.find (fun (s : Span.span) -> s.name = name) spans in
+  let root = find "root" and a = find "child_a" and b = find "child_b" in
+  let sib = find "sibling_root" in
+  Alcotest.(check int) "root has no parent" 0 root.parent;
+  Alcotest.(check int) "sibling root has no parent" 0 sib.parent;
+  Alcotest.(check int) "a nested under root" root.id a.parent;
+  Alcotest.(check int) "b nested under root" root.id b.parent;
+  Alcotest.(check int) "current_id saw child_a" a.id !inner_id;
+  Alcotest.(check (list (pair string string)))
+    "attrs keep order, late attr appended"
+    [ ("k", "v"); ("late", "yes") ]
+    root.attrs;
+  Alcotest.(check bool) "children within root" true
+    (a.start_s >= root.start_s
+    && b.start_s +. b.dur_s <= root.start_s +. root.dur_s +. 1e-6);
+  (* merged order is by start time *)
+  let names = List.map (fun (s : Span.span) -> s.name) spans in
+  Alcotest.(check (list string))
+    "sorted by start" [ "root"; "child_a"; "child_b"; "sibling_root" ] names
+
+let test_span_recorded_on_raise () =
+  with_recording @@ fun () ->
+  (try Span.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "span recorded despite raise" 1 (Span.count ());
+  Alcotest.(check int) "no span left open" 0 (Span.current_id ())
+
+let test_span_multi_domain () =
+  with_recording @@ fun () ->
+  Span.with_span "main_root" (fun () ->
+      let d =
+        Domain.spawn (fun () ->
+            Span.with_span "worker_root" (fun () ->
+                Span.with_span "worker_child" (fun () -> ())))
+      in
+      Domain.join d);
+  let spans = Span.spans () in
+  Alcotest.(check int) "three spans merged" 3 (List.length spans);
+  let find name = List.find (fun (s : Span.span) -> s.name = name) spans in
+  (* parenting never crosses domains *)
+  Alcotest.(check int) "worker root is a root" 0 (find "worker_root").parent;
+  Alcotest.(check int)
+    "worker child parented in its domain"
+    (find "worker_root").id (find "worker_child").parent;
+  Alcotest.(check bool) "distinct domains" true
+    ((find "main_root").domain <> (find "worker_root").domain)
+
+(* --- exporters --- *)
+
+let test_chrome_export () =
+  with_recording @@ fun () ->
+  Span.with_span "outer" ~attrs:[ ("path", "a\\b\"c\nd") ] (fun () ->
+      Span.with_span "inner" (fun () -> ()));
+  let spans = Span.spans () in
+  let json = Export.to_chrome spans in
+  (match Export.validate_json json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "chrome export not valid JSON: %s" e);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains ~needle json))
+    [ "\"traceEvents\""; "\"ph\":\"X\""; "\"name\":\"outer\""; "a\\\\b\\\"c\\nd" ];
+  (* JSONL: every line is itself one valid JSON value *)
+  let jsonl = Export.to_jsonl spans in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl)
+  in
+  Alcotest.(check int) "one line per span" (List.length spans) (List.length lines);
+  List.iter
+    (fun line ->
+      match Export.validate_json line with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "jsonl line invalid: %s (%s)" e line)
+    lines
+
+let test_validate_json_rejects () =
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) ("rejects " ^ bad) true
+        (Result.is_error (Export.validate_json bad)))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "[1] trailing"; "\"unterminated"; "nul" ];
+  List.iter
+    (fun good ->
+      Alcotest.(check bool) ("accepts " ^ good) true
+        (Result.is_ok (Export.validate_json good)))
+    [ "{}"; "[]"; "null"; "-1.5e3"; "{\"a\":[1,{\"b\":\"\\u00e9\"}]}" ]
+
+(* --- the null backend --- *)
+
+let test_null_backend () =
+  Obs.disable ();
+  Span.reset ();
+  let reg = Metrics.create_registry () in
+  let c = Metrics.counter reg "gated_total" in
+  let v = Span.with_span "ignored" (fun () -> 41 + 1) in
+  Alcotest.(check int) "with_span transparent" 42 v;
+  Alcotest.(check int) "nothing recorded" 0 (Span.count ());
+  Obs.incr c;
+  Alcotest.(check int) "gated incr dropped" 0 (Metrics.counter_value c);
+  (* zero allocation: a long gated loop must not grow the minor heap *)
+  let n = 200_000 in
+  let minor0 = Gc.minor_words () in
+  for _ = 1 to n do
+    Obs.incr c;
+    ignore (Span.with_span "noop" Fun.id)
+  done;
+  let per_op = (Gc.minor_words () -. minor0) /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "allocation-free when disabled (%.4f words/op)" per_op)
+    true (per_op < 0.01)
+
+let tests =
+  [
+    Alcotest.test_case "counter concurrency" `Quick test_counter_concurrent;
+    Alcotest.test_case "histogram concurrency" `Quick test_histogram_concurrent;
+    Alcotest.test_case "get-or-create" `Quick test_get_or_create;
+    Alcotest.test_case "gauge" `Quick test_gauge;
+    Alcotest.test_case "prometheus render" `Quick test_prometheus_render;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span survives raise" `Quick test_span_recorded_on_raise;
+    Alcotest.test_case "span multi-domain merge" `Quick test_span_multi_domain;
+    Alcotest.test_case "chrome + jsonl export" `Quick test_chrome_export;
+    Alcotest.test_case "json validator" `Quick test_validate_json_rejects;
+    Alcotest.test_case "null backend" `Quick test_null_backend;
+  ]

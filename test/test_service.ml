@@ -240,6 +240,59 @@ let test_unknown_overlay () =
   | [ { result = Error (Service.Unknown_overlay "missing"); _ } ] -> ()
   | _ -> Alcotest.fail "expected Unknown_overlay failure"
 
+(* ---------------- telemetry ---------------- *)
+
+(* Regression: a snapshot of a telemetry with no completed requests used to
+   blow up computing percentiles of an empty latency buffer; every field
+   must simply be zero. *)
+let test_telemetry_empty_snapshot () =
+  let t = Telemetry.create () in
+  let s = Telemetry.snapshot t in
+  Alcotest.(check int) "requests" 0 s.requests;
+  Alcotest.(check (float 0.0)) "p50" 0.0 s.p50_ms;
+  Alcotest.(check (float 0.0)) "p90" 0.0 s.p90_ms;
+  Alcotest.(check (float 0.0)) "p99" 0.0 s.p99_ms;
+  Alcotest.(check (float 0.0)) "mean" 0.0 s.mean_ms;
+  Alcotest.(check (float 0.0)) "max" 0.0 s.max_ms;
+  Alcotest.(check (float 0.0)) "hit rate" 0.0 (Telemetry.hit_rate s);
+  (* the report renders without a wall clock, too *)
+  Alcotest.(check bool) "report renders" true
+    (String.length (Telemetry.report ~wall_s:0.0 s) > 0)
+
+(* The registry view and the snapshot are two reads of one store: the
+   Prometheus dump's per-outcome request counts must equal the snapshot. *)
+let test_telemetry_registry_parity () =
+  let t = Telemetry.create () in
+  Telemetry.record t Telemetry.Hit ~service_s:0.001;
+  Telemetry.record t Telemetry.Hit ~service_s:0.002;
+  Telemetry.record t Telemetry.Miss ~service_s:0.040;
+  Telemetry.record t Telemetry.Failed ~service_s:0.003;
+  Telemetry.record_rejection t;
+  let s = Telemetry.snapshot t in
+  let dump = Overgen_obs.Metrics.render_prometheus (Telemetry.registry t) in
+  let contains needle =
+    let n = String.length needle and l = String.length dump in
+    let rec scan i = i + n <= l && (String.sub dump i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  List.iter
+    (fun (outcome, count) ->
+      let line =
+        Printf.sprintf "overgen_service_requests_total{outcome=\"%s\"} %d"
+          outcome count
+      in
+      Alcotest.(check bool) ("dump has " ^ line) true (contains line))
+    [
+      ("hit", s.hits); ("miss", s.misses); ("uncached", s.uncached);
+      ("failed", s.failures);
+    ];
+  Alcotest.(check bool) "rejections in dump" true
+    (contains (Printf.sprintf "overgen_service_rejections_total %d" s.rejections));
+  Alcotest.(check bool) "latency histogram in dump" true
+    (contains "overgen_service_latency_seconds_count 4");
+  Alcotest.(check (float 1e-9)) "exact p50 from raw latencies" 2.5 s.p50_ms;
+  Alcotest.(check (float 1e-9)) "exact max" 40.0 s.max_ms
+
 (* ---------------- core compile through the cache hooks ---------------- *)
 
 let test_compile_cached_hooks () =
@@ -350,6 +403,10 @@ let tests =
       test_workers_match_deterministic;
     Alcotest.test_case "backpressure" `Slow test_backpressure;
     Alcotest.test_case "unknown overlay" `Quick test_unknown_overlay;
+    Alcotest.test_case "telemetry empty snapshot" `Quick
+      test_telemetry_empty_snapshot;
+    Alcotest.test_case "telemetry registry parity" `Quick
+      test_telemetry_registry_parity;
     Alcotest.test_case "compile_cached hooks" `Slow test_compile_cached_hooks;
     Alcotest.test_case "negative caching" `Slow test_negative_caching;
     Alcotest.test_case "fingerprint collision probe" `Quick

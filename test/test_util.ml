@@ -185,6 +185,26 @@ let test_percentile () =
     (Invalid_argument "Stats.percentile: p outside [0, 100]") (fun () ->
       ignore (Stats.percentile ~p:101.0 l))
 
+let test_percentiles () =
+  let l = [ 15.0; 20.0; 35.0; 40.0; 50.0 ] in
+  let a = Array.of_list [ 50.0; 20.0; 35.0; 15.0; 40.0 ] in
+  let ps = [ 0.0; 30.0; 50.0; 100.0 ] in
+  (* the single-sort batch agrees with repeated percentile calls *)
+  List.iter2
+    (fun p got -> check_float (Printf.sprintf "p%.0f" p) (Stats.percentile ~p l) got)
+    ps
+    (Stats.percentiles a ps);
+  Alcotest.(check (list (float 1e-9)))
+    "empty data gives all zeros" [ 0.0; 0.0; 0.0 ]
+    (Stats.percentiles [||] [ 50.0; 90.0; 99.0 ]);
+  Alcotest.(check (list (float 1e-9))) "empty ps" [] (Stats.percentiles a []);
+  Alcotest.(check (float 1e-9))
+    "input not mutated"
+    50.0 a.(0);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentiles: p outside [0, 100]") (fun () ->
+      ignore (Stats.percentiles a [ 50.0; -1.0 ]))
+
 let prop_percentile_bounded =
   QCheck.Test.make ~name:"percentile lies within [min, max]" ~count:200
     QCheck.(
@@ -223,6 +243,7 @@ let tests =
     Alcotest.test_case "weighted geomean" `Quick test_weighted_geomean;
     Alcotest.test_case "median" `Quick test_median;
     Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentiles batch" `Quick test_percentiles;
     Alcotest.test_case "round_up_pow2" `Quick test_round_up_pow2;
     Alcotest.test_case "div_ceil" `Quick test_div_ceil;
     Alcotest.test_case "table render" `Quick test_table_render;
