@@ -1,4 +1,4 @@
-.PHONY: all build test bench check check-obs clean
+.PHONY: all build test bench check check-obs check-fault clean
 
 all: build
 
@@ -16,10 +16,16 @@ bench:
 check-obs:
 	dune build @obs-smoke
 
+# Fault smoke: replay the compile service under deterministic seeded
+# fault injection (fixed seed, 20% rate) and fail if any configuration
+# loses, misorders or hangs a response.
+check-fault:
+	dune build @fault-smoke
+
 # Full gate: build everything, run the whole test suite, smoke the CLI
 # (`overgen list` + a small deterministic serve-bench trace), the
-# island-model DSE bench and the observability trace path, and fail if
-# build artifacts ever got committed.
+# island-model DSE bench, the observability trace path and the fault
+# injection scenario, and fail if build artifacts ever got committed.
 check:
 	dune build @check
 	@if [ -n "$$(git ls-files _build)" ]; then \

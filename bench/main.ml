@@ -24,6 +24,7 @@ let experiments =
     ("ablation", no_args Ablation.run);
     ("extensions", no_args Extensions.run);
     ("service", no_args Service_bench.run);
+    ("fault", no_args Fault_bench.run);
     ("obs", no_args Obs_bench.run);
     ("dse", Dse_bench.run);
     ("micro", no_args Micro.run);

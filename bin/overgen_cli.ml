@@ -451,6 +451,7 @@ module Registry = Overgen_service.Registry
 module Cache = Overgen_service.Cache
 module Trace = Overgen_service.Trace
 module Telemetry = Overgen_service.Telemetry
+module Fault = Overgen_fault.Fault
 
 (* A digest of everything mode-independent in the responses: request id,
    success/failure, schedule count, summed II.  Equal digests between a
@@ -473,7 +474,8 @@ let result_digest responses =
 
 let serve_bench_cmd =
   let run requests workers deterministic seed users working_set cache_capacity
-      queue_capacity dse trace_out metrics_out =
+      queue_capacity dse faults fault_seed fault_transient deadline_ms retries
+      trace_out metrics_out =
     let usage what = `Error (false, Printf.sprintf "%s must be positive" what) in
     if requests < 1 then usage "--requests"
     else if (not deterministic) && workers < 1 then usage "--workers"
@@ -481,6 +483,11 @@ let serve_bench_cmd =
     else if working_set < 1 then usage "--working-set"
     else if cache_capacity < 1 then usage "--cache-capacity"
     else if queue_capacity < 1 then usage "--queue-capacity"
+    else if faults < 0.0 || faults > 1.0 then
+      `Error (false, "--faults must be in [0, 1]")
+    else if fault_transient < 0.0 || fault_transient > 1.0 then
+      `Error (false, "--fault-transient must be in [0, 1]")
+    else if retries < 0 then `Error (false, "--retries must be non-negative")
     else begin
     (* the warm replay's service telemetry joins the Prometheus dump *)
     let warm_registry = ref None in
@@ -528,14 +535,40 @@ let serve_bench_cmd =
     let mode =
       if deterministic then Service.Deterministic else Service.Workers workers
     in
-    Printf.printf "mode: %s\n\n"
+    Printf.printf "mode: %s\n"
       (if deterministic then "deterministic (single-threaded)"
        else Printf.sprintf "%d worker domains" workers);
+    let policy =
+      {
+        Service.default_policy with
+        retries;
+        deadline_s = Option.map (fun ms -> ms /. 1000.0) deadline_ms;
+      }
+    in
+    (* Fault injection is armed only around the replays, so registry
+       setup and overlay generation above run fault-free. *)
+    if faults > 0.0 then begin
+      Printf.printf
+        "faults: rate %.2f, transient fraction %.2f, seed %d, retries %d%s\n"
+        faults fault_transient fault_seed retries
+        (match deadline_ms with
+        | Some ms -> Printf.sprintf ", deadline %.0f ms" ms
+        | None -> "");
+      Fault.arm
+        {
+          Fault.default_config with
+          seed = fault_seed;
+          rate = faults;
+          transient_fraction = fault_transient;
+        };
+      Fault.reset_stats ()
+    end;
+    print_newline ();
     let replay ~caching label =
       let svc =
         Service.create ~mode ~queue_capacity ~caching
           ~cache:(Cache.create ~capacity:cache_capacity ())
-          registry
+          ~policy registry
       in
       let t0 = Unix.gettimeofday () in
       let responses = Service.run svc trace in
@@ -559,6 +592,19 @@ let serve_bench_cmd =
     in
     let _, cold_s = replay ~caching:false "cold: cache disabled" in
     let warm_responses, warm_s = replay ~caching:true "warm: schedule cache" in
+    if faults > 0.0 then begin
+      Fault.disarm ();
+      (match Fault.stats () with
+      | [] -> ()
+      | stats ->
+        Printf.printf "fault points (both replays):\n";
+        List.iter
+          (fun (point, visits, injected) ->
+            Printf.printf "  %-26s %6d visits  %5d injected\n" point visits
+              injected)
+          stats;
+        print_newline ())
+    end;
     let failures =
       List.length
         (List.filter
@@ -607,15 +653,47 @@ let serve_bench_cmd =
              ~doc:"Also register one DSE-specialized overlay per suite, explored
                    for $(docv) iterations (0 = general overlay only).")
   in
+  let faults_arg =
+    Arg.(value & opt float 0.0
+         & info [ "faults" ] ~docv:"RATE"
+             ~doc:"Inject seeded faults at every fault point with probability \
+                   $(docv) per visit (0 disables injection; try 0.2).")
+  in
+  let fault_seed_arg =
+    Arg.(value & opt int Fault.default_config.seed
+         & info [ "fault-seed" ] ~docv:"SEED"
+             ~doc:"Fault-injection plan seed; the same seed replays the same \
+                   injections.")
+  in
+  let fault_transient_arg =
+    Arg.(value & opt float Fault.default_config.transient_fraction
+         & info [ "fault-transient" ] ~docv:"FRAC"
+             ~doc:"Fraction of injected faults that are transient (retried, \
+                   never cached) rather than deterministic (cached).")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"MS"
+             ~doc:"Per-request deadline in milliseconds, covering queue wait, \
+                   compute and retries; expired requests are shed.")
+  in
+  let retries_arg =
+    Arg.(value & opt int Service.default_policy.retries
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Transient-failure retry attempts per request.")
+  in
   Cmd.v
     (Cmd.info "serve-bench"
        ~doc:"Replay a synthetic multi-user compile-request trace against the \
              overlay compile service, cold (cache disabled) then warm, and \
-             report throughput, latency percentiles and cache statistics.")
+             report throughput, latency percentiles and cache statistics.  \
+             With $(b,--faults) the replay runs under deterministic seeded \
+             fault injection and reports retry/shed/deadline behaviour.")
     Term.(ret
             (const run $ requests_arg $ workers_arg $ deterministic_arg
              $ seed_arg $ users_arg $ ws_arg $ cache_cap_arg $ queue_cap_arg
-             $ dse_arg $ trace_out_arg $ metrics_out_arg))
+             $ dse_arg $ faults_arg $ fault_seed_arg $ fault_transient_arg
+             $ deadline_arg $ retries_arg $ trace_out_arg $ metrics_out_arg))
 
 let () =
   let doc = "domain-specific FPGA overlay generation (OverGen, MICRO 2022)" in

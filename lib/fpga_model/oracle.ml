@@ -243,6 +243,7 @@ let synthesis_hours ~device res =
   0.3 +. (6.0 *. lu) +. (0.8 *. bu)
 
 let synth_full ?(device = Device.default) (s : Sys_adg.t) =
+  Overgen_fault.Fault.(point Points.oracle_synth);
   let tile_breakdown = accel_breakdown s.adg in
   let tile = Res.sum (List.map snd tile_breakdown) in
   let sys = s.system in

@@ -543,6 +543,7 @@ let widest = function
   | l -> List.fold_left (fun best v -> if v.unroll > best.unroll then v else best) (List.hd l) l
 
 let compile ?(unrolls = default_unrolls) ?(tuned = false) (k : Ir.kernel) =
+  Overgen_fault.Fault.(point Points.mdfg_compile);
   let regions = Kernels.regions_for ~tuned k in
   let per_region =
     List.map

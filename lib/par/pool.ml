@@ -12,7 +12,7 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutable outstanding : int;  (* accepted, not yet completed *)
   mutable stopping : bool;
-  mutable failed : exn option;  (* first job exception, re-raised on drain *)
+  mutable failed : exn list;  (* job exceptions, most recent first *)
   mutable domains : unit Domain.t list;
 }
 
@@ -27,8 +27,15 @@ let pending t =
 
 let record_failure t e =
   Mutex.lock t.m;
-  if t.failed = None then t.failed <- Some e;
+  t.failed <- e :: t.failed;
   Mutex.unlock t.m
+
+let failures t =
+  Mutex.lock t.m;
+  let es = List.rev t.failed in
+  t.failed <- [];
+  Mutex.unlock t.m;
+  es
 
 (* Run one job (exceptions are held, not propagated) and mark it done. *)
 let run_job t job =
@@ -67,7 +74,7 @@ let create ?(queue_capacity = 1024) mode =
       queue = Queue.create ();
       outstanding = 0;
       stopping = false;
-      failed = None;
+      failed = [];
       domains = [];
     }
   in
@@ -109,15 +116,9 @@ let submit_blocking t job =
     Mutex.unlock t.m
   end
 
-let take_failure t =
-  Mutex.lock t.m;
-  let e = t.failed in
-  t.failed <- None;
-  Mutex.unlock t.m;
-  match e with Some e -> raise e | None -> ()
-
-let drain t =
-  (match t.mode with
+(* Complete every accepted job without touching the failure list. *)
+let barrier t =
+  match t.mode with
   | Domains _ ->
     Mutex.lock t.m;
     while t.outstanding > 0 do
@@ -134,20 +135,36 @@ let drain t =
         run_job t job;
         loop ()
     in
-    loop ());
-  take_failure t
+    loop ()
 
-let map t f xs =
+let drain_all t =
+  barrier t;
+  failures t
+
+let drain t =
+  match drain_all t with [] -> () | e :: _ -> raise e
+
+let map_result t f xs =
+  let wrap x = match f x with v -> Ok v | exception e -> Error e in
   match t.mode with
-  | Deterministic -> List.map f xs
+  | Deterministic -> List.map wrap xs
   | Domains _ ->
+    (* Jobs catch into their own slot, so a raising [f] cannot pollute the
+       pool-level failure list or be misattributed to another caller. *)
     let arr = Array.make (List.length xs) None in
-    List.iteri (fun i x -> submit_blocking t (fun () -> arr.(i) <- Some (f x))) xs;
-    drain t;
+    List.iteri (fun i x -> submit_blocking t (fun () -> arr.(i) <- Some (wrap x))) xs;
+    barrier t;
     Array.to_list arr
     |> List.map (function
-         | Some y -> y
-         | None -> invalid_arg "Pool.map: job did not complete")
+         | Some r -> r
+         | None ->
+           (* only possible if a concurrent shutdown discarded the job *)
+           Error (Invalid_argument "Pool.map: job did not complete"))
+
+let map t f xs =
+  List.map
+    (function Ok y -> y | Error e -> raise e)
+    (map_result t f xs)
 
 let shutdown t =
   Mutex.lock t.m;

@@ -38,8 +38,9 @@ val workers : t -> int
 
 val submit : t -> (unit -> unit) -> (unit, error) result
 (** Non-blocking admission of one job.  A job that raises does not kill
-    its worker: the first such exception is held and re-raised by the next
-    {!drain} or {!map}. *)
+    its worker: every such exception is held and surfaced by the next
+    {!drain} (which re-raises the earliest) or {!drain_all} (which
+    returns them all). *)
 
 val pending : t -> int
 (** Jobs accepted but not yet completed (queued or running). *)
@@ -47,14 +48,31 @@ val pending : t -> int
 val drain : t -> unit
 (** [Deterministic]: run every queued job FIFO on the caller's thread
     (including jobs those jobs enqueue).  [Domains]: block until every
-    accepted job has completed.  Re-raises the first job exception, if
-    any. *)
+    accepted job has completed.  Re-raises the earliest-recorded job
+    exception, if any, discarding the rest — use {!drain_all} to recover
+    every failure. *)
+
+val drain_all : t -> exn list
+(** Like {!drain}, but never raises: completes every accepted job and
+    returns all held job exceptions, earliest first (empty when every job
+    succeeded).  Clears the failure list. *)
+
+val failures : t -> exn list
+(** Take (and clear) the job exceptions recorded so far, earliest first,
+    without draining. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Apply [f] to every element and return the results in input order.
-    [Deterministic]: sequential [List.map].  [Domains]: one job per
-    element, blocking (not rejecting) on a full queue, then a {!drain}
-    barrier.  Re-raises the first exception [f] raised. *)
+    Every element is attempted even if an earlier one raises; if any
+    raised, the exception of the {e earliest element in input order} is
+    re-raised (deterministic across modes).  [Domains]: one job per
+    element, blocking (not rejecting) on a full queue, then a barrier.
+    Failures of [f] are confined to the call — they are never mixed into
+    the pool-level failure list seen by {!drain}. *)
+
+val map_result : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Like {!map} but total: each element's outcome is surfaced in place as
+    [Ok y] or [Error exn], in input order, and nothing is re-raised. *)
 
 val shutdown : t -> unit
 (** Stop accepting jobs and join the worker domains.  Idempotent.  Jobs

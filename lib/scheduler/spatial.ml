@@ -42,12 +42,16 @@ let snapshot c =
     s_tag = c.next_tag;
   }
 
+(* The restored tables must be copies: handing the snapshot's own tables
+   to the live context would let subsequent scheduling mutate the
+   snapshot, so a second restore of the same snapshot would resurrect
+   corrupted state instead of the captured one. *)
 let restore c s =
-  c.used_pes <- s.s_pes;
-  c.used_ports <- s.s_ports;
-  c.spad_used <- s.s_spad;
-  c.engine_demand <- s.s_demand;
-  c.link_owner <- s.s_links;
+  c.used_pes <- Hashtbl.copy s.s_pes;
+  c.used_ports <- Hashtbl.copy s.s_ports;
+  c.spad_used <- Hashtbl.copy s.s_spad;
+  c.engine_demand <- Hashtbl.copy s.s_demand;
+  c.link_owner <- Hashtbl.copy s.s_links;
   c.next_tag <- s.s_tag
 
 exception Fail of string
@@ -645,6 +649,7 @@ let schedule_variant ctx (v : Compile.variant) =
     Error msg
 
 let schedule_app sys (c : Compile.compiled) =
+  Overgen_fault.Fault.(point Points.scheduler_schedule_app);
   let ctx = fresh_ctx sys in
   let try_variants region_variants =
     (* Evaluate every variant against the current context and keep the one

@@ -16,6 +16,16 @@ type ctx
 
 val fresh_ctx : Sys_adg.t -> ctx
 
+type snap
+(** An immutable capture of a context's resource usage. *)
+
+val snapshot : ctx -> snap
+
+val restore : ctx -> snap -> unit
+(** Reset [ctx] to the captured state.  The snapshot stays independent of
+    the live context, so one snapshot may be restored any number of
+    times, interleaved with further scheduling. *)
+
 val schedule_variant : ctx -> Compile.variant -> (Schedule.t, string) result
 (** Map one region variant onto the hardware, consuming context resources.
     On failure the context is left unchanged. *)

@@ -1,6 +1,17 @@
 open Overgen_scheduler
+module Fault = Overgen_fault.Fault
 
-type outcome = (Schedule.t list, string) result
+type failure = { reason : string; transient : bool }
+type outcome = (Schedule.t list, failure) result
+
+let deterministic reason = { reason; transient = false }
+let transient reason = { reason; transient = true }
+
+(* Only results that are a property of the (overlay, application) inputs
+   may be remembered: successes and deterministic errors.  A transient
+   failure (timeout, injected fault, flaky infrastructure) must never
+   poison the key — the next request for it recomputes. *)
+let cacheable = function Ok _ -> true | Error f -> not f.transient
 
 type t = {
   lru : (string, outcome) Lru.t;
@@ -31,13 +42,16 @@ let find t k =
   r
 
 let add t k v =
-  Mutex.lock t.m;
-  Lru.add t.lru k v;
-  Mutex.unlock t.m
+  if cacheable v then begin
+    Mutex.lock t.m;
+    Lru.add t.lru k v;
+    Mutex.unlock t.m
+  end
 
 (* With t.m held: either the cached outcome, or the right to compute it.
    Waiting re-checks after every resolution broadcast; if the entry was
-   already evicted by then, the waiter simply computes it itself. *)
+   already evicted by then — or the computing thread raised and stored
+   nothing — the waiter simply computes it itself. *)
 let rec acquire t k =
   match Lru.find t.lru k with
   | Some outcome -> `Hit outcome
@@ -70,12 +84,15 @@ let find_or_compute t k compute =
           Mutex.unlock t.m)
         (fun () ->
           let outcome = compute () in
-          Overgen_obs.Obs.Span.with_span "cache_store"
-            ~attrs:[ ("key", String.sub k 0 (min 12 (String.length k))) ]
-          @@ fun () ->
-          Mutex.lock t.m;
-          Lru.add t.lru k outcome;
-          Mutex.unlock t.m;
+          if cacheable outcome then begin
+            Fault.point Fault.Points.cache_store;
+            Overgen_obs.Obs.Span.with_span "cache_store"
+              ~attrs:[ ("key", String.sub k 0 (min 12 (String.length k))) ]
+            @@ fun () ->
+            Mutex.lock t.m;
+            Lru.add t.lru k outcome;
+            Mutex.unlock t.m
+          end;
           outcome)
     in
     (outcome, false)
@@ -106,4 +123,15 @@ let hit_rate s =
   let total = s.hits + s.misses in
   if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
 
-let hooks t = { Overgen.lookup = find t; store = add t }
+(* Core errors surfaced through the hooks are scheduling verdicts — a
+   property of the inputs — so they map to deterministic failures. *)
+let hooks t =
+  {
+    Overgen.lookup =
+      (fun k ->
+        match find t k with
+        | Some (Ok s) -> Some (Ok s)
+        | Some (Error f) -> Some (Error f.reason)
+        | None -> None);
+    store = (fun k r -> add t k (Result.map_error deterministic r));
+  }

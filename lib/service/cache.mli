@@ -3,20 +3,38 @@
     Keys are content addresses: a sysADG structural fingerprint
     ({!Overgen_adg.Serial.fingerprint}) joined with an mDFG content hash
     ({!Overgen_mdfg.Compile.hash_compiled}).  Values are scheduling
-    outcomes — failures are cached too (negative caching), so a kernel that
-    cannot map onto an overlay is rejected from the cache instead of
-    re-running the scheduler on every retry.
+    outcomes with a typed failure taxonomy:
+    - [Ok schedules] and {e deterministic} errors (a kernel that cannot
+      map onto an overlay) are properties of the inputs and are cached —
+      negative caching stops the scheduler re-running on every retry of an
+      unmappable kernel;
+    - {e transient} failures (injected faults, flaky infrastructure) are
+      {b never} stored, so one hiccup cannot poison a key forever: the
+      next request recomputes.
 
     Capacity is bounded with LRU eviction.  All operations are
     thread-safe; {!find_or_compute} additionally coalesces concurrent
     requests for the same key so the spatial scheduler runs at most once
     per key no matter how many workers race on it — which also makes
     hit/miss totals identical between the deterministic and parallel
-    service modes. *)
+    service modes.  If the computing thread raises, the key's pending
+    mark is cleared and the blocked waiters recompute instead of
+    deadlocking. *)
 
 open Overgen_scheduler
 
-type outcome = (Schedule.t list, string) result
+type failure = { reason : string; transient : bool }
+
+type outcome = (Schedule.t list, failure) result
+
+val deterministic : string -> failure
+(** An input-determined failure: cacheable. *)
+
+val transient : string -> failure
+(** A retryable failure: never cached. *)
+
+val cacheable : outcome -> bool
+(** [Ok _] or a non-transient [Error _]. *)
 
 type t
 
@@ -31,12 +49,16 @@ val find : t -> string -> outcome option
 (** Counted lookup: a [Some] is a hit, a [None] a miss. *)
 
 val add : t -> string -> outcome -> unit
+(** Store a {!cacheable} outcome; silently drops transient failures. *)
 
 val find_or_compute : t -> string -> (unit -> outcome) -> outcome * bool
 (** [find_or_compute t key compute] returns the cached outcome (flag
-    [true]) or runs [compute], stores its outcome and returns it (flag
-    [false]).  If another thread is already computing [key], blocks until
-    that computation resolves and returns its outcome as a hit. *)
+    [true]) or runs [compute], stores its outcome if {!cacheable} and
+    returns it (flag [false]).  If another thread is already computing
+    [key], blocks until that computation resolves and returns its outcome
+    as a hit.  An exception from [compute] propagates to the caller after
+    clearing the key's pending mark (waiters then recompute); nothing is
+    stored.  Visits the [cache.store] fault point before storing. *)
 
 type stats = {
   hits : int;
@@ -53,4 +75,5 @@ val hit_rate : stats -> float
 
 val hooks : t -> Overgen.cache_hooks
 (** Adapt the cache to the core API: pass as [Overgen.compile_opts.cache]
-    to {!Overgen.compile} / {!Overgen.run}. *)
+    to {!Overgen.compile} / {!Overgen.run}.  Errors stored through the
+    hooks are scheduling verdicts, hence deterministic and cached. *)

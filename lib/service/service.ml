@@ -2,6 +2,8 @@ open Overgen_workload
 module Compile = Overgen_mdfg.Compile
 module Pool = Overgen_par.Pool
 module Obs = Overgen_obs.Obs
+module Fault = Overgen_fault.Fault
+module Rng = Overgen_util.Rng
 
 type mode = Deterministic | Workers of int
 
@@ -17,13 +19,34 @@ type error =
   | Unknown_overlay of string
   | Queue_full
   | Compile_error of string
+  | Transient_failure of string
+  | Deadline_exceeded
   | Shutdown
 
 let error_to_string = function
   | Unknown_overlay name -> Printf.sprintf "unknown overlay %S" name
   | Queue_full -> "queue full (admission rejected)"
   | Compile_error e -> "compile error: " ^ e
+  | Transient_failure e -> "transient failure (retries exhausted): " ^ e
+  | Deadline_exceeded -> "deadline exceeded"
   | Shutdown -> "service is shut down"
+
+type policy = {
+  deadline_s : float option;
+  retries : int;
+  backoff_s : float;
+  backoff_seed : int;
+  admission_timeout_s : float option;
+}
+
+let default_policy =
+  {
+    deadline_s = None;
+    retries = 2;
+    backoff_s = 0.001;
+    backoff_seed = 0;
+    admission_timeout_s = Some 30.0;
+  }
 
 type response = {
   request : request;
@@ -39,6 +62,7 @@ type t = {
   queue_wait : Overgen_obs.Metrics.histogram;
       (* admission-to-processing wait, on the telemetry registry *)
   mode : mode;
+  policy : policy;
   pool : Pool.t;
   resp_m : Mutex.t;
   mutable responses : response list;
@@ -67,9 +91,30 @@ let memoized_compile t (k : Ir.kernel) tuned =
     Mutex.unlock t.memo_m;
     cc
 
+let fault_message = function
+  | Fault.Injected _ as e -> Fault.describe e
+  | e -> Printexc.to_string e
+
+(* Seeded exponential backoff with full jitter: deterministic in
+   (backoff_seed, request id, attempt), independent of domain timing. *)
+let backoff_pause t req attempt =
+  let r =
+    Rng.of_string
+      (Printf.sprintf "backoff:%d:%d:%d" t.policy.backoff_seed req.id attempt)
+  in
+  let exp = t.policy.backoff_s *. (2.0 ** float_of_int attempt) in
+  let d = Float.min 0.05 ((exp /. 2.0) +. Rng.float r (exp /. 2.0)) in
+  if d > 0.0 then Unix.sleepf d
+
 (* One request's processing lifecycle, traced as a "request" span with
    the queue wait ([submitted_at] to now) and outcome as attributes, and
-   the compile itself as a nested "compile_schedule" span. *)
+   the compile itself as a nested "compile_schedule" span.
+
+   Failure is a first-class code path here: an exception anywhere in the
+   resolve — a raising compiler, scheduler or cache store, injected or
+   genuine — is confined to this request.  Transient failures are retried
+   under the policy's budget with seeded exponential backoff; everything
+   else becomes an [Error] response for this request alone. *)
 let process t ~submitted_at req =
   let t0 = Unix.gettimeofday () in
   Overgen_obs.Metrics.observe t.queue_wait (t0 -. submitted_at);
@@ -83,7 +128,13 @@ let process t ~submitted_at req =
         ("queue_wait_ms", Printf.sprintf "%.3f" ((t0 -. submitted_at) *. 1000.0));
       ]
   @@ fun () ->
-  let result, cache_hit =
+  let past_deadline now =
+    match t.policy.deadline_s with
+    | Some d -> now -. submitted_at > d
+    | None -> false
+  in
+  let resolve () =
+    Fault.point Fault.Points.service_process;
     match Registry.find t.registry req.overlay with
     | None -> (Error (Unknown_overlay req.overlay), false)
     | Some entry -> (
@@ -96,15 +147,53 @@ let process t ~submitted_at req =
             entry.overlay compiled
         with
         | Ok c -> Ok c.Overgen.schedules
-        | Error e -> Error e
+        | Error e -> Error (Cache.deterministic e)
+        | exception (Fault.Injected { kind = Fault.Deterministic; _ } as e) ->
+          (* input-determined by construction: cache it like any other
+             deterministic compile verdict *)
+          Error (Cache.deterministic (fault_message e))
       in
-      let lift = function Ok s -> Ok s | Error e -> Error (Compile_error e) in
+      let lift = function
+        | Ok s -> Ok s
+        | Error (f : Cache.failure) ->
+          Error
+            (if f.transient then Transient_failure f.reason
+             else Compile_error f.reason)
+      in
       match t.cache_ with
       | None -> (lift (compute ()), false)
       | Some c ->
         let key = Cache.key ~fingerprint:entry.fingerprint ~variant_hash:chash in
         let outcome, hit = Cache.find_or_compute c key compute in
         (lift outcome, hit))
+  in
+  let rec attempt n =
+    match resolve () with
+    | v -> v
+    | exception e ->
+      Telemetry.record_fault t.telemetry_;
+      if Fault.is_transient e then
+        if past_deadline (Unix.gettimeofday ()) then begin
+          Telemetry.record_deadline t.telemetry_;
+          (Error Deadline_exceeded, false)
+        end
+        else if n < t.policy.retries then begin
+          Telemetry.record_retry t.telemetry_;
+          backoff_pause t req n;
+          attempt (n + 1)
+        end
+        else (Error (Transient_failure (fault_message e)), false)
+      else
+        (* non-transient: retrying cannot help, isolate and answer *)
+        (Error (Compile_error (fault_message e)), false)
+  in
+  let result, cache_hit =
+    if past_deadline t0 then begin
+      (* the whole budget went to queueing: shed without compiling *)
+      Telemetry.record_deadline t.telemetry_;
+      (Error Deadline_exceeded, false)
+    end
+    else attempt 0
   in
   let service_s = Unix.gettimeofday () -. t0 in
   let outcome =
@@ -129,9 +218,28 @@ let complete t resp =
   t.responses <- resp :: t.responses;
   Mutex.unlock t.resp_m
 
+(* Last-resort isolation: even if [process] itself raises, the batch gets
+   its response and the other in-flight requests are untouched. *)
+let job t ~submitted_at req () =
+  let resp =
+    try process t ~submitted_at req
+    with e ->
+      Telemetry.record_fault t.telemetry_;
+      Telemetry.record t.telemetry_ Telemetry.Failed ~service_s:0.0;
+      {
+        request = req;
+        result = Error (Compile_error (fault_message e));
+        cache_hit = false;
+        service_s = 0.0;
+      }
+  in
+  complete t resp
+
 let create ?(mode = Deterministic) ?(queue_capacity = 1024) ?(caching = true)
-    ?cache registry =
+    ?cache ?(policy = default_policy) registry =
   if queue_capacity < 1 then invalid_arg "Service.create: queue_capacity < 1";
+  if policy.retries < 0 then invalid_arg "Service.create: retries < 0";
+  if policy.backoff_s < 0.0 then invalid_arg "Service.create: backoff_s < 0";
   let pool_mode =
     match mode with
     | Deterministic -> Pool.Deterministic
@@ -154,6 +262,7 @@ let create ?(mode = Deterministic) ?(queue_capacity = 1024) ?(caching = true)
         "overgen_service_queue_wait_seconds"
         ~help:"admission-to-processing wait";
     mode;
+    policy;
     pool = Pool.create ~queue_capacity pool_mode;
     resp_m = Mutex.create ();
     responses = [];
@@ -163,9 +272,7 @@ let create ?(mode = Deterministic) ?(queue_capacity = 1024) ?(caching = true)
 
 let submit t req =
   let submitted_at = Unix.gettimeofday () in
-  match
-    Pool.submit t.pool (fun () -> complete t (process t ~submitted_at req))
-  with
+  match Pool.submit t.pool (job t ~submitted_at req) with
   | Ok () -> Ok ()
   | Error Pool.Saturated ->
     Telemetry.record_rejection t.telemetry_;
@@ -175,7 +282,9 @@ let submit t req =
 let by_id a b = compare a.request.id b.request.id
 
 let drain t =
-  Pool.drain t.pool;
+  (* jobs never raise (isolation above), so any residue here is a bug in
+     the service itself — surface it rather than hide it *)
+  (match Pool.drain_all t.pool with [] -> () | e :: _ -> raise e);
   Mutex.lock t.resp_m;
   let rs = t.responses in
   t.responses <- [];
@@ -186,23 +295,34 @@ let run t reqs =
   let collected = ref [] in
   List.iter
     (fun req ->
-      let rec admit () =
+      let give_up err =
+        collected :=
+          { request = req; result = Error err; cache_hit = false; service_s = 0.0 }
+          :: !collected
+      in
+      (* Admission control: [Deterministic] drains in place (single
+         thread, the queue can always be emptied); [Workers] waits with
+         escalating pauses up to the policy's admission timeout, then
+         sheds the request instead of spinning forever. *)
+      let rec admit waited pause =
         match submit t req with
         | Ok () -> ()
         | Error Queue_full -> (
           match t.mode with
           | Deterministic ->
             collected := drain t @ !collected;
-            admit ()
-          | Workers _ ->
-            Unix.sleepf 0.0002;
-            admit ())
-        | Error e ->
-          collected :=
-            { request = req; result = Error e; cache_hit = false; service_s = 0.0 }
-            :: !collected
+            admit waited pause
+          | Workers _ -> (
+            match t.policy.admission_timeout_s with
+            | Some limit when waited >= limit ->
+              Telemetry.record_shed t.telemetry_;
+              give_up Queue_full
+            | _ ->
+              Unix.sleepf pause;
+              admit (waited +. pause) (Float.min (pause *. 2.0) 0.005)))
+        | Error e -> give_up e
       in
-      admit ())
+      admit 0.0 0.0002)
     reqs;
   List.sort by_id (drain t @ !collected)
 

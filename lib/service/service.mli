@@ -19,6 +19,17 @@
       computations of one key, so the responses and the hit/miss totals
       match the deterministic mode for the same request list.
 
+    {b Fault tolerance.}  Failure is per-request, never per-batch: an
+    exception anywhere in a request's processing (compiler, scheduler,
+    cache store — injected by {!Overgen_fault.Fault} or genuine) becomes
+    an [Error] response for that request while every other in-flight
+    request completes normally, and {!run} always returns exactly one
+    response per request.  A {!policy} adds per-request deadlines
+    (expired requests are shed with {!Deadline_exceeded}), seeded
+    exponential-backoff retries for transient failures, and a bounded
+    admission wait in {!run} that sheds with {!Queue_full} instead of
+    spinning forever.  Transient failures are never cached.
+
     Admission is bounded: {!submit} rejects with {!Queue_full} when
     [queue_capacity] requests are already waiting (backpressure), and the
     rejection is counted in {!Telemetry}. *)
@@ -37,11 +48,36 @@ type request = {
 
 type error =
   | Unknown_overlay of string
-  | Queue_full        (** backpressure: admission rejected *)
+  | Queue_full            (** backpressure: admission rejected or shed *)
   | Compile_error of string
+      (** deterministic failure: a scheduling verdict, a deterministic
+          injected fault, or an isolated unexpected exception *)
+  | Transient_failure of string
+      (** a transient fault survived every retry the policy allowed *)
+  | Deadline_exceeded     (** the request's deadline expired *)
   | Shutdown
 
 val error_to_string : error -> string
+
+(** The fault-tolerance policy of a service instance.  The defaults are
+    inert: no deadline, and the retry machinery only engages when a
+    transient failure actually occurs, so a fault-free run behaves
+    exactly like a service without a policy. *)
+type policy = {
+  deadline_s : float option;
+      (** per-request budget measured from submission, covering queue
+          wait, compute and retries; [None] (default) disables it *)
+  retries : int;  (** transient retry attempts after the first try; 2 *)
+  backoff_s : float;
+      (** base backoff before retry [n] of [backoff_s * 2^n] with seeded
+          full jitter, capped at 50 ms; 1 ms *)
+  backoff_seed : int;  (** jitter seed, for reproducible timing; 0 *)
+  admission_timeout_s : float option;
+      (** [Workers] mode: how long {!run} may wait for queue space before
+          shedding the request as {!Queue_full}; 30 s *)
+}
+
+val default_policy : policy
 
 type response = {
   request : request;
@@ -57,13 +93,15 @@ val create :
   ?queue_capacity:int ->
   ?caching:bool ->
   ?cache:Cache.t ->
+  ?policy:policy ->
   Registry.t ->
   t
 (** [mode] defaults to [Deterministic]; [queue_capacity] to 1024 pending
     requests; [caching:false] disables the schedule cache entirely (every
     request runs the scheduler — the cold baseline); [cache] supplies a
-    shared cache instance instead of the default fresh 1024-entry one.
-    Under [Workers n] the domains are spawned immediately. *)
+    shared cache instance instead of the default fresh 1024-entry one;
+    [policy] defaults to {!default_policy}.  Under [Workers n] the
+    domains are spawned immediately. *)
 
 val submit : t -> request -> (unit, error) result
 (** Non-blocking admission; [Error Queue_full] when the queue is at
@@ -72,12 +110,14 @@ val submit : t -> request -> (unit, error) result
 val drain : t -> response list
 (** Process ([Deterministic]) or await ([Workers]) everything accepted so
     far; returns the completed responses sorted by request id and clears
-    them from the service. *)
+    them from the service.  Request failures never surface here — they
+    are isolated into [Error] responses. *)
 
 val run : t -> request list -> response list
 (** Replay a whole trace: submit every request — on [Queue_full],
-    draining ([Deterministic]) or backing off ([Workers]) until admitted —
-    then drain.  Responses sorted by request id. *)
+    draining ([Deterministic]) or waiting up to the policy's admission
+    timeout before shedding ([Workers]) — then drain.  Returns exactly
+    one response per request, sorted by request id. *)
 
 val telemetry : t -> Telemetry.t
 val cache : t -> Cache.t option

@@ -14,6 +14,10 @@ type t = {
   uncached : Metrics.counter;
   failures : Metrics.counter;
   rejections : Metrics.counter;
+  faults : Metrics.counter;
+  retries : Metrics.counter;
+  shed : Metrics.counter;
+  deadlines : Metrics.counter;
   latency : Metrics.histogram;
   mutable latencies_s : float list;
   m : Mutex.t;
@@ -37,6 +41,18 @@ let create () =
     rejections =
       Metrics.counter reg "overgen_service_rejections_total"
         ~help:"admission rejections (queue full)";
+    faults =
+      Metrics.counter reg "overgen_service_faults_total"
+        ~help:"exceptions observed while processing (isolated per request)";
+    retries =
+      Metrics.counter reg "overgen_service_retries_total"
+        ~help:"transient-failure retry attempts";
+    shed =
+      Metrics.counter reg "overgen_service_shed_total"
+        ~help:"requests load-shed after the bounded admission wait";
+    deadlines =
+      Metrics.counter reg "overgen_service_deadline_exceeded_total"
+        ~help:"requests abandoned because their deadline expired";
     latency =
       Metrics.histogram reg "overgen_service_latency_seconds"
         ~help:"request service time, excluding queue wait";
@@ -59,6 +75,10 @@ let record t outcome ~service_s =
   Mutex.unlock t.m
 
 let record_rejection t = Metrics.incr t.rejections
+let record_fault t = Metrics.incr t.faults
+let record_retry t = Metrics.incr t.retries
+let record_shed t = Metrics.incr t.shed
+let record_deadline t = Metrics.incr t.deadlines
 
 type snapshot = {
   requests : int;
@@ -67,6 +87,10 @@ type snapshot = {
   uncached : int;
   failures : int;
   rejections : int;
+  faults : int;
+  retries : int;
+  shed : int;
+  deadlines : int;
   mean_ms : float;
   p50_ms : float;
   p90_ms : float;
@@ -97,6 +121,10 @@ let snapshot t =
     uncached;
     failures;
     rejections = Metrics.counter_value t.rejections;
+    faults = Metrics.counter_value t.faults;
+    retries = Metrics.counter_value t.retries;
+    shed = Metrics.counter_value t.shed;
+    deadlines = Metrics.counter_value t.deadlines;
     mean_ms =
       (if Array.length ms = 0 then 0.0
        else Array.fold_left ( +. ) 0.0 ms /. float_of_int (Array.length ms));
@@ -120,6 +148,11 @@ let report ?(label = "") ~wall_s s =
     s.requests s.hits s.misses s.uncached s.failures;
   if s.hits + s.misses > 0 then line "hit rate    %6.1f %%" (100.0 *. hit_rate s);
   line "rejections  %6d" s.rejections;
+  (* the fault-tolerance line only appears once failure paths were hit, so
+     fault-free reports render exactly as they always did *)
+  if s.faults + s.retries + s.shed + s.deadlines > 0 then
+    line "faults      %6d   (retries %d, shed %d, deadline-exceeded %d)"
+      s.faults s.retries s.shed s.deadlines;
   line "latency      p50 %.3f ms   p90 %.3f ms   p99 %.3f ms   mean %.3f ms   max %.3f ms"
     s.p50_ms s.p90_ms s.p99_ms s.mean_ms s.max_ms;
   if wall_s > 0.0 then

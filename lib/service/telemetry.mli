@@ -32,6 +32,19 @@ val record : t -> outcome -> service_s:float -> unit
 val record_rejection : t -> unit
 (** Record one admission rejection (queue full). *)
 
+val record_fault : t -> unit
+(** Record one exception observed while processing a request (isolated —
+    the request still gets exactly one response). *)
+
+val record_retry : t -> unit
+(** Record one transient-failure retry attempt. *)
+
+val record_shed : t -> unit
+(** Record one request load-shed after the bounded admission wait. *)
+
+val record_deadline : t -> unit
+(** Record one request abandoned because its deadline expired. *)
+
 type snapshot = {
   requests : int;  (** completed; hits + misses + uncached + failures *)
   hits : int;
@@ -39,6 +52,10 @@ type snapshot = {
   uncached : int;
   failures : int;
   rejections : int;
+  faults : int;  (** exceptions observed (each request still answered) *)
+  retries : int;
+  shed : int;
+  deadlines : int;
   mean_ms : float;
   p50_ms : float;
   p90_ms : float;

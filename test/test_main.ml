@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.tests);
       ("par", Test_par.tests);
+      ("fault", Test_fault.tests);
       ("adg", Test_adg.tests);
       ("workload", Test_workload.tests);
       ("mdfg", Test_mdfg.tests);

@@ -84,6 +84,51 @@ let test_exception_propagates () =
       Pool.shutdown p)
     [ Pool.Deterministic; Pool.Domains 2 ]
 
+exception BoomN of int
+
+(* Several jobs fail in one batch: map_result must attribute each failure
+   to its own slot, map must raise the first error in *input* order, and
+   drain_all must hand back every recorded failure, oldest first. *)
+let test_multi_failure_results () =
+  let work i = if i = 1 || i = 4 || i = 6 then raise (BoomN i) else 10 * i in
+  List.iter
+    (fun mode ->
+      let p = Pool.create mode in
+      let out = Pool.map_result p work [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+      let show = function
+        | Ok v -> string_of_int v
+        | Error (BoomN i) -> Printf.sprintf "boom%d" i
+        | Error e -> Printexc.to_string e
+      in
+      Alcotest.(check (list string))
+        "per-slot results"
+        [ "0"; "boom1"; "20"; "30"; "boom4"; "50"; "boom6"; "70" ]
+        (List.map show out);
+      (* map raises the first failure in input order, both modes. *)
+      (match Pool.map p work [ 0; 1; 2; 3; 4; 5; 6; 7 ] with
+      | _ -> Alcotest.fail "map should raise"
+      | exception BoomN 1 -> ()
+      | exception e ->
+        Alcotest.failf "map raised %s, wanted BoomN 1" (Printexc.to_string e));
+      (* map failures never leak into the pool-level failure list *)
+      Pool.drain p;
+      (* submit-level failures are all retained, oldest first *)
+      List.iter
+        (fun i ->
+          match Pool.submit p (fun () -> raise (BoomN i)) with
+          | Ok () -> ()
+          | Error _ -> Alcotest.fail "submit rejected")
+        [ 1; 4; 6 ];
+      let failed = Pool.drain_all p in
+      Alcotest.(check (list string))
+        "drain_all keeps every failure, oldest first"
+        [ "boom1"; "boom4"; "boom6" ]
+        (List.map (fun e -> show (Error e)) failed);
+      Alcotest.(check int) "failures consumed" 0
+        (List.length (Pool.drain_all p));
+      Pool.shutdown p)
+    [ Pool.Deterministic; Pool.Domains 4 ]
+
 let test_domains_match_deterministic () =
   let work i = (i * 37) mod 101 in
   let input = List.init 500 (fun i -> i) in
@@ -122,6 +167,7 @@ let tests =
     Alcotest.test_case "map order (domains)" `Quick (fun () ->
         test_map_orders (Pool.Domains 4));
     Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "multi-failure results" `Quick test_multi_failure_results;
     Alcotest.test_case "domains match deterministic" `Quick
       test_domains_match_deterministic;
     Alcotest.test_case "workers + validation" `Quick test_workers_width;

@@ -259,10 +259,45 @@ let prop_schedule_deterministic =
           a b
       | _ -> false)
 
+(* Regression: [Spatial.restore] used to alias the snapshot's usage
+   tables into the live context, so scheduling after a restore corrupted
+   the snapshot and a second restore resurrected the corrupted state.
+   Restoring the same snapshot twice must reproduce identical schedules. *)
+let test_double_restore () =
+  let sys = general () in
+  let compiled = Compile.compile ~tuned:false (Kernels.find "fir") in
+  let variant =
+    match compiled.Compile.per_region with
+    | (v :: _) :: _ -> v
+    | _ -> Alcotest.fail "fir compiled to no variants"
+  in
+  let ctx = Spatial.fresh_ctx sys in
+  let snap = Spatial.snapshot ctx in
+  let attempt tag =
+    match Spatial.schedule_variant ctx variant with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "%s schedule failed: %s" tag e
+  in
+  let s1 = attempt "first" in
+  Spatial.restore ctx snap;
+  let s2 = attempt "after first restore" in
+  Spatial.restore ctx snap;
+  let s3 = attempt "after second restore" in
+  let same tag (a : Schedule.t) (b : Schedule.t) =
+    Alcotest.(check int) (tag ^ ": same ii") a.ii b.ii;
+    Alcotest.(check bool)
+      (tag ^ ": same placements")
+      true
+      (Schedule.Imap.equal ( = ) a.inst_pe b.inst_pe)
+  in
+  same "restore 1" s1 s2;
+  same "restore 2" s1 s3
+
 let tests =
   [
     Alcotest.test_case "all kernels schedule on general" `Quick
       test_all_kernels_schedule_on_general;
+    Alcotest.test_case "double restore" `Quick test_double_restore;
     Alcotest.test_case "schedules validate" `Quick test_schedules_validate;
     Alcotest.test_case "dedicated PEs" `Quick test_dedicated_pes;
     Alcotest.test_case "ports not shared" `Quick test_ports_not_shared_across_regions;

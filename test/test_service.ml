@@ -15,6 +15,8 @@ module Schedule = Overgen_scheduler.Schedule
 module Oracle = Overgen_fpga.Oracle
 module Mutate = Overgen_dse.Mutate
 module Rng = Overgen_util.Rng
+module Fault = Overgen_fault.Fault
+module Pool = Overgen_par.Pool
 
 let model = lazy (Overgen.train_model ~seed:21 ())
 
@@ -97,6 +99,80 @@ let test_cache_counting_and_coalescing () =
   Alcotest.(check int) "hits" 1 s.hits;
   Alcotest.(check int) "misses" 2 s.misses;
   Alcotest.(check (float 1e-9)) "hit rate" (1.0 /. 3.0) (Cache.hit_rate s)
+
+(* Regression: transient failures must never be stored.  A key that
+   failed once with a transient error recovers on the next request, while
+   deterministic failures stay negatively cached. *)
+let test_cache_failure_taxonomy () =
+  let c = Cache.create ~capacity:8 () in
+  let k = Cache.key ~fingerprint:"f" ~variant_hash:"v" in
+  let runs = ref 0 in
+  let flaky_then_ok () =
+    incr runs;
+    if !runs = 1 then Error (Cache.transient "flaky link") else Ok []
+  in
+  (match Cache.find_or_compute c k flaky_then_ok with
+  | Error { transient = true; _ }, false -> ()
+  | _ -> Alcotest.fail "first call should report the transient failure");
+  Alcotest.(check int) "transient outcome not stored" 0 (Cache.stats c).entries;
+  (* the key recovers: the next request recomputes and succeeds *)
+  (match Cache.find_or_compute c k flaky_then_ok with
+  | Ok [], false -> ()
+  | _ -> Alcotest.fail "second call should recompute and succeed");
+  Alcotest.(check int) "compute ran twice" 2 !runs;
+  let _, hit = Cache.find_or_compute c k flaky_then_ok in
+  Alcotest.(check bool) "success now cached" true hit;
+  Alcotest.(check int) "no third run" 2 !runs;
+  (* deterministic failures are a property of the inputs: cached *)
+  let k2 = Cache.key ~fingerprint:"f" ~variant_hash:"w" in
+  let det () = Error (Cache.deterministic "kernel cannot map") in
+  ignore (Cache.find_or_compute c k2 det);
+  (match Cache.find_or_compute c k2 (fun () -> Alcotest.fail "negative hit") with
+  | Error { transient = false; _ }, true -> ()
+  | _ -> Alcotest.fail "deterministic failure should be a negative hit");
+  Alcotest.(check int) "both cacheable outcomes stored" 2 (Cache.stats c).entries;
+  (* add silently drops transients too *)
+  let k3 = Cache.key ~fingerprint:"f" ~variant_hash:"x" in
+  Cache.add c k3 (Error (Cache.transient "drop me"));
+  Alcotest.(check (option bool)) "transient add dropped" None
+    (Option.map Result.is_ok (Cache.find c k3))
+
+(* Request coalescing when the computing thread raises: the waiters must
+   recompute (not deadlock), the key's pending mark must clear, and the
+   exception must reach only the thread whose compute raised. *)
+let test_coalescing_raising_computer () =
+  let c = Cache.create ~capacity:8 () in
+  let k = Cache.key ~fingerprint:"f" ~variant_hash:"v" in
+  let first = Atomic.make true in
+  let runs = Atomic.make 0 in
+  let compute () =
+    Atomic.incr runs;
+    if Atomic.compare_and_set first true false then
+      raise (Fault.Injected { point = "test"; kind = Fault.Transient })
+    else Ok []
+  in
+  let pool = Pool.create (Pool.Domains 4) in
+  let results =
+    Pool.map_result pool
+      (fun _ -> Cache.find_or_compute c k compute)
+      (List.init 8 Fun.id)
+  in
+  Pool.shutdown pool;
+  let errs, oks =
+    List.fold_left
+      (fun (e, o) -> function
+        | Error (Fault.Injected _) -> (e + 1, o)
+        | Ok (Ok [], _) -> (e, o + 1)
+        | Error exn -> Alcotest.failf "unexpected: %s" (Printexc.to_string exn)
+        | Ok _ -> Alcotest.fail "unexpected outcome shape")
+      (0, 0) results
+  in
+  Alcotest.(check int) "exactly the raiser fails" 1 errs;
+  Alcotest.(check int) "every waiter recovers" 7 oks;
+  Alcotest.(check int) "compute ran exactly twice" 2 (Atomic.get runs);
+  (* pending cleared: a fresh caller hits the stored success instantly *)
+  let _, hit = Cache.find_or_compute c k (fun () -> Alcotest.fail "must hit") in
+  Alcotest.(check bool) "pending mark cleared, key cached" true hit
 
 (* The cache-correctness satellite: any schedule list served out of the
    cache must still validate against the sysADG of the overlay whose
@@ -197,6 +273,132 @@ let test_workers_match_deterministic () =
   (* compute-once coalescing makes the totals mode-independent *)
   Alcotest.(check int) "same miss total" det_stats.misses par_stats.misses;
   Alcotest.(check int) "same hit total" det_stats.hits par_stats.hits
+
+(* ---------------- fault tolerance ---------------- *)
+
+(* The tentpole invariant: under injected faults at Workers 4, the
+   service still answers exactly one response per request — faulted
+   requests as [Error], never by taking down the batch. *)
+let test_faults_isolated_per_request () =
+  let o = Lazy.force general in
+  let registry = Registry.create () in
+  (match Registry.register registry ~name:"general" o with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let spec =
+    Trace.spec ~seed:13 ~requests:60 ~users:4 ~working_set:2
+      ~overlays:[ ("general", Kernels.all) ]
+      ()
+  in
+  let trace = Trace.generate spec in
+  let svc =
+    Service.create ~mode:(Service.Workers 4)
+      ~policy:{ Service.default_policy with retries = 1 }
+      ~caching:true registry
+  in
+  let responses =
+    Fault.with_faults
+      { Fault.default_config with seed = 17; rate = 0.2 }
+      (fun () -> Service.run svc trace)
+  in
+  Service.shutdown svc;
+  Alcotest.(check int) "one response per request" 60 (List.length responses);
+  List.iteri
+    (fun i (r : Service.response) ->
+      Alcotest.(check int) "ids cover the trace in order" i r.request.id;
+      match r.result with
+      | Ok scheds -> Alcotest.(check bool) "ok is real" true (scheds <> [])
+      | Error (Service.Transient_failure _ | Service.Compile_error _) -> ()
+      | Error e ->
+        Alcotest.failf "request %d: unexpected error %s" i
+          (Service.error_to_string e))
+    responses;
+  let snap = Telemetry.snapshot (Service.telemetry svc) in
+  Alcotest.(check int) "telemetry saw every request" 60 snap.requests;
+  Alcotest.(check bool) "faults were actually injected" true (snap.faults > 0);
+  Alcotest.(check bool) "injection really happened" true
+    (Fault.injected_total () > 0)
+
+(* A transient fault on the first attempt, clean second attempt: the
+   retry policy must absorb it into an [Ok] response. *)
+let test_retry_recovers () =
+  let pt = Fault.Points.service_process in
+  let cfg_of seed =
+    { Fault.default_config with seed; rate = 0.3; points = [ pt ] }
+  in
+  (* the plan is pure, so we can search for a seed that injects exactly
+     on the first visit of the service fault point *)
+  let rec find seed =
+    if seed > 10_000 then Alcotest.fail "no suitable seed in range"
+    else
+      let cfg = cfg_of seed in
+      if
+        Fault.would_inject cfg pt 0 = Some Fault.Transient
+        && Fault.would_inject cfg pt 1 = None
+      then cfg
+      else find (seed + 1)
+  in
+  let cfg = find 0 in
+  let o = Lazy.force general in
+  let registry = Registry.create () in
+  (match Registry.register registry ~name:"general" o with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let svc = Service.create ~caching:true registry in
+  let req =
+    { Service.id = 0; user = "u"; overlay = "general";
+      kernel = Kernels.find "fir"; tuned = false }
+  in
+  let responses = Fault.with_faults cfg (fun () -> Service.run svc [ req ]) in
+  (match responses with
+  | [ { result = Ok _; _ } ] -> ()
+  | [ { result = Error e; _ } ] ->
+    Alcotest.failf "retry did not recover: %s" (Service.error_to_string e)
+  | _ -> Alcotest.fail "expected exactly one response");
+  let snap = Telemetry.snapshot (Service.telemetry svc) in
+  Alcotest.(check int) "one fault recorded" 1 snap.faults;
+  Alcotest.(check int) "one retry recorded" 1 snap.retries;
+  Alcotest.(check int) "no deadline involved" 0 snap.deadlines
+
+(* A deadline so tight the queue wait alone exceeds it: every request is
+   shed with [Deadline_exceeded] without running the compiler. *)
+let test_deadline_shedding () =
+  let o = Lazy.force general in
+  let registry = Registry.create () in
+  (match Registry.register registry ~name:"general" o with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let svc =
+    Service.create
+      ~policy:{ Service.default_policy with deadline_s = Some 1e-6 }
+      ~caching:true registry
+  in
+  let reqs =
+    List.init 5 (fun id ->
+        { Service.id; user = "u"; overlay = "general";
+          kernel = Kernels.find "fir"; tuned = false })
+  in
+  List.iter
+    (fun r ->
+      match Service.submit svc r with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "admission should succeed")
+    reqs;
+  (* make the queue wait unambiguously exceed the 1 microsecond budget *)
+  Unix.sleepf 0.005;
+  let responses = Service.drain svc in
+  Alcotest.(check int) "all answered" 5 (List.length responses);
+  List.iter
+    (fun (r : Service.response) ->
+      match r.result with
+      | Error Service.Deadline_exceeded -> ()
+      | Ok _ -> Alcotest.failf "request %d beat a 1us deadline" r.request.id
+      | Error e ->
+        Alcotest.failf "request %d: %s" r.request.id
+          (Service.error_to_string e))
+    responses;
+  Alcotest.(check int) "sheds counted" 5
+    (Telemetry.snapshot (Service.telemetry svc)).deadlines
 
 (* ---------------- backpressure ---------------- *)
 
@@ -396,6 +598,14 @@ let tests =
     Alcotest.test_case "registry" `Slow test_registry;
     Alcotest.test_case "cache counting + coalescing" `Quick
       test_cache_counting_and_coalescing;
+    Alcotest.test_case "cache failure taxonomy" `Quick
+      test_cache_failure_taxonomy;
+    Alcotest.test_case "coalescing raising computer" `Quick
+      test_coalescing_raising_computer;
+    Alcotest.test_case "faults isolated per request" `Slow
+      test_faults_isolated_per_request;
+    Alcotest.test_case "retry recovers" `Slow test_retry_recovers;
+    Alcotest.test_case "deadline shedding" `Slow test_deadline_shedding;
     Alcotest.test_case "cached schedules validate" `Slow
       test_cached_schedules_validate;
     Alcotest.test_case "hit/miss accounting" `Slow test_hit_miss_accounting;
