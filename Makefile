@@ -1,4 +1,4 @@
-.PHONY: all build test bench check check-obs check-fault clean
+.PHONY: all build test bench check check-obs check-fault check-store clean
 
 all: build
 
@@ -22,10 +22,17 @@ check-obs:
 check-fault:
 	dune build @fault-smoke
 
+# Store smoke: the durable-store bench scenario plus the CLI surface —
+# checkpoint a DSE run, kill and resume it (must be bit-identical),
+# verify/compact the store file, and warm-restart serve-bench from it.
+check-store:
+	dune build @store-smoke
+
 # Full gate: build everything, run the whole test suite, smoke the CLI
 # (`overgen list` + a small deterministic serve-bench trace), the
-# island-model DSE bench, the observability trace path and the fault
-# injection scenario, and fail if build artifacts ever got committed.
+# island-model DSE bench, the observability trace path, the fault
+# injection scenario and the durable-store scenario, and fail if build
+# artifacts ever got committed.
 check:
 	dune build @check
 	@if [ -n "$$(git ls-files _build)" ]; then \

@@ -1,6 +1,6 @@
 (* The benchmark harness: regenerates every table and figure of the paper's
    evaluation (Section VIII).  Run with no argument for the full set, or pass
-   experiment names: table1..table4, fig13..fig20, service, obs, micro.
+   experiment names: table1..table4, fig13..fig20, service, store, obs, micro.
    Arguments after an
    experiment name are handed to that experiment, e.g.
    `main.exe dse --islands 2,4 --iterations 200`. *)
@@ -24,6 +24,7 @@ let experiments =
     ("ablation", no_args Ablation.run);
     ("extensions", no_args Extensions.run);
     ("service", no_args Service_bench.run);
+    ("store", no_args Store_bench.run);
     ("fault", no_args Fault_bench.run);
     ("obs", no_args Obs_bench.run);
     ("dse", Dse_bench.run);

@@ -10,14 +10,19 @@
    overgen compare <suite|kernel...>    - OverGen vs the AutoDSE baseline
    overgen serve-bench                  - replay a multi-user compile-request
                                           trace against the compile service
+   overgen store {ls,gc,verify}         - inspect and maintain durable
+                                          artifact stores
 
    compile, dse and serve-bench accept --trace-out FILE.json (Chrome
-   trace-event spans) and --metrics-out FILE (Prometheus dump). *)
+   trace-event spans) and --metrics-out FILE (Prometheus dump); dse and
+   serve-bench accept --store FILE for durable checkpoints / a persistent
+   schedule cache. *)
 
 open Cmdliner
 open Overgen_workload
 module Hls = Overgen_hls.Hls
 module Obs = Overgen_obs.Obs
+module Store = Overgen_store.Store
 
 (* --- observability plumbing (--trace-out / --metrics-out) --- *)
 
@@ -182,6 +187,84 @@ let generate_cmd =
     Term.(const run $ iterations_arg $ seed_arg $ tuned_arg $ islands_arg
           $ migration_arg $ save_arg $ targets_arg)
 
+(* --- store --- *)
+
+let open_store path =
+  match Store.open_ ~path () with
+  | Ok s -> s
+  | Error e ->
+    Printf.eprintf "cannot open store %s: %s\n" path e;
+    exit 1
+
+let store_path_arg =
+  Arg.(
+    required & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Store file path.")
+
+let store_ls_cmd =
+  let run path =
+    let s = open_store path in
+    let st = Store.last_open_stats s in
+    Printf.printf "%s: %d record(s), %d live binding(s), %d bytes (%d live)\n"
+      path st.records (Store.length s) (Store.file_bytes s)
+      (Store.live_bytes s);
+    if st.truncated_bytes > 0 then
+      Printf.printf "recovered: %d damaged tail byte(s) truncated at open\n"
+        st.truncated_bytes;
+    List.iter
+      (fun (ns, n) ->
+        Printf.printf "[%s] %d binding(s)\n" ns n;
+        List.iter
+          (fun (key, value) ->
+            Printf.printf "  %-44s %9d bytes\n" key (String.length value))
+          (Store.bindings s ~ns))
+      (Store.namespaces s);
+    Store.close s
+  in
+  Cmd.v
+    (Cmd.info "ls" ~doc:"List a store's namespaces and live bindings.")
+    Term.(const run $ store_path_arg)
+
+let store_gc_cmd =
+  let run path =
+    let s = open_store path in
+    let before = Store.file_bytes s in
+    Store.compact s;
+    let after = Store.file_bytes s in
+    Printf.printf "%s: compacted %d -> %d bytes (reclaimed %d), %d live binding(s)\n"
+      path before after (before - after) (Store.length s);
+    Store.close s
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:"Compact a store: rewrite the live bindings and atomically \
+             replace the log, dropping overwritten and deleted records.")
+    Term.(const run $ store_path_arg)
+
+let store_verify_cmd =
+  let run path =
+    match Store.verify ~path with
+    | Ok st ->
+      Printf.printf "%s: OK — %d record(s), %d live binding(s)\n" path
+        st.records st.live
+    | Error { Store.offset; reason; intact_records } ->
+      Printf.eprintf "%s: CORRUPT at byte offset %d: %s (%d intact record(s) precede it)\n"
+        path offset reason intact_records;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Read-only integrity scan of a store file; exits non-zero and \
+             prints the byte offset of the first damaged record.")
+    Term.(const run $ store_path_arg)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Inspect and maintain durable artifact stores (the files behind \
+             $(b,--store) on dse and serve-bench).")
+    [ store_ls_cmd; store_gc_cmd; store_verify_cmd ]
+
 (* --- dse --- *)
 
 let trace_json (result : Overgen_dse.Dse.result) =
@@ -201,10 +284,17 @@ let trace_json (result : Overgen_dse.Dse.result) =
 
 let dse_cmd =
   let run iterations seed tuned islands migration_interval explore_out
-      trace_out metrics_out names =
+      store_path checkpoint_interval resume stop_after trace_out metrics_out
+      names =
     if islands < 1 then `Error (false, "--islands must be positive")
     else if migration_interval < 1 then
       `Error (false, "--migration-interval must be positive")
+    else if checkpoint_interval < 1 then
+      `Error (false, "--checkpoint-interval must be positive")
+    else if stop_after <> None && stop_after < Some 1 then
+      `Error (false, "--stop-after-rounds must be positive")
+    else if resume && store_path = None then
+      `Error (false, "--resume requires --store")
     else begin
       let kernels = resolve_targets names in
       with_obs ~trace_out ~metrics_out @@ fun () ->
@@ -214,7 +304,28 @@ let dse_cmd =
         { Overgen_dse.Dse.default_config with
           iterations; seed; islands; migration_interval }
       in
-      let result = Overgen_dse.Dse.explore ~config ~model apps in
+      let store = Option.map open_store store_path in
+      let checkpoint =
+        Option.map
+          (fun s ->
+            { Overgen_dse.Dse.store = s; key = "dse";
+              interval = checkpoint_interval })
+          store
+      in
+      if resume then
+        Printf.printf "resuming from checkpoint in %s\n" (Option.get store_path);
+      let result =
+        Overgen_dse.Dse.explore ~config ?checkpoint ~resume
+          ?stop_after_rounds:stop_after ~model apps
+      in
+      Option.iter Store.close store;
+      (match stop_after with
+      | Some k ->
+        Printf.printf
+          "stopped after %d migration round(s); checkpoint written, resume \
+           with --resume\n"
+          k
+      | None -> ());
       Printf.printf "design: %s\n" (Overgen_adg.Sys_adg.describe result.best.sys);
       Printf.printf "objective (est. IPC geomean): %.1f\n" result.best.objective;
       Printf.printf
@@ -239,14 +350,41 @@ let dse_cmd =
              ~doc:"Dump the merged exploration trace (objective vs modeled \
                    hours per island) as JSON.")
   in
+  let store_arg =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"FILE"
+             ~doc:"Durable store for periodic run checkpoints; a later \
+                   invocation with $(b,--resume) continues bit-identically.")
+  in
+  let checkpoint_interval_arg =
+    Arg.(value & opt int 1
+         & info [ "checkpoint-interval" ] ~docv:"N"
+             ~doc:"Migration rounds between checkpoint writes.")
+  in
+  let resume_arg =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Continue from the checkpoint in $(b,--store) instead of \
+                   starting fresh.")
+  in
+  let stop_after_arg =
+    Arg.(value & opt (some int) None
+         & info [ "stop-after-rounds" ] ~docv:"N"
+             ~doc:"Halt after $(docv) migration rounds (a checkpoint is \
+                   still written) — simulates an interrupted run.")
+  in
   Cmd.v
     (Cmd.info "dse"
        ~doc:"Run the island-model design-space exploration and report the \
-             merged trace (without synthesizing the winner).")
+             merged trace (without synthesizing the winner).  With \
+             $(b,--store) the run checkpoints its complete state \
+             periodically and can be killed and resumed without losing \
+             progress.")
     Term.(ret
             (const run $ iterations_arg $ seed_arg $ tuned_arg $ islands_arg
-             $ migration_arg $ explore_out_arg $ trace_out_arg
-             $ metrics_out_arg $ targets_arg))
+             $ migration_arg $ explore_out_arg $ store_arg
+             $ checkpoint_interval_arg $ resume_arg $ stop_after_arg
+             $ trace_out_arg $ metrics_out_arg $ targets_arg))
 
 (* --- run --- *)
 
@@ -475,7 +613,7 @@ let result_digest responses =
 let serve_bench_cmd =
   let run requests workers deterministic seed users working_set cache_capacity
       queue_capacity dse faults fault_seed fault_transient deadline_ms retries
-      trace_out metrics_out =
+      store_path trace_out metrics_out =
     let usage what = `Error (false, Printf.sprintf "%s must be positive" what) in
     if requests < 1 then usage "--requests"
     else if (not deterministic) && workers < 1 then usage "--workers"
@@ -564,11 +702,31 @@ let serve_bench_cmd =
       Fault.reset_stats ()
     end;
     print_newline ();
+    (* The durable store backs only the warm (caching) replay: schedule
+       outcomes write through, and a second serve-bench run against the
+       same --store file starts its LRU warm from disk. *)
+    let store = Option.map open_store store_path in
+    (match (store, store_path) with
+    | Some s, Some p ->
+      let st = Store.last_open_stats s in
+      Printf.printf "store: %s, %d persisted binding(s)%s\n" p
+        (Store.length s)
+        (if st.truncated_bytes > 0 then
+           Printf.sprintf " (recovered: %d damaged tail bytes truncated)"
+             st.truncated_bytes
+         else "")
+    | _ -> ());
     let replay ~caching label =
+      let cache =
+        if caching then Cache.create ~capacity:cache_capacity ?store ()
+        else Cache.create ~capacity:cache_capacity ()
+      in
+      if caching && Cache.warm_loaded cache > 0 then
+        Printf.printf "cache warm-started with %d entr%s from the store\n"
+          (Cache.warm_loaded cache)
+          (if Cache.warm_loaded cache = 1 then "y" else "ies");
       let svc =
-        Service.create ~mode ~queue_capacity ~caching
-          ~cache:(Cache.create ~capacity:cache_capacity ())
-          ~policy registry
+        Service.create ~mode ~queue_capacity ~caching ~cache ~policy registry
       in
       let t0 = Unix.gettimeofday () in
       let responses = Service.run svc trace in
@@ -615,6 +773,12 @@ let serve_bench_cmd =
     Printf.printf
       "cold %8.1f req/s   warm %8.1f req/s   cache speedup %.1fx   failures %d\n"
       (rps cold_s) (rps warm_s) (cold_s /. warm_s) failures;
+    (match store with
+    | Some s ->
+      Printf.printf "store: %d live binding(s), %d bytes persisted to %s\n"
+        (Store.length s) (Store.file_bytes s) (Store.path s);
+      Store.close s
+    | None -> ());
     `Ok ()
     end
   in
@@ -682,6 +846,13 @@ let serve_bench_cmd =
          & info [ "retries" ] ~docv:"N"
              ~doc:"Transient-failure retry attempts per request.")
   in
+  let store_arg =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"FILE"
+             ~doc:"Durable store backing the warm replay's schedule cache: \
+                   outcomes write through, and a second serve-bench against \
+                   the same $(docv) starts warm from disk.")
+  in
   Cmd.v
     (Cmd.info "serve-bench"
        ~doc:"Replay a synthetic multi-user compile-request trace against the \
@@ -693,7 +864,8 @@ let serve_bench_cmd =
             (const run $ requests_arg $ workers_arg $ deterministic_arg
              $ seed_arg $ users_arg $ ws_arg $ cache_cap_arg $ queue_cap_arg
              $ dse_arg $ faults_arg $ fault_seed_arg $ fault_transient_arg
-             $ deadline_arg $ retries_arg $ trace_out_arg $ metrics_out_arg))
+             $ deadline_arg $ retries_arg $ store_arg $ trace_out_arg
+             $ metrics_out_arg))
 
 let () =
   let doc = "domain-specific FPGA overlay generation (OverGen, MICRO 2022)" in
@@ -702,4 +874,4 @@ let () =
        (Cmd.group (Cmd.info "overgen" ~doc)
           [ list_cmd; show_cmd; generate_cmd; dse_cmd; run_cmd; compile_cmd;
             trace_validate_cmd; compare_cmd; emit_cmd; verify_cmd;
-            serve_bench_cmd ]))
+            serve_bench_cmd; store_cmd ]))

@@ -91,8 +91,17 @@ type compiled = {
   from_cache : bool;
 }
 
+(* Length-prefixed halves: a plain [fp ^ ":" ^ hash] join would collide
+   for distinct inputs if a hash scheme ever emitted a ':' (e.g.
+   ("a:b", "c") vs ("a", "b:c")). *)
+let make_schedule_key ~fingerprint ~variant_hash =
+  Printf.sprintf "%d:%s%d:%s"
+    (String.length fingerprint) fingerprint
+    (String.length variant_hash) variant_hash
+
 let schedule_key overlay (compiled : Overgen_mdfg.Compile.compiled) =
-  fingerprint overlay ^ ":" ^ Overgen_mdfg.Compile.hash_compiled compiled
+  make_schedule_key ~fingerprint:(fingerprint overlay)
+    ~variant_hash:(Overgen_mdfg.Compile.hash_compiled compiled)
 
 let schedule_on_overlay ~use_stored overlay
     (cc : Overgen_mdfg.Compile.compiled) =

@@ -104,11 +104,17 @@ type compiled = {
   from_cache : bool;
 }
 
+val make_schedule_key : fingerprint:string -> variant_hash:string -> string
+(** The content address of one (overlay, application) scheduling problem.
+    Both halves are length-prefixed ([<n>:<fingerprint><m>:<hash>]), so
+    two distinct input pairs can never encode to the same key even if a
+    hash scheme ever emits a delimiter character. *)
+
 val schedule_key : overlay -> Overgen_mdfg.Compile.compiled -> string
-(** [fingerprint overlay ^ ":" ^ Compile.hash_compiled compiled]: the
-    content address of one (overlay, application) scheduling problem.
-    Structurally identical overlays share keys, so registry entries that
-    alias the same design also share cached schedules. *)
+(** [make_schedule_key] over [fingerprint overlay] and
+    [Compile.hash_compiled compiled].  Structurally identical overlays
+    share keys, so registry entries that alias the same design also share
+    cached schedules. *)
 
 val compile :
   ?opts:compile_opts -> overlay -> Ir.kernel -> (compiled, string) result

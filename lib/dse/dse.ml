@@ -7,6 +7,8 @@ module Rng = Overgen_util.Rng
 module Pool = Overgen_par.Pool
 module Perf = Overgen_perf.Perf
 module Obs = Overgen_obs.Obs
+module Store = Overgen_store.Store
+module Codec = Overgen_store.Codec
 
 (* DSE counters on the shared default registry (gated).  Per-island
    objective gauges are registered on demand — the island count is a run
@@ -25,6 +27,11 @@ let m_moves_invalid =
   lazy
     (Obs.Metrics.counter Obs.Metrics.default "overgen_dse_invalid_total"
        ~help:"proposals rejected as unschedulable or unfittable")
+
+let m_checkpoints =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.default "overgen_dse_checkpoints_total"
+       ~help:"DSE checkpoints written to the durable store")
 
 let island_gauge idx =
   Obs.Metrics.gauge Obs.Metrics.default "overgen_dse_island_objective"
@@ -83,6 +90,59 @@ module Time = struct
   let repair_per_app_s = 2.0
   let iteration_overhead_s = 3.0
 end
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type checkpoint = { store : Store.t; key : string; interval : int }
+
+let checkpoint_ns = "dse-checkpoint"
+let checkpoint_schema = "dse-checkpoint-v1"
+
+type island_snap = {
+  s_idx : int;
+  s_rng : int64;
+  s_iters : int;
+  s_iter : int;
+  s_cur_score : float;
+  s_cur : design;
+  s_best_score : float;
+  s_best : design;
+  s_trace_rev : trace_point list;
+  s_modeled_s : float;
+  s_accepted : int;
+  s_invalid : int;
+  s_repaired : int;
+  s_rescheduled : int;
+}
+
+type snapshot = {
+  snap_sig : string;
+  snap_islands : island_snap list;
+  snap_elites : (float * design) list;
+}
+
+(* Everything the continuation depends on must be pinned: the config
+   knobs and the exact workload variant sets.  Resuming under a different
+   signature would silently diverge, so it is refused instead. *)
+let run_signature (config : config) apps =
+  let topo = function System.Crossbar -> "xbar" | System.Ring -> "ring" in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          ([
+             string_of_int config.seed;
+             string_of_int config.iterations;
+             Printf.sprintf "%h" config.initial_temp;
+             (match config.mutation_policy with
+             | Random -> "random"
+             | Schedule_preserving -> "preserve");
+             string_of_int config.islands;
+             string_of_int config.migration_interval;
+           ]
+          @ List.map topo config.topologies
+          @ List.map Compile.hash_compiled apps)))
 
 let compile_apps ~tuned kernels = List.map (Compile.compile ~tuned) kernels
 
@@ -237,6 +297,29 @@ type island = {
   mutable rescheduled : int;
 }
 
+(* An island's complete state is plain data plus one Rng word, so a
+   snapshot taken at a migration barrier (when no worker owns the island)
+   captures everything a bit-identical continuation needs. *)
+let snap_island (isl : island) =
+  {
+    s_idx = isl.idx; s_rng = Rng.state isl.rng; s_iters = isl.iters;
+    s_iter = isl.iter; s_cur_score = isl.cur_score; s_cur = isl.cur;
+    s_best_score = isl.best_score; s_best = isl.best;
+    s_trace_rev = isl.trace_rev; s_modeled_s = isl.modeled_s;
+    s_accepted = isl.accepted; s_invalid = isl.invalid;
+    s_repaired = isl.repaired; s_rescheduled = isl.rescheduled;
+  }
+
+let restore_island s =
+  {
+    idx = s.s_idx; rng = Rng.of_state s.s_rng; iters = s.s_iters;
+    iter = s.s_iter; cur_score = s.s_cur_score; cur = s.s_cur;
+    best_score = s.s_best_score; best = s.s_best;
+    trace_rev = s.s_trace_rev; modeled_s = s.s_modeled_s;
+    accepted = s.s_accepted; invalid = s.s_invalid;
+    repaired = s.s_repaired; rescheduled = s.s_rescheduled;
+  }
+
 (* One annealing iteration; draw-for-draw identical to the historical
    sequential explorer so a single island reproduces it bit for bit. *)
 let step ~config ~device ~model ~caps apps isl =
@@ -320,13 +403,30 @@ let run_span ~config ~device ~model ~caps apps isl ~upto =
   done;
   if Obs.on () then Obs.set_gauge (island_gauge isl.idx) isl.cur.objective
 
-let explore ?(config = default_config) ?(device = Device.default) ~model apps =
+let explore ?(config = default_config) ?(device = Device.default) ?checkpoint
+    ?(resume = false) ?stop_after_rounds ~model apps =
   if config.islands < 1 then invalid_arg "Dse.explore: islands < 1";
   if config.migration_interval < 1 then
     invalid_arg "Dse.explore: migration_interval < 1";
+  (match checkpoint with
+  | Some cp when cp.interval < 1 ->
+    invalid_arg "Dse.explore: checkpoint interval < 1"
+  | _ -> ());
+  (match stop_after_rounds with
+  | Some k when k < 1 -> invalid_arg "Dse.explore: stop_after_rounds < 1"
+  | _ -> ());
+  if resume && checkpoint = None then
+    invalid_arg "Dse.explore: resume requested without a checkpoint";
   let t_start = Unix.gettimeofday () in
   let caps = caps_pool apps in
+  let signature = run_signature config apps in
   let pregen_s = Time.pregen_per_app_s *. float_of_int (List.length apps) in
+  let n = config.islands in
+  (* Total budget split across islands; earlier islands take the remainder,
+     so islands=1 runs exactly [config.iterations]. *)
+  let share i =
+    (config.iterations / n) + (if i < config.iterations mod n then 1 else 0)
+  in
   (* Seed designs of increasing size: the smallest mesh able to host every
      workload at some unrolling degree wins. *)
   let seed_candidates =
@@ -366,33 +466,27 @@ let explore ?(config = default_config) ?(device = Device.default) ~model apps =
      device: the schedule-preserving prunes then shrink it with a reward at
      every step, which anneals far better than growing across the reward
      plateau between unroll levels. *)
-  let seed_adg, prior0 =
-    let rec pick = function
-      | [] -> failwith "Dse.explore: no seed design can host the workloads"
-      | adg :: rest -> (
-        match initial (Sys_adg.make adg System.default) with
-        | Some p when system_dse ~topologies:config.topologies ~device ~model adg p <> None ->
-          (adg, p)
-        | Some _ | None -> pick rest)
+  let fresh_islands () =
+    let seed_adg, prior0 =
+      let rec pick = function
+        | [] -> failwith "Dse.explore: no seed design can host the workloads"
+        | adg :: rest -> (
+          match initial (Sys_adg.make adg System.default) with
+          | Some p when system_dse ~topologies:config.topologies ~device ~model adg p <> None ->
+            (adg, p)
+          | Some _ | None -> pick rest)
+      in
+      pick (List.rev seed_candidates)
     in
-    pick (List.rev seed_candidates)
-  in
-  let score0, sysp0, obj0, pred0 =
-    match system_dse ~topologies:config.topologies ~device ~model seed_adg prior0 with
-    | Some r -> r
-    | None -> failwith "Dse.explore: seed design does not fit the device"
-  in
-  let init_design =
-    { sys = Sys_adg.make seed_adg sysp0; per_app = prior0; objective = obj0;
-      predicted = pred0 }
-  in
-  let n = config.islands in
-  (* Total budget split across islands; earlier islands take the remainder,
-     so islands=1 runs exactly [config.iterations]. *)
-  let share i =
-    (config.iterations / n) + (if i < config.iterations mod n then 1 else 0)
-  in
-  let islands =
+    let score0, sysp0, obj0, pred0 =
+      match system_dse ~topologies:config.topologies ~device ~model seed_adg prior0 with
+      | Some r -> r
+      | None -> failwith "Dse.explore: seed design does not fit the device"
+    in
+    let init_design =
+      { sys = Sys_adg.make seed_adg sysp0; per_app = prior0; objective = obj0;
+        predicted = pred0 }
+    in
     List.mapi
       (fun i rng ->
         { idx = i; rng; iters = share i; iter = 0; cur_score = score0;
@@ -400,6 +494,28 @@ let explore ?(config = default_config) ?(device = Device.default) ~model apps =
           trace_rev = []; modeled_s = pregen_s; accepted = 0; invalid = 0;
           repaired = 0; rescheduled = 0 })
       (Rng.streams config.seed n)
+  in
+  (* Resume skips the seed-design selection entirely: the snapshot holds
+     the complete barrier state of every island (including the Rng word),
+     so the continuation is draw-for-draw the uninterrupted run. *)
+  let islands, elites0 =
+    if not resume then (fresh_islands (), [])
+    else
+      let cp = Option.get checkpoint in
+      match Store.get cp.store ~ns:checkpoint_ns ~key:cp.key with
+      | None -> failwith "Dse.explore: no checkpoint to resume from"
+      | Some blob -> (
+        match
+          (Codec.decode_marshal ~schema:checkpoint_schema blob
+            : (snapshot, string) Stdlib.result)
+        with
+        | Error e -> failwith ("Dse.explore: unreadable checkpoint: " ^ e)
+        | Ok snap ->
+          if snap.snap_sig <> signature then
+            failwith
+              "Dse.explore: checkpoint was written by a different \
+               configuration or workload";
+          (List.map restore_island snap.snap_islands, snap.snap_elites))
   in
   let pool =
     Pool.create
@@ -409,7 +525,7 @@ let explore ?(config = default_config) ?(device = Device.default) ~model apps =
   (* The shared elite pool: (score, design) pairs published at migration
      barriers, best first, capped.  Driver-owned, mutated only between
      rounds, so migration is deterministic regardless of worker timing. *)
-  let elites = ref [] in
+  let elites = ref elites0 in
   let migrate () =
     List.iter
       (fun isl -> elites := (isl.best_score, isl.best) :: !elites)
@@ -432,9 +548,27 @@ let explore ?(config = default_config) ?(device = Device.default) ~model apps =
           end)
         islands
   in
+  (* Checkpoints are written by the driver at migration barriers only, when
+     every worker has joined and no job owns any island, so a snapshot is a
+     consistent cut of the whole run. *)
+  let write_checkpoint () =
+    match checkpoint with
+    | None -> ()
+    | Some cp ->
+      Obs.Span.with_span "dse_checkpoint" @@ fun () ->
+      let snap =
+        { snap_sig = signature;
+          snap_islands = List.map snap_island islands;
+          snap_elites = !elites }
+      in
+      Store.put cp.store ~ns:checkpoint_ns ~key:cp.key
+        (Codec.encode_marshal ~schema:checkpoint_schema snap);
+      if Obs.on () then Obs.incr (Lazy.force m_checkpoints)
+  in
   Fun.protect
     ~finally:(fun () -> Pool.shutdown pool)
     (fun () ->
+      let rounds_done = ref 0 in
       let rec rounds () =
         match List.filter (fun isl -> isl.iter < isl.iters) islands with
         | [] -> ()
@@ -447,9 +581,18 @@ let explore ?(config = default_config) ?(device = Device.default) ~model apps =
                  isl.idx)
                active);
           if n > 1 then migrate ();
-          rounds ()
+          incr rounds_done;
+          (match checkpoint with
+          | Some cp when !rounds_done mod cp.interval = 0 -> write_checkpoint ()
+          | _ -> ());
+          (match stop_after_rounds with
+          | Some k when !rounds_done >= k -> ()
+          | _ -> rounds ())
       in
-      rounds ());
+      rounds ();
+      (* One final snapshot at loop exit: a stopped run resumes from exactly
+         where it halted, and resuming a completed run replays no work. *)
+      write_checkpoint ());
   let best_isl =
     List.fold_left
       (fun acc isl -> if isl.best_score > acc.best_score then isl else acc)

@@ -102,15 +102,48 @@ val compile_apps : tuned:bool -> Ir.kernel list -> Compile.compiled list
 val caps_pool : Compile.compiled list -> Op.Cap.t
 (** Capability pairs any workload can use; the mutation vocabulary. *)
 
+(** Periodic durable checkpointing of a run into an
+    {!Overgen_store.Store}.  A snapshot is written under
+    [(ns "dse-checkpoint", key)] every [interval] migration rounds and
+    once more when the driver loop exits; it captures the complete
+    barrier state of every island — current/best designs, traces,
+    counters, and the exact {!Overgen_util.Rng} stream word — plus the
+    shared elite pool, so a resumed run continues {e bit-identically} to
+    an uninterrupted one.  Checkpoints are stamped with a signature of
+    the config and workload; resuming under a different one is refused
+    rather than silently diverging. *)
+type checkpoint = {
+  store : Overgen_store.Store.t;
+  key : string;       (** store key naming this run *)
+  interval : int;     (** migration rounds between snapshot writes; >= 1 *)
+}
+
+val run_signature : config -> Compile.compiled list -> string
+(** The compatibility stamp recorded in (and demanded of) a checkpoint. *)
+
 val explore :
   ?config:config ->
   ?device:Device.t ->
+  ?checkpoint:checkpoint ->
+  ?resume:bool ->
+  ?stop_after_rounds:int ->
   model:Predict.t ->
   Compile.compiled list ->
   result
 (** Run the island-model DSE for a pre-compiled workload set.
-    @raise Invalid_argument if [config.islands < 1] or
-    [config.migration_interval < 1]. *)
+
+    [checkpoint] enables periodic durable snapshots (see {!checkpoint}).
+    [resume] (default [false]) loads the snapshot at [checkpoint.key]
+    instead of seeding fresh islands and continues it bit for bit;
+    it fails if no checkpoint exists, the record is unreadable, or its
+    signature does not match this config/workload.  [stop_after_rounds]
+    halts the driver after that many migration rounds (a final snapshot
+    is still written) — the hook the kill-and-resume tests use to
+    simulate an interrupted run.
+
+    @raise Invalid_argument if [config.islands < 1],
+    [config.migration_interval < 1], [checkpoint.interval < 1],
+    [stop_after_rounds < 1], or [resume] without [checkpoint]. *)
 
 val explore_kernels :
   ?config:config ->

@@ -23,10 +23,12 @@ module Points = struct
   let oracle_synth = "oracle.synth"
   let cache_store = "cache.store"
   let service_process = "service.process"
+  let store_append = "store.append"
+  let store_torn = "store.torn_write"
 
   let all =
     [ mdfg_compile; scheduler_schedule_app; oracle_synth; cache_store;
-      service_process ]
+      service_process; store_append; store_torn ]
 end
 
 (* Disarmed is the overwhelmingly common state: one atomic load and a

@@ -44,6 +44,15 @@ module Points : sig
 
   val service_process : string  (** per-request service processing *)
 
+  val store_append : string
+  (** artifact-store record append, visited before any byte is written *)
+
+  val store_torn : string
+  (** artifact-store write completion, visited after the record header is
+      on disk: a [Transient] injection models a torn write (the payload is
+      cut short), a [Deterministic] injection models bit rot (the full
+      record lands with a flipped payload byte, so the checksum fails) *)
+
   val all : string list
 end
 

@@ -1,5 +1,7 @@
 open Overgen_scheduler
 module Fault = Overgen_fault.Fault
+module Store = Overgen_store.Store
+module Codec = Overgen_store.Codec
 
 type failure = { reason : string; transient : bool }
 type outcome = (Schedule.t list, failure) result
@@ -10,33 +12,94 @@ let transient reason = { reason; transient = true }
 (* Only results that are a property of the (overlay, application) inputs
    may be remembered: successes and deterministic errors.  A transient
    failure (timeout, injected fault, flaky infrastructure) must never
-   poison the key — the next request for it recomputes. *)
+   poison the key — the next request for it recomputes.  The same rule
+   gates the durable store: deterministic negatives survive a restart,
+   transient ones never reach disk. *)
 let cacheable = function Ok _ -> true | Error f -> not f.transient
 
 type t = {
   lru : (string, outcome) Lru.t;
   pending : (string, unit) Hashtbl.t;  (* keys being computed right now *)
+  store : Store.t option;  (* durable write/read-through backing *)
+  mutable warm_loaded_ : int;
+  mutable store_reads_ : int;
   mutable hits : int;
   mutable misses : int;
   m : Mutex.t;
   resolved : Condition.t;
 }
 
-let create ?(capacity = 1024) () =
-  {
-    lru = Lru.create ~capacity;
-    pending = Hashtbl.create 16;
-    hits = 0;
-    misses = 0;
-    m = Mutex.create ();
-    resolved = Condition.create ();
-  }
+let ns = "schedule-cache"
+let schema = "cache-outcome-v1"
 
-let key ~fingerprint ~variant_hash = fingerprint ^ ":" ^ variant_hash
+let encode_outcome (o : outcome) = Codec.encode_marshal ~schema o
+
+let decode_outcome s : outcome option =
+  match Codec.decode_marshal ~schema s with Ok o -> Some o | Error _ -> None
+
+let create ?(capacity = 1024) ?store () =
+  let t =
+    {
+      lru = Lru.create ~capacity;
+      pending = Hashtbl.create 16;
+      store;
+      warm_loaded_ = 0;
+      store_reads_ = 0;
+      hits = 0;
+      misses = 0;
+      m = Mutex.create ();
+      resolved = Condition.create ();
+    }
+  in
+  (* Warm start: replay the persisted outcomes in write order, so the most
+     recently written binding lands most recently used and the LRU bound
+     applies to the replay exactly as it would have to live traffic.
+     Records from an older schema are rejected by the codec and skipped —
+     a format bump costs a cold start, never a misparse. *)
+  (match store with
+  | None -> ()
+  | Some s ->
+    List.iter
+      (fun (k, v) ->
+        match decode_outcome v with
+        | Some outcome ->
+          Lru.add t.lru k outcome;
+          t.warm_loaded_ <- t.warm_loaded_ + 1
+        | None -> ())
+      (Store.bindings s ~ns));
+  t
+
+let warm_loaded t = t.warm_loaded_
+let store_reads t = t.store_reads_
+
+let key ~fingerprint ~variant_hash =
+  Overgen.make_schedule_key ~fingerprint ~variant_hash
+
+let persist t k v =
+  match t.store with
+  | None -> ()
+  | Some s -> Store.put s ~ns ~key:k (encode_outcome v)
+
+(* With t.m held: the LRU, then the durable store.  An entry evicted from
+   memory (or written by a previous process) is still served — and
+   promoted back into the LRU — from disk. *)
+let lookup_locked t k =
+  match Lru.find t.lru k with
+  | Some outcome -> Some outcome
+  | None -> (
+    match t.store with
+    | None -> None
+    | Some s -> (
+      match Option.bind (Store.get s ~ns ~key:k) decode_outcome with
+      | Some outcome ->
+        t.store_reads_ <- t.store_reads_ + 1;
+        Lru.add t.lru k outcome;
+        Some outcome
+      | None -> None))
 
 let find t k =
   Mutex.lock t.m;
-  let r = Lru.find t.lru k in
+  let r = lookup_locked t k in
   (match r with None -> t.misses <- t.misses + 1 | Some _ -> t.hits <- t.hits + 1);
   Mutex.unlock t.m;
   r
@@ -45,7 +108,8 @@ let add t k v =
   if cacheable v then begin
     Mutex.lock t.m;
     Lru.add t.lru k v;
-    Mutex.unlock t.m
+    Mutex.unlock t.m;
+    persist t k v
   end
 
 (* With t.m held: either the cached outcome, or the right to compute it.
@@ -53,7 +117,7 @@ let add t k v =
    already evicted by then — or the computing thread raised and stored
    nothing — the waiter simply computes it itself. *)
 let rec acquire t k =
-  match Lru.find t.lru k with
+  match lookup_locked t k with
   | Some outcome -> `Hit outcome
   | None ->
     if Hashtbl.mem t.pending k then begin
@@ -91,7 +155,11 @@ let find_or_compute t k compute =
             @@ fun () ->
             Mutex.lock t.m;
             Lru.add t.lru k outcome;
-            Mutex.unlock t.m
+            Mutex.unlock t.m;
+            (* write-through: a store failure (injected or genuine) raises
+               out of here and is isolated per-request by the service; the
+               in-memory entry above still serves until then *)
+            persist t k outcome
           end;
           outcome)
     in

@@ -12,6 +12,15 @@
       {b never} stored, so one hiccup cannot poison a key forever: the
       next request recomputes.
 
+    {b Durability.}  Backed by an {!Overgen_store.Store} the cache
+    writes every cacheable outcome through to disk and reads through to
+    it on a memory miss, so entries evicted from the bounded LRU — or
+    computed by a previous process — are still served (and promoted back
+    into memory).  A fresh cache on an existing store warm-starts its
+    LRU from the persisted bindings.  The taxonomy carries over exactly:
+    deterministic negatives persist, transient failures never reach
+    disk.
+
     Capacity is bounded with LRU eviction.  All operations are
     thread-safe; {!find_or_compute} additionally coalesces concurrent
     requests for the same key so the spatial scheduler runs at most once
@@ -38,18 +47,33 @@ val cacheable : outcome -> bool
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** [capacity] defaults to 1024 entries. *)
+val create : ?capacity:int -> ?store:Overgen_store.Store.t -> unit -> t
+(** [capacity] defaults to 1024 entries.  With [store], the LRU is
+    warm-started from the persisted bindings (most recently written =
+    most recently used, capacity applies) and all later traffic writes
+    and reads through.  Bindings persisted under an older codec schema
+    are skipped, not misparsed. *)
+
+val warm_loaded : t -> int
+(** Entries replayed from the store at {!create}. *)
+
+val store_reads : t -> int
+(** Memory misses served from the backing store since {!create}. *)
 
 val key : fingerprint:string -> variant_hash:string -> string
-(** The cache key for one (overlay structure, compiled application) pair.
-    Equal to {!Overgen.schedule_key} on the same inputs. *)
+(** The cache key for one (overlay structure, compiled application) pair:
+    {!Overgen.make_schedule_key}'s length-prefixed join, equal to
+    {!Overgen.schedule_key} on the same inputs.  Length prefixes mean no
+    two distinct input pairs share a key, whatever bytes the hashes
+    contain. *)
 
 val find : t -> string -> outcome option
-(** Counted lookup: a [Some] is a hit, a [None] a miss. *)
+(** Counted lookup: a [Some] is a hit (from memory or the backing
+    store), a [None] a miss. *)
 
 val add : t -> string -> outcome -> unit
-(** Store a {!cacheable} outcome; silently drops transient failures. *)
+(** Store a {!cacheable} outcome (written through to the backing store);
+    silently drops transient failures. *)
 
 val find_or_compute : t -> string -> (unit -> outcome) -> outcome * bool
 (** [find_or_compute t key compute] returns the cached outcome (flag

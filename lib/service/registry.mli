@@ -6,7 +6,15 @@
     entries registered under different names but structurally identical
     designs share the same fingerprint — and therefore share schedule
     cache entries, which is exactly what content addressing buys.
-    Thread-safe. *)
+    Thread-safe.
+
+    Backed by an {!Overgen_store.Store}, registrations write through to
+    disk and a fresh registry on the same store restores every named
+    overlay — a restarted service serves the same names without
+    regenerating anything.  Persisted designs lead with their canonical
+    {!Overgen_adg.Serial} text, re-validated (parse + fingerprint match)
+    at load; records that fail validation or carry an older schema are
+    skipped, never misparsed. *)
 
 type entry = {
   name : string;
@@ -16,7 +24,9 @@ type entry = {
 
 type t
 
-val create : unit -> t
+val create : ?store:Overgen_store.Store.t -> unit -> t
+(** With [store], previously persisted overlays are restored in
+    registration order and later registrations write through. *)
 
 val register : t -> name:string -> Overgen.overlay -> (entry, string) result
 (** Errors if [name] is already taken. *)

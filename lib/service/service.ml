@@ -37,6 +37,7 @@ type policy = {
   backoff_s : float;
   backoff_seed : int;
   admission_timeout_s : float option;
+  store : Overgen_store.Store.t option;
 }
 
 let default_policy =
@@ -46,6 +47,7 @@ let default_policy =
     backoff_s = 0.001;
     backoff_seed = 0;
     admission_timeout_s = Some 30.0;
+    store = None;
   }
 
 type response = {
@@ -249,7 +251,11 @@ let create ?(mode = Deterministic) ?(queue_capacity = 1024) ?(caching = true)
   in
   let cache_ =
     if not caching then None
-    else Some (match cache with Some c -> c | None -> Cache.create ())
+    else
+      Some
+        (match cache with
+        | Some c -> c  (* the caller owns durability for an explicit cache *)
+        | None -> Cache.create ?store:policy.store ())
   in
   let telemetry_ = Telemetry.create () in
   {

@@ -75,6 +75,13 @@ type policy = {
   admission_timeout_s : float option;
       (** [Workers] mode: how long {!run} may wait for queue space before
           shedding the request as {!Queue_full}; 30 s *)
+  store : Overgen_store.Store.t option;
+      (** durable artifact store backing the schedule cache: hits and
+          stores write through, and a restarted service warm-starts its
+          LRU from disk — deterministic negative entries persist,
+          transient failures never do.  Ignored when an explicit [cache]
+          is passed to {!create} (the caller owns durability then);
+          [None] (default) keeps the cache memory-only *)
 }
 
 val default_policy : policy

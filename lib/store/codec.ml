@@ -1,0 +1,77 @@
+module Serial = Overgen_adg.Serial
+
+let version = 1
+
+exception Truncated
+
+let put_u8 b v =
+  if v < 0 || v > 0xFF then invalid_arg "Codec.put_u8";
+  Buffer.add_char b (Char.chr v)
+
+let put_u32 b v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.put_u32";
+  Buffer.add_int32_le b (Int32.of_int v)
+
+let put_string b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let need s pos n = if !pos + n > String.length s then raise Truncated
+
+let get_u8 s pos =
+  need s pos 1;
+  let v = Char.code s.[!pos] in
+  incr pos;
+  v
+
+let get_u32 s pos =
+  need s pos 4;
+  let v = Int32.to_int (String.get_int32_le s !pos) land 0xFFFFFFFF in
+  pos := !pos + 4;
+  v
+
+let get_string s pos =
+  let n = get_u32 s pos in
+  need s pos n;
+  let v = String.sub s !pos n in
+  pos := !pos + n;
+  v
+
+let tagged schema payload =
+  let b = Buffer.create (String.length payload + String.length schema + 8) in
+  put_string b schema;
+  put_string b payload;
+  Buffer.contents b
+
+let untag ~schema s =
+  match
+    let pos = ref 0 in
+    let tag = get_string s pos in
+    let payload = get_string s pos in
+    (tag, payload)
+  with
+  | exception Truncated -> Error "truncated payload"
+  | tag, _ when tag <> schema ->
+    Error (Printf.sprintf "schema mismatch: record is %S, reader wants %S" tag schema)
+  | _, payload -> Ok payload
+
+let sys_schema = "sys-adg-serial-v1"
+
+let encode_sys sys = tagged sys_schema (Serial.to_string sys)
+
+let decode_sys s =
+  match untag ~schema:sys_schema s with
+  | Error e -> Error e
+  | Ok text -> Serial.of_string text
+
+let encode_marshal ~schema v = tagged schema (Marshal.to_string v [])
+
+let decode_marshal ~schema s =
+  match untag ~schema s with
+  | Error e -> Error e
+  | Ok payload -> (
+    if String.length payload < Marshal.header_size then Error "truncated marshal blob"
+    else
+      match Marshal.from_string payload 0 with
+      | v -> Ok v
+      | exception Failure e -> Error ("unmarshal: " ^ e))

@@ -1,0 +1,50 @@
+(** The versioned binary codec of the artifact store.
+
+    Two layers:
+
+    - {b Framing primitives} ([put_u32]/[get_string]/…): little-endian
+      length-prefixed fields, the only way bytes enter or leave a store
+      record.  Length prefixes rather than delimiters, so no value can
+      collide with another by containing a separator.
+    - {b Schema-tagged payloads}: every persisted value starts with a
+      schema string (e.g. ["cache-outcome-v1"]).  A reader demands an
+      exact schema match and {e rejects} anything else with an [Error] —
+      a format bump renames the schema, so old records are refused, never
+      misparsed.  sysADG payloads are layered on
+      {!Overgen_adg.Serial}: the canonical persisted form of a design is
+      its stable textual serialization, re-validated on decode. *)
+
+val version : int
+(** Record-framing version; part of the store file header.  Bumping it
+    makes old store files unreadable (open reports an incompatibility
+    error) rather than misparsed. *)
+
+exception Truncated
+(** Raised by the [get_*] readers on a short buffer. *)
+
+val put_u8 : Buffer.t -> int -> unit
+val put_u32 : Buffer.t -> int -> unit
+(** @raise Invalid_argument outside [0, 2^32). *)
+
+val put_string : Buffer.t -> string -> unit
+(** u32 length prefix, then the bytes. *)
+
+val get_u8 : string -> int ref -> int
+val get_u32 : string -> int ref -> int
+val get_string : string -> int ref -> string
+
+val encode_sys : Overgen_adg.Sys_adg.t -> string
+(** Schema-tagged {!Overgen_adg.Serial.to_string} of a design. *)
+
+val decode_sys : string -> (Overgen_adg.Sys_adg.t, string) result
+(** Rejects a wrong schema tag; parse errors from
+    {!Overgen_adg.Serial.of_string} surface as [Error]. *)
+
+val encode_marshal : schema:string -> 'a -> string
+(** Schema tag + [Marshal] of a pure-data value.  The schema string is
+    the compatibility contract: bump it whenever the marshalled type
+    changes shape. *)
+
+val decode_marshal : schema:string -> string -> ('a, string) result
+(** [Error] on a schema mismatch or a truncated buffer — an old-format
+    record is refused, not misparsed. *)

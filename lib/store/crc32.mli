@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial).
+
+    Every record in the artifact store carries the CRC of its payload so
+    torn writes and bit rot are detected at scan time instead of being
+    misparsed.  Table-driven, allocation-free per byte. *)
+
+val string : ?off:int -> ?len:int -> string -> int32
+(** CRC of [len] bytes of [s] starting at [off]; defaults cover the whole
+    string.  [string "123456789" = 0xCBF43926l]. *)

@@ -28,6 +28,9 @@ let split t =
   let s = next_int64 t in
   { state = mix64 s }
 
+let state t = t.state
+let of_state state = { state }
+
 let streams seed n =
   if n < 1 then invalid_arg "Rng.streams: n < 1";
   (* Stream 0 is exactly [create seed] (the sequential stream); the others

@@ -19,6 +19,14 @@ val split : t -> t
 (** [split t] returns a new generator statistically independent from the
     future output of [t].  [t] itself advances. *)
 
+val state : t -> int64
+(** The full internal state (SplitMix64 is a single 64-bit counter); with
+    {!of_state} this checkpoints a stream mid-run. *)
+
+val of_state : int64 -> t
+(** Resurrect a generator from {!state}: the draw sequence continues
+    exactly where the captured generator's would. *)
+
 val streams : int -> int -> t list
 (** [streams seed n] derives [n] independent generators for parallel
     workers.  Stream 0 is {e exactly} [create seed] — a single-stream run

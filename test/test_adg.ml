@@ -247,6 +247,21 @@ let prop_digraph_add_remove_inverse =
       let g' = Digraph.remove_node (Digraph.add_node g 999 999) 999 in
       Digraph.edge_count g' = before && Digraph.node_count g' = n)
 
+(* Golden digest of the reference design.  Serial.fingerprint is a durable
+   content address: the schedule cache and the overlay registry persist
+   records keyed by it, so if this digest moves, existing store files
+   silently stop matching.  An intentional serialization change must bump
+   the codec schema AND update this constant. *)
+let general_overlay_golden_fingerprint = "86c67ef0e52596aa805d8218208fd11f"
+
+let test_fingerprint_golden () =
+  Alcotest.(check string)
+    "fingerprint of the reference general overlay is stable (a mismatch \
+     means the on-disk serialization format changed: bump the store codec \
+     schema and update the golden digest)"
+    general_overlay_golden_fingerprint
+    (Serial.fingerprint (Builder.general_overlay ()))
+
 let tests =
   [
     Alcotest.test_case "digraph basic" `Quick test_digraph_basic;
@@ -268,6 +283,7 @@ let tests =
     Alcotest.test_case "serial roundtrip" `Quick test_serial_roundtrip_general;
     Alcotest.test_case "serial save/load" `Quick test_serial_save_load;
     Alcotest.test_case "serial rejects garbage" `Quick test_serial_rejects_garbage;
+    Alcotest.test_case "fingerprint golden" `Quick test_fingerprint_golden;
     QCheck_alcotest.to_alcotest prop_serial_roundtrip_after_mutation;
     QCheck_alcotest.to_alcotest prop_mesh_always_valid;
     QCheck_alcotest.to_alcotest prop_digraph_add_remove_inverse;

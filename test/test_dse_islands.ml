@@ -98,7 +98,94 @@ let test_config_validation () =
       ignore (explore { (cfg 1) with islands = 0 }));
   Alcotest.check_raises "migration_interval < 1"
     (Invalid_argument "Dse.explore: migration_interval < 1") (fun () ->
-      ignore (explore { (cfg 1) with migration_interval = 0 }))
+      ignore (explore { (cfg 1) with migration_interval = 0 }));
+  Alcotest.check_raises "resume without checkpoint"
+    (Invalid_argument "Dse.explore: resume requested without a checkpoint")
+    (fun () ->
+      ignore
+        (Dse.explore ~config:(cfg 1) ~resume:true ~model:(Lazy.force model)
+           (Lazy.force apps)))
+
+(* ---------------- checkpoint / resume ---------------- *)
+
+module Store = Overgen_store.Store
+
+let with_store f =
+  let path = Filename.temp_file "overgen-test-dse" ".store" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      match Store.open_ ~path () with
+      | Ok s -> Fun.protect ~finally:(fun () -> Store.close s) (fun () -> f s)
+      | Error e -> Alcotest.failf "open store: %s" e)
+
+(* The kill-and-restart contract: interrupt a run at a migration barrier,
+   resume it from the durable checkpoint in a "new process" (nothing
+   shared but the store file), and the result must be bit-identical to the
+   uninterrupted run — same design, same trace, same stats, same draws. *)
+let resume_matches_uninterrupted ~islands ~stop_after =
+  let config = cfg ~iterations:80 ~islands 27 in
+  let full = explore config in
+  with_store @@ fun store ->
+  let checkpoint = { Dse.store; key = "run"; interval = 1 } in
+  let partial =
+    Dse.explore ~config ~checkpoint ~stop_after_rounds:stop_after
+      ~model:(Lazy.force model) (Lazy.force apps)
+  in
+  Alcotest.(check bool) "interrupted run did less work" true
+    (List.length partial.trace < List.length full.trace);
+  let resumed =
+    Dse.explore ~config ~checkpoint ~resume:true ~model:(Lazy.force model)
+      (Lazy.force apps)
+  in
+  same_result full resumed
+
+let test_resume_single_island () =
+  resume_matches_uninterrupted ~islands:1 ~stop_after:3
+
+let test_resume_parallel () =
+  (* 80 iterations over 4 islands at interval 10 is 2 migration rounds:
+     stopping after 1 interrupts mid-run with migrated elites in play *)
+  resume_matches_uninterrupted ~islands:4 ~stop_after:1
+
+let test_resume_refuses_other_config () =
+  with_store @@ fun store ->
+  let checkpoint = { Dse.store; key = "run"; interval = 1 } in
+  ignore
+    (Dse.explore ~config:(cfg 27) ~checkpoint ~stop_after_rounds:1
+       ~model:(Lazy.force model) (Lazy.force apps));
+  (* same key, different seed: the signature stamp must refuse it *)
+  Alcotest.check_raises "signature mismatch refused"
+    (Failure
+       "Dse.explore: checkpoint was written by a different configuration or \
+        workload")
+    (fun () ->
+      ignore
+        (Dse.explore ~config:(cfg 28) ~checkpoint ~resume:true
+           ~model:(Lazy.force model) (Lazy.force apps)))
+
+let test_resume_requires_checkpoint_record () =
+  with_store @@ fun store ->
+  let checkpoint = { Dse.store; key = "never-written"; interval = 1 } in
+  Alcotest.check_raises "missing checkpoint"
+    (Failure "Dse.explore: no checkpoint to resume from") (fun () ->
+      ignore
+        (Dse.explore ~config:(cfg 27) ~checkpoint ~resume:true
+           ~model:(Lazy.force model) (Lazy.force apps)))
+
+let test_completed_run_resumes_to_itself () =
+  (* resuming a finished run replays nothing and returns the same result *)
+  with_store @@ fun store ->
+  let config = cfg ~iterations:40 29 in
+  let checkpoint = { Dse.store; key = "run"; interval = 2 } in
+  let done_ =
+    Dse.explore ~config ~checkpoint ~model:(Lazy.force model) (Lazy.force apps)
+  in
+  let again =
+    Dse.explore ~config ~checkpoint ~resume:true ~model:(Lazy.force model)
+      (Lazy.force apps)
+  in
+  same_result done_ again
 
 let tests =
   [
@@ -110,4 +197,14 @@ let tests =
     Alcotest.test_case "merged trace invariants" `Slow
       test_trace_covers_budget_and_is_monotone;
     Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "resume matches uninterrupted (1 island)" `Quick
+      test_resume_single_island;
+    Alcotest.test_case "resume matches uninterrupted (4 islands)" `Slow
+      test_resume_parallel;
+    Alcotest.test_case "resume refuses a different config" `Quick
+      test_resume_refuses_other_config;
+    Alcotest.test_case "resume requires a checkpoint record" `Quick
+      test_resume_requires_checkpoint_record;
+    Alcotest.test_case "completed run resumes to itself" `Quick
+      test_completed_run_resumes_to_itself;
   ]

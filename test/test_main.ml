@@ -15,6 +15,7 @@ let () =
       ("isa+rtl+exec", Test_isa_rtl_exec.tests);
       ("obs", Test_obs.tests);
       ("core", Test_core.tests);
+      ("store", Test_store.tests);
       ("service", Test_service.tests);
       ("properties", Test_properties.tests);
     ]

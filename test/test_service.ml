@@ -557,6 +557,21 @@ let test_negative_caching () =
 
 (* Walk >=200 mutated designs; structurally distinct serializations must
    never share a fingerprint, and equal serializations must share one. *)
+(* Regression: the key join is length-prefixed, so moving bytes across the
+   fingerprint/variant-hash boundary must change the key.  The old
+   delimiter join ("fp" ^ ":" ^ "vh") collided on exactly these pairs. *)
+let test_cache_key_no_boundary_collisions () =
+  let k a b = Cache.key ~fingerprint:a ~variant_hash:b in
+  Alcotest.(check bool) "boundary shift" true (k "ab" "c" <> k "a" "bc");
+  Alcotest.(check bool) "delimiter inside fingerprint" true
+    (k "a:b" "c" <> k "a" "b:c");
+  Alcotest.(check bool) "empty vs shifted" true (k "" "ab" <> k "ab" "");
+  Alcotest.(check bool) "digit bleeding into the length prefix" true
+    (k "1" "x" <> k "" "1x" && k "11:x" "y" <> k "1" "1:xy");
+  Alcotest.(check string) "core and service agree"
+    (Overgen.make_schedule_key ~fingerprint:"f" ~variant_hash:"v")
+    (k "f" "v")
+
 let test_fingerprint_collisions () =
   let rng = Rng.create 2024 in
   let pool =
@@ -619,6 +634,8 @@ let tests =
       test_telemetry_registry_parity;
     Alcotest.test_case "compile_cached hooks" `Slow test_compile_cached_hooks;
     Alcotest.test_case "negative caching" `Slow test_negative_caching;
+    Alcotest.test_case "cache key boundary collisions" `Quick
+      test_cache_key_no_boundary_collisions;
     Alcotest.test_case "fingerprint collision probe" `Quick
       test_fingerprint_collisions;
   ]
