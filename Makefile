@@ -1,4 +1,4 @@
-.PHONY: all build test bench check check-obs check-fault check-store clean
+.PHONY: all build test bench check check-obs check-fault check-store check-net clean
 
 all: build
 
@@ -28,11 +28,18 @@ check-fault:
 check-store:
 	dune build @store-smoke
 
+# Net smoke: the sharded network tier end to end — 2 shard processes
+# under open-loop socket load with a SIGKILL + durable-store restart of
+# one shard mid-run (fails on any lost response), then an in-process
+# 2-shard cluster driving a self-test through real sockets.
+check-net:
+	dune build @net-smoke
+
 # Full gate: build everything, run the whole test suite, smoke the CLI
 # (`overgen list` + a small deterministic serve-bench trace), the
 # island-model DSE bench, the observability trace path, the fault
-# injection scenario and the durable-store scenario, and fail if build
-# artifacts ever got committed.
+# injection scenario, the durable-store scenario and the sharded network
+# tier, and fail if build artifacts ever got committed.
 check:
 	dune build @check
 	@if [ -n "$$(git ls-files _build)" ]; then \

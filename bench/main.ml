@@ -29,7 +29,13 @@ let experiments =
     ("obs", no_args Obs_bench.run);
     ("dse", Dse_bench.run);
     ("micro", no_args Micro.run);
+    ("net", Net_bench.run);
   ]
+
+(* Entries reachable by name but excluded from the no-argument full run:
+   `net-shard` is the child-process entry the net bench spawns — it
+   serves until SIGTERM and never returns on its own. *)
+let hidden = [ ("net-shard", Net_bench.shard) ]
 
 (* Group the command line into (experiment, its-arguments) runs: each
    experiment name starts a run and collects the arguments up to the next
@@ -38,7 +44,7 @@ let group args =
   let runs =
     List.fold_left
       (fun runs arg ->
-        match List.assoc_opt arg experiments with
+        match List.assoc_opt arg (experiments @ hidden) with
         | Some f -> (arg, f, ref []) :: runs
         | None -> (
           match runs with

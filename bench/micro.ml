@@ -58,6 +58,7 @@ let run () =
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
+  let metrics = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ Instance.monotonic_clock ] test in
@@ -69,6 +70,13 @@ let run () =
             | Some (t :: _) -> t
             | Some [] | None -> nan
           in
-          Printf.printf "  %-28s %12.1f ns/run (%.3f ms)\n" name est (est /. 1e6))
+          Printf.printf "  %-28s %12.1f ns/run (%.3f ms)\n" name est (est /. 1e6);
+          if Float.is_finite est then
+            metrics := (name ^ "_ns", est) :: !metrics)
         analyzed)
-    (tests ())
+    (tests ());
+  let path =
+    Overgen_obs.Export.write_bench_json ~scenario:"micro"
+      (List.sort compare !metrics)
+  in
+  Printf.printf "  wrote %s\n" path

@@ -1,0 +1,290 @@
+(* The networked serving tier under open-loop load: N shard processes
+   (spawned from this very binary via the hidden `net-shard` entry), a
+   consistent-hash client driving a fixed arrival rate through real
+   sockets, and a mid-run SIGKILL + restart of one shard to exercise
+   reconnect, retry and durable-store replay.  Emits BENCH_net.json. *)
+
+open Overgen_workload
+module Wire = Overgen_net.Wire
+module Shard_map = Overgen_net.Shard_map
+module Node = Overgen_net.Node
+module Server = Overgen_net.Server
+module Client = Overgen_net.Client
+module Load_gen = Overgen_net.Load_gen
+module Registry = Overgen_service.Registry
+module Service = Overgen_service.Service
+module Trace = Overgen_service.Trace
+module Export = Overgen_obs.Export
+
+let general =
+  lazy
+    (match Overgen.general ~model:(Overgen.train_model ()) Kernels.all with
+    | Ok o -> o
+    | Error e -> failwith ("general overlay: " ^ e))
+
+(* a shard whose store already holds the overlay skips regeneration — the
+   restart path the bench times *)
+let setup registry =
+  if Registry.find registry "general" = None then
+    match Registry.register registry ~name:"general" (Lazy.force general) with
+    | Ok _ -> ()
+    | Error e -> failwith ("register general: " ^ e)
+
+let parse_cluster s =
+  match Node.parse_cluster s with Ok c -> c | Error e -> failwith e
+
+(* ---------------- child process: one shard ---------------- *)
+
+let shard args =
+  let me = ref (-1) and cluster = ref "" and store = ref None in
+  let rec parse = function
+    | "--me" :: v :: rest ->
+      me := int_of_string v;
+      parse rest
+    | "--cluster" :: v :: rest ->
+      cluster := v;
+      parse rest
+    | "--store" :: v :: rest ->
+      store := Some v;
+      parse rest
+    | [] -> ()
+    | a :: _ -> failwith ("net-shard: unknown argument " ^ a)
+  in
+  parse args;
+  let cluster = parse_cluster !cluster in
+  if !me < 0 || !me >= Array.length cluster then
+    failwith "net-shard: --me outside --cluster";
+  let fd, _ =
+    match Server.listen ~port:cluster.(!me).Node.port () with
+    | Ok v -> v
+    | Error e -> failwith e
+  in
+  let config =
+    { (Node.default_config ~cluster ~me:!me) with store_path = !store }
+  in
+  let node =
+    match Node.init ~setup config with Ok n -> n | Error e -> failwith e
+  in
+  let server = Server.start ~node ~fd in
+  let stop = ref false in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+  while not !stop do
+    (try Unix.sleepf 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    Node.handle_timeout node
+  done;
+  Server.stop server;
+  Node.shutdown node;
+  exit 0
+
+(* ---------------- parent: the bench ---------------- *)
+
+let pick_free_ports k =
+  Array.init k (fun _ ->
+      match Server.listen ~port:0 () with
+      | Ok (fd, port) ->
+        Unix.close fd;
+        port
+      | Error e -> failwith e)
+
+let spawn_shard ~cluster_s ~store_dir i =
+  let store = Filename.concat store_dir (Printf.sprintf "shard-%d.store" i) in
+  Unix.create_process Sys.executable_name
+    [|
+      Sys.executable_name; "net-shard"; "--me"; string_of_int i; "--cluster";
+      cluster_s; "--store"; store;
+    |]
+    Unix.stdin Unix.stdout Unix.stderr
+
+let wait_ready ~timeout_s (peer : Node.peer) =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec loop () =
+    let ready =
+      match Client.connect ~host:peer.Node.host ~port:peer.Node.port with
+      | Error _ -> false
+      | Ok c ->
+        let ok =
+          match Client.rpc c Wire.Ping with Ok (Wire.Pong _) -> true | _ -> false
+        in
+        Client.close c;
+        ok
+    in
+    if ready then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.2;
+      loop ()
+    end
+  in
+  loop ()
+
+let shard_stats (peer : Node.peer) =
+  match Client.connect ~host:peer.Node.host ~port:peer.Node.port with
+  | Error e -> Error e
+  | Ok c ->
+    let r =
+      match Client.rpc c Wire.Stats_req with
+      | Ok (Wire.Stats { served; warm_loaded; _ }) -> Ok (served, warm_loaded)
+      | Ok _ -> Error "unexpected stats reply"
+      | Error e -> Error e
+    in
+    Client.close c;
+    r
+
+let run extra =
+  (* defaults match the acceptance scenario: >= 100k requests at a fixed
+     arrival rate against 2 shard processes with a mid-run kill+restart *)
+  let requests = ref 100_000
+  and rate = ref 20_000.0
+  and shards = ref 2
+  and seed = ref 42
+  and kill = ref true in
+  let rec parse = function
+    | "--smoke" :: rest ->
+      requests := 3000;
+      rate := 3000.0;
+      parse rest
+    | "--requests" :: v :: rest ->
+      requests := int_of_string v;
+      parse rest
+    | "--rate" :: v :: rest ->
+      rate := float_of_string v;
+      parse rest
+    | "--shards" :: v :: rest ->
+      shards := int_of_string v;
+      parse rest
+    | "--seed" :: v :: rest ->
+      seed := int_of_string v;
+      parse rest
+    | "--no-kill" :: rest ->
+      kill := false;
+      parse rest
+    | [] -> ()
+    | a :: _ -> failwith ("net: unknown argument " ^ a)
+  in
+  parse extra;
+  let n = !requests and rate = !rate and shards = !shards in
+  let kill = !kill && shards >= 2 in
+  Exp_common.header
+    (Printf.sprintf
+       "Networked serving tier: %d requests at %.0f req/s over %d shard \
+        process%s%s"
+       n rate shards
+       (if shards = 1 then "" else "es")
+       (if kill then " (kill+restart shard 1 mid-run)" else ""));
+  let store_dir = Filename.temp_dir "overgen-net-bench" "" in
+  let ports = pick_free_ports shards in
+  let cluster =
+    Array.map (fun port -> { Node.host = "127.0.0.1"; port }) ports
+  in
+  let cluster_s =
+    String.concat ","
+      (Array.to_list (Array.map (Printf.sprintf "127.0.0.1:%d") ports))
+  in
+  let pids = Array.init shards (spawn_shard ~cluster_s ~store_dir) in
+  let teardown () =
+    Array.iter (fun pid -> try Unix.kill pid Sys.sigterm with _ -> ()) pids;
+    Array.iter (fun pid -> try ignore (Unix.waitpid [] pid) with _ -> ()) pids
+  in
+  (try
+     Printf.printf "  shards on ports [%s], stores in %s\n%!"
+       (String.concat "; " (Array.to_list (Array.map string_of_int ports)))
+       store_dir;
+     Array.iteri
+       (fun i peer ->
+         if not (wait_ready ~timeout_s:240.0 peer) then
+           failwith (Printf.sprintf "shard %d never became ready" i))
+       cluster;
+     Printf.printf "  all shards ready\n%!";
+     let spec =
+       Trace.spec ~seed:!seed ~requests:n ~users:12 ~working_set:3
+         ~overlays:[ ("general", Kernels.all) ] ()
+     in
+     let wire_requests =
+       Trace.generate spec
+       |> List.map (fun (r : Service.request) ->
+              {
+                Wire.id = r.id;
+                user = r.user;
+                overlay = r.overlay;
+                kernel = r.kernel;
+                tuned = r.tuned;
+              })
+       |> Array.of_list
+     in
+     Printf.printf "  trace: %d requests, %d distinct (overlay, kernel) keys\n%!"
+       n (Trace.distinct_keys spec);
+     let chaos =
+       if not kill then None
+       else
+         Some
+           (Thread.create
+              (fun () ->
+                let kill_at = float_of_int n /. 3.0 /. rate in
+                let restart_at = 2.0 *. kill_at in
+                Unix.sleepf kill_at;
+                Printf.printf "  [chaos] SIGKILL shard 1 (pid %d)\n%!" pids.(1);
+                Unix.kill pids.(1) Sys.sigkill;
+                ignore (Unix.waitpid [] pids.(1));
+                Unix.sleepf (restart_at -. kill_at);
+                Printf.printf "  [chaos] restarting shard 1 on port %d\n%!"
+                  ports.(1);
+                pids.(1) <- spawn_shard ~cluster_s ~store_dir 1)
+              ())
+     in
+     let cfg =
+       {
+         Load_gen.cluster;
+         vnodes = Shard_map.default_vnodes;
+         requests = wire_requests;
+         rate;
+         timeout_s = (float_of_int n /. rate) +. 240.0;
+       }
+     in
+     let summary = Load_gen.run cfg in
+     Option.iter Thread.join chaos;
+     print_string (Load_gen.report summary);
+     let warm_loaded =
+       if not kill then 0
+       else
+         match shard_stats cluster.(1) with
+         | Ok (served, warm_loaded) ->
+           Printf.printf
+             "  restarted shard 1: served %d, warm-loaded %d cache entries \
+              from its store\n"
+             served warm_loaded;
+           warm_loaded
+         | Error e ->
+           failwith ("restarted shard 1 unreachable after the run: " ^ e)
+     in
+     let failures = ref [] in
+     if summary.Load_gen.completed <> n then
+       failures :=
+         Printf.sprintf "only %d/%d requests completed" summary.Load_gen.completed
+           n
+         :: !failures;
+     if summary.Load_gen.failed <> 0 then
+       failures :=
+         Printf.sprintf "%d requests failed" summary.Load_gen.failed :: !failures;
+     if kill && warm_loaded <= 0 then
+       failures :=
+         "restarted shard replayed nothing from its durable store" :: !failures;
+     let path =
+       Export.write_bench_json ~scenario:"net"
+         (Load_gen.to_metrics cfg summary
+         @ [
+             ("warm_loaded", float_of_int warm_loaded);
+             ("killed_and_restarted", if kill then 1.0 else 0.0);
+           ])
+     in
+     Printf.printf "  wrote %s\n" path;
+     (match !failures with
+     | [] -> ()
+     | fs ->
+       teardown ();
+       List.iter (Printf.eprintf "  FAILED: %s\n") fs;
+       exit 1)
+   with e ->
+     teardown ();
+     raise e);
+  teardown ()

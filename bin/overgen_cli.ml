@@ -12,6 +12,10 @@
                                           trace against the compile service
    overgen store {ls,gc,verify}         - inspect and maintain durable
                                           artifact stores
+   overgen net-serve                    - serve the compile service over TCP
+                                          as a consistent-hash shard cluster
+   overgen net-client                   - ping a cluster / drive open-loop
+                                          load through it
 
    compile, dse and serve-bench accept --trace-out FILE.json (Chrome
    trace-event spans) and --metrics-out FILE (Prometheus dump); dse and
@@ -867,6 +871,337 @@ let serve_bench_cmd =
              $ deadline_arg $ retries_arg $ store_arg $ trace_out_arg
              $ metrics_out_arg))
 
+(* --- net-serve / net-client: the sharded network tier --- *)
+
+module Net = Overgen_net
+
+let net_die fmt = Printf.ksprintf (fun s -> Printf.eprintf "%s\n" s; exit 1) fmt
+
+(* One overlay, generated once per process no matter how many in-process
+   shards ask for it; a shard whose durable store already holds it skips
+   the work entirely (the fast-restart path). *)
+let net_general =
+  lazy
+    (match Overgen.general ~model:(Overgen.train_model ()) Kernels.all with
+    | Ok o -> o
+    | Error e -> net_die "general overlay: %s" e)
+
+let net_setup registry =
+  if Registry.find registry "general" = None then
+    match Registry.register registry ~name:"general" (Lazy.force net_general) with
+    | Ok _ -> ()
+    | Error e -> net_die "register general: %s" e
+
+let net_requests ~seed ~requests ~users ~working_set =
+  let spec =
+    Trace.spec ~seed ~requests ~users ~working_set
+      ~overlays:[ ("general", Kernels.all) ] ()
+  in
+  let reqs =
+    Trace.generate spec
+    |> List.map (fun (r : Service.request) ->
+           {
+             Net.Wire.id = r.id;
+             user = r.user;
+             overlay = r.overlay;
+             kernel = r.kernel;
+             tuned = r.tuned;
+           })
+    |> Array.of_list
+  in
+  (Trace.distinct_keys spec, reqs)
+
+let net_load ~cluster ~requests ~rate ~seed ~users ~working_set =
+  let distinct, reqs = net_requests ~seed ~requests ~users ~working_set in
+  Printf.printf "trace: %d requests, %d distinct (overlay, kernel) keys\n%!"
+    requests distinct;
+  let cfg =
+    {
+      Net.Load_gen.cluster;
+      vnodes = Net.Shard_map.default_vnodes;
+      requests = reqs;
+      rate;
+      timeout_s = (float_of_int requests /. rate) +. 120.0;
+    }
+  in
+  let summary = Net.Load_gen.run cfg in
+  print_string (Net.Load_gen.report summary);
+  if summary.Net.Load_gen.completed <> requests then
+    net_die "FAILED: only %d/%d requests completed"
+      summary.Net.Load_gen.completed requests;
+  if summary.Net.Load_gen.failed <> 0 then
+    net_die "FAILED: %d requests failed" summary.Net.Load_gen.failed
+
+let net_block_until_signal ~on_tick =
+  let stop = ref false in
+  let handler = Sys.Signal_handle (fun _ -> stop := true) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  while not !stop do
+    (try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    on_tick ()
+  done
+
+let net_serve_cmd =
+  let run shards port cluster_s me store_dir ports_out workers redirect
+      self_test rate seed =
+    if workers < 1 then `Error (false, "--workers must be positive")
+    else begin
+      let store_path i =
+        Option.map
+          (fun dir ->
+            if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+            Filename.concat dir (Printf.sprintf "shard-%d.store" i))
+          store_dir
+      in
+      let mk_node ~cluster ~me =
+        let config =
+          {
+            (Net.Node.default_config ~cluster ~me) with
+            store_path = store_path me;
+            workers;
+            forward = not redirect;
+          }
+        in
+        match Net.Node.init ~setup:net_setup config with
+        | Ok n -> n
+        | Error e -> net_die "shard %d: %s" me e
+      in
+      match cluster_s with
+      | Some s -> (
+        (* join an externally-coordinated cluster as shard --me *)
+        match Net.Node.parse_cluster s with
+        | Error e -> `Error (false, e)
+        | Ok cluster ->
+          if me < 0 || me >= Array.length cluster then
+            `Error (false, "--me is outside --cluster")
+          else begin
+            (match Net.Server.listen ~port:cluster.(me).Net.Node.port () with
+            | Error e -> net_die "listen: %s" e
+            | Ok (fd, actual_port) ->
+              let node = mk_node ~cluster ~me in
+              let server = Net.Server.start ~node ~fd in
+              Printf.printf
+                "shard %d/%d serving on 127.0.0.1:%d (^C for graceful stop)\n%!"
+                me (Array.length cluster) actual_port;
+              net_block_until_signal ~on_tick:(fun () ->
+                  Net.Node.handle_timeout node);
+              print_endline "draining...";
+              Net.Server.stop server;
+              Net.Node.shutdown node);
+            `Ok ()
+          end)
+      | None ->
+        (* host the whole cluster in this process: bind every listener
+           first, then hand each node the cluster built from the actual
+           ports (so --port 0 works) *)
+        if shards < 1 then `Error (false, "--shards must be positive")
+        else begin
+          let listeners =
+            Array.init shards (fun i ->
+                let p = if port = 0 then 0 else port + i in
+                match Net.Server.listen ~port:p () with
+                | Ok v -> v
+                | Error e -> net_die "listen (shard %d): %s" i e)
+          in
+          let cluster =
+            Array.map
+              (fun (_, p) -> { Net.Node.host = "127.0.0.1"; port = p })
+              listeners
+          in
+          let cluster_string =
+            String.concat ","
+              (Array.to_list
+                 (Array.map
+                    (fun (p : Net.Node.peer) ->
+                      Printf.sprintf "%s:%d" p.Net.Node.host p.Net.Node.port)
+                    cluster))
+          in
+          let nodes = Array.init shards (fun i -> mk_node ~cluster ~me:i) in
+          let servers =
+            Array.mapi
+              (fun i node -> Net.Server.start ~node ~fd:(fst listeners.(i)))
+              nodes
+          in
+          Printf.printf "%d shard%s up: %s\n%!" shards
+            (if shards = 1 then "" else "s")
+            cluster_string;
+          (match ports_out with
+          | None -> ()
+          | Some path ->
+            let oc = open_out path in
+            output_string oc (cluster_string ^ "\n");
+            close_out oc;
+            Printf.printf "cluster written to %s\n%!" path);
+          let stop_all () =
+            Array.iter Net.Server.stop servers;
+            Array.iter Net.Node.shutdown nodes
+          in
+          if self_test > 0 then begin
+            Printf.printf "self-test: %d requests at %.0f req/s\n%!" self_test
+              rate;
+            net_load ~cluster ~requests:self_test ~rate ~seed ~users:6
+              ~working_set:2;
+            stop_all ();
+            print_endline "self-test passed"
+          end
+          else begin
+            print_endline "(^C for graceful stop)";
+            net_block_until_signal ~on_tick:(fun () ->
+                Array.iter Net.Node.handle_timeout nodes);
+            print_endline "draining...";
+            stop_all ()
+          end;
+          `Ok ()
+        end
+    end
+  in
+  let shards_arg =
+    Arg.(value & opt int 2
+         & info [ "shards" ] ~docv:"K"
+             ~doc:"Shards to host in this process (ignored with $(b,--cluster)).")
+  in
+  let port_arg =
+    Arg.(value & opt int 0
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"Base listen port; shard $(i,i) binds PORT+$(i,i).  0 picks \
+                   free ports (see $(b,--ports-out)).")
+  in
+  let cluster_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cluster" ] ~docv:"H:P,H:P,..."
+             ~doc:"Join a multi-process cluster with this static membership \
+                   (index = shard id) and serve only shard $(b,--me) of it.")
+  in
+  let me_arg =
+    Arg.(value & opt int 0
+         & info [ "me" ] ~docv:"I"
+             ~doc:"This process's shard index within $(b,--cluster).")
+  in
+  let store_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "store-dir" ] ~docv:"DIR"
+             ~doc:"Durable stores, one $(i,shard-<i>.store) file per shard; a \
+                   restarted shard replays its file instead of recompiling.")
+  in
+  let ports_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "ports-out" ] ~docv:"FILE"
+             ~doc:"Write the actual cluster string (one line) once every \
+                   listener is bound; pass it to net-client $(b,--connect).")
+  in
+  let workers_arg =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker domains per shard.")
+  in
+  let redirect_arg =
+    Arg.(value & flag
+         & info [ "redirect" ]
+             ~doc:"Answer misdirected keys with a redirect instead of \
+                   forwarding to the owner shard.")
+  in
+  let self_test_arg =
+    Arg.(value & opt int 0
+         & info [ "self-test" ] ~docv:"N"
+             ~doc:"Drive $(docv) requests through the freshly-started shards, \
+                   report, then stop (exit 1 on any loss or failure).")
+  in
+  let rate_arg =
+    Arg.(value & opt float 2000.0
+         & info [ "rate" ] ~docv:"RPS" ~doc:"Self-test arrival rate.")
+  in
+  Cmd.v
+    (Cmd.info "net-serve"
+       ~doc:"Serve the overlay compile service over TCP as a consistent-hash \
+             shard cluster: either host all $(b,--shards) in one process, or \
+             join a static $(b,--cluster) as shard $(b,--me).  Stops \
+             gracefully on SIGINT/SIGTERM, draining in-flight requests.")
+    Term.(ret
+            (const run $ shards_arg $ port_arg $ cluster_arg $ me_arg
+             $ store_dir_arg $ ports_out_arg $ workers_arg $ redirect_arg
+             $ self_test_arg $ rate_arg $ seed_arg))
+
+let net_client_cmd =
+  let run connect requests rate seed users working_set =
+    match Net.Node.parse_cluster connect with
+    | Error e -> `Error (false, e)
+    | Ok cluster ->
+      Array.iteri
+        (fun i (peer : Net.Node.peer) ->
+          match Net.Client.connect ~host:peer.host ~port:peer.port with
+          | Error e -> net_die "shard %d: %s" i e
+          | Ok c ->
+            (match Net.Client.rpc c Net.Wire.Ping with
+            | Ok (Net.Wire.Pong { shard; shards }) ->
+              Printf.printf "shard %d/%d answering at %s:%d\n%!" shard shards
+                peer.host peer.port;
+              if shard <> i || shards <> Array.length cluster then
+                net_die
+                  "cluster mismatch: %s:%d says it is shard %d of %d, but \
+                   --connect places it at index %d of %d"
+                  peer.host peer.port shard shards i (Array.length cluster)
+            | Ok _ -> net_die "shard %d: unexpected ping reply" i
+            | Error e -> net_die "shard %d ping: %s" i e);
+            Net.Client.close c)
+        cluster;
+      if requests = 0 then begin
+        (* status only: one stats line per shard *)
+        Array.iteri
+          (fun i (peer : Net.Node.peer) ->
+            match Net.Client.connect ~host:peer.host ~port:peer.port with
+            | Error e -> net_die "shard %d: %s" i e
+            | Ok c ->
+              (match Net.Client.rpc c Net.Wire.Stats_req with
+              | Ok (Net.Wire.Stats { shard; served; hits; misses; warm_loaded })
+                ->
+                Printf.printf
+                  "shard %d: served %d, cache %d hits / %d misses, %d \
+                   warm-loaded\n"
+                  shard served hits misses warm_loaded
+              | Ok _ -> net_die "shard %d: unexpected stats reply" i
+              | Error e -> net_die "shard %d stats: %s" i e);
+              Net.Client.close c)
+          cluster;
+        `Ok ()
+      end
+      else begin
+        net_load ~cluster ~requests ~rate ~seed ~users ~working_set;
+        `Ok ()
+      end
+  in
+  let connect_arg =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"H:P,H:P,..."
+             ~doc:"Cluster endpoints in shard order (the line net-serve \
+                   $(b,--ports-out) writes).")
+  in
+  let requests_arg =
+    Arg.(value & opt int 0
+         & info [ "requests" ] ~docv:"N"
+             ~doc:"Requests to drive open-loop through the cluster; 0 just \
+                   pings every shard and prints its stats.")
+  in
+  let rate_arg =
+    Arg.(value & opt float 2000.0
+         & info [ "rate" ] ~docv:"RPS" ~doc:"Fixed arrival rate.")
+  in
+  let users_arg =
+    Arg.(value & opt int 6
+         & info [ "users" ] ~docv:"N" ~doc:"Simulated user population.")
+  in
+  let ws_arg =
+    Arg.(value & opt int 2
+         & info [ "working-set" ] ~docv:"N" ~doc:"Kernels per user working set.")
+  in
+  Cmd.v
+    (Cmd.info "net-client"
+       ~doc:"Ping a running net-serve cluster and, with $(b,--requests), \
+             drive an open-loop load through it, reporting goodput and \
+             latency percentiles.  Exits 1 if any request is lost or fails.")
+    Term.(ret
+            (const run $ connect_arg $ requests_arg $ rate_arg $ seed_arg
+             $ users_arg $ ws_arg))
+
 let () =
   let doc = "domain-specific FPGA overlay generation (OverGen, MICRO 2022)" in
   exit
@@ -874,4 +1209,4 @@ let () =
        (Cmd.group (Cmd.info "overgen" ~doc)
           [ list_cmd; show_cmd; generate_cmd; dse_cmd; run_cmd; compile_cmd;
             trace_validate_cmd; compare_cmd; emit_cmd; verify_cmd;
-            serve_bench_cmd; store_cmd ]))
+            serve_bench_cmd; store_cmd; net_serve_cmd; net_client_cmd ]))

@@ -25,10 +25,13 @@ module Points = struct
   let service_process = "service.process"
   let store_append = "store.append"
   let store_torn = "store.torn_write"
+  let net_frame_corrupt = "net.frame_corrupt"
+  let net_conn_drop = "net.conn_drop"
 
   let all =
     [ mdfg_compile; scheduler_schedule_app; oracle_synth; cache_store;
-      service_process; store_append; store_torn ]
+      service_process; store_append; store_torn; net_frame_corrupt;
+      net_conn_drop ]
 end
 
 (* Disarmed is the overwhelmingly common state: one atomic load and a

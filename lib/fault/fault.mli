@@ -53,6 +53,18 @@ module Points : sig
       cut short), a [Deterministic] injection models bit rot (the full
       record lands with a flipped payload byte, so the checksum fails) *)
 
+  val net_frame_corrupt : string
+  (** network server frame decode, visited before a received frame is
+      parsed: an injection makes the server treat the frame as corrupt —
+      the connection is closed with a counted error, exactly as for a
+      genuine CRC mismatch *)
+
+  val net_conn_drop : string
+  (** network server request handling, visited after a compile request is
+      read but before any response is written: an injection drops the
+      whole connection, modeling a client that must retry over a fresh
+      connection *)
+
   val all : string list
 end
 

@@ -1,0 +1,54 @@
+type t = { fd_ : Unix.file_descr; mutable open_ : bool }
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } -> Error ("no address for host " ^ host)
+    | { Unix.h_addr_list; _ } -> Ok h_addr_list.(0)
+    | exception Not_found -> Error ("unknown host " ^ host))
+
+let connect ~host ~port =
+  Io.quiet_sigpipe ();
+  match resolve host with
+  | Error _ as e -> e
+  | Ok addr -> (
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match
+      Unix.setsockopt fd Unix.TCP_NODELAY true;
+      Unix.connect fd (Unix.ADDR_INET (addr, port))
+    with
+    | () -> Ok { fd_ = fd; open_ = true }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with _ -> ());
+      Error
+        (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e)))
+
+let fd t = t.fd_
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    (try Unix.shutdown t.fd_ Unix.SHUTDOWN_ALL with _ -> ());
+    try Unix.close t.fd_ with _ -> ()
+  end
+
+let send t msg =
+  if not t.open_ then Error "connection closed"
+  else
+    match Io.send_frame t.fd_ (Wire.encode_req msg) with
+    | () -> Ok ()
+    | exception Io.Closed -> Error "connection closed by peer"
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let recv t =
+  if not t.open_ then Error "connection closed"
+  else
+    match Io.recv_frame t.fd_ with
+    | Ok payload -> Wire.decode_resp payload
+    | Error fe -> Error (Wire.frame_error_to_string fe)
+    | exception Io.Closed -> Error "connection closed by peer"
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let rpc t msg = match send t msg with Error _ as e -> e | Ok () -> recv t

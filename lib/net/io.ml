@@ -1,0 +1,52 @@
+exception Closed
+
+(* Writes to dead sockets must surface as EPIPE, not kill the process;
+   forced by every transport entry point (server start, client connect). *)
+let sigpipe_ignored =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+
+let quiet_sigpipe () = Lazy.force sigpipe_ignored
+
+let rec read_into fd buf pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.read fd buf pos len with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> -1
+      | Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF | Unix.EPIPE), _, _) ->
+        raise Closed
+    in
+    if n = 0 then raise Closed
+    else if n < 0 then read_into fd buf pos len (* EINTR *)
+    else read_into fd buf (pos + n) (len - n)
+  end
+
+let read_exact fd n =
+  let buf = Bytes.create n in
+  read_into fd buf 0 n;
+  Bytes.unsafe_to_string buf
+
+let rec write_from fd s pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s pos len with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> -1
+      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+        raise Closed
+    in
+    if n < 0 then write_from fd s pos len (* EINTR *)
+    else write_from fd s (pos + n) (len - n)
+  end
+
+let write_all fd s = write_from fd s 0 (String.length s)
+
+let send_frame fd payload = write_all fd (Wire.frame payload)
+
+let recv_frame fd =
+  let header = read_exact fd Wire.header_bytes in
+  match Wire.decode_header header with
+  | Error e -> Error e
+  | Ok h -> (
+    let payload = read_exact fd h.Wire.length in
+    match Wire.verify_payload h payload with
+    | Error e -> Error e
+    | Ok () -> Ok payload)

@@ -1,0 +1,55 @@
+(** Open-loop load generator for a shard cluster.
+
+    Requests arrive on a fixed schedule — request [i] at [t0 + i/rate] —
+    regardless of how fast the cluster answers, so queueing delay shows
+    up in the latency percentiles instead of silently throttling the
+    offered load (the coordinated-omission trap a closed loop falls
+    into).
+
+    One sender thread per shard owns one connection and the slice of the
+    request array whose {!Wire.route_key} the {!Shard_map.Default} ring
+    assigns to that shard.  The thread reconnects with backoff when the
+    shard drops (resending everything that was in flight on the lost
+    connection), re-enqueues retryable errors ([Shutting_down],
+    [Transient_failure], [Queue_full]) after a short pause, and hands
+    [Redirect]ed requests to the owner shard's thread — so a shard
+    killed and restarted mid-run costs latency, never answers.
+
+    Latency is measured from the request's {e scheduled} arrival to its
+    completion. *)
+
+type config = {
+  cluster : Node.peer array;   (** shard endpoints, index = shard id *)
+  vnodes : int;                (** must match the servers' ring *)
+  requests : Wire.request array;
+      (** the trace; ids are overwritten with the array index *)
+  rate : float;                (** offered load, requests/second *)
+  timeout_s : float;           (** give-up bound on the whole run *)
+}
+
+type summary = {
+  requests : int;
+  completed : int;   (** got a final answer before [timeout_s] *)
+  ok : int;
+  failed : int;      (** deterministic errors: final, not retried *)
+  hits : int;        (** completions served from a shard's cache *)
+  redirects : int;
+  reconnects : int;
+  resends : int;
+  wall_s : float;
+  goodput_rps : float;  (** ok / wall_s *)
+  mean_ms : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+val run : config -> summary
+
+val to_metrics : config -> summary -> (string * float) list
+(** The summary as metric pairs, ready for
+    {!Overgen_obs.Export.write_bench_json}. *)
+
+val report : summary -> string
+(** One-screen text report. *)

@@ -1,0 +1,278 @@
+module Service = Overgen_service.Service
+module Registry = Overgen_service.Registry
+module Cache = Overgen_service.Cache
+module Store = Overgen_store.Store
+module Metrics = Overgen_obs.Metrics
+
+type peer = { host : string; port : int }
+
+let parse_peer s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "bad host:port %S" s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some port when host <> "" && port >= 0 && port < 65536 ->
+      Ok { host; port }
+    | _ -> Error (Printf.sprintf "bad host:port %S" s))
+
+let parse_cluster s =
+  let rec go acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | hp :: rest -> (
+      match parse_peer hp with
+      | Ok peer -> go (peer :: acc) rest
+      | Error _ as e -> e)
+  in
+  match go [] (String.split_on_char ',' s) with
+  | Ok [||] -> Error "empty cluster"
+  | r -> r
+
+type config = {
+  me : int;
+  cluster : peer array;
+  vnodes : int;
+  forward : bool;
+  store_path : string option;
+  workers : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  policy : Service.policy;
+}
+
+let default_config ~cluster ~me =
+  {
+    me;
+    cluster;
+    vnodes = Shard_map.default_vnodes;
+    forward = true;
+    store_path = None;
+    workers = 2;
+    queue_capacity = 1024;
+    cache_capacity = 4096;
+    policy = Service.default_policy;
+  }
+
+type t = {
+  config : config;
+  setup : (Registry.t -> unit) option;
+  map : Shard_map.Default.t;
+  store : Store.t option;
+  registry : Registry.t;
+  cache : Cache.t;
+  service : Service.t;
+  m : Mutex.t;
+  mutable quiesced_ : bool;
+  mutable served_ : int;
+  mutable closed : bool;
+  obs : Metrics.registry;
+  g_cache_entries : Metrics.gauge;
+  g_served : Metrics.gauge;
+  g_quiesced : Metrics.gauge;
+}
+
+let me t = t.config.me
+let cluster t = t.config.cluster
+let service t = t.service
+let registry t = t.registry
+let cache t = t.cache
+let metrics t = t.obs
+let warm_loaded t = Cache.warm_loaded t.cache
+
+let served t =
+  Mutex.lock t.m;
+  let n = t.served_ in
+  Mutex.unlock t.m;
+  n
+
+let quiesced t =
+  Mutex.lock t.m;
+  let q = t.quiesced_ in
+  Mutex.unlock t.m;
+  q
+
+let init ?setup config =
+  if config.me < 0 || config.me >= Array.length config.cluster then
+    Error
+      (Printf.sprintf "Node.init: me=%d outside cluster of %d" config.me
+         (Array.length config.cluster))
+  else if config.workers < 1 then Error "Node.init: workers < 1"
+  else
+    let opened =
+      match config.store_path with
+      | None -> Ok None
+      | Some path -> (
+        match Store.open_ ~path () with
+        | Ok s -> Ok (Some s)
+        | Error e -> Error (Printf.sprintf "Node.init: store %s: %s" path e))
+    in
+    match opened with
+    | Error _ as e -> e
+    | Ok store -> (
+      match
+        let registry = Registry.create ?store () in
+        (* the store may already hold the overlays (reboot path) — [setup]
+           only fills in what restore left missing *)
+        (match setup with Some f -> f registry | None -> ());
+        let cache = Cache.create ~capacity:config.cache_capacity ?store () in
+        let service =
+          Service.create
+            ~mode:(Service.Workers config.workers)
+            ~queue_capacity:config.queue_capacity ~cache ~policy:config.policy
+            registry
+        in
+        let obs =
+          Metrics.create_registry
+            ~label:(Printf.sprintf "net shard %d" config.me)
+            ()
+        in
+        {
+          config;
+          setup;
+          map = Shard_map.Default.make ~vnodes:config.vnodes
+                  ~shards:(Array.length config.cluster) ();
+          store;
+          registry;
+          cache;
+          service;
+          m = Mutex.create ();
+          quiesced_ = false;
+          served_ = 0;
+          closed = false;
+          obs;
+          g_cache_entries =
+            Metrics.gauge obs "overgen_net_cache_entries"
+              ~help:"schedule cache entries held by this shard";
+          g_served =
+            Metrics.gauge obs "overgen_net_served"
+              ~help:"compile requests admitted by this shard";
+          g_quiesced =
+            Metrics.gauge obs "overgen_net_quiesced"
+              ~help:"1 while draining, 0 while admitting";
+        }
+      with
+      | t -> Ok t
+      | exception e ->
+        Option.iter Store.close store;
+        Error (Printf.sprintf "Node.init: %s" (Printexc.to_string e)))
+
+let owner_of t (req : Wire.request) =
+  Shard_map.Default.owner t.map
+    (Wire.route_key ~overlay:req.overlay ~kernel:req.kernel ~tuned:req.tuned)
+
+let wire_error_of_service : Service.error -> Wire.wire_error = function
+  | Service.Unknown_overlay n -> Wire.Unknown_overlay n
+  | Service.Queue_full -> Wire.Queue_full
+  | Service.Compile_error e -> Wire.Compile_error e
+  | Service.Transient_failure e -> Wire.Transient_failure e
+  | Service.Deadline_exceeded -> Wire.Deadline_exceeded
+  | Service.Shutdown -> Wire.Shutting_down
+
+let result_of_response ~shard ~id (resp : Service.response) =
+  Wire.Result
+    {
+      id;
+      outcome =
+        (match resp.Service.result with
+        | Ok schedules -> Ok schedules
+        | Error e -> Error (wire_error_of_service e));
+      cache_hit = resp.Service.cache_hit;
+      service_s = resp.Service.service_s;
+      shard;
+    }
+
+let stats_msg t =
+  let s = Cache.stats t.cache in
+  Wire.Stats
+    {
+      shard = t.config.me;
+      served = served t;
+      hits = s.Cache.hits;
+      misses = s.Cache.misses;
+      warm_loaded = Cache.warm_loaded t.cache;
+    }
+
+let quiesce t =
+  Mutex.lock t.m;
+  t.quiesced_ <- true;
+  Mutex.unlock t.m
+
+type action = Done | Async | Forward of { owner : int; req : Wire.request }
+
+let handle_net t (msg : Wire.req_msg) ~respond : action =
+  match msg with
+  | Wire.Ping ->
+    respond
+      (Wire.Pong { shard = t.config.me; shards = Array.length t.config.cluster });
+    Done
+  | Wire.Stats_req ->
+    respond (stats_msg t);
+    Done
+  | Wire.Quiesce ->
+    quiesce t;
+    respond Wire.Bye;
+    Done
+  | Wire.Compile req ->
+    let refuse err =
+      respond
+        (Wire.Result
+           {
+             id = req.Wire.id;
+             outcome = Error err;
+             cache_hit = false;
+             service_s = 0.0;
+             shard = t.config.me;
+           });
+      Done
+    in
+    if quiesced t then refuse Wire.Shutting_down
+    else
+      let owner = owner_of t req in
+      if owner <> t.config.me then
+        if t.config.forward then Forward { owner; req }
+        else begin
+          respond (Wire.Redirect { id = req.Wire.id; owner });
+          Done
+        end
+      else
+        let sreq =
+          {
+            Service.id = req.Wire.id;
+            user = req.Wire.user;
+            overlay = req.Wire.overlay;
+            kernel = req.Wire.kernel;
+            tuned = req.Wire.tuned;
+          }
+        in
+        let k resp =
+          respond (result_of_response ~shard:t.config.me ~id:req.Wire.id resp)
+        in
+        (match Service.submit_k t.service sreq ~k with
+        | Ok () ->
+          Mutex.lock t.m;
+          t.served_ <- t.served_ + 1;
+          Mutex.unlock t.m;
+          Async
+        | Error e -> refuse (wire_error_of_service e))
+
+let handle_timeout t =
+  Metrics.set t.g_cache_entries (float_of_int (Cache.stats t.cache).Cache.entries);
+  Metrics.set t.g_served (float_of_int (served t));
+  Metrics.set t.g_quiesced (if quiesced t then 1.0 else 0.0)
+
+let shutdown t =
+  Mutex.lock t.m;
+  let already = t.closed in
+  t.closed <- true;
+  t.quiesced_ <- true;
+  Mutex.unlock t.m;
+  if not already then begin
+    ignore (Service.drain t.service);
+    Service.shutdown t.service;
+    Option.iter Store.close t.store
+  end
+
+let reboot t =
+  shutdown t;
+  init ?setup:t.setup t.config

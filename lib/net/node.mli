@@ -1,0 +1,107 @@
+(** One shard's node state machine.
+
+    Shaped like a verdi-runtime arrangement: a static cluster
+    configuration names every peer up front, [init] builds the node's
+    state, [handle_net] turns one incoming message into replies and
+    forwards, [handle_timeout] does periodic housekeeping, and [reboot]
+    models a crash-restart — tear the node down and rebuild it from the
+    same configuration, replaying its durable store so the warm state
+    (registered overlays, cached schedules) survives the crash.
+
+    The node owns the slice of the cache keyspace that the
+    {!Shard_map.Default} ring assigns to its index.  A compile request
+    whose {!Wire.route_key} hashes elsewhere is either forwarded to its
+    owner (the default) or answered with [Redirect] so the client
+    re-sends — never computed here, keeping each key's cache entries
+    (and their durable records) on exactly one shard.
+
+    The node is transport-agnostic: it never touches a socket.  The
+    server layer feeds it decoded {!Wire.req_msg}s and gets actions and
+    asynchronous responses back through the [respond] callback. *)
+
+type peer = { host : string; port : int }
+
+val parse_peer : string -> (peer, string) result
+(** ["host:port"].  The last [':'] splits, so bracketless IPv6 literals
+    still parse. *)
+
+val parse_cluster : string -> (peer array, string) result
+(** Comma-separated ["host:port,host:port,..."]; index = shard id.
+    Rejects empty clusters and malformed endpoints. *)
+
+type config = {
+  me : int;                  (** this node's index in [cluster] *)
+  cluster : peer array;      (** static membership, index = shard id *)
+  vnodes : int;              (** ring points per shard; must match peers *)
+  forward : bool;            (** forward misdirected keys ([true]) or
+                                 answer [Redirect] ([false]) *)
+  store_path : string option;(** durable store; [None] = memory only *)
+  workers : int;             (** service worker domains *)
+  queue_capacity : int;
+  cache_capacity : int;
+  policy : Overgen_service.Service.policy;
+}
+
+val default_config : cluster:peer array -> me:int -> config
+(** [vnodes] {!Shard_map.default_vnodes}, forwarding on, no store, 2
+    workers, queue 1024, cache 4096, {!Overgen_service.Service.default_policy}. *)
+
+type t
+
+val init : ?setup:(Overgen_service.Registry.t -> unit) -> config -> (t, string) result
+(** Build the node: open the store (if any), restore the registry and
+    warm-start the cache from it, then run [setup] to register whatever
+    overlays the store did not already hold — a rebooted node whose
+    store has the overlays skips regeneration entirely.  Errors are
+    structural (unopenable store, [setup] raised, bad config). *)
+
+val reboot : t -> (t, string) result
+(** Crash-restart: shut the node down and [init] again from its saved
+    configuration and [setup].  With a store, the new node replays every
+    durable record — same overlays, warm cache; without one it comes
+    back cold.  The old handle must not be used afterwards. *)
+
+(** What [handle_net] decided, beyond any [respond] calls it made:
+    - [Done]: handled synchronously; any reply was already passed to
+      [respond].
+    - [Async]: a compile was admitted; exactly one [respond] call will
+      follow from a worker domain.
+    - [Forward]: the request belongs to [owner] — the transport layer
+      must relay it and route the answer back. *)
+type action = Done | Async | Forward of { owner : int; req : Wire.request }
+
+val handle_net : t -> Wire.req_msg -> respond:(Wire.resp_msg -> unit) -> action
+(** Process one decoded message.  [respond] must be thread-safe: for
+    admitted compiles it is called later from a worker domain.  A
+    quiesced node answers compiles with [Shutting_down] instead of
+    admitting them. *)
+
+val handle_timeout : t -> unit
+(** Periodic housekeeping: refresh the node's gauges (cache entries,
+    served count, quiesced flag). *)
+
+val owner_of : t -> Wire.request -> int
+(** The ring owner of a request's {!Wire.route_key}. *)
+
+val quiesce : t -> unit
+(** Stop admitting compiles; already-admitted requests still complete
+    and their [respond] callbacks still run. *)
+
+val quiesced : t -> bool
+
+val shutdown : t -> unit
+(** Drain the service workers, close the store.  Idempotent. *)
+
+val me : t -> int
+val cluster : t -> peer array
+val served : t -> int
+(** Compile requests this node admitted (including ones still in
+    flight). *)
+
+val warm_loaded : t -> int
+(** Cache entries replayed from the durable store at [init]. *)
+
+val service : t -> Overgen_service.Service.t
+val registry : t -> Overgen_service.Registry.t
+val cache : t -> Overgen_service.Cache.t
+val metrics : t -> Overgen_obs.Metrics.registry

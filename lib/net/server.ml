@@ -1,0 +1,334 @@
+module Metrics = Overgen_obs.Metrics
+module Fault = Overgen_fault.Fault
+
+type conn = {
+  cfd : Unix.file_descr;
+  wm : Mutex.t;  (* serializes writes; responses come from many domains *)
+  mutable alive : bool;
+}
+
+type t = {
+  node_ : Node.t;
+  lfd : Unix.file_descr;
+  port_ : int;
+  stop_r : Unix.file_descr;  (* self-pipe waking the acceptor's select *)
+  stop_w : Unix.file_descr;
+  obs : Metrics.registry;
+  c_frames_in : Metrics.counter;
+  c_frames_out : Metrics.counter;
+  c_frames_corrupt : Metrics.counter;
+  c_conns : Metrics.counter;
+  c_conn_drops : Metrics.counter;
+  c_forwards : Metrics.counter;
+  c_redirects : Metrics.counter;
+  c_requests : Metrics.counter;
+  m : Mutex.t;
+  mutable stopping : bool;
+  mutable conns : conn list;
+  mutable next_id : int;
+  (* internal id -> where its response goes; its size is the in-flight
+     count the graceful stop drains *)
+  pending : (int, conn * int) Hashtbl.t;
+  mutable handlers : Thread.t list;
+  (* free peer connections for forwarding, per owner shard *)
+  peers : (int, Client.t list ref) Hashtbl.t;
+  peers_m : Mutex.t;
+  mutable acceptor : Thread.t option;
+}
+
+let port t = t.port_
+let node t = t.node_
+let metrics t = t.obs
+
+exception Drop_conn
+
+let listen ?(backlog = 64) ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen fd backlog;
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  with
+  | p -> Ok (fd, p)
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with _ -> ());
+    Error (Printf.sprintf "listen on port %d: %s" port (Unix.error_message e))
+
+let send_resp t conn resp =
+  let frame = Wire.frame (Wire.encode_resp resp) in
+  Mutex.lock conn.wm;
+  (if conn.alive then
+     match Io.write_all conn.cfd frame with
+     | () -> Metrics.incr t.c_frames_out
+     | exception (Io.Closed | Unix.Unix_error _) -> conn.alive <- false);
+  Mutex.unlock conn.wm
+
+(* Translate a response's server-internal id back to the id the client
+   chose, then deliver it.  Exactly once per pending entry: the table
+   removal under the lock is the once-only gate. *)
+let settle t internal_id resp =
+  Mutex.lock t.m;
+  let entry = Hashtbl.find_opt t.pending internal_id in
+  Hashtbl.remove t.pending internal_id;
+  Mutex.unlock t.m;
+  match entry with
+  | None -> ()
+  | Some (conn, client_id) ->
+    let resp =
+      match resp with
+      | Wire.Result r -> Wire.Result { r with id = client_id }
+      | Wire.Redirect r ->
+        Metrics.incr t.c_redirects;
+        Wire.Redirect { r with id = client_id }
+      | (Wire.Pong _ | Wire.Stats _ | Wire.Bye) as r -> r
+    in
+    send_resp t conn resp
+
+let borrow_peer t owner =
+  Mutex.lock t.peers_m;
+  let pool =
+    match Hashtbl.find_opt t.peers owner with
+    | Some p -> p
+    | None ->
+      let p = ref [] in
+      Hashtbl.add t.peers owner p;
+      p
+  in
+  let client =
+    match !pool with
+    | c :: rest ->
+      pool := rest;
+      Ok c
+    | [] ->
+      let { Node.host; port } = (Node.cluster t.node_).(owner) in
+      Client.connect ~host ~port
+  in
+  Mutex.unlock t.peers_m;
+  client
+
+let return_peer t owner c =
+  Mutex.lock t.peers_m;
+  (match Hashtbl.find_opt t.peers owner with
+  | Some pool -> pool := c :: !pool
+  | None -> Hashtbl.add t.peers owner (ref [ c ]));
+  Mutex.unlock t.peers_m
+
+let drop_peers t =
+  Mutex.lock t.peers_m;
+  Hashtbl.iter (fun _ pool -> List.iter Client.close !pool; pool := []) t.peers;
+  Mutex.unlock t.peers_m
+
+(* Relay a misdirected compile to its owner shard, synchronously on this
+   connection's reader thread; the peer's answer (already carrying our
+   internal id) settles the request like a local one.  A dead peer is a
+   transient verdict — the client retries, by which time the owner may be
+   back (the kill-and-restart scenario). *)
+let forward t internal_id owner (req : Wire.request) =
+  let transient msg =
+    Wire.Result
+      {
+        id = internal_id;
+        outcome = Error (Wire.Transient_failure msg);
+        cache_hit = false;
+        service_s = 0.0;
+        shard = Node.me t.node_;
+      }
+  in
+  match borrow_peer t owner with
+  | Error msg -> settle t internal_id (transient ("forward: " ^ msg))
+  | Ok c -> (
+    match Client.rpc c (Wire.Compile req) with
+    | Ok resp ->
+      return_peer t owner c;
+      settle t internal_id resp
+    | Error msg ->
+      Client.close c;
+      settle t internal_id (transient ("forward: " ^ msg)))
+
+let handle_compile t conn (req : Wire.request) =
+  (* Fault window: the request is read but nothing is written yet — an
+     injection kills the connection, losing every response routed to it,
+     which is exactly the crash the exactly-once test re-drives. *)
+  (match Fault.point Fault.Points.net_conn_drop with
+  | () -> ()
+  | exception Fault.Injected _ ->
+    Metrics.incr t.c_conn_drops;
+    raise Drop_conn);
+  let internal_id =
+    Mutex.lock t.m;
+    let n = t.next_id in
+    t.next_id <- n + 1;
+    Hashtbl.add t.pending n (conn, req.Wire.id);
+    Mutex.unlock t.m;
+    n
+  in
+  Metrics.incr t.c_requests;
+  let req = { req with Wire.id = internal_id } in
+  match
+    Node.handle_net t.node_ (Wire.Compile req) ~respond:(settle t internal_id)
+  with
+  | Node.Done | Node.Async -> ()
+  | Node.Forward { owner; req } ->
+    Metrics.incr t.c_forwards;
+    forward t internal_id owner req
+
+let handle_frame t conn payload =
+  Metrics.incr t.c_frames_in;
+  (* A frame that checksummed fine can still be poisoned here: the
+     injection is indistinguishable from wire damage downstream. *)
+  (match Fault.point Fault.Points.net_frame_corrupt with
+  | () -> ()
+  | exception Fault.Injected _ ->
+    Metrics.incr t.c_frames_corrupt;
+    raise Drop_conn);
+  match Wire.decode_req payload with
+  | Error _ ->
+    Metrics.incr t.c_frames_corrupt;
+    raise Drop_conn
+  | Ok (Wire.Compile req) -> handle_compile t conn req
+  | Ok ((Wire.Ping | Wire.Stats_req | Wire.Quiesce) as msg) ->
+    (match Node.handle_net t.node_ msg ~respond:(send_resp t conn) with
+    | Node.Done -> ()
+    | Node.Async | Node.Forward _ -> assert false)
+
+let close_conn t conn =
+  Mutex.lock conn.wm;
+  conn.alive <- false;
+  Mutex.unlock conn.wm;
+  (try Unix.shutdown conn.cfd Unix.SHUTDOWN_ALL with _ -> ());
+  (try Unix.close conn.cfd with _ -> ());
+  Mutex.lock t.m;
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  Mutex.unlock t.m
+
+let reader t conn () =
+  let rec loop () =
+    match Io.recv_frame conn.cfd with
+    | Ok payload ->
+      handle_frame t conn payload;
+      loop ()
+    | Error _ ->
+      Metrics.incr t.c_frames_corrupt;
+      raise Drop_conn
+  in
+  (try loop () with
+  | Io.Closed | Drop_conn | Unix.Unix_error _ -> ()
+  | _ -> ());
+  close_conn t conn
+
+let acceptor t () =
+  let rec loop () =
+    match Unix.select [ t.lfd; t.stop_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | rs, _, _ ->
+      if List.memq t.stop_r rs then ()
+      else begin
+        (match Unix.accept t.lfd with
+        | cfd, _ ->
+          (try Unix.setsockopt cfd Unix.TCP_NODELAY true with _ -> ());
+          let conn = { cfd; wm = Mutex.create (); alive = true } in
+          Metrics.incr t.c_conns;
+          Mutex.lock t.m;
+          t.conns <- conn :: t.conns;
+          t.handlers <- Thread.create (reader t conn) () :: t.handlers;
+          Mutex.unlock t.m
+        | exception Unix.Unix_error _ -> ());
+        loop ()
+      end
+  in
+  loop ()
+
+let start ~node ~fd =
+  Io.quiet_sigpipe ();
+  let port_ =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> invalid_arg "Server.start: not an inet socket"
+  in
+  let stop_r, stop_w = Unix.pipe () in
+  let obs =
+    Metrics.create_registry
+      ~label:(Printf.sprintf "net server :%d (shard %d)" port_ (Node.me node))
+      ()
+  in
+  let c name help = Metrics.counter obs name ~help in
+  let t =
+    {
+      node_ = node;
+      lfd = fd;
+      port_;
+      stop_r;
+      stop_w;
+      obs;
+      c_frames_in = c "overgen_net_frames_in_total" "frames received";
+      c_frames_out = c "overgen_net_frames_out_total" "frames written";
+      c_frames_corrupt =
+        c "overgen_net_frames_corrupt_total"
+          "corrupt/torn/mis-versioned frames (connection closed)";
+      c_conns = c "overgen_net_conns_total" "connections accepted";
+      c_conn_drops =
+        c "overgen_net_conn_drops_total" "connections dropped by fault injection";
+      c_forwards = c "overgen_net_forwards_total" "misdirected compiles forwarded";
+      c_redirects = c "overgen_net_redirects_total" "redirect answers sent";
+      c_requests = c "overgen_net_requests_total" "compile requests accepted";
+      m = Mutex.create ();
+      stopping = false;
+      conns = [];
+      next_id = 0;
+      pending = Hashtbl.create 256;
+      handlers = [];
+      peers = Hashtbl.create 8;
+      peers_m = Mutex.create ();
+      acceptor = None;
+    }
+  in
+  t.acceptor <- Some (Thread.create (acceptor t) ());
+  t
+
+let serve ?backlog ~node ~port () =
+  match listen ?backlog ~port () with
+  | Error _ as e -> e
+  | Ok (fd, _) -> Ok (start ~node ~fd)
+
+let wait t = Option.iter Thread.join t.acceptor
+
+let stop ?(drain_timeout_s = 30.0) t =
+  Mutex.lock t.m;
+  let already = t.stopping in
+  t.stopping <- true;
+  Mutex.unlock t.m;
+  if not already then begin
+    (* 1. stop admitting: new compiles answer Shutting_down *)
+    Node.quiesce t.node_;
+    (* 2. stop accepting *)
+    (try ignore (Unix.write_substring t.stop_w "x" 0 1) with _ -> ());
+    Option.iter Thread.join t.acceptor;
+    (* 3. drain: every accepted request's response must reach its socket *)
+    let deadline = Unix.gettimeofday () +. drain_timeout_s in
+    let rec drain () =
+      Mutex.lock t.m;
+      let inflight = Hashtbl.length t.pending in
+      Mutex.unlock t.m;
+      if inflight > 0 && Unix.gettimeofday () < deadline then begin
+        Thread.yield ();
+        Unix.sleepf 0.002;
+        drain ()
+      end
+    in
+    drain ();
+    (* 4. tear the transport down *)
+    Mutex.lock t.m;
+    let conns = t.conns in
+    let handlers = t.handlers in
+    t.handlers <- [];
+    Mutex.unlock t.m;
+    List.iter (fun c -> close_conn t c) conns;
+    List.iter Thread.join handlers;
+    drop_peers t;
+    (try Unix.close t.lfd with _ -> ());
+    (try Unix.close t.stop_r with _ -> ());
+    try Unix.close t.stop_w with _ -> ()
+  end

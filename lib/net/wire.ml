@@ -1,0 +1,312 @@
+open Overgen_workload
+module Codec = Overgen_store.Codec
+module Crc32 = Overgen_store.Crc32
+
+let version = 1
+let header_bytes = 12
+let max_payload_bytes = 16 * 1024 * 1024
+let magic0 = 'O'
+let magic1 = 'N'
+
+type frame_error =
+  | Bad_magic
+  | Version_mismatch of int
+  | Oversized of int
+  | Checksum_mismatch
+  | Truncated
+
+let frame_error_to_string = function
+  | Bad_magic -> "bad frame magic"
+  | Version_mismatch v ->
+    Printf.sprintf "wire version mismatch: peer speaks v%d, we speak v%d" v version
+  | Oversized n -> Printf.sprintf "oversized frame: %d bytes announced" n
+  | Checksum_mismatch -> "frame payload checksum mismatch"
+  | Truncated -> "truncated frame"
+
+type header = { length : int; crc : int32 }
+
+let frame payload =
+  let b = Buffer.create (String.length payload + header_bytes) in
+  Buffer.add_char b magic0;
+  Buffer.add_char b magic1;
+  Codec.put_u8 b version;
+  Codec.put_u8 b 0;
+  Codec.put_u32 b (String.length payload);
+  Buffer.add_int32_le b (Crc32.string payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* Header checks are ordered so the most diagnostic error wins: a peer
+   speaking a different protocol version still frames with our magic, so
+   magic first, then version, then sanity of the announced length. *)
+let decode_header_at s pos =
+  if String.length s - pos < header_bytes then Error Truncated
+  else if s.[pos] <> magic0 || s.[pos + 1] <> magic1 then Error Bad_magic
+  else
+    let v = Char.code s.[pos + 2] in
+    if v <> version then Error (Version_mismatch v)
+    else
+      let length = Int32.to_int (String.get_int32_le s (pos + 4)) land 0xFFFFFFFF in
+      if length > max_payload_bytes then Error (Oversized length)
+      else Ok { length; crc = String.get_int32_le s (pos + 8) }
+
+let decode_header s = decode_header_at s 0
+
+let verify_payload h payload =
+  if String.length payload <> h.length then Error Truncated
+  else if Crc32.string payload <> h.crc then Error Checksum_mismatch
+  else Ok ()
+
+let deframe ?(pos = 0) s =
+  match decode_header_at s pos with
+  | Error e -> Error e
+  | Ok h ->
+    if String.length s - pos - header_bytes < h.length then Error Truncated
+    else
+      let payload = String.sub s (pos + header_bytes) h.length in
+      (match verify_payload h payload with
+      | Error e -> Error e
+      | Ok () -> Ok (payload, header_bytes + h.length))
+
+(* ---------------- messages ---------------- *)
+
+type request = {
+  id : int;
+  user : string;
+  overlay : string;
+  kernel : Ir.kernel;
+  tuned : bool;
+}
+
+type req_msg = Compile of request | Ping | Stats_req | Quiesce
+
+type wire_error =
+  | Unknown_overlay of string
+  | Queue_full
+  | Compile_error of string
+  | Transient_failure of string
+  | Deadline_exceeded
+  | Shutting_down
+
+let wire_error_to_string = function
+  | Unknown_overlay name -> Printf.sprintf "unknown overlay %S" name
+  | Queue_full -> "queue full (admission rejected)"
+  | Compile_error e -> "compile error: " ^ e
+  | Transient_failure e -> "transient failure: " ^ e
+  | Deadline_exceeded -> "deadline exceeded"
+  | Shutting_down -> "shard is shutting down"
+
+let retryable = function
+  | Queue_full | Transient_failure _ | Shutting_down | Deadline_exceeded -> true
+  | Unknown_overlay _ | Compile_error _ -> false
+
+type resp_msg =
+  | Result of {
+      id : int;
+      outcome : (Overgen_scheduler.Schedule.t list, wire_error) result;
+      cache_hit : bool;
+      service_s : float;
+      shard : int;
+    }
+  | Redirect of { id : int; owner : int }
+  | Pong of { shard : int; shards : int }
+  | Stats of {
+      shard : int;
+      served : int;
+      hits : int;
+      misses : int;
+      warm_loaded : int;
+    }
+  | Bye
+
+let req_schema = "net-req-v1"
+let resp_schema = "net-resp-v1"
+let kernel_schema = "net-kernel-v1"
+let schedules_schema = "net-schedules-v1"
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let put_id b id = Codec.put_u64 b (Int64.of_int id)
+let get_id s pos = Int64.to_int (Codec.get_u64 s pos)
+
+let put_bool b v = Codec.put_u8 b (if v then 1 else 0)
+
+let get_bool s pos =
+  match Codec.get_u8 s pos with
+  | 0 -> false
+  | 1 -> true
+  | n -> fail "bad boolean byte %d" n
+
+let encode_kernel (k : Ir.kernel) = Codec.encode_marshal ~schema:kernel_schema k
+
+let decode_kernel s : Ir.kernel =
+  match Codec.decode_marshal ~schema:kernel_schema s with
+  | Ok k -> k
+  | Error e -> fail "kernel blob: %s" e
+
+let encode_req msg =
+  let b = Buffer.create 256 in
+  Codec.put_string b req_schema;
+  (match msg with
+  | Compile r ->
+    Codec.put_u8 b 0;
+    put_id b r.id;
+    Codec.put_string b r.user;
+    Codec.put_string b r.overlay;
+    put_bool b r.tuned;
+    Codec.put_string b (encode_kernel r.kernel)
+  | Ping -> Codec.put_u8 b 1
+  | Stats_req -> Codec.put_u8 b 2
+  | Quiesce -> Codec.put_u8 b 3);
+  Buffer.contents b
+
+let decode_req s =
+  match
+    let pos = ref 0 in
+    let schema = Codec.get_string s pos in
+    if schema <> req_schema then fail "request schema is %S, reader wants %S" schema req_schema;
+    let msg =
+      match Codec.get_u8 s pos with
+      | 0 ->
+        let id = get_id s pos in
+        let user = Codec.get_string s pos in
+        let overlay = Codec.get_string s pos in
+        let tuned = get_bool s pos in
+        let kernel = decode_kernel (Codec.get_string s pos) in
+        Compile { id; user; overlay; kernel; tuned }
+      | 1 -> Ping
+      | 2 -> Stats_req
+      | 3 -> Quiesce
+      | n -> fail "unknown request tag %d" n
+    in
+    if !pos <> String.length s then fail "trailing bytes after request";
+    msg
+  with
+  | msg -> Ok msg
+  | exception Bad m -> Error m
+  | exception Codec.Truncated -> Error "truncated request envelope"
+
+let put_error b = function
+  | Unknown_overlay name ->
+    Codec.put_u8 b 1;
+    Codec.put_string b name
+  | Queue_full -> Codec.put_u8 b 2
+  | Compile_error e ->
+    Codec.put_u8 b 3;
+    Codec.put_string b e
+  | Transient_failure e ->
+    Codec.put_u8 b 4;
+    Codec.put_string b e
+  | Deadline_exceeded -> Codec.put_u8 b 5
+  | Shutting_down -> Codec.put_u8 b 6
+
+let get_error s pos =
+  match Codec.get_u8 s pos with
+  | 1 -> Unknown_overlay (Codec.get_string s pos)
+  | 2 -> Queue_full
+  | 3 -> Compile_error (Codec.get_string s pos)
+  | 4 -> Transient_failure (Codec.get_string s pos)
+  | 5 -> Deadline_exceeded
+  | 6 -> Shutting_down
+  | n -> fail "unknown error tag %d" n
+
+let encode_resp msg =
+  let b = Buffer.create 256 in
+  Codec.put_string b resp_schema;
+  (match msg with
+  | Result r ->
+    Codec.put_u8 b 0;
+    put_id b r.id;
+    put_bool b r.cache_hit;
+    Codec.put_f64 b r.service_s;
+    Codec.put_u32 b r.shard;
+    (match r.outcome with
+    | Ok schedules ->
+      Codec.put_u8 b 0;
+      Codec.put_string b (Codec.encode_marshal ~schema:schedules_schema schedules)
+    | Error e -> put_error b e)
+  | Redirect r ->
+    Codec.put_u8 b 1;
+    put_id b r.id;
+    Codec.put_u32 b r.owner
+  | Pong p ->
+    Codec.put_u8 b 2;
+    Codec.put_u32 b p.shard;
+    Codec.put_u32 b p.shards
+  | Stats st ->
+    Codec.put_u8 b 3;
+    Codec.put_u32 b st.shard;
+    put_id b st.served;
+    put_id b st.hits;
+    put_id b st.misses;
+    put_id b st.warm_loaded
+  | Bye -> Codec.put_u8 b 4);
+  Buffer.contents b
+
+let decode_resp s =
+  match
+    let pos = ref 0 in
+    let schema = Codec.get_string s pos in
+    if schema <> resp_schema then
+      fail "response schema is %S, reader wants %S" schema resp_schema;
+    let msg =
+      match Codec.get_u8 s pos with
+      | 0 ->
+        let id = get_id s pos in
+        let cache_hit = get_bool s pos in
+        let service_s = Codec.get_f64 s pos in
+        let shard = Codec.get_u32 s pos in
+        let outcome =
+          match Codec.get_u8 s pos with
+          | 0 -> (
+            let blob = Codec.get_string s pos in
+            match
+              (Codec.decode_marshal ~schema:schedules_schema blob
+                : (Overgen_scheduler.Schedule.t list, string) result)
+            with
+            | Ok schedules -> Ok schedules
+            | Error e -> fail "schedules blob: %s" e)
+          | tag ->
+            pos := !pos - 1;
+            ignore tag;
+            Error (get_error s pos)
+        in
+        Result { id; outcome; cache_hit; service_s; shard }
+      | 1 ->
+        let id = get_id s pos in
+        let owner = Codec.get_u32 s pos in
+        Redirect { id; owner }
+      | 2 ->
+        let shard = Codec.get_u32 s pos in
+        let shards = Codec.get_u32 s pos in
+        Pong { shard; shards }
+      | 3 ->
+        let shard = Codec.get_u32 s pos in
+        let served = get_id s pos in
+        let hits = get_id s pos in
+        let misses = get_id s pos in
+        let warm_loaded = get_id s pos in
+        Stats { shard; served; hits; misses; warm_loaded }
+      | 4 -> Bye
+      | n -> fail "unknown response tag %d" n
+    in
+    if !pos <> String.length s then fail "trailing bytes after response";
+    msg
+  with
+  | msg -> Ok msg
+  | exception Bad m -> Error m
+  | exception Codec.Truncated -> Error "truncated response envelope"
+
+(* The routing key deliberately avoids the registry fingerprint and the
+   mDFG content hash: a client can compute it from the request alone, yet
+   it determines both (the overlay name resolves to one fingerprint on
+   every shard, the kernel digest to one variant hash), so the cache
+   keyspace is partitioned consistently with the schedule-cache keys. *)
+let route_key ~overlay ~kernel ~tuned =
+  let b = Buffer.create 64 in
+  Codec.put_string b overlay;
+  Codec.put_string b (Digest.string (Ir.pretty kernel));
+  put_bool b tuned;
+  Buffer.contents b

@@ -1,0 +1,135 @@
+(** The binary wire protocol of the networked serving tier.
+
+    Two layers, both built on the {!Overgen_store.Codec} primitives the
+    durable store already uses (little-endian length-prefixed fields,
+    schema-tagged payloads):
+
+    {b Framing.}  Every message travels as one frame:
+
+    {v
+    +----+----+--------+--------+----------------+----------------+
+    | 'O'| 'N'| version|  zero  | u32 LE length  | u32 LE CRC-32  |
+    +----+----+--------+--------+----------------+----------------+
+    | payload bytes (length of them, CRC-32 of them)              |
+    +-------------------------------------------------------------+
+    v}
+
+    The version byte is part of the header: a frame from a different
+    protocol version is {e rejected} ([Version_mismatch]), never
+    misparsed.  A wrong magic, an oversized length or a CRC mismatch are
+    likewise typed errors — the server closes the connection with a
+    counted error on any of them, mirroring the store's scan-on-open
+    discipline (damage is detected and contained, not interpreted).
+
+    {b Messages.}  Payloads are schema-tagged ([net-req-v1] /
+    [net-resp-v1]) envelopes whose fields are Codec primitives; the two
+    structured blobs — the kernel in a compile request and the schedules
+    in a successful response — ride as {!Overgen_store.Codec}
+    marshal-encoded, schema-tagged strings, so a format bump of either
+    renames its schema and old peers reject rather than misparse. *)
+
+open Overgen_workload
+
+val version : int
+(** Wire protocol version, byte 2 of every frame header. *)
+
+val header_bytes : int
+(** Frame header size: 12. *)
+
+val max_payload_bytes : int
+(** Upper bound on a frame payload (16 MiB); a header announcing more is
+    rejected as [Oversized] without allocating. *)
+
+type frame_error =
+  | Bad_magic
+  | Version_mismatch of int  (** the peer's version byte *)
+  | Oversized of int         (** announced payload length *)
+  | Checksum_mismatch
+  | Truncated                (** frame cut short (torn write / short read) *)
+
+val frame_error_to_string : frame_error -> string
+
+type header = { length : int; crc : int32 }
+
+val frame : string -> string
+(** Wrap a payload into a complete frame. *)
+
+val decode_header : string -> (header, frame_error) result
+(** Parse exactly the first {!header_bytes} bytes of a frame.  [Truncated]
+    if fewer bytes are supplied. *)
+
+val verify_payload : header -> string -> (unit, frame_error) result
+(** Check a received payload against its header's length and CRC. *)
+
+val deframe : ?pos:int -> string -> (string * int, frame_error) result
+(** Whole-buffer convenience (tests, buffered readers): parse one frame
+    starting at [pos] (default 0) and return (payload, bytes consumed).
+    [Truncated] when the buffer holds only a frame prefix. *)
+
+(** {2 Messages} *)
+
+type request = {
+  id : int;           (** client-chosen; the server namespaces it
+                          per-connection before processing *)
+  user : string;
+  overlay : string;   (** registry name to compile against *)
+  kernel : Ir.kernel;
+  tuned : bool;
+}
+
+type req_msg =
+  | Compile of request
+  | Ping
+  | Stats_req
+  | Quiesce  (** ask the node to stop admitting and drain (graceful stop) *)
+
+(** Request outcome as it travels back; mirrors {!Service.error} plus the
+    server-side [Shutting_down] answer new requests get during drain. *)
+type wire_error =
+  | Unknown_overlay of string
+  | Queue_full
+  | Compile_error of string
+  | Transient_failure of string
+  | Deadline_exceeded
+  | Shutting_down
+
+val wire_error_to_string : wire_error -> string
+
+val retryable : wire_error -> bool
+(** Whether a client should retry: everything except the deterministic
+    verdicts ([Unknown_overlay], [Compile_error]). *)
+
+type resp_msg =
+  | Result of {
+      id : int;
+      outcome : (Overgen_scheduler.Schedule.t list, wire_error) result;
+      cache_hit : bool;
+      service_s : float;
+      shard : int;  (** which shard computed/served it *)
+    }
+  | Redirect of { id : int; owner : int }
+      (** this shard does not own the request's key; re-send to [owner] *)
+  | Pong of { shard : int; shards : int }
+  | Stats of {
+      shard : int;
+      served : int;
+      hits : int;
+      misses : int;
+      warm_loaded : int;  (** cache entries replayed from the durable store *)
+    }
+  | Bye  (** acknowledges [Quiesce] *)
+
+val encode_req : req_msg -> string
+val decode_req : string -> (req_msg, string) result
+val encode_resp : resp_msg -> string
+val decode_resp : string -> (resp_msg, string) result
+(** Decoders reject unknown schemas/tags and truncated envelopes with
+    [Error], never a garbage value. *)
+
+val route_key : overlay:string -> kernel:Ir.kernel -> tuned:bool -> string
+(** The consistent-hash routing key of a compile request: a
+    length-prefixed join of the overlay name, the kernel's content digest
+    and the tuned flag.  Client and server compute it identically, so a
+    given (overlay, kernel, tuned) triple always lands on one shard — the
+    shard whose schedule cache will hold its fingerprint+mDFG-hash
+    entry. *)

@@ -18,3 +18,16 @@ val validate_json : string -> (unit, string) result
 
 val write_file : path:string -> string -> unit
 (** Write contents to [path] (truncating). *)
+
+val bench_json : scenario:string -> (string * float) list -> string
+(** The machine-readable benchmark-result document every [bench] scenario
+    persists: a scenario name plus a flat object of named numeric
+    metrics — the durable perf trajectory a future [bench regress] can
+    diff against. *)
+
+val write_bench_json :
+  ?dir:string -> scenario:string -> (string * float) list -> string
+(** Render {!bench_json}, self-validate it with {!validate_json}, and
+    write it to [BENCH_<scenario>.json] under [dir] (default: the current
+    directory).  Returns the path written.
+    @raise Failure if the rendered document fails validation. *)

@@ -221,8 +221,10 @@ let complete t resp =
   Mutex.unlock t.resp_m
 
 (* Last-resort isolation: even if [process] itself raises, the batch gets
-   its response and the other in-flight requests are untouched. *)
-let job t ~submitted_at req () =
+   its response and the other in-flight requests are untouched.  [k] is
+   the completion: batch submissions accumulate for {!drain}, streaming
+   submissions ({!submit_k}) hand the response straight to the caller. *)
+let job ?k t ~submitted_at req () =
   let resp =
     try process t ~submitted_at req
     with e ->
@@ -235,7 +237,7 @@ let job t ~submitted_at req () =
         service_s = 0.0;
       }
   in
-  complete t resp
+  match k with None -> complete t resp | Some k -> k resp
 
 let create ?(mode = Deterministic) ?(queue_capacity = 1024) ?(caching = true)
     ?cache ?(policy = default_policy) registry =
@@ -284,6 +286,23 @@ let submit t req =
     Telemetry.record_rejection t.telemetry_;
     Error Queue_full
   | Error Pool.Stopped -> Error Shutdown
+
+let submit_k t req ~k =
+  let submitted_at = Unix.gettimeofday () in
+  match t.mode with
+  | Deterministic ->
+    (* No worker will ever call [k] — the deterministic queue only runs on
+       {!drain} — so the streaming contract degenerates to inline
+       execution on the caller's thread. *)
+    job ~k t ~submitted_at req ();
+    Ok ()
+  | Workers _ -> (
+    match Pool.submit t.pool (job ~k t ~submitted_at req) with
+    | Ok () -> Ok ()
+    | Error Pool.Saturated ->
+      Telemetry.record_rejection t.telemetry_;
+      Error Queue_full
+    | Error Pool.Stopped -> Error Shutdown)
 
 let by_id a b = compare a.request.id b.request.id
 

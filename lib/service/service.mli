@@ -114,6 +114,17 @@ val submit : t -> request -> (unit, error) result
 (** Non-blocking admission; [Error Queue_full] when the queue is at
     capacity. *)
 
+val submit_k : t -> request -> k:(response -> unit) -> (unit, error) result
+(** Streaming admission, what a network server needs: instead of
+    accumulating for {!drain}, the request's response is handed to [k] as
+    soon as processing completes.  Under [Workers] [k] runs on a worker
+    domain (it must be thread-safe and quick — typically: frame the
+    response and write it to a socket); under [Deterministic] the request
+    is processed inline on the caller's thread before [submit_k] returns.
+    Responses delivered through [k] never appear in {!drain}.  The same
+    fault-tolerance contract applies: exactly one call to [k] per
+    accepted request, failures isolated into [Error] responses. *)
+
 val drain : t -> response list
 (** Process ([Deterministic]) or await ([Workers]) everything accepted so
     far; returns the completed responses sorted by request id and clears

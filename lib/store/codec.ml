@@ -16,6 +16,10 @@ let put_string b s =
   put_u32 b (String.length s);
   Buffer.add_string b s
 
+let put_u64 b v = Buffer.add_int64_le b v
+
+let put_f64 b v = put_u64 b (Int64.bits_of_float v)
+
 let need s pos n = if !pos + n > String.length s then raise Truncated
 
 let get_u8 s pos =
@@ -36,6 +40,14 @@ let get_string s pos =
   let v = String.sub s !pos n in
   pos := !pos + n;
   v
+
+let get_u64 s pos =
+  need s pos 8;
+  let v = String.get_int64_le s !pos in
+  pos := !pos + 8;
+  v
+
+let get_f64 s pos = Int64.float_of_bits (get_u64 s pos)
 
 let tagged schema payload =
   let b = Buffer.create (String.length payload + String.length schema + 8) in

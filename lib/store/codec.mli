@@ -29,9 +29,19 @@ val put_u32 : Buffer.t -> int -> unit
 val put_string : Buffer.t -> string -> unit
 (** u32 length prefix, then the bytes. *)
 
+val put_u64 : Buffer.t -> int64 -> unit
+(** Little-endian 64-bit field; what the network wire protocol uses for
+    request ids and counters. *)
+
+val put_f64 : Buffer.t -> float -> unit
+(** IEEE-754 bits via {!put_u64} — bit-exact round trip, no decimal
+    formatting loss. *)
+
 val get_u8 : string -> int ref -> int
 val get_u32 : string -> int ref -> int
 val get_string : string -> int ref -> string
+val get_u64 : string -> int ref -> int64
+val get_f64 : string -> int ref -> float
 
 val encode_sys : Overgen_adg.Sys_adg.t -> string
 (** Schema-tagged {!Overgen_adg.Serial.to_string} of a design. *)

@@ -17,5 +17,6 @@ let () =
       ("core", Test_core.tests);
       ("store", Test_store.tests);
       ("service", Test_service.tests);
+      ("net", Test_net.tests);
       ("properties", Test_properties.tests);
     ]

@@ -1,0 +1,454 @@
+(* The network tier: wire framing (round-trip, truncation, version and
+   checksum rejection), the consistent-hash shard map, a real
+   socket round trip through server + service workers, per-connection id
+   namespacing, fault injection at the frame/connection level with the
+   exactly-once completion guarantee, and kill-and-restart durable
+   replay. *)
+
+open Overgen_workload
+module Wire = Overgen_net.Wire
+module Shard_map = Overgen_net.Shard_map
+module Node = Overgen_net.Node
+module Server = Overgen_net.Server
+module Client = Overgen_net.Client
+module Load_gen = Overgen_net.Load_gen
+module Registry = Overgen_service.Registry
+module Cache = Overgen_service.Cache
+module Service = Overgen_service.Service
+module Trace = Overgen_service.Trace
+module Fault = Overgen_fault.Fault
+
+let model = lazy (Overgen.train_model ~seed:21 ())
+
+let general =
+  lazy
+    (match Overgen.general ~model:(Lazy.force model) Kernels.all with
+    | Ok o -> o
+    | Error e -> failwith ("general overlay: " ^ e))
+
+(* registers only what a durable restore left missing, so a rebooted
+   node skips regeneration *)
+let setup registry =
+  if Registry.find registry "general" = None then
+    match Registry.register registry ~name:"general" (Lazy.force general) with
+    | Ok _ -> ()
+    | Error e -> failwith ("register general: " ^ e)
+
+let must_node = function
+  | Ok n -> n
+  | Error e -> Alcotest.failf "node init: %s" e
+
+let tmp_path prefix =
+  Filename.temp_file ("overgen-net-" ^ prefix) ".store"
+
+(* ---------------- framing ---------------- *)
+
+let test_frame_roundtrip () =
+  let payload = "hello frames" in
+  let f = Wire.frame payload in
+  Alcotest.(check int)
+    "frame size" (Wire.header_bytes + String.length payload) (String.length f);
+  match Wire.deframe f with
+  | Ok (p, consumed) ->
+    Alcotest.(check string) "payload back" payload p;
+    Alcotest.(check int) "consumed all" (String.length f) consumed
+  | Error e -> Alcotest.failf "deframe: %s" (Wire.frame_error_to_string e)
+
+let test_truncated_rejected () =
+  let f = Wire.frame "some payload bytes" in
+  (* every proper prefix must be rejected as truncated, never misparsed *)
+  for cut = 0 to String.length f - 1 do
+    match Wire.deframe (String.sub f 0 cut) with
+    | Error Wire.Truncated -> ()
+    | Error e ->
+      Alcotest.failf "cut %d: wrong error %s" cut (Wire.frame_error_to_string e)
+    | Ok _ -> Alcotest.failf "cut %d: parsed a truncated frame" cut
+  done
+
+let test_version_and_corruption_rejected () =
+  let f = Wire.frame "payload" in
+  let flip i c s =
+    let b = Bytes.of_string s in
+    Bytes.set b i c;
+    Bytes.to_string b
+  in
+  (match Wire.deframe (flip 2 (Char.chr (Wire.version + 1)) f) with
+  | Error (Wire.Version_mismatch v) ->
+    Alcotest.(check int) "reports peer version" (Wire.version + 1) v
+  | _ -> Alcotest.fail "future version accepted");
+  (match Wire.deframe (flip 0 'X' f) with
+  | Error Wire.Bad_magic -> ()
+  | _ -> Alcotest.fail "bad magic accepted");
+  (match Wire.deframe (flip (Wire.header_bytes + 2) '\xFF' f) with
+  | Error Wire.Checksum_mismatch -> ()
+  | _ -> Alcotest.fail "corrupt payload accepted");
+  (* an announced length beyond the cap is rejected without allocating *)
+  let huge = Bytes.of_string f in
+  Bytes.set_int32_le huge 4 (Int32.of_int (Wire.max_payload_bytes + 1));
+  match Wire.deframe (Bytes.to_string huge) with
+  | Error (Wire.Oversized _) -> ()
+  | _ -> Alcotest.fail "oversized frame accepted"
+
+(* ---------------- message round-trip properties ---------------- *)
+
+let gen_request =
+  QCheck.Gen.(
+    let* name = oneofl Kernels.names in
+    let* id = int_range 0 1_000_000 in
+    let* user = string_size ~gen:printable (int_range 0 12) in
+    let* overlay = oneofl [ "general"; "dense"; "a b\nc" ] in
+    let* tuned = bool in
+    return { Wire.id; user; overlay; kernel = Kernels.find name; tuned })
+
+let prop_req_roundtrip =
+  QCheck.Test.make ~name:"requests survive encode-frame-deframe-decode"
+    ~count:120 (QCheck.make gen_request) (fun req ->
+      let payload = Wire.encode_req (Wire.Compile req) in
+      let framed = Wire.frame payload in
+      match Wire.deframe framed with
+      | Error e -> QCheck.Test.fail_reportf "deframe: %s" (Wire.frame_error_to_string e)
+      | Ok (p, _) -> (
+        match Wire.decode_req p with
+        | Error e -> QCheck.Test.fail_reportf "decode: %s" e
+        | Ok (Wire.Compile r) ->
+          (* bit-exact: re-encoding the decoded request reproduces the
+             original frame byte for byte *)
+          Wire.frame (Wire.encode_req (Wire.Compile r)) = framed
+          && r.Wire.id = req.Wire.id
+          && r.Wire.user = req.Wire.user
+          && r.Wire.overlay = req.Wire.overlay
+          && r.Wire.tuned = req.Wire.tuned
+          && Ir.pretty r.Wire.kernel = Ir.pretty req.Wire.kernel
+        | Ok _ -> false))
+
+let gen_wire_error =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> Wire.Unknown_overlay s) (string_size (int_range 0 8));
+        return Wire.Queue_full;
+        map (fun s -> Wire.Compile_error s) (string_size (int_range 0 20));
+        map (fun s -> Wire.Transient_failure s) (string_size (int_range 0 20));
+        return Wire.Deadline_exceeded;
+        return Wire.Shutting_down;
+      ])
+
+let gen_resp =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* id = int_range 0 1_000_000 in
+         let* e = gen_wire_error in
+         let* hit = bool in
+         let* shard = int_range 0 64 in
+         return
+           (Wire.Result
+              { id; outcome = Error e; cache_hit = hit; service_s = 0.5; shard }));
+        (let* id = int_range 0 1_000_000 in
+         let* owner = int_range 0 64 in
+         return (Wire.Redirect { id; owner }));
+        (let* shard = int_range 0 16 in
+         return (Wire.Pong { shard; shards = 16 }));
+        (let* served = int_range 0 100000 in
+         return
+           (Wire.Stats { shard = 1; served; hits = 3; misses = 4; warm_loaded = 5 }));
+        return Wire.Bye;
+      ])
+
+let prop_resp_roundtrip =
+  QCheck.Test.make ~name:"responses survive encode-frame-deframe-decode"
+    ~count:120 (QCheck.make gen_resp) (fun resp ->
+      let framed = Wire.frame (Wire.encode_resp resp) in
+      match Wire.deframe framed with
+      | Error _ -> false
+      | Ok (p, _) -> (
+        match Wire.decode_resp p with
+        | Error e -> QCheck.Test.fail_reportf "decode: %s" e
+        | Ok r -> Wire.frame (Wire.encode_resp r) = framed && r = resp))
+
+let test_schema_rejected () =
+  (* a response payload handed to the request decoder must be refused *)
+  match Wire.decode_req (Wire.encode_resp Wire.Bye) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "request decoder accepted a response schema"
+
+(* ---------------- shard map ---------------- *)
+
+let test_shard_map () =
+  let m1 = Shard_map.Default.make ~shards:4 () in
+  let m2 = Shard_map.Default.make ~shards:4 () in
+  let keys = List.init 4000 (fun i -> Printf.sprintf "key-%d" i) in
+  List.iter
+    (fun k ->
+      let o = Shard_map.Default.owner m1 k in
+      Alcotest.(check bool) "in range" true (o >= 0 && o < 4);
+      Alcotest.(check int) "deterministic across instances" o
+        (Shard_map.Default.owner m2 k))
+    keys;
+  let hist = Shard_map.Default.histogram m1 keys in
+  Array.iteri
+    (fun s c ->
+      if c = 0 then Alcotest.failf "shard %d owns no keys out of 4000" s)
+    hist;
+  Alcotest.(check int) "histogram is a partition" 4000
+    (Array.fold_left ( + ) 0 hist);
+  Alcotest.check_raises "zero shards rejected"
+    (Invalid_argument "Shard_map.make: shards < 1") (fun () ->
+      ignore (Shard_map.Default.make ~shards:0 ()))
+
+(* ---------------- socket round trip ---------------- *)
+
+let start_single_shard ?store_path () =
+  let fd, port = Result.get_ok (Server.listen ~port:0 ()) in
+  let config =
+    {
+      (Node.default_config ~cluster:[| { Node.host = "127.0.0.1"; port } |] ~me:0) with
+      store_path;
+    }
+  in
+  let node = must_node (Node.init ~setup config) in
+  (Server.start ~node ~fd, node, port)
+
+let compile_req ~id kernel =
+  Wire.Compile
+    { Wire.id; user = "u"; overlay = "general"; kernel; tuned = false }
+
+let test_socket_roundtrip () =
+  let server, node, port = start_single_shard () in
+  let c = Result.get_ok (Client.connect ~host:"127.0.0.1" ~port) in
+  (match Client.rpc c Wire.Ping with
+  | Ok (Wire.Pong { shard = 0; shards = 1 }) -> ()
+  | Ok _ -> Alcotest.fail "wrong pong"
+  | Error e -> Alcotest.failf "ping: %s" e);
+  let kernel = List.hd Kernels.all in
+  let first =
+    match Client.rpc c (compile_req ~id:7 kernel) with
+    | Ok (Wire.Result { id = 7; outcome = Ok schedules; cache_hit = false; _ }) ->
+      Alcotest.(check bool) "schedules nonempty" true (schedules <> []);
+      schedules
+    | Ok (Wire.Result { outcome = Error e; _ }) ->
+      Alcotest.failf "compile: %s" (Wire.wire_error_to_string e)
+    | Ok _ -> Alcotest.fail "wrong response"
+    | Error e -> Alcotest.failf "rpc: %s" e
+  in
+  (* same request again: a cache hit with the identical schedules *)
+  (match Client.rpc c (compile_req ~id:8 kernel) with
+  | Ok (Wire.Result { id = 8; outcome = Ok schedules; cache_hit = true; _ }) ->
+    Alcotest.(check bool) "hit serves identical schedules" true
+      (schedules = first)
+  | Ok _ -> Alcotest.fail "expected a cache hit"
+  | Error e -> Alcotest.failf "rpc: %s" e);
+  (match Client.rpc c Wire.Stats_req with
+  | Ok (Wire.Stats { served = 2; hits = 1; _ }) -> ()
+  | Ok (Wire.Stats s) ->
+    Alcotest.failf "stats: served %d hits %d" s.served s.hits
+  | Ok _ | Error _ -> Alcotest.fail "stats rpc failed");
+  Client.close c;
+  Server.stop server;
+  Node.shutdown node
+
+let test_quiesced_answers_shutting_down () =
+  let server, node, port = start_single_shard () in
+  Node.quiesce node;
+  let c = Result.get_ok (Client.connect ~host:"127.0.0.1" ~port) in
+  (match Client.rpc c (compile_req ~id:1 (List.hd Kernels.all)) with
+  | Ok (Wire.Result { id = 1; outcome = Error Wire.Shutting_down; _ }) -> ()
+  | Ok _ -> Alcotest.fail "quiesced node accepted a compile"
+  | Error e -> Alcotest.failf "rpc: %s" e);
+  Client.close c;
+  Server.stop server;
+  Node.shutdown node
+
+(* Two connections, both using client id 0 concurrently, for different
+   kernels: server-side id namespacing must route each answer to its own
+   connection. *)
+let test_two_clients_same_id () =
+  let server, node, port = start_single_shard () in
+  let k0 = List.nth Kernels.all 0 and k1 = List.nth Kernels.all 1 in
+  let digest schedules =
+    Digest.to_hex
+      (Digest.string
+         (String.concat ";"
+            (List.map
+               (fun (s : Overgen_scheduler.Schedule.t) -> string_of_int s.ii)
+               schedules)))
+  in
+  let answer = Array.make 2 None in
+  let client i kernel () =
+    let c = Result.get_ok (Client.connect ~host:"127.0.0.1" ~port) in
+    (match Client.rpc c (compile_req ~id:0 kernel) with
+    | Ok (Wire.Result { id = 0; outcome = Ok schedules; _ }) ->
+      answer.(i) <- Some (digest schedules)
+    | Ok _ -> ()
+    | Error _ -> ());
+    Client.close c
+  in
+  let t0 = Thread.create (client 0 k0) () in
+  let t1 = Thread.create (client 1 k1) () in
+  Thread.join t0;
+  Thread.join t1;
+  (* reference answers straight from a service on the same registry *)
+  let reference kernel =
+    let svc = Service.create (Node.registry node) in
+    let resps =
+      Service.run svc
+        [ { Service.id = 0; user = "r"; overlay = "general"; kernel; tuned = false } ]
+    in
+    match resps with
+    | [ { Service.result = Ok schedules; _ } ] -> digest schedules
+    | _ -> Alcotest.fail "reference compile failed"
+  in
+  Alcotest.(check (option string)) "client 0 got kernel 0's answer"
+    (Some (reference k0)) answer.(0);
+  Alcotest.(check (option string)) "client 1 got kernel 1's answer"
+    (Some (reference k1)) answer.(1);
+  Server.stop server;
+  Node.shutdown node
+
+(* ---------------- faults: exactly one response per request ----------- *)
+
+let test_serve_under_faults () =
+  let server, node, port = start_single_shard () in
+  let spec =
+    Trace.spec ~seed:7 ~requests:150 ~users:4 ~working_set:2
+      ~overlays:[ ("general", Kernels.all) ] ()
+  in
+  let requests =
+    Trace.generate spec
+    |> List.map (fun (r : Service.request) ->
+           {
+             Wire.id = r.id;
+             user = r.user;
+             overlay = r.overlay;
+             kernel = r.kernel;
+             tuned = r.tuned;
+           })
+    |> Array.of_list
+  in
+  let summary =
+    Fault.with_faults
+      {
+        Fault.default_config with
+        seed = 3;
+        rate = 0.04;
+        points = [ Fault.Points.net_conn_drop; Fault.Points.net_frame_corrupt ];
+      }
+      (fun () ->
+        Load_gen.run
+          {
+            Load_gen.cluster = [| { Node.host = "127.0.0.1"; port } |];
+            vnodes = Shard_map.default_vnodes;
+            requests;
+            rate = 600.0;
+            timeout_s = 60.0;
+          })
+  in
+  Alcotest.(check int) "every request answered exactly once" 150
+    summary.Load_gen.completed;
+  Alcotest.(check int) "no deterministic failures" 0 summary.Load_gen.failed;
+  Alcotest.(check bool) "faults actually dropped connections" true
+    (summary.Load_gen.reconnects > 0);
+  (* connection loss forced resends, yet the scheduler ran exactly once
+     per distinct key: retried keys were served by the cache *)
+  let stats = Cache.stats (Node.cache node) in
+  Alcotest.(check int) "one compute per distinct key"
+    (Trace.distinct_keys spec) stats.Cache.misses;
+  Server.stop server;
+  Node.shutdown node
+
+(* ---------------- kill and restart: durable replay ---------------- *)
+
+let test_reboot_replays_store () =
+  let store_path = tmp_path "reboot" in
+  Sys.remove store_path;
+  let config =
+    {
+      (Node.default_config
+         ~cluster:[| { Node.host = "127.0.0.1"; port = 0 } |]
+         ~me:0)
+      with
+      store_path = Some store_path;
+    }
+  in
+  let node = must_node (Node.init ~setup config) in
+  let spec =
+    Trace.spec ~seed:11 ~requests:60 ~users:3 ~working_set:2
+      ~overlays:[ ("general", Kernels.all) ] ()
+  in
+  let trace =
+    Trace.generate spec
+    |> List.map (fun (r : Service.request) ->
+           {
+             Wire.id = r.id;
+             user = r.user;
+             overlay = r.overlay;
+             kernel = r.kernel;
+             tuned = r.tuned;
+           })
+  in
+  let drive node =
+    let m = Mutex.create () in
+    let got = ref 0 and ok = ref 0 and hits = ref 0 in
+    List.iter
+      (fun req ->
+        let respond = function
+          | Wire.Result { outcome; cache_hit; _ } ->
+            Mutex.lock m;
+            incr got;
+            if outcome <> Error Wire.Shutting_down && Result.is_ok outcome then
+              incr ok;
+            if cache_hit then incr hits;
+            Mutex.unlock m
+          | _ -> ()
+        in
+        match Node.handle_net node (Wire.Compile req) ~respond with
+        | Node.Async | Node.Done -> ()
+        | Node.Forward _ -> Alcotest.fail "single shard forwarded")
+      trace;
+    let deadline = Unix.gettimeofday () +. 60.0 in
+    let rec wait () =
+      Mutex.lock m;
+      let g = !got in
+      Mutex.unlock m;
+      if g < List.length trace then
+        if Unix.gettimeofday () > deadline then
+          Alcotest.failf "only %d/%d responses" g (List.length trace)
+        else begin
+          Thread.yield ();
+          Unix.sleepf 0.005;
+          wait ()
+        end
+    in
+    wait ();
+    (!ok, !hits)
+  in
+  let ok1, _ = drive node in
+  Alcotest.(check int) "first run all ok" 60 ok1;
+  (* crash-restart: reboot tears the node down and replays the store *)
+  let node2 = must_node (Node.reboot node) in
+  Alcotest.(check bool) "cache warm-started from the store" true
+    (Node.warm_loaded node2 > 0);
+  Alcotest.(check (list string))
+    "overlays restored without regeneration" [ "general" ]
+    (Registry.names (Node.registry node2));
+  let ok2, hits2 = drive node2 in
+  Alcotest.(check int) "replay all ok" 60 ok2;
+  Alcotest.(check int) "replayed traffic is 100% cache hits" 60 hits2;
+  Node.shutdown node2;
+  Sys.remove store_path
+
+let tests =
+  [
+    ("frame round-trip", `Quick, test_frame_roundtrip);
+    ("truncated frames rejected", `Quick, test_truncated_rejected);
+    ("version/corruption rejected", `Quick, test_version_and_corruption_rejected);
+    QCheck_alcotest.to_alcotest prop_req_roundtrip;
+    QCheck_alcotest.to_alcotest prop_resp_roundtrip;
+    ("schema mismatch rejected", `Quick, test_schema_rejected);
+    ("shard map", `Quick, test_shard_map);
+    ("socket round trip", `Quick, test_socket_roundtrip);
+    ("quiesced answers shutting-down", `Quick, test_quiesced_answers_shutting_down);
+    ("two clients share id 0", `Quick, test_two_clients_same_id);
+    ("exactly-once under faults", `Quick, test_serve_under_faults);
+    ("kill-and-restart replays store", `Quick, test_reboot_replays_store);
+  ]
