@@ -1,4 +1,4 @@
-.PHONY: all build test bench check check-obs check-fault check-store check-net clean
+.PHONY: all build test bench check check-obs check-fault check-store check-net check-regress bench-baseline clean
 
 all: build
 
@@ -34,6 +34,21 @@ check-store:
 # 2-shard cluster driving a self-test through real sockets.
 check-net:
 	dune build @net-smoke
+
+# Perf regression gate: re-run all seven bench scenarios at smoke scale
+# and diff the emitted BENCH_*.json against the baselines committed in
+# bench/baselines/ (fails on any gated metric past the tolerance).
+check-regress:
+	dune build @regress-smoke
+
+# Refresh the committed perf baselines after an intentional perf change:
+# re-runs the same smoke-scale scenario set the gate uses, then copies the
+# emitted BENCH_*.json into bench/baselines/.  Commit both.
+bench-baseline:
+	dune exec bench/main.exe -- micro service obs fault store \
+	  dse --islands 2 --iterations 50 net --smoke
+	cp BENCH_micro.json BENCH_service.json BENCH_obs.json BENCH_fault.json \
+	  BENCH_store.json BENCH_dse.json BENCH_net.json bench/baselines/
 
 # Full gate: build everything, run the whole test suite, smoke the CLI
 # (`overgen list` + a small deterministic serve-bench trace), the

@@ -1,0 +1,17 @@
+(* The shared scenario interface of the bench harness: every scenario is a
+   (name, synopsis, run) triple, and [run] returns its machine-readable
+   metrics instead of writing files itself.  The runner in main.ml emits
+   every non-empty metric set through one
+   {!Overgen_obs.Export.write_bench_json} call, so the BENCH_<scenario>.json
+   documents share a single schema, escaping, and self-validation path, and
+   `bench regress` can diff any of them against a committed baseline. *)
+
+type result = { metrics : (string * float) list }
+
+type scenario = {
+  name : string;
+  synopsis : string;  (* one line, shown by `bench list` *)
+  run : string list -> result;
+}
+
+let no_metrics = { metrics = [] }

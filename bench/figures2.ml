@@ -218,13 +218,17 @@ let fig20 () =
            ~xlabel:"modeled hours" ~ylabel:"est. IPC"
            [ ("preserved", series with_sp); ("non-preserved", series without_sp) ]);
       Printf.printf
-        "%s: preserved %.1f IPC in %.1fh (%d repairs / %d reschedules, %d invalid);\n\
-         %s  non-preserved %.1f IPC in %.1fh (%d repairs / %d reschedules, %d invalid)\n"
+        "%s: preserved %.1f IPC in %.1fh (%d repairs / %d incremental / %d \
+         reschedules, %d invalid);\n\
+         %s  non-preserved %.1f IPC in %.1fh (%d repairs / %d incremental / %d \
+         reschedules, %d invalid)\n"
         (Suite.to_string suite) with_sp.best.objective with_sp.modeled_hours
-        with_sp.stats.repaired with_sp.stats.rescheduled with_sp.stats.invalid
+        with_sp.stats.repaired with_sp.stats.incremental with_sp.stats.rescheduled
+        with_sp.stats.invalid
         (String.make (String.length (Suite.to_string suite)) ' ')
         without_sp.best.objective without_sp.modeled_hours without_sp.stats.repaired
-        without_sp.stats.rescheduled without_sp.stats.invalid;
+        without_sp.stats.incremental without_sp.stats.rescheduled
+        without_sp.stats.invalid;
       summary :=
         (suite, with_sp.modeled_hours, without_sp.modeled_hours,
          with_sp.best.objective, without_sp.best.objective)

@@ -1,76 +1,119 @@
 (* The benchmark harness: regenerates every table and figure of the paper's
    evaluation (Section VIII).  Run with no argument for the full set, or pass
-   experiment names: table1..table4, fig13..fig20, service, store, obs, micro.
-   Arguments after an
-   experiment name are handed to that experiment, e.g.
-   `main.exe dse --islands 2,4 --iterations 200`. *)
+   scenario names; arguments after a name are handed to that scenario, e.g.
+   `main.exe dse --islands 2,4 --iterations 200`.
 
-let no_args f (_ : string list) = f ()
+   Every scenario is a {!Bench.scenario} in the registry below.  Scenarios
+   that return metrics have them written to BENCH_<name>.json through the one
+   shared emitter; `main.exe regress` diffs those files against the
+   committed baselines in bench/baselines/ (see bench/regress.ml), and
+   `main.exe list` prints the registry. *)
 
-let experiments =
+let sc name synopsis run = { Bench.name; synopsis; run }
+
+(* Legacy table/figure drivers: console output only, no metric document. *)
+let plain name synopsis f =
+  sc name synopsis (fun (_ : string list) ->
+      f ();
+      Bench.no_metrics)
+
+let scenarios =
   [
-    ("table1", no_args Tables.table1);
-    ("table2", no_args Tables.table2);
-    ("table3", no_args Tables.table3);
-    ("table4", no_args Tables.table4);
-    ("fig13", no_args Figures.fig13);
-    ("fig14", no_args Figures.fig14);
-    ("fig15", no_args Figures.fig15);
-    ("fig16", no_args Figures.fig16);
-    ("fig17", no_args Figures2.fig17);
-    ("fig18", no_args Figures2.fig18);
-    ("fig19", no_args Figures2.fig19);
-    ("fig20", no_args Figures2.fig20);
-    ("ablation", no_args Ablation.run);
-    ("extensions", no_args Extensions.run);
-    ("service", no_args Service_bench.run);
-    ("store", no_args Store_bench.run);
-    ("fault", no_args Fault_bench.run);
-    ("obs", no_args Obs_bench.run);
-    ("dse", Dse_bench.run);
-    ("micro", no_args Micro.run);
-    ("net", Net_bench.run);
+    plain "table1" "Table I: framework vs paper component inventory" Tables.table1;
+    plain "table2" "Table II: per-kernel compile statistics" Tables.table2;
+    plain "table3" "Table III: generated overlay architectures" Tables.table3;
+    plain "table4" "Table IV: FPGA resource/frequency summary" Tables.table4;
+    plain "fig13" "Figure 13: per-kernel speedup vs soft cores" Figures.fig13;
+    plain "fig14" "Figure 14: compile time vs HLS" Figures.fig14;
+    plain "fig15" "Figure 15: modeled DSE trajectory" Figures.fig15;
+    plain "fig16" "Figure 16: predicted vs synthesized resources" Figures.fig16;
+    plain "fig17" "Figure 17: schedule repair under mutation" Figures2.fig17;
+    plain "fig18" "Figure 18: cross-suite generality matrix" Figures2.fig18;
+    plain "fig19" "Figure 19: DRAM-channel sensitivity" Figures2.fig19;
+    plain "fig20" "Figure 20: schedule-preserving DSE ablation" Figures2.fig20;
+    plain "ablation" "feature ablation sweep" Ablation.run;
+    plain "extensions" "beyond-paper extension experiments" Extensions.run;
+    sc "service" "compile service under multi-user traffic"
+      (fun _ -> Service_bench.run ());
+    sc "store" "durable artifact store: log, restart, DSE resume"
+      (fun _ -> Store_bench.run ());
+    sc "fault" "service replay under seeded fault injection"
+      (fun _ -> Fault_bench.run ());
+    sc "obs" "observability overhead of the gated primitives"
+      (fun _ -> Obs_bench.run ());
+    sc "dse" "island-model DSE scaling sweep" Dse_bench.run;
+    sc "micro" "bechamel micro-benchmarks of the hot paths"
+      (fun _ -> Micro.run ());
+    sc "net" "sharded network tier under open-loop socket load" Net_bench.run;
   ]
 
-(* Entries reachable by name but excluded from the no-argument full run:
+(* Reachable by name but excluded from the no-argument full run:
    `net-shard` is the child-process entry the net bench spawns — it
    serves until SIGTERM and never returns on its own. *)
-let hidden = [ ("net-shard", Net_bench.shard) ]
+let hidden =
+  [
+    sc "net-shard" "(internal) net-bench shard child process" (fun args ->
+        (* serves until SIGTERM; [shard] exits the process itself *)
+        Net_bench.shard args);
+  ]
 
-(* Group the command line into (experiment, its-arguments) runs: each
-   experiment name starts a run and collects the arguments up to the next
-   experiment name. *)
+let list_scenarios () =
+  Printf.printf "scenarios (main.exe <name> [args], no argument runs all):\n";
+  List.iter
+    (fun (s : Bench.scenario) -> Printf.printf "  %-12s %s\n" s.name s.synopsis)
+    scenarios;
+  Printf.printf "  %-12s %s\n" "regress"
+    "diff BENCH_*.json against bench/baselines/ (--tolerance F)"
+
+(* Group the command line into (scenario, its-arguments) runs: each
+   scenario name starts a run and collects the arguments up to the next
+   scenario name. *)
 let group args =
+  let all = scenarios @ hidden in
   let runs =
     List.fold_left
       (fun runs arg ->
-        match List.assoc_opt arg (experiments @ hidden) with
-        | Some f -> (arg, f, ref []) :: runs
+        match List.find_opt (fun (s : Bench.scenario) -> s.name = arg) all with
+        | Some s -> (s, ref []) :: runs
         | None -> (
           match runs with
-          | (_, _, extra) :: _ ->
+          | (_, extra) :: _ ->
             extra := arg :: !extra;
             runs
           | [] ->
-            Printf.eprintf "unknown experiment %s; available: %s\n" arg
-              (String.concat " " (List.map (fun (n, _) -> n) experiments));
+            Printf.eprintf "unknown scenario %s; available: %s regress\n" arg
+              (String.concat " "
+                 (List.map (fun (s : Bench.scenario) -> s.name) scenarios));
             exit 1))
       [] args
   in
-  List.rev_map (fun (name, f, extra) -> (name, f, List.rev !extra)) runs
+  List.rev_map (fun (s, extra) -> (s, List.rev !extra)) runs
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let to_run =
-    match args with
-    | [] -> List.map (fun (name, f) -> (name, f, [])) experiments
-    | args -> group args
-  in
-  let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun (name, f, extra) ->
-      let t = Unix.gettimeofday () in
-      f extra;
-      Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t))
-    to_run;
-  Printf.printf "\nAll experiments completed in %.1fs\n" (Unix.gettimeofday () -. t0)
+  match args with
+  | "regress" :: rest -> exit (Regress.main rest)
+  | "list" :: _ -> list_scenarios ()
+  | _ ->
+    let to_run =
+      match args with
+      | [] -> List.map (fun s -> (s, [])) scenarios
+      | args -> group args
+    in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun ((s : Bench.scenario), extra) ->
+        let t = Unix.gettimeofday () in
+        let result = s.run extra in
+        (match result.Bench.metrics with
+        | [] -> ()
+        | metrics ->
+          let path =
+            Overgen_obs.Export.write_bench_json ~scenario:s.name metrics
+          in
+          Printf.printf "  wrote %s\n" path);
+        Printf.printf "[%s done in %.1fs]\n%!" s.name
+          (Unix.gettimeofday () -. t))
+      to_run;
+    Printf.printf "\nAll scenarios completed in %.1fs\n"
+      (Unix.gettimeofday () -. t0)

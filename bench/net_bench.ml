@@ -14,7 +14,6 @@ module Load_gen = Overgen_net.Load_gen
 module Registry = Overgen_service.Registry
 module Service = Overgen_service.Service
 module Trace = Overgen_service.Trace
-module Export = Overgen_obs.Export
 
 let general =
   lazy
@@ -172,6 +171,7 @@ let run extra =
        n rate shards
        (if shards = 1 then "" else "es")
        (if kill then " (kill+restart shard 1 mid-run)" else ""));
+  let metrics = ref [] in
   let store_dir = Filename.temp_dir "overgen-net-bench" "" in
   let ports = pick_free_ports shards in
   let cluster =
@@ -269,22 +269,20 @@ let run extra =
      if kill && warm_loaded <= 0 then
        failures :=
          "restarted shard replayed nothing from its durable store" :: !failures;
-     let path =
-       Export.write_bench_json ~scenario:"net"
-         (Load_gen.to_metrics cfg summary
-         @ [
-             ("warm_loaded", float_of_int warm_loaded);
-             ("killed_and_restarted", if kill then 1.0 else 0.0);
-           ])
-     in
-     Printf.printf "  wrote %s\n" path;
      (match !failures with
      | [] -> ()
      | fs ->
        teardown ();
        List.iter (Printf.eprintf "  FAILED: %s\n") fs;
-       exit 1)
+       exit 1);
+     metrics :=
+       Load_gen.to_metrics cfg summary
+       @ [
+           ("warm_loaded", float_of_int warm_loaded);
+           ("killed_and_restarted", if kill then 1.0 else 0.0);
+         ]
    with e ->
      teardown ();
      raise e);
-  teardown ()
+  teardown ();
+  { Bench.metrics = !metrics }

@@ -100,4 +100,16 @@ let run () =
   Printf.printf
     "  null-backend overhead     %8.4f %%   (%d gated calls x measured per-call cost; target < 3 %%)%s\n\n"
     est_pct (spans + counts)
-    (if est_pct < 3.0 then "  OK" else "  EXCEEDED")
+    (if est_pct < 3.0 then "  OK" else "  EXCEEDED");
+  {
+    Bench.metrics =
+      [
+        ("incr_ns", incr_s *. 1e9);
+        ("span_ns", span_s *. 1e9);
+        ("compile_loop_off_ms", off_s *. 1000.0);
+        ("compile_loop_on_ms", on_s *. 1000.0);
+        ("null_overhead_pct", est_pct);
+        ("spans_per_loop", float_of_int spans);
+        ("counter_bumps_per_loop", float_of_int counts);
+      ];
+  }

@@ -1,0 +1,301 @@
+(* `bench regress`: diff the current run's BENCH_<scenario>.json files
+   against committed baselines and fail on regression.
+
+   Metric direction is inferred from the name suffix:
+
+     higher is better   _per_s  _rate  _x  _ipc
+     lower is better    _ns  _us  _ms  _s  _seconds  _hours  _bytes
+
+   (higher-better suffixes are matched first, so `_per_s` never falls into
+   the `_s` bucket).  Anything else — counts, flags, percentages — is
+   informational: printed on request, never gated.  Gating also skips
+   metrics whose baseline is 0 (no meaningful relative delta) and timings
+   whose baseline is under 100 ns (jitter-dominated at that scale).
+
+   A gated metric regresses when it moves past the tolerance in its bad
+   direction: lower-better fails if cur > base * (1 + tol), higher-better
+   fails if cur < base * (1 - tol).  Improvements never fail. *)
+
+let default_scenarios =
+  [ "micro"; "service"; "dse"; "obs"; "fault"; "store"; "net" ]
+
+let default_tolerance = 0.5
+let min_gated_ns = 100.0
+
+type direction = Higher | Lower | Info
+
+let ends_with suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let direction name =
+  if List.exists (fun sfx -> ends_with sfx name) [ "_per_s"; "_rate"; "_x"; "_ipc" ]
+  then Higher
+  else if
+    List.exists
+      (fun sfx -> ends_with sfx name)
+      [ "_ns"; "_us"; "_ms"; "_s"; "_seconds"; "_hours"; "_bytes" ]
+  then Lower
+  else Info
+
+(* ------------------------------------------------------------------ *)
+(* Reading BENCH_<scenario>.json                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A scanner for exactly the document shape our own emitter produces
+   ({!Overgen_obs.Export.bench_json}): one object with a "scenario" string
+   and a flat "metrics" object of name -> number.  No dependency on a JSON
+   library; anything structurally surprising is an error, not a guess. *)
+
+exception Bad of string
+
+let parse_metrics text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | _ -> raise (Bad (Printf.sprintf "expected %c at byte %d" c !pos))
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 32 in
+    let rec go () =
+      if !pos >= n then raise (Bad "unterminated string");
+      match text.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        if !pos + 1 >= n then raise (Bad "dangling escape");
+        (match text.[!pos + 1] with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | c -> Buffer.add_char b c);
+        pos := !pos + 2;
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match text.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then raise (Bad (Printf.sprintf "expected number at byte %d" start));
+    match float_of_string_opt (String.sub text start (!pos - start)) with
+    | Some v -> v
+    | None -> raise (Bad "malformed number")
+  in
+  expect '{';
+  skip_ws ();
+  let scenario = ref None and metrics = ref [] in
+  let rec members () =
+    let key = string_lit () in
+    expect ':';
+    skip_ws ();
+    (match key with
+    | "scenario" -> scenario := Some (string_lit ())
+    | "metrics" ->
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then incr pos
+      else
+        let rec pairs () =
+          let name = string_lit () in
+          expect ':';
+          let v = number () in
+          metrics := (name, v) :: !metrics;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            skip_ws ();
+            pairs ()
+          | Some '}' -> incr pos
+          | _ -> raise (Bad "expected , or } in metrics")
+        in
+        pairs ()
+    | other -> raise (Bad ("unexpected key " ^ other)));
+    skip_ws ();
+    match peek () with
+    | Some ',' ->
+      incr pos;
+      skip_ws ();
+      members ()
+    | Some '}' -> incr pos
+    | _ -> raise (Bad "expected , or } in document")
+  in
+  members ();
+  match !scenario with
+  | None -> raise (Bad "document has no \"scenario\"")
+  | Some s -> (s, List.rev !metrics)
+
+let read_bench path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  parse_metrics text
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type status = Ok_ | Regressed | Improved | New | Gone | Ungated
+
+let compare_metrics ~tolerance baseline current =
+  List.concat
+    [
+      List.map
+        (fun (name, cur) ->
+          match List.assoc_opt name baseline with
+          | None -> (name, nan, cur, New)
+          | Some base -> (
+            match direction name with
+            | Info -> (name, base, cur, Ungated)
+            | (Lower | Higher) when base = 0.0 -> (name, base, cur, Ungated)
+            | Lower when ends_with "_ns" name && Float.abs base < min_gated_ns
+              ->
+              (name, base, cur, Ungated)
+            | Lower ->
+              if cur > base *. (1.0 +. tolerance) then (name, base, cur, Regressed)
+              else if cur < base then (name, base, cur, Improved)
+              else (name, base, cur, Ok_)
+            | Higher ->
+              if cur < base *. (1.0 -. tolerance) then (name, base, cur, Regressed)
+              else if cur > base then (name, base, cur, Improved)
+              else (name, base, cur, Ok_)))
+        current;
+      List.filter_map
+        (fun (name, base) ->
+          if List.mem_assoc name current then None
+          else Some (name, base, nan, Gone))
+        baseline;
+    ]
+
+let status_str = function
+  | Ok_ -> "ok"
+  | Regressed -> "REGRESSED"
+  | Improved -> "improved"
+  | New -> "new"
+  | Gone -> "GONE"
+  | Ungated -> "info"
+
+let delta_str base cur =
+  if Float.is_nan base || Float.is_nan cur || base = 0.0 then "-"
+  else Printf.sprintf "%+.1f%%" (100.0 *. ((cur /. base) -. 1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let main args =
+  let tolerance = ref default_tolerance
+  and baseline_dir = ref "bench/baselines"
+  and current_dir = ref "."
+  and verbose = ref false
+  and scenarios = ref [] in
+  let rec parse = function
+    | "--tolerance" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t >= 0.0 -> tolerance := t
+      | _ ->
+        prerr_endline "regress: --tolerance expects a non-negative float";
+        exit 2);
+      parse rest
+    | "--baselines" :: v :: rest ->
+      baseline_dir := v;
+      parse rest
+    | "--current" :: v :: rest ->
+      current_dir := v;
+      parse rest
+    | "--verbose" :: rest ->
+      verbose := true;
+      parse rest
+    | [] -> ()
+    | a :: rest when String.length a > 0 && a.[0] <> '-' ->
+      scenarios := a :: !scenarios;
+      parse rest
+    | a :: _ ->
+      Printf.eprintf
+        "regress: unknown argument %s (--tolerance F --baselines DIR \
+         --current DIR --verbose [scenario...])\n"
+        a;
+      exit 2
+  in
+  parse args;
+  let scenarios =
+    match List.rev !scenarios with [] -> default_scenarios | l -> l
+  in
+  Printf.printf "bench regress: tolerance %.0f%%, baselines in %s/\n\n"
+    (100.0 *. !tolerance) !baseline_dir;
+  Printf.printf "  %-8s %-34s %14s %14s %8s  %s\n" "scenario" "metric" "baseline"
+    "current" "delta" "status";
+  let regressions = ref 0 and errors = ref 0 and gated = ref 0 in
+  let hidden_info = ref 0 in
+  List.iter
+    (fun scenario ->
+      let file = Printf.sprintf "BENCH_%s.json" scenario in
+      let base_path = Filename.concat !baseline_dir file
+      and cur_path = Filename.concat !current_dir file in
+      if not (Sys.file_exists cur_path) then begin
+        Printf.printf "  %-8s %-34s %14s %14s %8s  %s\n" scenario "-" "-" "-" "-"
+          "MISSING (scenario did not emit)";
+        incr errors
+      end
+      else if not (Sys.file_exists base_path) then
+        Printf.printf "  %-8s %-34s %14s %14s %8s  %s\n" scenario "-" "-" "-" "-"
+          "no baseline (commit one to gate)"
+      else
+        try
+          let bs, baseline = read_bench base_path in
+          let cs, current = read_bench cur_path in
+          if bs <> scenario || cs <> scenario then begin
+            Printf.printf "  %-8s: scenario name mismatch (%s vs %s)\n" scenario
+              bs cs;
+            incr errors
+          end;
+          List.iter
+            (fun (name, base, cur, status) ->
+              (match status with
+              | Regressed -> incr regressions
+              | Ok_ | Improved -> incr gated
+              | New | Gone | Ungated -> ());
+              if status = Ungated && not !verbose then incr hidden_info
+              else
+                Printf.printf "  %-8s %-34s %14.6g %14.6g %8s  %s\n" scenario
+                  name base cur (delta_str base cur) (status_str status))
+            (compare_metrics ~tolerance:!tolerance baseline current)
+        with
+        | Bad e | Sys_error e ->
+          Printf.printf "  %-8s: unreadable (%s)\n" scenario e;
+          incr errors)
+    scenarios;
+  if !hidden_info > 0 then
+    Printf.printf "\n  (%d informational metrics not gated; --verbose shows them)\n"
+      !hidden_info;
+  Printf.printf "\n%d gated metrics within tolerance, %d regressions, %d errors\n"
+    !gated !regressions !errors;
+  if !regressions > 0 || !errors > 0 then 1 else 0

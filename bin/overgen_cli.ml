@@ -333,9 +333,10 @@ let dse_cmd =
       Printf.printf "design: %s\n" (Overgen_adg.Sys_adg.describe result.best.sys);
       Printf.printf "objective (est. IPC geomean): %.1f\n" result.best.objective;
       Printf.printf
-        "%d island(s), %d total iterations: %d accepted, %d invalid, %d repaired, %d rescheduled\n"
+        "%d island(s), %d total iterations: %d accepted, %d invalid, %d \
+         repaired, %d incremental, %d rescheduled\n"
         islands iterations result.stats.accepted result.stats.invalid
-        result.stats.repaired result.stats.rescheduled;
+        result.stats.repaired result.stats.incremental result.stats.rescheduled;
       Printf.printf "modeled DSE time %.1f h (wall %.2f s), %d trace points\n"
         result.modeled_hours result.wall_seconds (List.length result.trace);
       (match explore_out with

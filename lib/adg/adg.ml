@@ -41,6 +41,7 @@ let succs t id = Digraph.succs t.g id
 let preds t id = Digraph.preds t.g id
 let nodes t = Digraph.nodes t.g
 let edges t = Digraph.edges t.g
+let max_id t = Digraph.max_id t.g
 let node_count t = Digraph.node_count t.g
 let edge_count t = Digraph.edge_count t.g
 

@@ -30,6 +30,11 @@ val succs : t -> id -> id list
 val preds : t -> id -> id list
 val nodes : t -> (id * Comp.t) list
 val edges : t -> (id * id) list
+
+(** Largest live node id, or [-1] when the graph is empty.  Ids are dense
+    enough that [max_id + 1]-sized arrays make good id-indexed tables. *)
+val max_id : t -> int
+
 val node_count : t -> int
 val edge_count : t -> int
 

@@ -81,9 +81,10 @@ type compile_opts = {
   tuned : bool;
   stored : [ `Auto | `Use | `Ignore ];
   cache : cache_hooks option;
+  prior : Schedule.t list option;
 }
 
-let default_opts = { tuned = false; stored = `Auto; cache = None }
+let default_opts = { tuned = false; stored = `Auto; cache = None; prior = None }
 
 type compiled = {
   schedules : Schedule.t list;
@@ -103,8 +104,20 @@ let schedule_key overlay (compiled : Overgen_mdfg.Compile.compiled) =
   make_schedule_key ~fingerprint:(fingerprint overlay)
     ~variant_hash:(Overgen_mdfg.Compile.hash_compiled compiled)
 
-let schedule_on_overlay ~use_stored overlay
+let schedule_on_overlay ~use_stored ~prior overlay
     (cc : Overgen_mdfg.Compile.compiled) =
+  match prior with
+  | Some prior -> (
+    (* Incremental path: reuse the caller's schedules from a previous
+       (possibly mutated) version of this overlay, re-mapping only what
+       broke.  Stored DSE schedules don't compete — the caller's baseline
+       is the point of reference. *)
+    let r =
+      Obs.Span.with_span "spatial_reschedule" ~attrs:[ ("kernel", cc.kname) ]
+      @@ fun () -> Spatial.reschedule overlay.design.sys cc ~prior
+    in
+    match r with Ok (s, _) -> Ok s | Error e -> Error e)
+  | None ->
   let stored = if use_stored then stored_schedules overlay cc.kname else None in
   let fresh =
     Obs.Span.with_span "spatial_schedule" ~attrs:[ ("kernel", cc.kname) ]
@@ -145,18 +158,21 @@ let compile_variants ?(opts = default_opts) overlay
     Obs.incr (Lazy.force m_compile_errors);
     Error e
   in
-  match opts.cache with
-  | None -> (
-    match schedule_on_overlay ~use_stored overlay cc with
+  match (opts.cache, opts.prior) with
+  (* [prior] bypasses the cache entirely: the outcome depends on the
+     caller's baseline schedules, not just the (overlay, variants) key, so
+     neither a hit nor a store would be sound. *)
+  | None, prior | Some _, (Some _ as prior) -> (
+    match schedule_on_overlay ~use_stored ~prior overlay cc with
     | Ok schedules -> done_ schedules false
     | Error e -> errored e)
-  | Some hooks -> (
+  | Some hooks, None -> (
     let key = schedule_key overlay cc in
     match hooks.lookup key with
     | Some (Ok schedules) -> done_ schedules true
     | Some (Error e) -> errored e
     | None -> (
-      match schedule_on_overlay ~use_stored overlay cc with
+      match schedule_on_overlay ~use_stored ~prior:None overlay cc with
       | Ok schedules ->
         hooks.store key (Ok schedules);
         done_ schedules false
@@ -193,29 +209,6 @@ let run ?(opts = default_opts) overlay (k : Ir.kernel) =
         compile_seconds = c.seconds;
         from_cache = c.from_cache;
       }
-
-(* ------------------------------------------------------------------ *)
-(* Deprecated pre-compile_opts entry points (thin wrappers)            *)
-(* ------------------------------------------------------------------ *)
-
-let compile_kernel ?(tuned = false) overlay (k : Ir.kernel) =
-  match compile ~opts:{ default_opts with tuned } overlay k with
-  | Ok c -> Ok (c.schedules, c.seconds)
-  | Error e -> Error e
-
-let schedule_compiled ?(use_stored = true) overlay cc =
-  let stored = if use_stored then `Use else `Ignore in
-  match compile_variants ~opts:{ default_opts with stored } overlay cc with
-  | Ok c -> Ok (c.schedules, c.seconds)
-  | Error e -> Error e
-
-let compile_cached ?(tuned = false) ~cache overlay k =
-  match compile ~opts:{ tuned; stored = `Auto; cache = Some cache } overlay k with
-  | Ok c -> Ok (c.schedules, c.seconds, c.from_cache)
-  | Error e -> Error e
-
-let run_kernel ?(tuned = false) ?cache overlay k =
-  run ~opts:{ tuned; stored = `Auto; cache } overlay k
 
 let reconfigure_us overlay =
   float_of_int (Sys_adg.reconfigure_cycles overlay.design.sys)

@@ -12,9 +12,10 @@
       | Error e -> prerr_endline e
     ]}
 
-    All compilation entry points thread one {!compile_opts} record
-    ({!default_opts} gives the stock behavior); the pre-[compile_opts]
-    functions survive as thin deprecated wrappers.
+    The compilation surface is exactly three entry points — {!compile}
+    (from a kernel), {!compile_variants} (from pre-compiled mDFG variant
+    sets), and {!run} (compile + simulate) — all threading one
+    {!compile_opts} record; {!default_opts} gives the stock behavior.
 
     The heavy phases (DSE hours, synthesis hours) are modeled at paper scale
     but execute in seconds; compilation and simulation are real. *)
@@ -86,15 +87,23 @@ type cache_hooks = {
       variant sets don't match the DSE-era schedules — which is the stock
       pre-[compile_opts] behavior.  [`Use] / [`Ignore] force it.
     - [cache]: external schedule cache; on a key hit the spatial scheduler
-      is skipped and schedules are served in microseconds. *)
+      is skipped and schedules are served in microseconds.
+    - [prior]: schedules for this application from a previous (possibly
+      mutated) version of the overlay.  When set, scheduling goes through
+      {!Overgen_scheduler.Spatial.reschedule} — repair, then incremental
+      re-placement of only the broken bindings, then full re-map — and the
+      [cache] is bypassed, since the outcome depends on the baseline and
+      not just the (overlay, variants) key.  Stored DSE schedules do not
+      compete with a [prior] baseline. *)
 type compile_opts = {
   tuned : bool;
   stored : [ `Auto | `Use | `Ignore ];
   cache : cache_hooks option;
+  prior : Schedule.t list option;
 }
 
 val default_opts : compile_opts
-(** [{ tuned = false; stored = `Auto; cache = None }]. *)
+(** [{ tuned = false; stored = `Auto; cache = None; prior = None }]. *)
 
 (** Result of a compilation: the chosen schedules, measured wall-clock
     seconds, and whether they were served from [opts.cache]. *)
@@ -137,33 +146,6 @@ val run :
   ?opts:compile_opts -> overlay -> Ir.kernel -> (report, string) result
 (** {!compile}, then simulate cycle-level and convert to wall time at the
     synthesized clock.  The report's [from_cache] reflects a cache hit. *)
-
-val compile_kernel :
-  ?tuned:bool -> overlay -> Ir.kernel -> (Schedule.t list * float, string) result
-  [@@ocaml.deprecated "use Overgen.compile with compile_opts"]
-(** @deprecated [compile ~opts:{ default_opts with tuned }]. *)
-
-val schedule_compiled :
-  ?use_stored:bool ->
-  overlay ->
-  Overgen_mdfg.Compile.compiled ->
-  (Schedule.t list * float, string) result
-  [@@ocaml.deprecated "use Overgen.compile_variants with compile_opts"]
-(** @deprecated [compile_variants] with [stored = `Use] / [`Ignore]. *)
-
-val compile_cached :
-  ?tuned:bool ->
-  cache:cache_hooks ->
-  overlay ->
-  Ir.kernel ->
-  (Schedule.t list * float * bool, string) result
-  [@@ocaml.deprecated "use Overgen.compile with compile_opts"]
-(** @deprecated [compile] with [cache = Some hooks]. *)
-
-val run_kernel :
-  ?tuned:bool -> ?cache:cache_hooks -> overlay -> Ir.kernel -> (report, string) result
-  [@@ocaml.deprecated "use Overgen.run with compile_opts"]
-(** @deprecated [run] with [compile_opts]. *)
 
 val reconfigure_us : overlay -> float
 (** Microseconds to switch the overlay to another application's

@@ -73,6 +73,7 @@ type stats = {
   accepted : int;
   invalid : int;
   repaired : int;
+  incremental : int;
   rescheduled : int;
 }
 
@@ -87,6 +88,7 @@ type result = {
 module Time = struct
   let pregen_per_app_s = 90.0
   let reschedule_per_app_s = 18.0
+  let incremental_per_app_s = 5.0
   let repair_per_app_s = 2.0
   let iteration_overhead_s = 3.0
 end
@@ -98,7 +100,7 @@ end
 type checkpoint = { store : Store.t; key : string; interval : int }
 
 let checkpoint_ns = "dse-checkpoint"
-let checkpoint_schema = "dse-checkpoint-v1"
+let checkpoint_schema = "dse-checkpoint-v2"
 
 type island_snap = {
   s_idx : int;
@@ -114,6 +116,7 @@ type island_snap = {
   s_accepted : int;
   s_invalid : int;
   s_repaired : int;
+  s_incremental : int;
   s_rescheduled : int;
 }
 
@@ -208,45 +211,51 @@ let system_dse ?(topologies = [ System.Crossbar ]) ~device ~model adg per_app =
 type sched_outcome = {
   per_app : Schedule.t list list;
   n_repaired : int;
+  n_incremental : int;
   n_rescheduled : int;
 }
 
 let schedule_all ~additive sys apps prior =
-  let n_repaired = ref 0 and n_rescheduled = ref 0 in
+  let n_repaired = ref 0
+  and n_incremental = ref 0
+  and n_rescheduled = ref 0 in
   let rec go acc apps prior =
     match (apps, prior) with
     | [], _ -> Some (List.rev acc)
     | app :: apps', prior_scheds :: prior' -> (
-      let repaired =
-        match Spatial.repair sys prior_scheds with
-        | Ok s when not additive -> Some s
-        | Ok s ->
-          (* capacity grew: see if a more aggressive variant now fits *)
-          (match Spatial.schedule_app sys app with
-          | Ok s' ->
-            incr n_rescheduled;
-            let better =
-              (Perf.app sys s').app_ipc >= (Perf.app sys s).app_ipc
-            in
-            Some (if better then s' else s)
-          | Error _ -> Some s)
-        | Error _ -> None
-      in
-      match repaired with
-      | Some s ->
-        incr n_repaired;
-        go (s :: acc) apps' prior'
-      | None -> (
-        match Spatial.schedule_app sys app with
-        | Ok s ->
-          incr n_rescheduled;
-          go (s :: acc) apps' prior'
-        | Error _ -> None))
+      match Spatial.reschedule sys app ~prior:prior_scheds with
+      | Error _ -> None
+      | Ok (s, outcome) ->
+        let s =
+          match outcome with
+          | Spatial.Repaired when additive -> (
+            (* capacity grew: see if a more aggressive variant now fits *)
+            match Spatial.schedule_app sys app with
+            | Ok s' ->
+              incr n_rescheduled;
+              let better =
+                (Perf.app sys s').app_ipc >= (Perf.app sys s).app_ipc
+              in
+              if better then s' else s
+            | Error _ -> s)
+          | Spatial.Repaired | Spatial.Incremental | Spatial.Full -> s
+        in
+        (match outcome with
+        | Spatial.Repaired -> incr n_repaired
+        | Spatial.Incremental -> incr n_incremental
+        | Spatial.Full -> incr n_rescheduled);
+        go (s :: acc) apps' prior')
     | _ :: _, [] -> None
   in
   match go [] apps prior with
   | Some per_app ->
-    Some { per_app; n_repaired = !n_repaired; n_rescheduled = !n_rescheduled }
+    Some
+      {
+        per_app;
+        n_repaired = !n_repaired;
+        n_incremental = !n_incremental;
+        n_rescheduled = !n_rescheduled;
+      }
   | None -> None
 
 (* ------------------------------------------------------------------ *)
@@ -294,6 +303,7 @@ type island = {
   mutable accepted : int;
   mutable invalid : int;
   mutable repaired : int;
+  mutable incremental : int;
   mutable rescheduled : int;
 }
 
@@ -307,7 +317,8 @@ let snap_island (isl : island) =
     s_best_score = isl.best_score; s_best = isl.best;
     s_trace_rev = isl.trace_rev; s_modeled_s = isl.modeled_s;
     s_accepted = isl.accepted; s_invalid = isl.invalid;
-    s_repaired = isl.repaired; s_rescheduled = isl.rescheduled;
+    s_repaired = isl.repaired; s_incremental = isl.incremental;
+    s_rescheduled = isl.rescheduled;
   }
 
 let restore_island s =
@@ -317,7 +328,8 @@ let restore_island s =
     best_score = s.s_best_score; best = s.s_best;
     trace_rev = s.s_trace_rev; modeled_s = s.s_modeled_s;
     accepted = s.s_accepted; invalid = s.s_invalid;
-    repaired = s.s_repaired; rescheduled = s.s_rescheduled;
+    repaired = s.s_repaired; incremental = s.s_incremental;
+    rescheduled = s.s_rescheduled;
   }
 
 (* One annealing iteration; draw-for-draw identical to the historical
@@ -348,10 +360,12 @@ let step ~config ~device ~model ~caps apps isl =
      | None -> isl.invalid <- isl.invalid + 1
      | Some outcome -> (
        isl.repaired <- isl.repaired + outcome.n_repaired;
+       isl.incremental <- isl.incremental + outcome.n_incremental;
        isl.rescheduled <- isl.rescheduled + outcome.n_rescheduled;
        isl.modeled_s <-
          isl.modeled_s
          +. (Time.repair_per_app_s *. float_of_int outcome.n_repaired)
+         +. (Time.incremental_per_app_s *. float_of_int outcome.n_incremental)
          +. (Time.reschedule_per_app_s *. float_of_int outcome.n_rescheduled);
        match
          system_dse ~topologies:config.topologies ~device ~model adg'
@@ -492,7 +506,7 @@ let explore ?(config = default_config) ?(device = Device.default) ?checkpoint
         { idx = i; rng; iters = share i; iter = 0; cur_score = score0;
           cur = init_design; best_score = score0; best = init_design;
           trace_rev = []; modeled_s = pregen_s; accepted = 0; invalid = 0;
-          repaired = 0; rescheduled = 0 })
+          repaired = 0; incremental = 0; rescheduled = 0 })
       (Rng.streams config.seed n)
   in
   (* Resume skips the seed-design selection entirely: the snapshot holds
@@ -619,6 +633,7 @@ let explore ?(config = default_config) ?(device = Device.default) ?checkpoint
         accepted = sum (fun i -> i.accepted);
         invalid = sum (fun i -> i.invalid);
         repaired = sum (fun i -> i.repaired);
+        incremental = sum (fun i -> i.incremental);
         rescheduled = sum (fun i -> i.rescheduled);
       };
     wall_seconds = Unix.gettimeofday () -. t_start;

@@ -83,6 +83,9 @@ type stats = {
   accepted : int;
   invalid : int;
   repaired : int;
+  incremental : int;
+      (** moves absorbed by incremental re-placement of only the broken
+          instruction/port bindings (see {!Overgen_scheduler.Spatial.reschedule}) *)
   rescheduled : int;
 }
 
@@ -169,6 +172,7 @@ val evaluate :
 module Time : sig
   val pregen_per_app_s : float
   val reschedule_per_app_s : float
+  val incremental_per_app_s : float
   val repair_per_app_s : float
   val iteration_overhead_s : float
 end

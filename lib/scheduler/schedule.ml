@@ -56,8 +56,9 @@ let used_edges t =
 (* Initiation interval                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let compute_ii (sys : Sys_adg.t) t =
+let compute_ii ?comp (sys : Sys_adg.t) t =
   let adg = sys.adg in
+  let comp = match comp with Some f -> f | None -> fun id -> Adg.comp adg id in
   let v = t.variant in
   (* Port-width limit: a firing needs lanes*eb bytes through each port. *)
   let port_ii =
@@ -69,7 +70,7 @@ let compute_ii (sys : Sys_adg.t) t =
           | Dfg.Inst _ | Dfg.Const _ -> 0
         in
         let width =
-          match Adg.comp adg hw with
+          match comp hw with
           | Some (Comp.In_port p) | Some (Comp.Out_port p) -> p.width_bytes
           | Some (Comp.Pe _ | Comp.Switch _ | Comp.Engine _) | None -> 1
         in
@@ -93,7 +94,7 @@ let compute_ii (sys : Sys_adg.t) t =
     Hashtbl.fold
       (fun e demand acc ->
         let bw =
-          match Adg.comp adg e with
+          match comp e with
           | Some (Comp.Engine en) -> float_of_int (max 1 en.bandwidth)
           | Some (Comp.Pe _ | Comp.Switch _ | Comp.In_port _ | Comp.Out_port _)
           | None -> 1.0
@@ -103,13 +104,15 @@ let compute_ii (sys : Sys_adg.t) t =
   in
   (* Recurrence distance: a loop-carried chain of pipeline depth D with C
      concurrent instances initiates at best every ceil(D/C) cycles. *)
+  let depth = lazy (Dfg.depth v.dfg + 4 (* port + engine forwarding *)) in
   let rec_ii =
     List.fold_left
       (fun acc (s : Stream.t) ->
         match s.recurrence with
         | Some r when is_rec t s ->
-          let depth = Dfg.depth v.dfg + 4 (* port + engine forwarding *) in
-          max acc (Overgen_util.Stats.div_ceil depth (max 1 r.concurrent))
+          max acc
+            (Overgen_util.Stats.div_ceil (Lazy.force depth)
+               (max 1 r.concurrent))
         | Some _ | None -> acc)
       1 v.streams
   in
@@ -119,15 +122,21 @@ let compute_ii (sys : Sys_adg.t) t =
 (* Validation                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let validate t (sys : Sys_adg.t) =
+let validate ?comp ?mem_edge t (sys : Sys_adg.t) =
   let adg = sys.adg in
+  let comp = match comp with Some f -> f | None -> fun id -> Adg.comp adg id in
+  let mem_edge =
+    match mem_edge with
+    | Some f -> f
+    | None -> fun a b -> Adg.mem_edge adg a b
+  in
   let v = t.variant in
   let err = ref None in
   let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
   (* instructions on capable PEs *)
   Imap.iter
     (fun inst pe_id ->
-      match ((Dfg.node v.dfg inst).kind, Adg.comp adg pe_id) with
+      match ((Dfg.node v.dfg inst).kind, comp pe_id) with
       | Dfg.Inst { op; dtype; _ }, Some (Comp.Pe p) ->
         if not (Op.Cap.supports p.caps op dtype) then
           fail "pe %d lost cap %s.%s" pe_id (Op.to_string op) (Dtype.to_string dtype)
@@ -149,7 +158,7 @@ let validate t (sys : Sys_adg.t) =
   (* ports *)
   Imap.iter
     (fun dfg_port hw ->
-      match ((Dfg.node v.dfg dfg_port).kind, Adg.comp adg hw) with
+      match ((Dfg.node v.dfg dfg_port).kind, comp hw) with
       | Dfg.Input _, Some (Comp.In_port p) | Dfg.Output _, Some (Comp.Out_port p) ->
         (* the port must at least pass one element per cycle of its stream *)
         let elem =
@@ -177,7 +186,7 @@ let validate t (sys : Sys_adg.t) =
   let spad_load = Hashtbl.create 4 in
   List.iter
     (fun (name, e) ->
-      match Adg.comp adg e with
+      match comp e with
       | Some (Comp.Engine en) ->
         let info = List.find_opt (fun (a : Stream.array_info) -> a.name = name) v.arrays in
         (match (en.kind, info) with
@@ -207,13 +216,13 @@ let validate t (sys : Sys_adg.t) =
     t.array_engine;
   List.iter
     (fun (_, e) ->
-      match Adg.comp adg e with
+      match comp e with
       | Some (Comp.Engine { kind = Comp.Rec; _ }) -> ()
       | _ -> fail "rec stream on non-rec engine %d" e)
     t.rec_streams;
   List.iter
     (fun (_, e) ->
-      match Adg.comp adg e with
+      match comp e with
       | Some (Comp.Engine { kind = Comp.Reg; _ }) -> ()
       | _ -> fail "reg stream on non-reg engine %d" e)
     t.reg_streams;
@@ -222,22 +231,23 @@ let validate t (sys : Sys_adg.t) =
     (fun ((src, dst), r) ->
       let rec walk = function
         | a :: (b :: _ as rest) ->
-          if not (Adg.mem_edge adg a b) then fail "route %d->%d broken at %d->%d" src dst a b;
+          if not (mem_edge a b) then fail "route %d->%d broken at %d->%d" src dst a b;
           walk rest
         | [ _ ] | [] -> ()
       in
       walk r.hops;
+      let n_hops = List.length r.hops in
       List.iteri
         (fun i hop ->
-          if i > 0 && i < List.length r.hops - 1 then
-            match Adg.comp adg hop with
+          if i > 0 && i < n_hops - 1 then
+            match comp hop with
             | Some (Comp.Switch _) -> ()
             | _ -> fail "route %d->%d passes through non-switch %d" src dst hop)
         r.hops;
       (* delay budget on the consuming PE *)
       match Imap.find_opt dst t.inst_pe with
       | Some pe_id -> (
-        match Adg.comp adg pe_id with
+        match comp pe_id with
         | Some (Comp.Pe p) ->
           if r.delay > p.delay_fifo then
             fail "route %d->%d needs delay %d > fifo %d" src dst r.delay p.delay_fifo

@@ -52,11 +52,19 @@ val uses_node : t -> Adg.id -> bool
 val used_edges : t -> (Adg.id * Adg.id) list
 (** ADG edges traversed by any route, with duplicates removed. *)
 
-val compute_ii : Sys_adg.t -> t -> int
+val compute_ii : ?comp:(Adg.id -> Comp.t option) -> Sys_adg.t -> t -> int
 (** Initiation interval implied by port widths, engine bandwidths, and
-    recurrence distances on the given hardware. *)
+    recurrence distances on the given hardware.  [?comp] overrides the
+    component lookup with a faster (e.g. array-backed) one; it must agree
+    with [Adg.comp sys.adg]. *)
 
-val validate : t -> Sys_adg.t -> (unit, string) result
+val validate :
+  ?comp:(Adg.id -> Comp.t option) ->
+  ?mem_edge:(Adg.id -> Adg.id -> bool) ->
+  t ->
+  Sys_adg.t ->
+  (unit, string) result
 (** Check the schedule is still legal on the given (possibly mutated)
     hardware: all nodes exist with sufficient capability, all routes are
-    intact, delays within FIFO budget. *)
+    intact, delays within FIFO budget.  [?comp] / [?mem_edge] override the
+    graph lookups with faster ones; they must agree with the graph. *)

@@ -2,58 +2,6 @@ open Overgen_adg
 open Overgen_mdfg
 module Imap = Schedule.Imap
 
-type ctx = {
-  sys : Sys_adg.t;
-  mutable used_pes : (Adg.id, unit) Hashtbl.t;
-  mutable used_ports : (Adg.id, unit) Hashtbl.t;
-  mutable spad_used : (Adg.id, int) Hashtbl.t;
-  mutable engine_demand : (Adg.id, float) Hashtbl.t;
-  mutable link_owner : (Adg.id * Adg.id, int list) Hashtbl.t;
-  mutable next_tag : int;
-}
-
-let fresh_ctx sys =
-  {
-    sys;
-    used_pes = Hashtbl.create 32;
-    used_ports = Hashtbl.create 16;
-    spad_used = Hashtbl.create 4;
-    engine_demand = Hashtbl.create 8;
-    link_owner = Hashtbl.create 64;
-    next_tag = 0;
-  }
-
-type snap = {
-  s_pes : (Adg.id, unit) Hashtbl.t;
-  s_ports : (Adg.id, unit) Hashtbl.t;
-  s_spad : (Adg.id, int) Hashtbl.t;
-  s_demand : (Adg.id, float) Hashtbl.t;
-  s_links : (Adg.id * Adg.id, int list) Hashtbl.t;
-  s_tag : int;
-}
-
-let snapshot c =
-  {
-    s_pes = Hashtbl.copy c.used_pes;
-    s_ports = Hashtbl.copy c.used_ports;
-    s_spad = Hashtbl.copy c.spad_used;
-    s_demand = Hashtbl.copy c.engine_demand;
-    s_links = Hashtbl.copy c.link_owner;
-    s_tag = c.next_tag;
-  }
-
-(* The restored tables must be copies: handing the snapshot's own tables
-   to the live context would let subsequent scheduling mutate the
-   snapshot, so a second restore of the same snapshot would resurrect
-   corrupted state instead of the captured one. *)
-let restore c s =
-  c.used_pes <- Hashtbl.copy s.s_pes;
-  c.used_ports <- Hashtbl.copy s.s_ports;
-  c.spad_used <- Hashtbl.copy s.s_spad;
-  c.engine_demand <- Hashtbl.copy s.s_demand;
-  c.link_owner <- Hashtbl.copy s.s_links;
-  c.next_tag <- s.s_tag
-
 exception Fail of string
 
 let failf fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
@@ -85,6 +33,276 @@ let m_repairs =
     (Obs.Metrics.counter Obs.Metrics.default "overgen_scheduler_repairs_total"
        ~help:"schedule repair passes")
 
+let m_rollback =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.default
+       "overgen_scheduler_rollback_entries_total"
+       ~help:"undo-log entries popped by snapshot restores")
+
+let m_incremental =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.default
+       "overgen_scheduler_incremental_total"
+       ~help:"reschedules resolved by incremental re-placement")
+
+let m_incremental_fallback =
+  lazy
+    (Obs.Metrics.counter Obs.Metrics.default
+       "overgen_scheduler_incremental_fallback_total"
+       ~help:"reschedules that fell back to a full re-map")
+
+(* ------------------------------------------------------------------ *)
+(* Topology caches                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything here depends only on the sysADG's structure, never on
+   scheduling state, so one [topo] serves every context built against the
+   same graph value.  The scratch arrays for route search live here too:
+   they are reset in O(1) by bumping [visit_gen], and route searches never
+   nest, so sharing them across contexts of one domain is safe. *)
+type topo = {
+  n_ids : int;                         (* ids are < n_ids *)
+  comp_arr : Comp.t option array;      (* O(1) Adg.comp *)
+  succs : int array array;
+  is_sw : bool array;
+  lane_w : int array;                  (* fabric width in bits; -1 = none *)
+  pes : (Adg.id * Comp.pe) list;
+  in_ports : (Adg.id * Comp.port) list;
+  out_ports : (Adg.id * Comp.port) list;
+  rec_engines : Adg.id list;
+  reg_engines : Adg.id list;
+  spads : (Adg.id * Comp.engine) list;
+  dmas : (Adg.id * Comp.engine) list;
+  max_in_fifo : int;
+  dist_cache : (Adg.id, int array) Hashtbl.t;  (* BFS maps, filled lazily *)
+  cap_cache : (Op.t * Dtype.t, (Adg.id * Comp.pe) list) Hashtbl.t;
+      (* PEs statically capable of (op, dtype): caps + width *)
+  mutable repair_memo : (Schedule.t list * Schedule.t list) option;
+      (* last all-valid repair on this graph, keyed by physical identity *)
+  (* Dijkstra scratch *)
+  d_dist : int array;
+  d_parent : int array;
+  d_seen : int array;                  (* stamp = visit_gen when discovered *)
+  d_settled : int array;
+  (* binary min-heap with lazy deletion; pushes <= relaxations <= edges+1 *)
+  h_key : int array;
+  h_id : int array;
+  mutable h_len : int;
+  mutable visit_gen : int;
+}
+
+let build_topo adg =
+  let n = max 1 (Adg.max_id adg + 1) in
+  let comp_arr = Array.make n None in
+  let succs = Array.make n [||] in
+  let is_sw = Array.make n false in
+  let lane_w = Array.make n (-1) in
+  List.iter
+    (fun (id, c) ->
+      comp_arr.(id) <- Some c;
+      succs.(id) <- Array.of_list (Adg.succs adg id);
+      match c with
+      | Comp.Switch { width_bits } ->
+        is_sw.(id) <- true;
+        lane_w.(id) <- width_bits
+      | Comp.Pe p -> lane_w.(id) <- p.Comp.width_bits
+      | Comp.In_port _ | Comp.Out_port _ | Comp.Engine _ -> ())
+    (Adg.nodes adg);
+  let in_ports = Adg.in_ports adg in
+  {
+    n_ids = n;
+    comp_arr;
+    succs;
+    is_sw;
+    lane_w;
+    pes = Adg.pes adg;
+    in_ports;
+    out_ports = Adg.out_ports adg;
+    rec_engines = List.map fst (Adg.engines_of_kind adg Comp.Rec);
+    reg_engines = List.map fst (Adg.engines_of_kind adg Comp.Reg);
+    spads = Adg.engines_of_kind adg Comp.Spad;
+    dmas = Adg.engines_of_kind adg Comp.Dma;
+    max_in_fifo =
+      List.fold_left
+        (fun acc (_, (p : Comp.port)) -> max acc p.fifo_depth)
+        0 in_ports;
+    dist_cache = Hashtbl.create 16;
+    cap_cache = Hashtbl.create 16;
+    repair_memo = None;
+    d_dist = Array.make n max_int;
+    d_parent = Array.make n (-1);
+    d_seen = Array.make n 0;
+    d_settled = Array.make n 0;
+    h_key = Array.make (Adg.edge_count adg + n + 1) 0;
+    h_id = Array.make (Adg.edge_count adg + n + 1) 0;
+    h_len = 0;
+    visit_gen = 0;
+  }
+
+(* One-slot per-domain cache keyed on the graph's physical identity: the
+   ADG is a persistent value, so [==] implies structural equality.  The
+   DSE evaluates each candidate graph many times (scoring, repair, full
+   re-map) before mutating again, and micro-benchmarks hammer one graph in
+   a loop, so a single slot hits almost always. *)
+let topo_slot : (Adg.t * topo) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let topo_of adg =
+  let slot = Domain.DLS.get topo_slot in
+  match !slot with
+  | Some (key, t) when key == adg -> t
+  | _ ->
+    let t = build_topo adg in
+    slot := Some (adg, t);
+    t
+
+let array_mem x arr =
+  let n = Array.length arr in
+  let rec go i = i < n && (arr.(i) = x || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Context: resource usage + undo log                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Inverse entries for every mutation of the five usage tables.  [restore]
+   pops the log back to a mark instead of copying whole tables, making the
+   speculative schedule/score/rollback loop O(changes) rather than
+   O(state). *)
+type undo =
+  | U_pe of Adg.id
+  | U_port of Adg.id
+  | U_spad of Adg.id * int
+  | U_demand of Adg.id * float
+  | U_link of (Adg.id * Adg.id) * int list option
+
+type ctx = {
+  sys : Sys_adg.t;
+  topo : topo;
+  used_pes : bool array;
+  used_ports : bool array;
+  spad_used : int array;
+  engine_demand : float array;
+  link_owner : (Adg.id * Adg.id, int list) Hashtbl.t;
+  mutable next_tag : int;
+  mutable log : undo array;
+  mutable log_stamp : int array;  (* push id of each entry, for staleness *)
+  mutable log_len : int;
+  mutable gen : int;              (* total pushes ever; never decreases *)
+}
+
+let fresh_ctx sys =
+  let topo = topo_of sys.Sys_adg.adg in
+  let n = topo.n_ids in
+  {
+    sys;
+    topo;
+    used_pes = Array.make n false;
+    used_ports = Array.make n false;
+    spad_used = Array.make n 0;
+    engine_demand = Array.make n 0.0;
+    link_owner = Hashtbl.create 64;
+    next_tag = 0;
+    log = [||];
+    log_stamp = [||];
+    log_len = 0;
+    gen = 0;
+  }
+
+let log_push c e =
+  let cap = Array.length c.log in
+  if c.log_len = cap then begin
+    let cap' = max 64 (2 * cap) in
+    let log = Array.make cap' (U_pe (-1)) in
+    Array.blit c.log 0 log 0 cap;
+    let stamp = Array.make cap' 0 in
+    Array.blit c.log_stamp 0 stamp 0 cap;
+    c.log <- log;
+    c.log_stamp <- stamp
+  end;
+  c.log.(c.log_len) <- e;
+  c.log_stamp.(c.log_len) <- c.gen;
+  c.log_len <- c.log_len + 1;
+  c.gen <- c.gen + 1
+
+let use_pe c id =
+  if not c.used_pes.(id) then begin
+    log_push c (U_pe id);
+    c.used_pes.(id) <- true
+  end
+
+let use_port c id =
+  if not c.used_ports.(id) then begin
+    log_push c (U_port id);
+    c.used_ports.(id) <- true
+  end
+
+let set_spad c id v =
+  log_push c (U_spad (id, c.spad_used.(id)));
+  c.spad_used.(id) <- v
+
+let set_demand c id v =
+  log_push c (U_demand (id, c.engine_demand.(id)));
+  c.engine_demand.(id) <- v
+
+let set_link c key owners =
+  log_push c (U_link (key, Hashtbl.find_opt c.link_owner key));
+  Hashtbl.replace c.link_owner key owners
+
+type snap = { m_len : int; m_gen : int; m_tag : int }
+
+let snapshot c = { m_len = c.log_len; m_gen = c.gen; m_tag = c.next_tag }
+
+(* A mark is stale once the log has been popped below it: either the log
+   is now shorter, or the entry just under the mark carries a push id the
+   mark has never seen (popped and re-pushed since).  Restoring the same
+   mark repeatedly, or marks in LIFO order, stays valid. *)
+let stale c m =
+  c.log_len < m.m_len || (m.m_len > 0 && c.log_stamp.(m.m_len - 1) >= m.m_gen)
+
+let restore c m =
+  if stale c m then
+    invalid_arg
+      "Spatial.restore: stale snapshot (context was rolled back past it)";
+  let popped = c.log_len - m.m_len in
+  for i = c.log_len - 1 downto m.m_len do
+    match c.log.(i) with
+    | U_pe id -> c.used_pes.(id) <- false
+    | U_port id -> c.used_ports.(id) <- false
+    | U_spad (id, prev) -> c.spad_used.(id) <- prev
+    | U_demand (id, prev) -> c.engine_demand.(id) <- prev
+    | U_link (key, prev) -> (
+      match prev with
+      | None -> Hashtbl.remove c.link_owner key
+      | Some owners -> Hashtbl.replace c.link_owner key owners)
+  done;
+  c.log_len <- m.m_len;
+  c.next_tag <- m.m_tag;
+  if popped > 0 then Obs.incr ~by:popped (Lazy.force m_rollback)
+
+(* Canonical dump of the observable usage state, for the property tests
+   that check undo-log restores against a copy-based oracle. *)
+let debug_state c =
+  let b = Buffer.create 256 in
+  Array.iteri (fun id u -> if u then Printf.bprintf b "pe %d\n" id) c.used_pes;
+  Array.iteri
+    (fun id u -> if u then Printf.bprintf b "port %d\n" id)
+    c.used_ports;
+  Array.iteri
+    (fun id v -> if v <> 0 then Printf.bprintf b "spad %d=%d\n" id v)
+    c.spad_used;
+  Array.iteri
+    (fun id v -> if v <> 0.0 then Printf.bprintf b "demand %d=%.17g\n" id v)
+    c.engine_demand;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.link_owner []
+  |> List.filter (fun (_, owners) -> owners <> [])
+  |> List.sort compare
+  |> List.iter (fun ((a, bb), owners) ->
+         Printf.bprintf b "link %d->%d=[%s]\n" a bb
+           (String.concat ";" (List.map string_of_int owners)));
+  Printf.bprintf b "next_tag %d\n" c.next_tag;
+  Buffer.contents b
+
 (* ---------- routing with link ownership ---------- *)
 
 (* Links are time-multiplexed: a link already carrying [k] other values can
@@ -100,80 +318,131 @@ let owners ctx a b =
    switches carry subword lanes in parallel; ports and engines aggregate a
    whole vector, so their adjacent hops are not the bottleneck (the port
    width is accounted separately in the II). *)
-let lane_capacity adg a b =
-  let width id =
-    match Adg.comp adg id with
-    | Some (Comp.Switch { width_bits }) -> Some width_bits
-    | Some (Comp.Pe p) -> Some p.Comp.width_bits
-    | Some (Comp.In_port _ | Comp.Out_port _ | Comp.Engine _) | None -> None
-  in
-  match (width a, width b) with
-  | Some wa, Some wb -> max 1 (min wa wb / 64)
-  | Some w, None | None, Some w -> max 1 (w / 64 * 4)
-  | None, None -> 16
+let lane_capacity ctx a b =
+  let wa = ctx.topo.lane_w.(a) and wb = ctx.topo.lane_w.(b) in
+  if wa >= 0 then
+    if wb >= 0 then max 1 (min wa wb / 64) else max 1 (wa / 64 * 4)
+  else if wb >= 0 then max 1 (wb / 64 * 4)
+  else 16
 
-let effective_share ctx adg a b extra =
+let effective_share ctx a b extra =
   let n = List.length (owners ctx a b) + extra in
-  Overgen_util.Stats.div_ceil n (lane_capacity adg a b)
+  Overgen_util.Stats.div_ceil n (lane_capacity ctx a b)
+
+let heap_push t key id =
+  let k = t.h_key and v = t.h_id in
+  let i = ref t.h_len in
+  t.h_len <- t.h_len + 1;
+  k.(!i) <- key;
+  v.(!i) <- id;
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    k.(p) > k.(!i)
+    &&
+    (let tk = k.(p) and tv = v.(p) in
+     k.(p) <- k.(!i);
+     v.(p) <- v.(!i);
+     k.(!i) <- tk;
+     v.(!i) <- tv;
+     i := p;
+     true)
+  do
+    ()
+  done
+
+(* pops the min entry; with lazy deletion the caller skips settled ids *)
+let heap_pop t =
+  if t.h_len = 0 then -1
+  else begin
+    let k = t.h_key and v = t.h_id in
+    let top = v.(0) in
+    t.h_len <- t.h_len - 1;
+    let n = t.h_len in
+    if n > 0 then begin
+      k.(0) <- k.(n);
+      v.(0) <- v.(n);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < n && k.(l) < k.(!m) then m := l;
+        if r < n && k.(r) < k.(!m) then m := r;
+        if !m = !i then continue := false
+        else begin
+          let tk = k.(!m) and tv = v.(!m) in
+          k.(!m) <- k.(!i);
+          v.(!m) <- v.(!i);
+          k.(!i) <- tk;
+          v.(!i) <- tv;
+          i := !m
+        end
+      done
+    end;
+    top
+  end
 
 let find_route ctx ~tag ~src ~dst =
-  let adg = ctx.sys.Sys_adg.adg in
+  let t = ctx.topo in
+  t.visit_gen <- t.visit_gen + 1;
+  let vg = t.visit_gen in
+  let dist = t.d_dist
+  and parent = t.d_parent
+  and seen = t.d_seen
+  and settled = t.d_settled in
   let edge_cost a b =
     let os = owners ctx a b in
-    if List.mem tag os then Some 1
+    if List.mem tag os then 1
     else
-      let eff = effective_share ctx adg a b 1 in
-      if eff > max_share then None else Some (1 + (8 * (eff - 1)))
+      let eff =
+        Overgen_util.Stats.div_ceil (List.length os + 1) (lane_capacity ctx a b)
+      in
+      if eff > max_share then -1 else 1 + (8 * (eff - 1))
   in
-  let is_switch id =
-    match Adg.comp adg id with Some (Comp.Switch _) -> true | _ -> false
-  in
-  let dist = Hashtbl.create 32 in
-  let parent = Hashtbl.create 32 in
-  let settled = Hashtbl.create 32 in
-  Hashtbl.replace dist src 0;
-  let rec pick_min () =
-    let best = ref None in
-    Hashtbl.iter
-      (fun id d ->
-        if not (Hashtbl.mem settled id) then
-          match !best with
-          | Some (_, bd) when bd <= d -> ()
-          | _ -> best := Some (id, d))
-      dist;
-    !best
-  and loop () =
-    match pick_min () with
-    | None -> ()
-    | Some (cur, d) ->
-      Hashtbl.replace settled cur ();
-      if cur <> dst then begin
-        let expand = cur = src || is_switch cur in
-        if expand then
-          List.iter
-            (fun next ->
-              match edge_cost cur next with
-              | Some c when next = dst || is_switch next ->
-                let nd = d + c in
-                let better =
-                  match Hashtbl.find_opt dist next with
-                  | Some old -> nd < old
-                  | None -> true
-                in
-                if better && not (Hashtbl.mem settled next) then begin
-                  Hashtbl.replace dist next nd;
-                  Hashtbl.replace parent next cur
-                end
-              | Some _ | None -> ())
-            (Adg.succs adg cur);
-        loop ()
+  dist.(src) <- 0;
+  seen.(src) <- vg;
+  t.h_len <- 0;
+  heap_push t 0 src;
+  let found = ref false in
+  let finished = ref false in
+  while not !finished do
+    let cur = heap_pop t in
+    if cur < 0 then finished := true
+    else if settled.(cur) <> vg then begin
+      settled.(cur) <- vg;
+      if cur = dst then begin
+        found := true;
+        finished := true
       end
-  in
-  loop ();
-  if not (Hashtbl.mem dist dst) || not (Hashtbl.mem settled dst) then None
+      else if cur = src || t.is_sw.(cur) then
+        Array.iter
+          (fun next ->
+            if next = dst || t.is_sw.(next) then begin
+              let c = edge_cost cur next in
+              if c >= 0 then begin
+                let nd = dist.(cur) + c in
+                if seen.(next) <> vg then begin
+                  seen.(next) <- vg;
+                  dist.(next) <- nd;
+                  parent.(next) <- cur;
+                  heap_push t nd next
+                end
+                else if settled.(next) <> vg && nd < dist.(next) then begin
+                  dist.(next) <- nd;
+                  parent.(next) <- cur;
+                  heap_push t nd next
+                end
+              end
+            end)
+          t.succs.(cur)
+    end
+  done;
+  if not !found then None
   else begin
     let rec build acc id =
-      if id = src then src :: acc else build (id :: acc) (Hashtbl.find parent id)
+      if id = src then id :: acc else build (id :: acc) parent.(id)
     in
     Some (build [] dst)
   end
@@ -182,49 +451,48 @@ let claim_route ctx ~tag hops =
   let rec go = function
     | a :: (b :: _ as rest) ->
       let os = owners ctx a b in
-      if not (List.mem tag os) then
-        Hashtbl.replace ctx.link_owner (a, b) (tag :: os);
+      if not (List.mem tag os) then set_link ctx (a, b) (tag :: os);
       go rest
     | [ _ ] | [] -> ()
   in
   go hops
 
 let max_share_on ctx hops_list =
-  let adg = ctx.sys.Sys_adg.adg in
   List.fold_left
     (fun acc hops ->
       let rec go acc = function
-        | a :: (b :: _ as rest) ->
-          go (max acc (effective_share ctx adg a b 0)) rest
+        | a :: (b :: _ as rest) -> go (max acc (effective_share ctx a b 0)) rest
         | [ _ ] | [] -> acc
       in
       go acc hops)
     1 hops_list
 
-(* BFS distance through switches, for placement scoring. *)
+(* BFS distance through switches, for placement scoring.  Purely
+   topological, so maps are memoized on the topo and shared by every
+   context over the same graph. *)
 let distances ctx src =
-  let adg = ctx.sys.Sys_adg.adg in
-  let dist = Hashtbl.create 32 in
-  Hashtbl.replace dist src 0;
-  let q = Queue.create () in
-  Queue.add src q;
-  while not (Queue.is_empty q) do
-    let cur = Queue.pop q in
-    let d = Hashtbl.find dist cur in
-    let expand =
-      cur = src
-      || match Adg.comp adg cur with Some (Comp.Switch _) -> true | _ -> false
-    in
-    if expand then
-      List.iter
-        (fun next ->
-          if not (Hashtbl.mem dist next) then begin
-            Hashtbl.replace dist next (d + 1);
-            Queue.add next q
-          end)
-        (Adg.succs adg cur)
-  done;
-  dist
+  let t = ctx.topo in
+  match Hashtbl.find_opt t.dist_cache src with
+  | Some d -> d
+  | None ->
+    let d = Array.make t.n_ids max_int in
+    let q = Queue.create () in
+    d.(src) <- 0;
+    Queue.add src q;
+    while not (Queue.is_empty q) do
+      let cur = Queue.pop q in
+      let dd = d.(cur) in
+      if cur = src || t.is_sw.(cur) then
+        Array.iter
+          (fun next ->
+            if d.(next) = max_int then begin
+              d.(next) <- dd + 1;
+              Queue.add next q
+            end)
+          t.succs.(cur)
+    done;
+    Hashtbl.replace t.dist_cache src d;
+    d
 
 (* ---------- stream classification ---------- *)
 
@@ -238,6 +506,100 @@ let is_scalar_stream (v : Compile.variant) (s : Stream.t) =
 let array_streams (v : Compile.variant) name =
   List.filter (fun (s : Stream.t) -> s.array = name) v.streams
 
+(* ---------- shared placement helpers ---------- *)
+
+let n_consts_of (v : Compile.variant) (n : Dfg.node) =
+  List.length
+    (List.filter
+       (fun (o : Dfg.operand) ->
+         match (Dfg.node v.dfg o.src).kind with
+         | Dfg.Const _ -> true
+         | _ -> false)
+       n.operands)
+
+(* statically capable PEs, memoized per (op, dtype) on the topo: capability
+   sets never change under a fixed graph, so the Set.mem tests run once *)
+let capable_pes ctx ~op ~dtype =
+  let t = ctx.topo in
+  match Hashtbl.find_opt t.cap_cache (op, dtype) with
+  | Some l -> l
+  | None ->
+    let l =
+      List.filter
+        (fun (_, (p : Comp.pe)) ->
+          Op.Cap.supports p.caps op dtype && p.width_bits >= Dtype.bits dtype)
+        t.pes
+    in
+    Hashtbl.replace t.cap_cache (op, dtype) l;
+    l
+
+let pe_candidates ctx ~op ~dtype ~n_consts =
+  List.filter
+    (fun (pe_id, (p : Comp.pe)) ->
+      (not ctx.used_pes.(pe_id)) && p.const_regs >= n_consts)
+    (capable_pes ctx ~op ~dtype)
+
+(* nearest-to-producers PE *)
+let best_pe ctx cands producers =
+  let dists = List.map (distances ctx) producers in
+  let score pe_id =
+    List.fold_left
+      (fun acc d ->
+        let d = d.(pe_id) in
+        acc + if d = max_int then 1000 else d)
+      0 dists
+  in
+  match cands with
+  | [] -> None
+  | (first, _) :: rest ->
+    let best, _ =
+      List.fold_left
+        (fun (b, bs) (pe_id, _) ->
+          let s = score pe_id in
+          if s < bs then (pe_id, s) else (b, bs))
+        (first, score first) rest
+    in
+    Some best
+
+(* smallest adequate width first, to keep wide ports available *)
+let choose_port ctx ~dir ~eng ~mem_eng ~need_mem_feed (s : Stream.t) =
+  let adg = ctx.sys.Sys_adg.adg in
+  let cands =
+    match dir with `In -> ctx.topo.in_ports | `Out -> ctx.topo.out_ports
+  in
+  let ok (id, (p : Comp.port)) =
+    (not ctx.used_ports.(id))
+    && p.width_bytes >= s.elem_bytes
+    && ((not (s.reuse.stationary > 1.0)) || p.stated)
+    && (match eng with
+       | Some e -> (
+         match dir with
+         | `In -> Adg.mem_edge adg e id
+         | `Out -> Adg.mem_edge adg id e)
+       | None -> true)
+    && (* recurrence read ports must also be fed by the memory engine
+          holding the array, for the initial fill *)
+    ((not need_mem_feed)
+    || match mem_eng with Some m -> Adg.mem_edge adg m id | None -> true)
+  in
+  let cands = List.filter ok cands in
+  let cands =
+    List.sort
+      (fun (_, (a : Comp.port)) (_, (b : Comp.port)) ->
+        let full = Stream.bytes_per_firing s in
+        let score (p : Comp.port) =
+          if p.width_bytes >= full then (0, p.width_bytes)
+          else (1, -p.width_bytes)
+        in
+        compare (score a) (score b))
+      cands
+  in
+  match cands with
+  | (id, _) :: _ ->
+    use_port ctx id;
+    Some id
+  | [] -> None
+
 (* ---------- the scheduler ---------- *)
 
 let schedule_variant ctx (v : Compile.variant) =
@@ -245,15 +607,11 @@ let schedule_variant ctx (v : Compile.variant) =
   let saved = snapshot ctx in
   Obs.incr (Lazy.force m_tried);
   try
-    let demand_of e = Option.value ~default:0.0 (Hashtbl.find_opt ctx.engine_demand e) in
-    let add_demand e d = Hashtbl.replace ctx.engine_demand e (demand_of e +. d) in
+    let demand_of e = ctx.engine_demand.(e) in
+    let add_demand e d = set_demand ctx e (demand_of e +. d) in
     (* --- recurrence candidacy: decide which accum pairs ride a rec engine --- *)
-    let rec_engines = List.map fst (Adg.engines_of_kind adg Comp.Rec) in
-    let max_in_fifo =
-      List.fold_left
-        (fun acc (_, (p : Comp.port)) -> max acc p.fifo_depth)
-        0 (Adg.in_ports adg)
-    in
+    let rec_engines = ctx.topo.rec_engines in
+    let max_in_fifo = ctx.topo.max_in_fifo in
     let dfg_depth = Dfg.depth v.dfg in
     let rec_ok (s : Stream.t) =
       match (s.recurrence, rec_engines) with
@@ -294,12 +652,11 @@ let schedule_variant ctx (v : Compile.variant) =
     in
     let is_rec_stream (s : Stream.t) = List.mem_assoc s.id rec_streams in
     (* --- scalar register streams --- *)
-    let reg_engines = List.map fst (Adg.engines_of_kind adg Comp.Reg) in
     let reg_streams =
       List.filter_map
         (fun (s : Stream.t) ->
           if is_scalar_stream v s then
-            match reg_engines with
+            match ctx.topo.reg_engines with
             | e :: _ -> Some (s.id, e)
             | [] -> failf "no register engine for scalar %s" s.array
           else None)
@@ -321,8 +678,8 @@ let schedule_variant ctx (v : Compile.variant) =
           && s.dims <= e.max_dims)
         streams
     in
-    let spads = Adg.engines_of_kind adg Comp.Spad in
-    let dmas = Adg.engines_of_kind adg Comp.Dma in
+    let spads = ctx.topo.spads in
+    let dmas = ctx.topo.dmas in
     let array_traffic name =
       List.fold_left
         (fun acc (s : Stream.t) ->
@@ -332,22 +689,17 @@ let schedule_variant ctx (v : Compile.variant) =
     let place_array (a : Stream.array_info) =
       let streams = array_streams v a.name in
       let want_spad =
-        let good_general =
-          List.exists
-            (fun (s : Stream.t) ->
-              Stream.general_reuse s.reuse >= 2.0
-              && s.reuse.stationary < Stream.general_reuse s.reuse)
-            streams
-        in
-        good_general
+        List.exists
+          (fun (s : Stream.t) ->
+            Stream.general_reuse s.reuse >= 2.0
+            && s.reuse.stationary < Stream.general_reuse s.reuse)
+          streams
       in
       let spad_candidates =
         List.filter
           (fun (e_id, (e : Comp.engine)) ->
             engine_supports e streams
-            && Stream.array_bytes a
-                 + Option.value ~default:0 (Hashtbl.find_opt ctx.spad_used e_id)
-               <= e.capacity)
+            && Stream.array_bytes a + ctx.spad_used.(e_id) <= e.capacity)
           spads
       in
       let pick_least = function
@@ -371,7 +723,8 @@ let schedule_variant ctx (v : Compile.variant) =
               (List.filter (fun (_, e) -> engine_supports e streams) dmas)
         else
           match
-            pick_least (List.filter (fun (_, e) -> engine_supports e streams) dmas)
+            pick_least
+              (List.filter (fun (_, e) -> engine_supports e streams) dmas)
           with
           | Some e -> Some e
           | None -> pick_least spad_candidates
@@ -381,9 +734,7 @@ let schedule_variant ctx (v : Compile.variant) =
       | Some e ->
         (match Adg.comp_exn adg e with
         | Comp.Engine { kind = Comp.Spad; _ } ->
-          Hashtbl.replace ctx.spad_used e
-            (Stream.array_bytes a
-            + Option.value ~default:0 (Hashtbl.find_opt ctx.spad_used e))
+          set_spad ctx e (Stream.array_bytes a + ctx.spad_used.(e))
         | _ -> ());
         add_demand e (array_traffic a.name /. Float.max 1.0 v.firings);
         (a.name, e)
@@ -404,11 +755,6 @@ let schedule_variant ctx (v : Compile.variant) =
     (* --- DFG ports onto hardware ports --- *)
     let engine_for_array name = List.assoc_opt name array_engine in
     let pick_port ~dir (s : Stream.t) =
-      let cands =
-        match dir with
-        | `In -> List.map (fun (id, p) -> (id, p)) (Adg.in_ports adg)
-        | `Out -> List.map (fun (id, p) -> (id, p)) (Adg.out_ports adg)
-      in
       let eng =
         match List.assoc_opt s.id rec_streams with
         | Some e -> Some e
@@ -418,41 +764,13 @@ let schedule_variant ctx (v : Compile.variant) =
           | None -> engine_for_array s.array)
       in
       let mem_eng = engine_for_array s.array in
-      let ok (id, (p : Comp.port)) =
-        (not (Hashtbl.mem ctx.used_ports id))
-        && p.width_bytes >= s.elem_bytes
-        && ((not (s.reuse.stationary > 1.0)) || p.stated)
-        && (match eng with
-           | Some e -> (
-             match dir with
-             | `In -> Adg.mem_edge adg e id
-             | `Out -> Adg.mem_edge adg id e)
-           | None -> true)
-        && (* recurrence read ports must also be fed by the memory engine
-              holding the array, for the initial fill *)
-        (not (is_rec_stream s && dir = `In)
-        || match mem_eng with Some m -> Adg.mem_edge adg m id | None -> true)
-      in
-      let cands = List.filter ok cands in
-      (* smallest adequate width first, to keep wide ports available *)
-      let cands =
-        List.sort
-          (fun (_, (a : Comp.port)) (_, (b : Comp.port)) ->
-            let full = Stream.bytes_per_firing s in
-            let score (p : Comp.port) =
-              if p.width_bytes >= full then (0, p.width_bytes)
-              else (1, -p.width_bytes)
-            in
-            compare (score a) (score b))
-          cands
-      in
-      match cands with
-      | (id, _) :: _ ->
-        Hashtbl.replace ctx.used_ports id ();
-        id
-      | [] -> failf "no %s port for stream %s"
-                (match dir with `In -> "input" | `Out -> "output")
-                (Stream.describe s)
+      let need_mem_feed = is_rec_stream s && dir = `In in
+      match choose_port ctx ~dir ~eng ~mem_eng ~need_mem_feed s with
+      | Some id -> id
+      | None ->
+        failf "no %s port for stream %s"
+          (match dir with `In -> "input" | `Out -> "output")
+          (Stream.describe s)
     in
     let port_map = ref Imap.empty in
     List.iter
@@ -460,20 +778,23 @@ let schedule_variant ctx (v : Compile.variant) =
         match s.port with
         | None -> ()
         | Some dfg_port ->
-          let dir = match s.dir with Stream.Read -> `In | Stream.Write -> `Out in
+          let dir =
+            match s.dir with Stream.Read -> `In | Stream.Write -> `Out
+          in
           let hw = pick_port ~dir s in
           port_map := Imap.add dfg_port hw !port_map)
       v.streams;
     (* --- instruction placement --- *)
-    let tags = Hashtbl.create 32 in
+    let dfg_n = Dfg.size v.dfg in
+    let tags = Array.make dfg_n (-1) in
     let tag_of id =
-      match Hashtbl.find_opt tags id with
-      | Some t -> t
-      | None ->
+      if tags.(id) >= 0 then tags.(id)
+      else begin
         let t = ctx.next_tag in
         ctx.next_tag <- t + 1;
-        Hashtbl.replace tags id t;
+        tags.(id) <- t;
         t
+      end
     in
     let inst_pe = ref Imap.empty in
     let adg_node_of dfg_id =
@@ -483,66 +804,29 @@ let schedule_variant ctx (v : Compile.variant) =
       | Dfg.Inst _ -> Imap.find_opt dfg_id !inst_pe
       | Dfg.Const _ -> None
     in
-    let dist_memo = Hashtbl.create 16 in
-    let dist_from src =
-      match Hashtbl.find_opt dist_memo src with
-      | Some d -> d
-      | None ->
-        let d = distances ctx src in
-        Hashtbl.replace dist_memo src d;
-        d
-    in
     List.iter
       (fun (n : Dfg.node) ->
         match n.kind with
         | Dfg.Inst { op; dtype; _ } ->
-          let n_consts =
-            List.length
-              (List.filter
-                 (fun (o : Dfg.operand) ->
-                   match (Dfg.node v.dfg o.src).kind with
-                   | Dfg.Const _ -> true
-                   | _ -> false)
-                 n.operands)
-          in
           let cands =
-            List.filter
-              (fun (pe_id, (p : Comp.pe)) ->
-                (not (Hashtbl.mem ctx.used_pes pe_id))
-                && Op.Cap.supports p.caps op dtype
-                && p.width_bits >= Dtype.bits dtype
-                && p.const_regs >= n_consts)
-              (Adg.pes adg)
+            pe_candidates ctx ~op ~dtype ~n_consts:(n_consts_of v n)
           in
           let producers =
-            List.filter_map (fun (o : Dfg.operand) -> adg_node_of o.src) n.operands
+            List.filter_map
+              (fun (o : Dfg.operand) -> adg_node_of o.src)
+              n.operands
           in
-          let score pe_id =
-            List.fold_left
-              (fun acc src ->
-                match Hashtbl.find_opt (dist_from src) pe_id with
-                | Some d -> acc + d
-                | None -> acc + 1000)
-              0 producers
-          in
-          (match cands with
-          | [] ->
-            failf "no free PE for %s.%s" (Op.to_string op) (Dtype.to_string dtype)
-          | (first, _) :: _ ->
-            let best =
-              List.fold_left
-                (fun (b, bs) (pe_id, _) ->
-                  let s = score pe_id in
-                  if s < bs then (pe_id, s) else (b, bs))
-                (first, score first) (List.tl cands)
-            in
-            let pe_id = fst best in
-            Hashtbl.replace ctx.used_pes pe_id ();
+          (match best_pe ctx cands producers with
+          | None ->
+            failf "no free PE for %s.%s" (Op.to_string op)
+              (Dtype.to_string dtype)
+          | Some pe_id ->
+            use_pe ctx pe_id;
             inst_pe := Imap.add n.id pe_id !inst_pe)
         | Dfg.Const _ | Dfg.Input _ | Dfg.Output _ -> ())
       (Dfg.nodes v.dfg);
     (* --- routing --- *)
-    let routes = ref [] in
+    let route_tbl = Hashtbl.create 32 in
     List.iter
       (fun (n : Dfg.node) ->
         List.iter
@@ -556,23 +840,23 @@ let schedule_variant ctx (v : Compile.variant) =
                 match find_route ctx ~tag ~src ~dst with
                 | Some hops ->
                   claim_route ctx ~tag hops;
-                  routes := ((o.src, n.id), { Schedule.hops; delay = 0 }) :: !routes
+                  Hashtbl.replace route_tbl (o.src, n.id)
+                    { Schedule.hops; delay = 0 }
                 | None ->
                   Obs.incr (Lazy.force m_route_fail);
                   failf "no route %d->%d" src dst)
               | _ -> failf "unplaced endpoint for edge %d->%d" o.src n.id))
           n.operands)
       (Dfg.nodes v.dfg);
-    let routes = List.rev !routes in
     (* --- delay balancing --- *)
-    let arrival = Hashtbl.create 32 in
+    let arrival = Array.make dfg_n 0 in
     let node_latency (n : Dfg.node) =
       match n.kind with
       | Dfg.Inst { op; dtype; _ } -> Op.latency op dtype
       | Dfg.Const _ | Dfg.Input _ | Dfg.Output _ -> 0
     in
     let route_len src dst =
-      match List.assoc_opt (src, dst) routes with
+      match Hashtbl.find_opt route_tbl (src, dst) with
       | Some r -> max 0 (List.length r.Schedule.hops - 1)
       | None -> 0
     in
@@ -587,7 +871,7 @@ let schedule_variant ctx (v : Compile.variant) =
               | Dfg.Const _ -> None
               | Dfg.Inst _ | Dfg.Input _ | Dfg.Output _ ->
                 let a =
-                  Option.value ~default:0 (Hashtbl.find_opt arrival o.src)
+                  arrival.(o.src)
                   + node_latency (Dfg.node v.dfg o.src)
                   + route_len o.src n.id
                 in
@@ -595,12 +879,12 @@ let schedule_variant ctx (v : Compile.variant) =
             n.operands
         in
         let t_max = List.fold_left (fun acc (_, a) -> max acc a) 0 op_arrivals in
-        Hashtbl.replace arrival n.id t_max;
+        arrival.(n.id) <- t_max;
         (* set delays to balance operand arrival *)
         List.iter
           (fun (src, a) ->
             let slack = t_max - a in
-            match List.assoc_opt (src, n.id) routes with
+            match Hashtbl.find_opt route_tbl (src, n.id) with
             | Some r ->
               let budget =
                 match Imap.find_opt n.id !inst_pe with
@@ -702,126 +986,313 @@ let schedule_app sys (c : Compile.compiled) =
 (* Schedule repair                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* Re-route one schedule with its placements pinned; the context must
+   already hold every placement claim.  Fails if a placement itself is
+   broken. *)
+let reroute_pinned ctx (s : Schedule.t) =
+  let adg = ctx.sys.Sys_adg.adg in
+  let t = ctx.topo in
+  let comp id = if id >= 0 && id < t.n_ids then t.comp_arr.(id) else None in
+  let v = s.variant in
+  let placements_ok =
+    Imap.for_all
+      (fun inst pe ->
+        match (comp pe, (Dfg.node v.dfg inst).kind) with
+        | Some (Comp.Pe p), Dfg.Inst { op; dtype; _ } ->
+          Op.Cap.supports p.caps op dtype && p.width_bits >= Dtype.bits dtype
+        | _ -> false)
+      s.inst_pe
+    && Imap.for_all
+         (fun dfg_port hw ->
+           match ((Dfg.node v.dfg dfg_port).kind, comp hw) with
+           | Dfg.Input _, Some (Comp.In_port _)
+           | Dfg.Output _, Some (Comp.Out_port _) -> true
+           | _ -> false)
+         s.port_map
+    && List.for_all
+         (fun (_, e) ->
+           match comp e with Some (Comp.Engine _) -> true | _ -> false)
+         s.array_engine
+    && List.for_all
+         (fun (_, e) ->
+           match comp e with Some (Comp.Engine _) -> true | _ -> false)
+         (s.rec_streams @ s.reg_streams)
+  in
+  if not placements_ok then Error "placement broken"
+  else begin
+    let adg_node_of dfg_id =
+      let n = Dfg.node v.dfg dfg_id in
+      match n.kind with
+      | Dfg.Input _ | Dfg.Output _ -> Imap.find_opt dfg_id s.port_map
+      | Dfg.Inst _ -> Imap.find_opt dfg_id s.inst_pe
+      | Dfg.Const _ -> None
+    in
+    let tags = Hashtbl.create 16 in
+    let tag_of id =
+      match Hashtbl.find_opt tags id with
+      | Some t -> t
+      | None ->
+        let t = ctx.next_tag in
+        ctx.next_tag <- t + 1;
+        Hashtbl.replace tags id t;
+        t
+    in
+    try
+      let routes =
+        List.map
+          (fun ((src, dst), (old_r : Schedule.route)) ->
+            match (adg_node_of src, adg_node_of dst) with
+            | Some a, Some b -> (
+              let tag = tag_of src in
+              match find_route ctx ~tag ~src:a ~dst:b with
+              | Some hops ->
+                claim_route ctx ~tag hops;
+                ((src, dst), { old_r with Schedule.hops })
+              | None ->
+                Obs.incr (Lazy.force m_route_fail);
+                failf "reroute failed %d->%d" a b)
+            | _ -> failf "endpoint missing")
+          s.routes
+      in
+      let share =
+        max_share_on ctx (List.map (fun (_, r) -> r.Schedule.hops) routes)
+      in
+      (* clamp per-edge delays to the (possibly shrunken) FIFO budget *)
+      let budget_of dst =
+        match Imap.find_opt dst s.inst_pe with
+        | Some pe_id -> (
+          match Adg.comp adg pe_id with
+          | Some (Comp.Pe p) -> p.delay_fifo
+          | _ -> 64)
+        | None -> 64
+      in
+      let penalty = ref s.skew_penalty in
+      let routes =
+        List.map
+          (fun ((src, dst), (r : Schedule.route)) ->
+            let b = budget_of dst in
+            if r.delay > b then
+              penalty :=
+                max !penalty (Overgen_util.Stats.div_ceil (r.delay + 1) (b + 1));
+            ((src, dst), { r with Schedule.delay = min r.delay b }))
+          routes
+      in
+      let s' =
+        { s with Schedule.routes; max_link_share = share; skew_penalty = !penalty }
+      in
+      Ok { s' with Schedule.ii = Schedule.compute_ii ctx.sys s' }
+    with Fail m -> Error m
+  end
+
+let claim_placements ctx (s : Schedule.t) =
+  Imap.iter (fun _ pe -> use_pe ctx pe) s.inst_pe;
+  Imap.iter (fun _ p -> use_port ctx p) s.port_map
+
 let repair sys schedules =
   Obs.incr (Lazy.force m_repairs);
+  let t = topo_of sys.Sys_adg.adg in
+  match t.repair_memo with
+  (* Revalidating the same schedules on the same graph is pure
+     recomputation (the service re-serves unchanged overlays, benches loop
+     on one configuration); one memo slot on the topo covers it. *)
+  | Some (key, result) when key == schedules -> Ok result
+  | _ ->
+  let comp id = if id >= 0 && id < t.n_ids then t.comp_arr.(id) else None in
+  let mem_edge a b = a >= 0 && a < t.n_ids && array_mem b t.succs.(a) in
   (* Fast path: everything still valid; just refresh IIs. *)
-  let revalidated =
-    List.map (fun s -> (s, Schedule.validate s sys)) schedules
+  let all_valid =
+    List.for_all
+      (fun s -> Schedule.validate ~comp ~mem_edge s sys = Ok ())
+      schedules
   in
-  if List.for_all (fun (_, r) -> r = Ok ()) revalidated then
-    Ok
-      (List.map
-         (fun (s, _) -> { s with Schedule.ii = Schedule.compute_ii sys s })
-         revalidated)
+  if all_valid then begin
+    let result =
+      List.map
+        (fun s -> { s with Schedule.ii = Schedule.compute_ii ~comp sys s })
+        schedules
+    in
+    t.repair_memo <- Some (schedules, result);
+    Ok result
+  end
   else begin
     (* Re-route everything with placements pinned; fail if a placement
        itself is broken. *)
     let ctx = fresh_ctx sys in
-    let adg = sys.Sys_adg.adg in
-    (* re-claim placement resources *)
-    let claim_placements (s : Schedule.t) =
-      Imap.iter (fun _ pe -> Hashtbl.replace ctx.used_pes pe ()) s.inst_pe;
-      Imap.iter (fun _ p -> Hashtbl.replace ctx.used_ports p ()) s.port_map
-    in
-    List.iter claim_placements schedules;
-    let reroute (s : Schedule.t) =
-      let v = s.variant in
-      let placements_ok =
-        Imap.for_all
-          (fun inst pe ->
-            match (Adg.comp adg pe, (Dfg.node v.dfg inst).kind) with
-            | Some (Comp.Pe p), Dfg.Inst { op; dtype; _ } ->
-              Op.Cap.supports p.caps op dtype && p.width_bits >= Dtype.bits dtype
-            | _ -> false)
-          s.inst_pe
-        && Imap.for_all
-             (fun dfg_port hw ->
-               match ((Dfg.node v.dfg dfg_port).kind, Adg.comp adg hw) with
-               | Dfg.Input _, Some (Comp.In_port _)
-               | Dfg.Output _, Some (Comp.Out_port _) -> true
-               | _ -> false)
-             s.port_map
-        && List.for_all
-             (fun (_, e) ->
-               match Adg.comp adg e with Some (Comp.Engine _) -> true | _ -> false)
-             s.array_engine
-        && List.for_all
-             (fun (_, e) ->
-               match Adg.comp adg e with Some (Comp.Engine _) -> true | _ -> false)
-             (s.rec_streams @ s.reg_streams)
-      in
-      if not placements_ok then Error "placement broken"
-      else begin
-        let adg_node_of dfg_id =
-          let n = Dfg.node v.dfg dfg_id in
-          match n.kind with
-          | Dfg.Input _ | Dfg.Output _ -> Imap.find_opt dfg_id s.port_map
-          | Dfg.Inst _ -> Imap.find_opt dfg_id s.inst_pe
-          | Dfg.Const _ -> None
-        in
-        let tags = Hashtbl.create 16 in
-        let tag_of id =
-          match Hashtbl.find_opt tags id with
-          | Some t -> t
-          | None ->
-            let t = ctx.next_tag in
-            ctx.next_tag <- t + 1;
-            Hashtbl.replace tags id t;
-            t
-        in
-        try
-          let routes =
-            List.map
-              (fun ((src, dst), (old_r : Schedule.route)) ->
-                match (adg_node_of src, adg_node_of dst) with
-                | Some a, Some b -> (
-                  let tag = tag_of src in
-                  match find_route ctx ~tag ~src:a ~dst:b with
-                  | Some hops ->
-                    claim_route ctx ~tag hops;
-                    ((src, dst), { old_r with Schedule.hops })
-                  | None ->
-                    Obs.incr (Lazy.force m_route_fail);
-                    failf "reroute failed %d->%d" a b)
-                | _ -> failf "endpoint missing")
-              s.routes
-          in
-          let share =
-            max_share_on ctx (List.map (fun (_, r) -> r.Schedule.hops) routes)
-          in
-          (* clamp per-edge delays to the (possibly shrunken) FIFO budget *)
-          let budget_of dst =
-            match Imap.find_opt dst s.inst_pe with
-            | Some pe_id -> (
-              match Adg.comp adg pe_id with
-              | Some (Comp.Pe p) -> p.delay_fifo
-              | _ -> 64)
-            | None -> 64
-          in
-          let penalty = ref s.skew_penalty in
-          let routes =
-            List.map
-              (fun ((src, dst), (r : Schedule.route)) ->
-                let b = budget_of dst in
-                if r.delay > b then
-                  penalty :=
-                    max !penalty (Overgen_util.Stats.div_ceil (r.delay + 1) (b + 1));
-                ((src, dst), { r with Schedule.delay = min r.delay b }))
-              routes
-          in
-          let s' =
-            { s with Schedule.routes; max_link_share = share; skew_penalty = !penalty }
-          in
-          Ok { s' with Schedule.ii = Schedule.compute_ii sys s' }
-        with Fail m -> Error m
-      end
-    in
+    List.iter (claim_placements ctx) schedules;
     let rec go acc = function
       | [] -> Ok (List.rev acc)
       | s :: rest -> (
-        match reroute s with
+        match reroute_pinned ctx s with
         | Ok s' -> go (s' :: acc) rest
         | Error e -> Error e)
     in
     go [] schedules
   end
+
+(* ------------------------------------------------------------------ *)
+(* Incremental rescheduling                                            *)
+(* ------------------------------------------------------------------ *)
+
+type reschedule_outcome = Repaired | Incremental | Full
+
+(* Bindings whose legality a mutation can break, checked one at a time so
+   an incremental pass can re-place exactly the broken ones. *)
+let inst_binding_ok ctx (v : Compile.variant) inst pe =
+  let t = ctx.topo in
+  let c = if pe >= 0 && pe < t.n_ids then t.comp_arr.(pe) else None in
+  match (c, (Dfg.node v.dfg inst).kind) with
+  | Some (Comp.Pe p), Dfg.Inst { op; dtype; _ } ->
+    Op.Cap.supports p.caps op dtype && p.width_bits >= Dtype.bits dtype
+  | _ -> false
+
+let port_binding_ok ctx (v : Compile.variant) dfg_port hw =
+  let t = ctx.topo in
+  let c = if hw >= 0 && hw < t.n_ids then t.comp_arr.(hw) else None in
+  let elem, needs_stated =
+    List.fold_left
+      (fun (e, st) (s : Stream.t) ->
+        if s.port = Some dfg_port then
+          (max e s.elem_bytes, st || s.reuse.stationary > 1.0)
+        else (e, st))
+      (1, false) v.streams
+  in
+  match ((Dfg.node v.dfg dfg_port).kind, c) with
+  | Dfg.Input _, Some (Comp.In_port p) | Dfg.Output _, Some (Comp.Out_port p)
+    ->
+    p.width_bytes >= elem && ((not needs_stated) || p.stated)
+  | _ -> false
+
+(* Re-place only the broken instruction and port bindings of [prior],
+   keeping every intact binding pinned, then re-route.  Raises [Fail] (or
+   returns None) when the delta cannot be absorbed without a full re-map:
+   an engine binding broke, nothing is re-placeable, or re-routing the
+   patched schedules fails. *)
+let incremental_attempt sys prior =
+  let ctx = fresh_ctx sys in
+  let classified =
+    List.map
+      (fun (s : Schedule.t) ->
+        let v = s.variant in
+        let broken_insts =
+          Imap.fold
+            (fun inst pe acc ->
+              if inst_binding_ok ctx v inst pe then acc else inst :: acc)
+            s.inst_pe []
+          |> List.rev
+        in
+        let broken_ports =
+          Imap.fold
+            (fun dfg_port hw acc ->
+              if port_binding_ok ctx v dfg_port hw then acc else dfg_port :: acc)
+            s.port_map []
+          |> List.rev
+        in
+        (s, broken_insts, broken_ports))
+      prior
+  in
+  if List.for_all (fun (_, bi, bp) -> bi = [] && bp = []) classified then
+    (* repair already failed for a non-placement reason (e.g. congestion);
+       only a full re-map can help *)
+    None
+  else begin
+    (* claim every intact placement across all regions first: regions share
+       the fabric, and a re-placement must not steal a sibling's PE *)
+    List.iter
+      (fun ((s : Schedule.t), broken_insts, broken_ports) ->
+        Imap.iter
+          (fun inst pe ->
+            if not (List.mem inst broken_insts) then use_pe ctx pe)
+          s.inst_pe;
+        Imap.iter
+          (fun dfg_port hw ->
+            if not (List.mem dfg_port broken_ports) then use_port ctx hw)
+          s.port_map)
+      classified;
+    let fix ((s : Schedule.t), broken_insts, broken_ports) =
+      let v = s.variant in
+      let inst_pe = ref s.inst_pe in
+      let port_map = ref s.port_map in
+      List.iter (fun i -> inst_pe := Imap.remove i !inst_pe) broken_insts;
+      List.iter (fun p -> port_map := Imap.remove p !port_map) broken_ports;
+      (* ports first: instructions score by distance to their producers,
+         which include freshly re-placed ports *)
+      List.iter
+        (fun dfg_port ->
+          match
+            List.find_opt
+              (fun (st : Stream.t) -> st.port = Some dfg_port)
+              v.streams
+          with
+          | None -> failf "incremental: no stream feeds dfg port %d" dfg_port
+          | Some st -> (
+            let dir =
+              match st.dir with Stream.Read -> `In | Stream.Write -> `Out
+            in
+            let eng = Schedule.engine_of_stream s st in
+            let mem_eng = List.assoc_opt st.array s.array_engine in
+            let need_mem_feed = Schedule.is_rec s st && dir = `In in
+            match choose_port ctx ~dir ~eng ~mem_eng ~need_mem_feed st with
+            | Some hw -> port_map := Imap.add dfg_port hw !port_map
+            | None ->
+              failf "incremental: no port for stream %s" (Stream.describe st)))
+        broken_ports;
+      List.iter
+        (fun inst ->
+          let n = Dfg.node v.dfg inst in
+          match n.kind with
+          | Dfg.Inst { op; dtype; _ } -> (
+            let cands =
+              pe_candidates ctx ~op ~dtype ~n_consts:(n_consts_of v n)
+            in
+            let producers =
+              List.filter_map
+                (fun (o : Dfg.operand) ->
+                  match (Dfg.node v.dfg o.src).kind with
+                  | Dfg.Input _ | Dfg.Output _ -> Imap.find_opt o.src !port_map
+                  | Dfg.Inst _ -> Imap.find_opt o.src !inst_pe
+                  | Dfg.Const _ -> None)
+                n.operands
+            in
+            match best_pe ctx cands producers with
+            | Some pe ->
+              use_pe ctx pe;
+              inst_pe := Imap.add inst pe !inst_pe
+            | None ->
+              failf "incremental: no free PE for %s.%s" (Op.to_string op)
+                (Dtype.to_string dtype))
+          | Dfg.Const _ | Dfg.Input _ | Dfg.Output _ ->
+            failf "incremental: %d is not an instruction" inst)
+        broken_insts;
+      { s with Schedule.inst_pe = !inst_pe; port_map = !port_map }
+    in
+    let fixed = List.map fix classified in
+    (* all placements (intact + re-placed) are claimed; re-route every
+       region against them *)
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | s :: rest -> (
+        match reroute_pinned ctx s with
+        | Ok s' -> go (s' :: acc) rest
+        | Error _ -> None)
+    in
+    go [] fixed
+  end
+
+let reschedule sys (c : Compile.compiled) ~prior =
+  match repair sys prior with
+  | Ok s -> Ok (s, Repaired)
+  | Error _ -> (
+    let patched =
+      match incremental_attempt sys prior with
+      | r -> r
+      | exception Fail _ -> None
+    in
+    match patched with
+    | Some s ->
+      Obs.incr (Lazy.force m_incremental);
+      Ok (s, Incremental)
+    | None -> (
+      Obs.incr (Lazy.force m_incremental_fallback);
+      match schedule_app sys c with
+      | Ok s -> Ok (s, Full)
+      | Error e -> Error e))

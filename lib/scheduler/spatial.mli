@@ -6,7 +6,12 @@
     producers; operand routes are found by BFS through switches with
     link-sharing only for common sources; operand delays are balanced within
     the delay-FIFO budget.  All code regions of one application share the
-    fabric, so scheduling is performed against a shared-usage context. *)
+    fabric, so scheduling is performed against a shared-usage context.
+
+    The speculative schedule/score/rollback loop is O(changes): every
+    mutation of the usage tables pushes an inverse entry onto an undo log,
+    a snapshot is just a mark into that log, and restore pops back to the
+    mark. *)
 
 open Overgen_adg
 open Overgen_mdfg
@@ -17,14 +22,24 @@ type ctx
 val fresh_ctx : Sys_adg.t -> ctx
 
 type snap
-(** An immutable capture of a context's resource usage. *)
+(** A mark into the context's undo log (generation-stamped). *)
 
 val snapshot : ctx -> snap
+(** O(1): records the current undo-log position.  Allocates nothing but the
+    mark itself. *)
 
 val restore : ctx -> snap -> unit
-(** Reset [ctx] to the captured state.  The snapshot stays independent of
-    the live context, so one snapshot may be restored any number of
-    times, interleaved with further scheduling. *)
+(** Pop the undo log back to the mark, in time proportional to the number
+    of mutations since {!snapshot}.  Restoring the same mark repeatedly is
+    fine (the second restore pops nothing), as is restoring nested marks in
+    LIFO order.  @raise Invalid_argument if the mark is stale, i.e. the
+    context was already rolled back past it by restoring an older mark —
+    the captured state no longer exists in the log. *)
+
+val debug_state : ctx -> string
+(** Canonical dump of the observable usage state (used PEs/ports, spad
+    bytes, engine demand, link owners, next route tag); two contexts with
+    equal dumps are observably identical to the scheduler.  For tests. *)
 
 val schedule_variant : ctx -> Compile.variant -> (Schedule.t, string) result
 (** Map one region variant onto the hardware, consuming context resources.
@@ -42,3 +57,21 @@ val repair :
     mutated hardware, recompute IIs, and attempt to re-route any broken
     operand paths without touching placements.  Fails if placements
     themselves became illegal. *)
+
+type reschedule_outcome =
+  | Repaired     (** placements intact; routes refreshed / IIs recomputed *)
+  | Incremental  (** only the broken placements were re-mapped *)
+  | Full         (** conflict: fell back to a full re-map *)
+
+val reschedule :
+  Sys_adg.t ->
+  Compile.compiled ->
+  prior:Schedule.t list ->
+  (Schedule.t list * reschedule_outcome, string) result
+(** Re-map an application after a hardware mutation, reusing [prior] (its
+    schedules on the pre-mutation graph) as far as possible: first try
+    {!repair}; then re-place only the instructions and ports whose bindings
+    the mutation broke (keeping all intact placements pinned) and re-route;
+    finally fall back to {!schedule_app} from scratch.  Engine-binding
+    breaks always fall through to the full re-map, since re-binding an
+    array cascades into port legality. *)

@@ -31,6 +31,7 @@ let same_result (a : Dse.result) (b : Dse.result) =
   Alcotest.(check int) "same accepted" a.stats.accepted b.stats.accepted;
   Alcotest.(check int) "same invalid" a.stats.invalid b.stats.invalid;
   Alcotest.(check int) "same repaired" a.stats.repaired b.stats.repaired;
+  Alcotest.(check int) "same incremental" a.stats.incremental b.stats.incremental;
   Alcotest.(check int) "same rescheduled" a.stats.rescheduled b.stats.rescheduled
 
 let test_single_island_deterministic () =

@@ -293,6 +293,228 @@ let test_double_restore () =
   same "restore 1" s1 s2;
   same "restore 2" s1 s3
 
+(* ------------------------------------------------------------------ *)
+(* Undo-log rollback properties                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Rng = Overgen_util.Rng
+module Obs = Overgen_obs.Obs
+module Mutate = Overgen_dse.Mutate
+module Dse = Overgen_dse.Dse
+
+let variant_pool () =
+  List.concat_map
+    (fun name ->
+      let c = Compile.compile ~tuned:false (Kernels.find name) in
+      List.concat c.Compile.per_region)
+    [ "fir"; "mm"; "accumulate" ]
+
+let first_variant name =
+  let c = Compile.compile ~tuned:false (Kernels.find name) in
+  match c.Compile.per_region with
+  | (v :: _) :: _ -> v
+  | _ -> Alcotest.failf "%s compiled to no variants" name
+
+(* The copy-based oracle: [debug_state] captured at snapshot time is
+   exactly what a five-table Hashtbl.copy snapshot would have preserved.
+   Drive random mutate/snapshot/restore/double-restore sequences and
+   require every restore to reproduce the dump taken with its mark. *)
+let prop_undo_log_matches_oracle =
+  QCheck.Test.make ~name:"undo-log restore matches state captured at snapshot"
+    ~count:12
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let sys = general () in
+      let variants = variant_pool () in
+      let nv = List.length variants in
+      let rng = Rng.create seed in
+      let ctx = Spatial.fresh_ctx sys in
+      let stack = ref [ (Spatial.snapshot ctx, Spatial.debug_state ctx) ] in
+      let check_restore (snap, dump) =
+        Spatial.restore ctx snap;
+        if Spatial.debug_state ctx <> dump then
+          QCheck.Test.fail_report "restore diverged from snapshot-time state"
+      in
+      for _ = 1 to 60 do
+        match Rng.int rng 4 with
+        | 0 -> stack := (Spatial.snapshot ctx, Spatial.debug_state ctx) :: !stack
+        | 1 | 2 ->
+          let v = List.nth variants (Rng.int rng nv) in
+          ignore (Spatial.schedule_variant ctx v)
+        | _ -> (
+          match !stack with
+          | [] -> ()
+          | top :: rest ->
+            check_restore top;
+            (* restoring the same mark again must be a no-op *)
+            if Rng.int rng 2 = 0 then check_restore top;
+            if Rng.int rng 2 = 0 then stack := rest)
+      done;
+      (* unwind the remaining marks in LIFO order *)
+      List.iter check_restore !stack;
+      true)
+
+let test_stale_snapshot_raises () =
+  let sys = general () in
+  let variant = first_variant "fir" in
+  let ctx = Spatial.fresh_ctx sys in
+  let a = Spatial.snapshot ctx in
+  (match Spatial.schedule_variant ctx variant with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "schedule failed: %s" e);
+  let b = Spatial.snapshot ctx in
+  Spatial.restore ctx a;
+  (* [b] marks a log position that no longer exists *)
+  (match Spatial.restore ctx b with
+  | () -> Alcotest.fail "restoring a popped-past mark must raise"
+  | exception Invalid_argument _ -> ());
+  (* rebuild the log past [b]'s position: the mark's offset exists again,
+     but the entries there are younger than the mark, so it is still stale *)
+  (match Spatial.schedule_variant ctx variant with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "reschedule failed: %s" e);
+  match Spatial.restore ctx b with
+  | () -> Alcotest.fail "restoring a mark into a rebuilt log must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_rollback_counter_and_free_noop () =
+  let sys = general () in
+  let variant = first_variant "fir" in
+  let ctx = Spatial.fresh_ctx sys in
+  Obs.enable ();
+  Fun.protect ~finally:Obs.disable @@ fun () ->
+  let v () =
+    Obs.Metrics.counter_value
+      (Obs.Metrics.counter Obs.Metrics.default
+         "overgen_scheduler_rollback_entries_total")
+  in
+  let before = v () in
+  let snap = Spatial.snapshot ctx in
+  Spatial.restore ctx snap;
+  Alcotest.(check int) "immediate restore pops no entries" before (v ());
+  (match Spatial.schedule_variant ctx variant with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "schedule failed: %s" e);
+  Spatial.restore ctx snap;
+  Alcotest.(check bool) "rollback entries counted" true (v () > before)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental rescheduling properties                                 *)
+(* ------------------------------------------------------------------ *)
+
+let same_schedules a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Schedule.t) (y : Schedule.t) ->
+         x.ii = y.ii
+         && x.max_link_share = y.max_link_share
+         && x.skew_penalty = y.skew_penalty
+         && Schedule.Imap.equal ( = ) x.inst_pe y.inst_pe
+         && Schedule.Imap.equal ( = ) x.port_map y.port_map
+         && x.array_engine = y.array_engine
+         && x.rec_streams = y.rec_streams
+         && x.reg_streams = y.reg_streams
+         && x.routes = y.routes)
+       a b
+
+(* Under schedule-preserving mutations, [reschedule] must be bit-identical
+   to the legacy repair-else-full composition whenever it takes the same
+   tier, and a valid complete mapping when the incremental tier fires. *)
+let prop_reschedule_matches_legacy =
+  QCheck.Test.make
+    ~name:"reschedule is bit-identical to repair-else-full under preserve"
+    ~count:15
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let sys = general () in
+      let compiled = Compile.compile ~tuned:false (Kernels.find "mm") in
+      let prior =
+        match Spatial.schedule_app sys compiled with
+        | Ok s -> s
+        | Error e -> QCheck.Test.fail_reportf "schedule failed: %s" e
+      in
+      let rng = Rng.create seed in
+      let usage = Mutate.usage_of prior in
+      let caps_pool = Dse.caps_pool [ compiled ] in
+      let adg', _desc = Mutate.propose rng ~preserve:true ~caps_pool sys.adg usage in
+      let sys' = Sys_adg.with_adg sys adg' in
+      let legacy =
+        match Spatial.repair sys' prior with
+        | Ok s -> `Repaired s
+        | Error _ -> (
+          match Spatial.schedule_app sys' compiled with
+          | Ok s -> `Full s
+          | Error _ -> `None)
+      in
+      match (Spatial.reschedule sys' compiled ~prior, legacy) with
+      | Error _, `None -> true
+      | Ok (s, Spatial.Repaired), `Repaired l -> same_schedules s l
+      | Ok (s, Spatial.Full), `Full l -> same_schedules s l
+      | Ok (s, Spatial.Incremental), _ ->
+        (* repair could not fix it but the incremental tier did: the result
+           must still be one valid schedule per region *)
+        List.length s = List.length prior
+        && List.for_all (fun sc -> Result.is_ok (Schedule.validate sc sys')) s
+      | Ok (_, Spatial.Repaired), _ ->
+        QCheck.Test.fail_report "reschedule repaired where legacy repair failed"
+      | Ok (_, Spatial.Full), _ ->
+        QCheck.Test.fail_report "full fallback diverged from schedule_app"
+      | Error _, _ ->
+        QCheck.Test.fail_report "reschedule failed where legacy succeeded")
+
+let test_incremental_replaces_only_broken () =
+  let sys = general () in
+  let compiled = Compile.compile ~tuned:false (Kernels.find "mm") in
+  let prior =
+    match Spatial.schedule_app sys compiled with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "schedule failed: %s" e
+  in
+  let s = List.hd prior in
+  (* strip the capability of one used PE: repair cannot fix a broken
+     placement, the incremental tier re-places just that instruction *)
+  let inst, pe = Schedule.Imap.min_binding s.inst_pe in
+  let op, dtype =
+    match (Dfg.node s.variant.dfg inst).kind with
+    | Dfg.Inst { op; dtype; _ } -> (op, dtype)
+    | _ -> Alcotest.fail "inst expected"
+  in
+  let adg =
+    match Adg.comp_exn sys.adg pe with
+    | Comp.Pe p ->
+      Adg.set_comp sys.adg pe
+        (Comp.Pe { p with caps = Op.Cap.remove (op, dtype) p.caps })
+    | _ -> Alcotest.fail "pe expected"
+  in
+  let sys' = Sys_adg.with_adg sys adg in
+  Alcotest.(check bool)
+    "repair alone cannot fix the lost placement" true
+    (Result.is_error (Spatial.repair sys' prior));
+  match Spatial.reschedule sys' compiled ~prior with
+  | Error e -> Alcotest.failf "reschedule failed: %s" e
+  | Ok (scheds, outcome) ->
+    Alcotest.(check bool)
+      "incremental tier used" true
+      (outcome = Spatial.Incremental);
+    List.iter
+      (fun sc ->
+        match Schedule.validate sc sys' with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "rescheduled schedule invalid: %s" e)
+      scheds;
+    (* dedicated PEs: only [inst] sat on the stripped PE, so every other
+       placement must be pinned exactly where it was *)
+    List.iter2
+      (fun (old_s : Schedule.t) (new_s : Schedule.t) ->
+        Schedule.Imap.iter
+          (fun i old_pe ->
+            if old_pe <> pe then
+              Alcotest.(check (option int))
+                "intact placement pinned" (Some old_pe)
+                (Schedule.Imap.find_opt i new_s.inst_pe))
+          old_s.inst_pe)
+      prior scheds
+
 let tests =
   [
     Alcotest.test_case "all kernels schedule on general" `Quick
@@ -311,4 +533,11 @@ let tests =
     Alcotest.test_case "relax on small fabric" `Quick test_relaxation_on_small_fabric;
     Alcotest.test_case "ii covers port width" `Quick test_compute_ii_respects_port_width;
     QCheck_alcotest.to_alcotest prop_schedule_deterministic;
+    QCheck_alcotest.to_alcotest prop_undo_log_matches_oracle;
+    Alcotest.test_case "stale snapshot raises" `Quick test_stale_snapshot_raises;
+    Alcotest.test_case "rollback counter / free no-op restore" `Quick
+      test_rollback_counter_and_free_noop;
+    QCheck_alcotest.to_alcotest prop_reschedule_matches_legacy;
+    Alcotest.test_case "incremental re-places only broken" `Quick
+      test_incremental_replaces_only_broken;
   ]
