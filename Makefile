@@ -1,4 +1,4 @@
-.PHONY: all build test bench check check-obs check-fault check-store check-net check-regress bench-baseline clean
+.PHONY: all build test bench check check-obs check-fault check-store check-net check-trace check-regress bench-baseline clean
 
 all: build
 
@@ -34,6 +34,13 @@ check-store:
 # 2-shard cluster driving a self-test through real sockets.
 check-net:
 	dune build @net-smoke
+
+# Trace smoke: a 2-shard in-process cluster serving a traced self-test
+# (deterministic trace ids, 1-in-50 deliberate misroutes so forwards
+# happen), its flight-recorder dump, a live metrics/health/events scrape,
+# then trace-merge + trace-validate on the emitted span lane.
+check-trace:
+	dune build @trace-smoke
 
 # Perf regression gate: re-run all seven bench scenarios at smoke scale
 # and diff the emitted BENCH_*.json against the baselines committed in

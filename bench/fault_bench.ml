@@ -13,6 +13,7 @@ module Cache = Overgen_service.Cache
 module Trace = Overgen_service.Trace
 module Telemetry = Overgen_service.Telemetry
 module Fault = Overgen_fault.Fault
+module Log = Overgen_obs.Obs.Log
 
 let requests = 120
 let fault_seed = 9
@@ -61,6 +62,9 @@ let run () =
       ()
   in
   let trace = Trace.generate spec in
+  (* start the flight recorder clean: the assertions below must see this
+     run's events, not a previous scenario's *)
+  Log.clear Log.default;
   let cfg = { Fault.default_config with seed = fault_seed; rate } in
   Printf.printf
     "fault injection: %d requests, seed %d, rate %.0f%%, all faults transient\n\n"
@@ -134,6 +138,17 @@ let run () =
     (fun (point, visits, injected) ->
       Printf.printf "  %-26s %6d visits  %5d injected\n" point visits injected)
     (Fault.stats ());
+  (* the flight recorder saw the whole campaign: the injected faults and
+     the retries that absorbed them must be on the record *)
+  let events = Log.recent Log.default in
+  let saw name = List.exists (fun (e : Log.event) -> e.Log.name = name) events in
+  if not (saw "fault") then
+    failwith "flight recorder: no fault events despite injected faults";
+  if not (saw "retry") then
+    failwith "flight recorder: no retry events despite retried transients";
+  Printf.printf
+    "flight recorder: %d recent events (faults and retries on the record)\n"
+    (List.length events);
   Printf.printf "\nfault scenario ok: %d/%d invariants held\n"
     (5 * List.length trace) (5 * List.length trace);
   {

@@ -2,7 +2,13 @@
    (spawned from this very binary via the hidden `net-shard` entry), a
    consistent-hash client driving a fixed arrival rate through real
    sockets, and a mid-run SIGKILL + restart of one shard to exercise
-   reconnect, retry and durable-store replay.  Emits BENCH_net.json. *)
+   reconnect, retry and durable-store replay.  Emits BENCH_net.json.
+
+   Every request carries a trace id; shard processes write their spans as
+   JSONL and dump their flight recorders, and after the run the bench
+   merges the span files into one validated Chrome trace, scrapes the
+   live ops plane, and cross-checks the scraped counters against the load
+   generator's ledger. *)
 
 open Overgen_workload
 module Wire = Overgen_net.Wire
@@ -14,6 +20,8 @@ module Load_gen = Overgen_net.Load_gen
 module Registry = Overgen_service.Registry
 module Service = Overgen_service.Service
 module Trace = Overgen_service.Trace
+module Obs = Overgen_obs.Obs
+module Rng = Overgen_util.Rng
 
 let general =
   lazy
@@ -35,7 +43,11 @@ let parse_cluster s =
 (* ---------------- child process: one shard ---------------- *)
 
 let shard args =
-  let me = ref (-1) and cluster = ref "" and store = ref None in
+  let me = ref (-1)
+  and cluster = ref ""
+  and store = ref None
+  and trace_out = ref None
+  and flight_out = ref None in
   let rec parse = function
     | "--me" :: v :: rest ->
       me := int_of_string v;
@@ -46,6 +58,12 @@ let shard args =
     | "--store" :: v :: rest ->
       store := Some v;
       parse rest
+    | "--trace-out" :: v :: rest ->
+      trace_out := Some v;
+      parse rest
+    | "--flight-out" :: v :: rest ->
+      flight_out := Some v;
+      parse rest
     | [] -> ()
     | a :: _ -> failwith ("net-shard: unknown argument " ^ a)
   in
@@ -53,6 +71,7 @@ let shard args =
   let cluster = parse_cluster !cluster in
   if !me < 0 || !me >= Array.length cluster then
     failwith "net-shard: --me outside --cluster";
+  if !trace_out <> None then Obs.enable ();
   let fd, _ =
     match Server.listen ~port:cluster.(!me).Node.port () with
     | Ok v -> v
@@ -64,7 +83,7 @@ let shard args =
   let node =
     match Node.init ~setup config with Ok n -> n | Error e -> failwith e
   in
-  let server = Server.start ~node ~fd in
+  let server = Server.start ?flight_out:!flight_out ~node ~fd () in
   let stop = ref false in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
   Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
@@ -74,6 +93,13 @@ let shard args =
   done;
   Server.stop server;
   Node.shutdown node;
+  (* a SIGKILLed shard never reaches this line: its spans die with it,
+     and only the restarted instance's file survives *)
+  Option.iter
+    (fun path ->
+      Obs.Export.write_file ~path
+        (Obs.Export.to_jsonl ~pid:!me (Obs.Span.spans ())))
+    !trace_out;
   exit 0
 
 (* ---------------- parent: the bench ---------------- *)
@@ -86,12 +112,16 @@ let pick_free_ports k =
         port
       | Error e -> failwith e)
 
+let span_file dir i = Filename.concat dir (Printf.sprintf "shard-%d.spans.jsonl" i)
+let flight_file dir i = Filename.concat dir (Printf.sprintf "shard-%d.flight.jsonl" i)
+
 let spawn_shard ~cluster_s ~store_dir i =
   let store = Filename.concat store_dir (Printf.sprintf "shard-%d.store" i) in
   Unix.create_process Sys.executable_name
     [|
       Sys.executable_name; "net-shard"; "--me"; string_of_int i; "--cluster";
-      cluster_s; "--store"; store;
+      cluster_s; "--store"; store; "--trace-out"; span_file store_dir i;
+      "--flight-out"; flight_file store_dir i;
     |]
     Unix.stdin Unix.stdout Unix.stderr
 
@@ -130,6 +160,62 @@ let shard_stats (peer : Node.peer) =
     Client.close c;
     r
 
+(* live ops-plane scrapes *)
+
+let shard_rpc (peer : Node.peer) msg =
+  match Client.connect ~host:peer.Node.host ~port:peer.Node.port with
+  | Error e -> Error e
+  | Ok c ->
+    let r = Client.rpc c msg in
+    Client.close c;
+    r
+
+let shard_metrics peer =
+  match shard_rpc peer Wire.Metrics_req with
+  | Ok (Wire.Metrics_dump { text; _ }) -> text
+  | Ok _ -> failwith "unexpected metrics reply"
+  | Error e -> failwith ("metrics scrape: " ^ e)
+
+let shard_events peer ~max =
+  match shard_rpc peer (Wire.Recent_events_req { max }) with
+  | Ok (Wire.Events { events; _ }) -> events
+  | Ok _ -> failwith "unexpected events reply"
+  | Error e -> failwith ("events scrape: " ^ e)
+
+(* sum every sample of one metric in a Prometheus text exposition
+   (metric name followed by a space or a label set) *)
+let prom_value text name =
+  let total = ref 0.0 and found = ref false in
+  List.iter
+    (fun line ->
+      let nl = String.length name and ll = String.length line in
+      if
+        ll > nl
+        && String.sub line 0 nl = name
+        && (line.[nl] = ' ' || line.[nl] = '{')
+      then
+        match String.rindex_opt line ' ' with
+        | Some i -> (
+          match float_of_string_opt (String.sub line (i + 1) (ll - i - 1)) with
+          | Some v ->
+            total := !total +. v;
+            found := true
+          | None -> ())
+        | None -> ())
+    (String.split_on_char '\n' text);
+  if !found then Some !total else None
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
 let run extra =
   (* defaults match the acceptance scenario: >= 100k requests at a fixed
      arrival rate against 2 shard processes with a mid-run kill+restart *)
@@ -164,6 +250,10 @@ let run extra =
   parse extra;
   let n = !requests and rate = !rate and shards = !shards in
   let kill = !kill && shards >= 2 in
+  (* every ~101st request is deliberately misrouted so the server-side
+     forward path shows up in the trace; a correctly-routing client
+     would never exercise it *)
+  let misroute_every = if shards >= 2 then Some 101 else None in
   Exp_common.header
     (Printf.sprintf
        "Networked serving tier: %d requests at %.0f req/s over %d shard \
@@ -171,6 +261,9 @@ let run extra =
        n rate shards
        (if shards = 1 then "" else "es")
        (if kill then " (kill+restart shard 1 mid-run)" else ""));
+  (* the parent is the client process: record client_send spans here *)
+  Obs.enable ();
+  Obs.Span.reset ();
   let metrics = ref [] in
   let store_dir = Filename.temp_dir "overgen-net-bench" "" in
   let ports = pick_free_ports shards in
@@ -200,6 +293,7 @@ let run extra =
        Trace.spec ~seed:!seed ~requests:n ~users:12 ~working_set:3
          ~overlays:[ ("general", Kernels.all) ] ()
      in
+     let trace_rng = Rng.of_string (Printf.sprintf "net-bench-trace:%d" !seed) in
      let wire_requests =
        Trace.generate spec
        |> List.map (fun (r : Service.request) ->
@@ -209,6 +303,8 @@ let run extra =
                 overlay = r.overlay;
                 kernel = r.kernel;
                 tuned = r.tuned;
+                trace = Obs.Span.fresh_trace trace_rng;
+                parent_span = 0;
               })
        |> Array.of_list
      in
@@ -239,6 +335,7 @@ let run extra =
          requests = wire_requests;
          rate;
          timeout_s = (float_of_int n /. rate) +. 240.0;
+         misroute_every;
        }
      in
      let summary = Load_gen.run cfg in
@@ -269,6 +366,75 @@ let run extra =
      if kill && warm_loaded <= 0 then
        failures :=
          "restarted shard replayed nothing from its durable store" :: !failures;
+     (* --- live ops plane: scrape shard 0 (never killed) and cross-check
+        its counters against the load generator's ledger.  Shard 0 must
+        have received every completed request it owns (forwards included),
+        and can't have received more than everything the client ever sent
+        plus what peers forwarded in. *)
+     let mtext = shard_metrics cluster.(0) in
+     let prom name =
+       match prom_value mtext name with
+       | Some v -> v
+       | None ->
+         failures := Printf.sprintf "shard 0 metrics lack %s" name :: !failures;
+         0.0
+     in
+     let req_total0 = prom "overgen_net_requests_total" in
+     let forwards0 = prom "overgen_net_forwards_total" in
+     if not (contains mtext "overgen_net_request_ms_bucket") then
+       failures := "shard 0 metrics lack the request_ms histogram" :: !failures;
+     let map = Shard_map.Default.make ~vnodes:Shard_map.default_vnodes ~shards () in
+     let owner_of (r : Wire.request) =
+       Shard_map.Default.owner map
+         (Wire.route_key ~overlay:r.overlay ~kernel:r.kernel ~tuned:r.tuned)
+     in
+     let owned0 = ref 0 and mis_to0 = ref 0 in
+     Array.iteri
+       (fun i r ->
+         let owner = owner_of r in
+         if owner = 0 then incr owned0;
+         match misroute_every with
+         | Some k when i mod k = 0 && (owner + 1) mod shards = 0 -> incr mis_to0
+         | _ -> ())
+       wire_requests;
+     Printf.printf
+       "  ops plane: shard 0 requests_total %.0f (owns %d of the trace, %d \
+        misrouted to it), forwards_total %.0f\n"
+       req_total0 !owned0 !mis_to0 forwards0;
+     if summary.Load_gen.completed = n && int_of_float req_total0 < !owned0 then
+       failures :=
+         Printf.sprintf
+           "ledger mismatch: shard 0 counted %.0f requests but owns %d \
+            completed ones"
+           req_total0 !owned0
+         :: !failures;
+     let upper =
+       n + summary.Load_gen.resends + summary.Load_gen.redirects + !mis_to0
+     in
+     if int_of_float req_total0 > upper then
+       failures :=
+         Printf.sprintf
+           "ledger mismatch: shard 0 counted %.0f requests, more than the \
+            client could have sent it (bound %d)"
+           req_total0 upper
+         :: !failures;
+     if !mis_to0 > 0 && forwards0 < 1.0 then
+       failures :=
+         Printf.sprintf
+           "%d requests were misrouted to shard 0 yet it forwarded none"
+           !mis_to0
+         :: !failures;
+     (* the restarted shard's flight recorder must still hold its pinned
+        store-replay milestone, queryable over the wire *)
+     if kill then begin
+       (* ask for more than ring capacity + pin cap: the pinned replay
+          milestone is the restarted shard's oldest event, and [max]
+          keeps the newest *)
+       let events = shard_events cluster.(1) ~max:5000 in
+       if not (List.exists (fun e -> contains e "store_replay") events) then
+         failures :=
+           "restarted shard 1's recent events lack store_replay" :: !failures
+     end;
      (match !failures with
      | [] -> ()
      | fs ->
@@ -280,9 +446,104 @@ let run extra =
        @ [
            ("warm_loaded", float_of_int warm_loaded);
            ("killed_and_restarted", if kill then 1.0 else 0.0);
+           ("forwards", forwards0);
          ]
    with e ->
      teardown ();
      raise e);
   teardown ();
+  (* --- after graceful teardown every surviving shard has written its
+     span file and flight dump: stitch the distributed trace together and
+     check it end to end *)
+  let failures = ref [] in
+  let module SS = Set.Make (String) in
+  let client_spans =
+    List.map (fun s -> (100, s)) (Obs.Span.spans ())
+  in
+  let shard_spans =
+    List.concat
+      (List.init shards (fun i ->
+           let path = span_file store_dir i in
+           if not (Sys.file_exists path) then begin
+             failures :=
+               Printf.sprintf "shard %d wrote no span file" i :: !failures;
+             []
+           end
+           else
+             match Obs.Export.parse_jsonl (read_file path) with
+             | Ok spans -> spans
+             | Error e ->
+               failures := Printf.sprintf "%s: %s" path e :: !failures;
+               []))
+  in
+  let all_spans = client_spans @ shard_spans in
+  (match Obs.Export.orphans all_spans with
+  | [] -> ()
+  | orphans ->
+    failures :=
+      Printf.sprintf "merged trace has %d orphan parent references"
+        (List.length orphans)
+      :: !failures);
+  let names =
+    (100, "client")
+    :: List.init shards (fun i -> (i, Printf.sprintf "shard %d" i))
+  in
+  let doc = Obs.Export.merge_chrome ~names all_spans in
+  (match Obs.Export.validate_json doc with
+  | Ok () -> ()
+  | Error e ->
+    failures := Printf.sprintf "merged trace is not valid JSON: %s" e :: !failures);
+  let merged_path = Filename.concat store_dir "trace-merged.json" in
+  Obs.Export.write_file ~path:merged_path doc;
+  (* distributed correlation: every trace id a shard server saw must be
+     one this client minted, and the two timelines must actually overlap *)
+  let span_traces spans pred =
+    List.fold_left
+      (fun acc (_, (s : Obs.Span.span)) ->
+        if s.Obs.Span.trace <> "" && pred s then SS.add s.Obs.Span.trace acc
+        else acc)
+      SS.empty spans
+  in
+  let client_traces =
+    span_traces client_spans (fun s -> s.Obs.Span.name = "client_send")
+  in
+  let server_traces = span_traces shard_spans (fun _ -> true) in
+  if SS.is_empty client_traces then
+    failures := "client recorded no client_send spans" :: !failures;
+  if SS.is_empty server_traces then
+    failures := "shards recorded no spans with a trace id" :: !failures;
+  if not (SS.subset server_traces client_traces) then
+    failures :=
+      Printf.sprintf
+        "%d server-side trace ids were never minted by the client"
+        (SS.cardinal (SS.diff server_traces client_traces))
+      :: !failures;
+  Printf.printf
+    "  trace: merged %d spans (%d client, %d shard-side) into %s; %d trace \
+     ids cross the wire\n"
+    (List.length all_spans) (List.length client_spans)
+    (List.length shard_spans) merged_path
+    (SS.cardinal (SS.inter server_traces client_traces));
+  (* flight dumps survive the processes that wrote them *)
+  (if kill then
+     let path = flight_file store_dir 1 in
+     if not (Sys.file_exists path) then
+       failures := "restarted shard 1 wrote no flight dump" :: !failures
+     else
+       let dump = read_file path in
+       if not (contains dump "store_replay") then
+         failures := "shard 1 flight dump lacks store_replay" :: !failures;
+       if not (contains dump "drain_begin" && contains dump "drain_end") then
+         failures := "shard 1 flight dump lacks drain events" :: !failures);
+  (match !failures with
+  | [] -> ()
+  | fs ->
+    List.iter (Printf.eprintf "  FAILED: %s\n") fs;
+    exit 1);
+  metrics :=
+    !metrics
+    @ [
+        ("merged_spans", float_of_int (List.length all_spans));
+        ("wire_traces", float_of_int (SS.cardinal server_traces));
+      ];
   { Bench.metrics = !metrics }

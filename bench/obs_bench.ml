@@ -3,11 +3,24 @@
    default) and with recording enabled.  The contract is that leaving the
    instrumentation compiled in costs < 3% while disabled; the estimate
    below multiplies the measured per-call null cost by the number of
-   instrumentation events the enabled run actually recorded. *)
+   instrumentation events the enabled run actually recorded.
+
+   The same contract covers the net path: a request that carries a trace
+   id pays two ungated [Span.with_trace] context switches (server
+   dispatch, service process) plus the 32-byte id on the wire even with
+   the gate off.  Loopback socket jitter swamps a direct wall-clock
+   diff, so `net_null_overhead_pct` is estimated the same way — measured
+   per-call cost times per-request call count over the measured untraced
+   wall — while the traced/untraced walls land alongside as evidence. *)
 
 open Overgen_workload
 module Obs = Overgen_obs.Obs
 module Stats = Overgen_util.Stats
+module Net = Overgen_net
+module Registry = Overgen_service.Registry
+module Service = Overgen_service.Service
+module Trace = Overgen_service.Trace
+module Rng = Overgen_util.Rng
 
 let trials = 9
 
@@ -61,6 +74,12 @@ let run () =
   let span_s =
     per_op "Obs.Span.with_span" (fun () -> Obs.Span.with_span "noop" Fun.id)
   in
+  (* ungated trace-context switch: what a traced request pays per hop
+     even with the null backend on *)
+  let trace_id = String.make 32 'a' in
+  let with_trace_s =
+    per_op "Obs.Span.with_trace" (fun () -> Obs.Span.with_trace trace_id Fun.id)
+  in
   print_newline ();
   (* --- the compile loop, gate off vs gate on --- *)
   compile_loop () (* warm up allocators and memo tables first *);
@@ -101,15 +120,113 @@ let run () =
     "  null-backend overhead     %8.4f %%   (%d gated calls x measured per-call cost; target < 3 %%)%s\n\n"
     est_pct (spans + counts)
     (if est_pct < 3.0 then "  OK" else "  EXCEEDED");
+  (* --- the net path: one loopback shard, untraced vs traced, gate off --- *)
+  let m = 2000 and net_rate = 4000.0 and net_trials = 3 in
+  let fd, port =
+    match Net.Server.listen ~port:0 () with
+    | Ok v -> v
+    | Error e -> failwith ("obs net: listen: " ^ e)
+  in
+  let cluster = [| { Net.Node.host = "127.0.0.1"; port } |] in
+  let node =
+    let setup reg =
+      if Registry.find reg "general" = None then
+        match Registry.register reg ~name:"general" overlay with
+        | Ok _ -> ()
+        | Error e -> failwith ("obs net: register: " ^ e)
+    in
+    match Net.Node.init ~setup (Net.Node.default_config ~cluster ~me:0) with
+    | Ok n -> n
+    | Error e -> failwith ("obs net: " ^ e)
+  in
+  let server = Net.Server.start ~node ~fd () in
+  let spec =
+    Trace.spec ~seed:7 ~requests:m ~users:6 ~working_set:2
+      ~overlays:[ ("general", Kernels.all) ] ()
+  in
+  let untraced =
+    Trace.generate spec
+    |> List.map (fun (r : Service.request) ->
+           {
+             Net.Wire.id = r.id;
+             user = r.user;
+             overlay = r.overlay;
+             kernel = r.kernel;
+             tuned = r.tuned;
+             trace = "";
+             parent_span = 0;
+           })
+    |> Array.of_list
+  in
+  let trace_rng = Rng.of_string "obs-bench-net-trace" in
+  let traced =
+    Array.map
+      (fun r -> { r with Net.Wire.trace = Obs.Span.fresh_trace trace_rng })
+      untraced
+  in
+  let net_loop requests () =
+    let summary =
+      Net.Load_gen.run
+        {
+          Net.Load_gen.cluster;
+          vnodes = Net.Shard_map.default_vnodes;
+          requests;
+          rate = net_rate;
+          timeout_s = (float_of_int m /. net_rate) +. 120.0;
+          misroute_every = None;
+        }
+    in
+    if summary.Net.Load_gen.completed <> m || summary.Net.Load_gen.failed <> 0
+    then
+      failwith
+        (Printf.sprintf "obs net: %d/%d completed, %d failed"
+           summary.Net.Load_gen.completed m summary.Net.Load_gen.failed)
+  in
+  let median_net requests =
+    let samples =
+      List.init net_trials (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          net_loop requests ();
+          Unix.gettimeofday () -. t0)
+    in
+    Stats.median samples
+  in
+  net_loop untraced () (* warm the schedule cache first *);
+  let net_off_s = median_net untraced in
+  let net_traced_s = median_net traced in
+  Net.Server.stop server;
+  Net.Node.shutdown node;
+  (* per traced request, gate off: two ungated with_trace hops (server
+     dispatch, service process); the client-side hop is itself gated *)
+  let net_est_pct =
+    100.0 *. (float_of_int m *. 2.0 *. with_trace_s) /. net_off_s
+  in
+  Printf.printf
+    "net path, %d requests at %.0f req/s over one loopback shard (median of \
+     %d):\n"
+    m net_rate net_trials;
+  Printf.printf "  untraced                  %8.2f ms\n" (net_off_s *. 1000.0);
+  Printf.printf "  traced (gate off)         %8.2f ms   (%+.2f %% measured)\n"
+    (net_traced_s *. 1000.0)
+    (100.0 *. (net_traced_s -. net_off_s) /. net_off_s);
+  Printf.printf
+    "  null-trace overhead       %8.4f %%   (2 with_trace hops x %d requests; \
+     target < 3 %%)%s\n\n"
+    net_est_pct m
+    (if net_est_pct < 3.0 then "  OK" else "  EXCEEDED");
   {
     Bench.metrics =
       [
         ("incr_ns", incr_s *. 1e9);
         ("span_ns", span_s *. 1e9);
+        ("with_trace_ns", with_trace_s *. 1e9);
         ("compile_loop_off_ms", off_s *. 1000.0);
         ("compile_loop_on_ms", on_s *. 1000.0);
         ("null_overhead_pct", est_pct);
         ("spans_per_loop", float_of_int spans);
         ("counter_bumps_per_loop", float_of_int counts);
+        ("net_untraced_ms", net_off_s *. 1000.0);
+        ("net_traced_ms", net_traced_s *. 1000.0);
+        ("net_null_overhead_pct", net_est_pct);
       ];
   }

@@ -7,6 +7,8 @@
    overgen run <suite|kernel...>        - generate, compile and simulate
    overgen compile <suite|kernel...>    - compile only (spans via --trace-out)
    overgen trace-validate <file>        - check an emitted Chrome trace
+   overgen trace-merge <spans...>       - stitch per-shard span files into
+                                          one Chrome trace
    overgen compare <suite|kernel...>    - OverGen vs the AutoDSE baseline
    overgen serve-bench                  - replay a multi-user compile-request
                                           trace against the compile service
@@ -14,8 +16,9 @@
                                           artifact stores
    overgen net-serve                    - serve the compile service over TCP
                                           as a consistent-hash shard cluster
-   overgen net-client                   - ping a cluster / drive open-loop
-                                          load through it
+   overgen net-client                   - ping a cluster, scrape its live
+                                          ops plane (stats, metrics, health,
+                                          events) or drive open-loop load
 
    compile, dse and serve-bench accept --trace-out FILE.json (Chrome
    trace-event spans) and --metrics-out FILE (Prometheus dump); dse and
@@ -893,10 +896,15 @@ let net_setup registry =
     | Ok _ -> ()
     | Error e -> net_die "register general: %s" e
 
-let net_requests ~seed ~requests ~users ~working_set =
+let net_requests ?(traced = false) ~seed ~requests ~users ~working_set () =
   let spec =
     Trace.spec ~seed ~requests ~users ~working_set
       ~overlays:[ ("general", Kernels.all) ] ()
+  in
+  (* trace ids come from their own named stream so the workload draws —
+     and therefore the request mix — are identical traced or not *)
+  let trace_rng =
+    Overgen_util.Rng.of_string (Printf.sprintf "net-trace-ids:%d" seed)
   in
   let reqs =
     Trace.generate spec
@@ -907,13 +915,18 @@ let net_requests ~seed ~requests ~users ~working_set =
              overlay = r.overlay;
              kernel = r.kernel;
              tuned = r.tuned;
+             trace = (if traced then Obs.Span.fresh_trace trace_rng else "");
+             parent_span = 0;
            })
     |> Array.of_list
   in
   (Trace.distinct_keys spec, reqs)
 
-let net_load ~cluster ~requests ~rate ~seed ~users ~working_set =
-  let distinct, reqs = net_requests ~seed ~requests ~users ~working_set in
+let net_load ?(traced = false) ?misroute_every ~cluster ~requests ~rate ~seed
+    ~users ~working_set () =
+  let distinct, reqs =
+    net_requests ~traced ~seed ~requests ~users ~working_set ()
+  in
   Printf.printf "trace: %d requests, %d distinct (overlay, kernel) keys\n%!"
     requests distinct;
   let cfg =
@@ -923,6 +936,7 @@ let net_load ~cluster ~requests ~rate ~seed ~users ~working_set =
       requests = reqs;
       rate;
       timeout_s = (float_of_int requests /. rate) +. 120.0;
+      misroute_every;
     }
   in
   let summary = Net.Load_gen.run cfg in
@@ -943,11 +957,53 @@ let net_block_until_signal ~on_tick =
     on_tick ()
   done
 
+let net_contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ops-plane scrape against one shard: metrics text, health snapshot,
+   recent flight-recorder events — used by net-serve --self-test to prove
+   the plane answers while traffic has just flowed *)
+let net_scrape_check ~cluster =
+  let peer : Net.Node.peer = cluster.(0) in
+  match Net.Client.connect ~host:peer.host ~port:peer.port with
+  | Error e -> net_die "ops scrape: %s" e
+  | Ok c ->
+    (match Net.Client.rpc c Net.Wire.Metrics_req with
+    | Ok (Net.Wire.Metrics_dump { shard; text }) ->
+      if not (net_contains text "overgen_net_requests_total") then
+        net_die "ops scrape: shard %d metrics dump lacks request counter" shard;
+      Printf.printf "ops plane: shard %d metrics %d bytes\n%!" shard
+        (String.length text)
+    | Ok _ -> net_die "ops scrape: unexpected metrics reply"
+    | Error e -> net_die "ops scrape metrics: %s" e);
+    (match Net.Client.rpc c Net.Wire.Health_req with
+    | Ok (Net.Wire.Health { shard; quiesced; served; inflight; _ }) ->
+      Printf.printf "ops plane: shard %d health ok (served %d, inflight %d%s)\n%!"
+        shard served inflight
+        (if quiesced then ", quiesced" else "")
+    | Ok _ -> net_die "ops scrape: unexpected health reply"
+    | Error e -> net_die "ops scrape health: %s" e);
+    (match Net.Client.rpc c (Net.Wire.Recent_events_req { max = 100 }) with
+    | Ok (Net.Wire.Events { shard; events }) ->
+      Printf.printf "ops plane: shard %d flight recorder has %d recent events\n%!"
+        shard (List.length events)
+    | Ok _ -> net_die "ops scrape: unexpected events reply"
+    | Error e -> net_die "ops scrape events: %s" e);
+    Net.Client.close c
+
+let net_write_spans ~pid path =
+  let doc = Obs.Export.to_jsonl ~pid (Obs.Span.spans ()) in
+  Obs.Export.write_file ~path doc;
+  Printf.printf "spans written to %s\n%!" path
+
 let net_serve_cmd =
   let run shards port cluster_s me store_dir ports_out workers redirect
-      self_test rate seed =
+      self_test rate seed trace_out flight_out misroute_every =
     if workers < 1 then `Error (false, "--workers must be positive")
     else begin
+      if trace_out <> None then Obs.enable ();
       let store_path i =
         Option.map
           (fun dir ->
@@ -981,7 +1037,7 @@ let net_serve_cmd =
             | Error e -> net_die "listen: %s" e
             | Ok (fd, actual_port) ->
               let node = mk_node ~cluster ~me in
-              let server = Net.Server.start ~node ~fd in
+              let server = Net.Server.start ?flight_out ~node ~fd () in
               Printf.printf
                 "shard %d/%d serving on 127.0.0.1:%d (^C for graceful stop)\n%!"
                 me (Array.length cluster) actual_port;
@@ -989,7 +1045,10 @@ let net_serve_cmd =
                   Net.Node.handle_timeout node);
               print_endline "draining...";
               Net.Server.stop server;
-              Net.Node.shutdown node);
+              Net.Node.shutdown node;
+              (* span lanes are per-process: this shard's index is its pid
+                 in the merged trace *)
+              Option.iter (net_write_spans ~pid:me) trace_out);
             `Ok ()
           end)
       | None ->
@@ -1019,9 +1078,12 @@ let net_serve_cmd =
                     cluster))
           in
           let nodes = Array.init shards (fun i -> mk_node ~cluster ~me:i) in
+          (* one process, one flight recorder: every server dumps the same
+             global ring, so the last graceful stop writes the full story *)
           let servers =
             Array.mapi
-              (fun i node -> Net.Server.start ~node ~fd:(fst listeners.(i)))
+              (fun i node ->
+                Net.Server.start ?flight_out ~node ~fd:(fst listeners.(i)) ())
               nodes
           in
           Printf.printf "%d shard%s up: %s\n%!" shards
@@ -1041,8 +1103,9 @@ let net_serve_cmd =
           if self_test > 0 then begin
             Printf.printf "self-test: %d requests at %.0f req/s\n%!" self_test
               rate;
-            net_load ~cluster ~requests:self_test ~rate ~seed ~users:6
-              ~working_set:2;
+            net_load ~traced:(trace_out <> None) ?misroute_every ~cluster
+              ~requests:self_test ~rate ~seed ~users:6 ~working_set:2 ();
+            net_scrape_check ~cluster;
             stop_all ();
             print_endline "self-test passed"
           end
@@ -1053,6 +1116,7 @@ let net_serve_cmd =
             print_endline "draining...";
             stop_all ()
           end;
+          Option.iter (net_write_spans ~pid:0) trace_out;
           `Ok ()
         end
     end
@@ -1111,6 +1175,28 @@ let net_serve_cmd =
     Arg.(value & opt float 2000.0
          & info [ "rate" ] ~docv:"RPS" ~doc:"Self-test arrival rate.")
   in
+  let net_trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE.jsonl"
+             ~doc:"Enable span recording and write this process's spans as \
+                   JSONL on exit; feed the per-shard files to $(b,overgen \
+                   trace-merge).  In $(b,--cluster) mode the span lane is \
+                   labelled with $(b,--me); a whole-cluster process uses \
+                   lane 0.")
+  in
+  let flight_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "flight-out" ] ~docv:"FILE.jsonl"
+             ~doc:"Dump the flight recorder here — automatically on the \
+                   first failed request and again, with full history, on \
+                   graceful stop.")
+  in
+  let misroute_arg =
+    Arg.(value & opt (some int) None
+         & info [ "misroute-every" ] ~docv:"K"
+             ~doc:"Self-test only: send every $(docv)-th request to the \
+                   wrong shard to exercise the forward/redirect path.")
+  in
   Cmd.v
     (Cmd.info "net-serve"
        ~doc:"Serve the overlay compile service over TCP as a consistent-hash \
@@ -1120,55 +1206,91 @@ let net_serve_cmd =
     Term.(ret
             (const run $ shards_arg $ port_arg $ cluster_arg $ me_arg
              $ store_dir_arg $ ports_out_arg $ workers_arg $ redirect_arg
-             $ self_test_arg $ rate_arg $ seed_arg))
+             $ self_test_arg $ rate_arg $ seed_arg $ net_trace_out_arg
+             $ flight_out_arg $ misroute_arg))
+
+(* one ops-plane RPC against every shard in turn *)
+let net_each_shard cluster f =
+  Array.iteri
+    (fun i (peer : Net.Node.peer) ->
+      match Net.Client.connect ~host:peer.host ~port:peer.port with
+      | Error e -> net_die "shard %d: %s" i e
+      | Ok c ->
+        f i c;
+        Net.Client.close c)
+    cluster
 
 let net_client_cmd =
-  let run connect requests rate seed users working_set =
+  let run connect op requests rate seed users working_set events_max =
     match Net.Node.parse_cluster connect with
     | Error e -> `Error (false, e)
     | Ok cluster ->
-      Array.iteri
-        (fun i (peer : Net.Node.peer) ->
-          match Net.Client.connect ~host:peer.host ~port:peer.port with
-          | Error e -> net_die "shard %d: %s" i e
-          | Ok c ->
-            (match Net.Client.rpc c Net.Wire.Ping with
-            | Ok (Net.Wire.Pong { shard; shards }) ->
-              Printf.printf "shard %d/%d answering at %s:%d\n%!" shard shards
-                peer.host peer.port;
-              if shard <> i || shards <> Array.length cluster then
-                net_die
-                  "cluster mismatch: %s:%d says it is shard %d of %d, but \
-                   --connect places it at index %d of %d"
-                  peer.host peer.port shard shards i (Array.length cluster)
-            | Ok _ -> net_die "shard %d: unexpected ping reply" i
-            | Error e -> net_die "shard %d ping: %s" i e);
-            Net.Client.close c)
-        cluster;
-      if requests = 0 then begin
-        (* status only: one stats line per shard *)
-        Array.iteri
-          (fun i (peer : Net.Node.peer) ->
-            match Net.Client.connect ~host:peer.host ~port:peer.port with
-            | Error e -> net_die "shard %d: %s" i e
-            | Ok c ->
-              (match Net.Client.rpc c Net.Wire.Stats_req with
-              | Ok (Net.Wire.Stats { shard; served; hits; misses; warm_loaded })
-                ->
-                Printf.printf
-                  "shard %d: served %d, cache %d hits / %d misses, %d \
-                   warm-loaded\n"
-                  shard served hits misses warm_loaded
-              | Ok _ -> net_die "shard %d: unexpected stats reply" i
-              | Error e -> net_die "shard %d stats: %s" i e);
-              Net.Client.close c)
-          cluster;
+      net_each_shard cluster (fun i c ->
+          match Net.Client.rpc c Net.Wire.Ping with
+          | Ok (Net.Wire.Pong { shard; shards }) ->
+            Printf.printf "shard %d/%d answering at %s:%d\n%!" shard shards
+              cluster.(i).Net.Node.host cluster.(i).Net.Node.port;
+            if shard <> i || shards <> Array.length cluster then
+              net_die
+                "cluster mismatch: %s:%d says it is shard %d of %d, but \
+                 --connect places it at index %d of %d"
+                cluster.(i).Net.Node.host cluster.(i).Net.Node.port shard
+                shards i (Array.length cluster)
+          | Ok _ -> net_die "shard %d: unexpected ping reply" i
+          | Error e -> net_die "shard %d ping: %s" i e);
+      (match op with
+      | None when requests > 0 ->
+        net_load ~cluster ~requests ~rate ~seed ~users ~working_set ();
         `Ok ()
-      end
-      else begin
-        net_load ~cluster ~requests ~rate ~seed ~users ~working_set;
+      | None | Some "stats" ->
+        (* status: one stats line per shard *)
+        net_each_shard cluster (fun i c ->
+            match Net.Client.rpc c Net.Wire.Stats_req with
+            | Ok (Net.Wire.Stats { shard; served; hits; misses; warm_loaded })
+              ->
+              Printf.printf
+                "shard %d: served %d, cache %d hits / %d misses, %d \
+                 warm-loaded\n"
+                shard served hits misses warm_loaded
+            | Ok _ -> net_die "shard %d: unexpected stats reply" i
+            | Error e -> net_die "shard %d stats: %s" i e);
         `Ok ()
-      end
+      | Some "metrics" ->
+        (* live Prometheus scrape: transport + node + service telemetry,
+           no restart, no sidecar *)
+        net_each_shard cluster (fun i c ->
+            match Net.Client.rpc c Net.Wire.Metrics_req with
+            | Ok (Net.Wire.Metrics_dump { shard; text }) ->
+              Printf.printf "# shard %d\n%s" shard text
+            | Ok _ -> net_die "shard %d: unexpected metrics reply" i
+            | Error e -> net_die "shard %d metrics: %s" i e);
+        `Ok ()
+      | Some "health" ->
+        net_each_shard cluster (fun i c ->
+            match Net.Client.rpc c Net.Wire.Health_req with
+            | Ok
+                (Net.Wire.Health
+                  { shard; quiesced; served; inflight; warm_loaded }) ->
+              Printf.printf
+                "shard %d: %s, served %d, inflight %d, warm-loaded %d\n" shard
+                (if quiesced then "draining" else "serving")
+                served inflight warm_loaded
+            | Ok _ -> net_die "shard %d: unexpected health reply" i
+            | Error e -> net_die "shard %d health: %s" i e);
+        `Ok ()
+      | Some "events" ->
+        net_each_shard cluster (fun i c ->
+            match
+              Net.Client.rpc c (Net.Wire.Recent_events_req { max = events_max })
+            with
+            | Ok (Net.Wire.Events { shard; events }) ->
+              Printf.printf "# shard %d: %d events\n" shard
+                (List.length events);
+              List.iter print_endline events
+            | Ok _ -> net_die "shard %d: unexpected events reply" i
+            | Error e -> net_die "shard %d events: %s" i e);
+        `Ok ()
+      | Some op -> `Error (true, Printf.sprintf "unknown operation %S" op))
   in
   let connect_arg =
     Arg.(required & opt (some string) None
@@ -1194,14 +1316,92 @@ let net_client_cmd =
     Arg.(value & opt int 2
          & info [ "working-set" ] ~docv:"N" ~doc:"Kernels per user working set.")
   in
+  let op_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"OP"
+             ~doc:"Ops-plane operation against the live cluster: \
+                   $(b,stats) (cache/served summary, the default), \
+                   $(b,metrics) (full Prometheus text exposition), \
+                   $(b,health) (serving/draining snapshot) or \
+                   $(b,events) (recent flight-recorder events as JSONL).")
+  in
+  let events_max_arg =
+    Arg.(value & opt int 200
+         & info [ "events-max" ] ~docv:"N"
+             ~doc:"Most recent flight-recorder events to fetch per shard \
+                   with $(b,events).")
+  in
   Cmd.v
     (Cmd.info "net-client"
-       ~doc:"Ping a running net-serve cluster and, with $(b,--requests), \
-             drive an open-loop load through it, reporting goodput and \
-             latency percentiles.  Exits 1 if any request is lost or fails.")
+       ~doc:"Ping a running net-serve cluster, then either scrape its ops \
+             plane ($(b,stats), $(b,metrics), $(b,health), $(b,events)) or, \
+             with $(b,--requests), drive an open-loop load through it, \
+             reporting goodput and latency percentiles.  Exits 1 if any \
+             request is lost or fails.")
     Term.(ret
-            (const run $ connect_arg $ requests_arg $ rate_arg $ seed_arg
-             $ users_arg $ ws_arg))
+            (const run $ connect_arg $ op_arg $ requests_arg $ rate_arg
+             $ seed_arg $ users_arg $ ws_arg $ events_max_arg))
+
+(* --- trace-merge: stitch per-process span files into one Chrome trace --- *)
+
+let trace_merge_cmd =
+  let run files out =
+    let read_file path =
+      match open_in_bin path with
+      | exception Sys_error e -> net_die "%s" e
+      | ic ->
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+    in
+    let pid_spans =
+      List.concat_map
+        (fun path ->
+          match Obs.Export.parse_jsonl (read_file path) with
+          | Ok spans -> spans
+          | Error e -> net_die "%s: %s" path e)
+        files
+    in
+    if pid_spans = [] then net_die "no spans in %d input file(s)"
+        (List.length files);
+    (match Obs.Export.orphans pid_spans with
+    | [] -> ()
+    | orphans ->
+      List.iter
+        (fun (pid, parent) ->
+          Printf.eprintf "orphan parent: process %d references span %d\n" pid
+            parent)
+        orphans;
+      net_die "FAILED: %d orphan parent reference(s)" (List.length orphans));
+    let doc = Obs.Export.merge_chrome pid_spans in
+    (match Obs.Export.validate_json doc with
+    | Ok () -> ()
+    | Error e -> net_die "internal: merged trace is not valid JSON: %s" e);
+    Obs.Export.write_file ~path:out doc;
+    let pids =
+      List.sort_uniq compare (List.map fst pid_spans)
+    in
+    Printf.printf "merged %d spans from %d process lanes into %s\n"
+      (List.length pid_spans) (List.length pids) out;
+    `Ok ()
+  in
+  let files_arg =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"SPANS.jsonl"
+             ~doc:"Per-process span files (net-serve $(b,--trace-out)).")
+  in
+  let out_arg =
+    Arg.(value & opt string "trace-merged.json"
+         & info [ "out" ] ~docv:"FILE.json" ~doc:"Merged Chrome trace output.")
+  in
+  Cmd.v
+    (Cmd.info "trace-merge"
+       ~doc:"Stitch the JSONL span files written by each shard process \
+             ($(b,net-serve --trace-out)) into one Chrome trace-event \
+             document with a lane per process, checking parent links and \
+             validating the JSON before writing.  Load the result in \
+             chrome://tracing or Perfetto.")
+    Term.(ret (const run $ files_arg $ out_arg))
 
 let () =
   let doc = "domain-specific FPGA overlay generation (OverGen, MICRO 2022)" in
@@ -1209,5 +1409,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "overgen" ~doc)
           [ list_cmd; show_cmd; generate_cmd; dse_cmd; run_cmd; compile_cmd;
-            trace_validate_cmd; compare_cmd; emit_cmd; verify_cmd;
-            serve_bench_cmd; store_cmd; net_serve_cmd; net_client_cmd ]))
+            trace_validate_cmd; trace_merge_cmd; compare_cmd; emit_cmd;
+            verify_cmd; serve_bench_cmd; store_cmd; net_serve_cmd;
+            net_client_cmd ]))

@@ -3,6 +3,8 @@ module Registry = Overgen_service.Registry
 module Cache = Overgen_service.Cache
 module Store = Overgen_store.Store
 module Metrics = Overgen_obs.Metrics
+module Telemetry = Overgen_service.Telemetry
+module Log = Overgen_obs.Obs.Log
 
 type peer = { host : string; port : int }
 
@@ -65,7 +67,11 @@ type t = {
   m : Mutex.t;
   mutable quiesced_ : bool;
   mutable served_ : int;
+  mutable completed_ : int;
   mutable closed : bool;
+  mutable attached : Metrics.registry list;
+      (* extra registries (the transport server's) folded into the
+         ops-plane Prometheus dump *)
   obs : Metrics.registry;
   g_cache_entries : Metrics.gauge;
   g_served : Metrics.gauge;
@@ -85,6 +91,26 @@ let served t =
   let n = t.served_ in
   Mutex.unlock t.m;
   n
+
+let inflight t =
+  Mutex.lock t.m;
+  let n = t.served_ - t.completed_ in
+  Mutex.unlock t.m;
+  n
+
+let attach_metrics t r =
+  Mutex.lock t.m;
+  t.attached <- r :: t.attached;
+  Mutex.unlock t.m
+
+let registries t =
+  Mutex.lock t.m;
+  let extra = t.attached in
+  Mutex.unlock t.m;
+  (t.obs :: extra) @ [ Telemetry.registry (Service.telemetry t.service) ]
+
+let metrics_text t =
+  String.concat "" (List.map Metrics.render_prometheus (registries t))
 
 let quiesced t =
   Mutex.lock t.m;
@@ -139,7 +165,9 @@ let init ?setup config =
           m = Mutex.create ();
           quiesced_ = false;
           served_ = 0;
+          completed_ = 0;
           closed = false;
+          attached = [];
           obs;
           g_cache_entries =
             Metrics.gauge obs "overgen_net_cache_entries"
@@ -152,7 +180,20 @@ let init ?setup config =
               ~help:"1 while draining, 0 while admitting";
         }
       with
-      | t -> Ok t
+      | t ->
+        (* Store recovery is a pinned flight-recorder milestone: the
+           post-mortem of a kill-and-restart must show what the shard
+           replayed, however much traffic followed. *)
+        if t.store <> None then
+          Log.record ~pin:true Log.default "store_replay"
+            ~attrs:
+              [
+                ("shard", string_of_int config.me);
+                ("warm_loaded", string_of_int (Cache.warm_loaded t.cache));
+                ( "overlays",
+                  string_of_int (List.length (Registry.names t.registry)) );
+              ];
+        Ok t
       | exception e ->
         Option.iter Store.close store;
         Error (Printf.sprintf "Node.init: %s" (Printexc.to_string e)))
@@ -195,8 +236,22 @@ let stats_msg t =
 
 let quiesce t =
   Mutex.lock t.m;
+  let fresh = not t.quiesced_ in
   t.quiesced_ <- true;
-  Mutex.unlock t.m
+  Mutex.unlock t.m;
+  if fresh then
+    Log.record ~pin:true Log.default "quiesce"
+      ~attrs:[ ("shard", string_of_int t.config.me) ]
+
+let health_msg t =
+  Wire.Health
+    {
+      shard = t.config.me;
+      quiesced = quiesced t;
+      served = served t;
+      inflight = inflight t;
+      warm_loaded = Cache.warm_loaded t.cache;
+    }
 
 type action = Done | Async | Forward of { owner : int; req : Wire.request }
 
@@ -212,6 +267,18 @@ let handle_net t (msg : Wire.req_msg) ~respond : action =
   | Wire.Quiesce ->
     quiesce t;
     respond Wire.Bye;
+    Done
+  | Wire.Metrics_req ->
+    respond (Wire.Metrics_dump { shard = t.config.me; text = metrics_text t });
+    Done
+  | Wire.Health_req ->
+    respond (health_msg t);
+    Done
+  | Wire.Recent_events_req { max } ->
+    let events =
+      List.map Log.event_json (Log.recent ~max:(min max 10_000) Log.default)
+    in
+    respond (Wire.Events { shard = t.config.me; events });
     Done
   | Wire.Compile req ->
     let refuse err =
@@ -229,12 +296,26 @@ let handle_net t (msg : Wire.req_msg) ~respond : action =
     if quiesced t then refuse Wire.Shutting_down
     else
       let owner = owner_of t req in
-      if owner <> t.config.me then
-        if t.config.forward then Forward { owner; req }
+      if owner <> t.config.me then begin
+        let record_misroute kind =
+          Log.record ~trace:req.Wire.trace Log.default kind
+            ~attrs:
+              [
+                ("id", string_of_int req.Wire.id);
+                ("shard", string_of_int t.config.me);
+                ("owner", string_of_int owner);
+              ]
+        in
+        if t.config.forward then begin
+          record_misroute "shard_forward";
+          Forward { owner; req }
+        end
         else begin
+          record_misroute "shard_redirect";
           respond (Wire.Redirect { id = req.Wire.id; owner });
           Done
         end
+      end
       else
         let sreq =
           {
@@ -243,18 +324,27 @@ let handle_net t (msg : Wire.req_msg) ~respond : action =
             overlay = req.Wire.overlay;
             kernel = req.Wire.kernel;
             tuned = req.Wire.tuned;
+            trace = req.Wire.trace;
           }
         in
         let k resp =
+          Mutex.lock t.m;
+          t.completed_ <- t.completed_ + 1;
+          Mutex.unlock t.m;
           respond (result_of_response ~shard:t.config.me ~id:req.Wire.id resp)
         in
-        (match Service.submit_k t.service sreq ~k with
-        | Ok () ->
+        (* count admission before submitting: [k] (and its completed_
+           bump) may fire on a worker domain before submit_k returns *)
+        (Mutex.lock t.m;
+         t.served_ <- t.served_ + 1;
+         Mutex.unlock t.m;
+         match Service.submit_k t.service sreq ~k with
+        | Ok () -> Async
+        | Error e ->
           Mutex.lock t.m;
-          t.served_ <- t.served_ + 1;
+          t.served_ <- t.served_ - 1;
           Mutex.unlock t.m;
-          Async
-        | Error e -> refuse (wire_error_of_service e))
+          refuse (wire_error_of_service e))
 
 let handle_timeout t =
   Metrics.set t.g_cache_entries (float_of_int (Cache.stats t.cache).Cache.entries);

@@ -98,6 +98,10 @@ val served : t -> int
 (** Compile requests this node admitted (including ones still in
     flight). *)
 
+val inflight : t -> int
+(** Admitted compiles whose response has not yet been handed to
+    [respond]. *)
+
 val warm_loaded : t -> int
 (** Cache entries replayed from the durable store at [init]. *)
 
@@ -105,3 +109,20 @@ val service : t -> Overgen_service.Service.t
 val registry : t -> Overgen_service.Registry.t
 val cache : t -> Overgen_service.Cache.t
 val metrics : t -> Overgen_obs.Metrics.registry
+
+(** {2 Ops plane} *)
+
+val attach_metrics : t -> Overgen_obs.Metrics.registry -> unit
+(** Fold an extra registry (the transport server's) into this node's
+    {!metrics_text} dump, so one [Metrics_req] scrape covers transport,
+    node and service telemetry. *)
+
+val registries : t -> Overgen_obs.Metrics.registry list
+(** Everything {!metrics_text} renders: the node's own registry, any
+    attached ones, and the service telemetry registry. *)
+
+val metrics_text : t -> string
+(** The full Prometheus text exposition a [Metrics_req] answers with. *)
+
+val health_msg : t -> Wire.resp_msg
+(** The [Health] snapshot a [Health_req] answers with. *)

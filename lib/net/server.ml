@@ -1,5 +1,7 @@
 module Metrics = Overgen_obs.Metrics
 module Fault = Overgen_fault.Fault
+module Obs = Overgen_obs.Obs
+module Log = Overgen_obs.Obs.Log
 
 type conn = {
   cfd : Unix.file_descr;
@@ -22,13 +24,20 @@ type t = {
   c_forwards : Metrics.counter;
   c_redirects : Metrics.counter;
   c_requests : Metrics.counter;
+  c_failures : Metrics.counter;
+  h_request_ms : Metrics.histogram;
+  flight_out : string option;
+  mutable flight_dumped : bool;
+      (* the failure-path dump fires once; the drain dump overwrites it
+         with full history *)
   m : Mutex.t;
   mutable stopping : bool;
   mutable conns : conn list;
   mutable next_id : int;
   (* internal id -> where its response goes; its size is the in-flight
-     count the graceful stop drains *)
-  pending : (int, conn * int) Hashtbl.t;
+     count the graceful stop drains.  Admission time and trace id ride
+     along for the latency histogram and failure-path events. *)
+  pending : (int, conn * int * float * string) Hashtbl.t;
   mutable handlers : Thread.t list;
   (* free peer connections for forwarding, per owner shard *)
   peers : (int, Client.t list ref) Hashtbl.t;
@@ -69,6 +78,27 @@ let send_resp t conn resp =
 (* Translate a response's server-internal id back to the id the client
    chose, then deliver it.  Exactly once per pending entry: the table
    removal under the lock is the once-only gate. *)
+(* A request failed: record it in the flight recorder, and write the
+   first automatic dump if the server was given a dump path — the crash
+   forensics must exist even if the process never drains gracefully. *)
+let note_failure t ~client_id ~trace err =
+  Metrics.incr t.c_failures;
+  Log.record ~level:Log.Warn ~trace Log.default "request_failed"
+    ~attrs:
+      [
+        ("id", string_of_int client_id);
+        ("shard", string_of_int (Node.me t.node_));
+        ("error", Wire.wire_error_to_string err);
+      ];
+  match t.flight_out with
+  | None -> ()
+  | Some path ->
+    Mutex.lock t.m;
+    let first = not t.flight_dumped in
+    t.flight_dumped <- true;
+    Mutex.unlock t.m;
+    if first then try Log.write_dump ~path Log.default with Sys_error _ -> ()
+
 let settle t internal_id resp =
   Mutex.lock t.m;
   let entry = Hashtbl.find_opt t.pending internal_id in
@@ -76,14 +106,22 @@ let settle t internal_id resp =
   Mutex.unlock t.m;
   match entry with
   | None -> ()
-  | Some (conn, client_id) ->
+  | Some (conn, client_id, t_admit, trace) ->
     let resp =
       match resp with
-      | Wire.Result r -> Wire.Result { r with id = client_id }
+      | Wire.Result r ->
+        Metrics.observe t.h_request_ms
+          ((Unix.gettimeofday () -. t_admit) *. 1000.0);
+        (match r.outcome with
+        | Error err -> note_failure t ~client_id ~trace err
+        | Ok _ -> ());
+        Wire.Result { r with id = client_id }
       | Wire.Redirect r ->
         Metrics.incr t.c_redirects;
         Wire.Redirect { r with id = client_id }
-      | (Wire.Pong _ | Wire.Stats _ | Wire.Bye) as r -> r
+      | ( Wire.Pong _ | Wire.Stats _ | Wire.Bye | Wire.Metrics_dump _
+        | Wire.Health _ | Wire.Events _ ) as r ->
+        r
     in
     send_resp t conn resp
 
@@ -156,24 +194,51 @@ let handle_compile t conn (req : Wire.request) =
   | () -> ()
   | exception Fault.Injected _ ->
     Metrics.incr t.c_conn_drops;
+    Log.record ~level:Log.Warn ~trace:req.Wire.trace Log.default "conn_drop"
+      ~attrs:
+        [
+          ("id", string_of_int req.Wire.id);
+          ("shard", string_of_int (Node.me t.node_));
+        ];
     raise Drop_conn);
   let internal_id =
     Mutex.lock t.m;
     let n = t.next_id in
     t.next_id <- n + 1;
-    Hashtbl.add t.pending n (conn, req.Wire.id);
+    Hashtbl.add t.pending n
+      (conn, req.Wire.id, Unix.gettimeofday (), req.Wire.trace);
     Mutex.unlock t.m;
     n
   in
   Metrics.incr t.c_requests;
+  let orig_id = req.Wire.id in
   let req = { req with Wire.id = internal_id } in
-  match
-    Node.handle_net t.node_ (Wire.Compile req) ~respond:(settle t internal_id)
-  with
-  | Node.Done | Node.Async -> ()
-  | Node.Forward { owner; req } ->
-    Metrics.incr t.c_forwards;
-    forward t internal_id owner req
+  (* Re-establish the request's trace context for this hop.  The
+     server_decode span hangs the hop under the client's send span via
+     the remote_parent attribute (span ids are per-process, so the link
+     is an attribute, not a parent pointer). *)
+  Obs.Span.with_trace req.Wire.trace @@ fun () ->
+  let dispatch () =
+    match
+      Node.handle_net t.node_ (Wire.Compile req) ~respond:(settle t internal_id)
+    with
+    | Node.Done | Node.Async -> ()
+    | Node.Forward { owner; req } ->
+      Metrics.incr t.c_forwards;
+      Obs.Span.with_span "forward"
+        ~attrs:[ ("owner", string_of_int owner) ]
+        (fun () -> forward t internal_id owner req)
+  in
+  if req.Wire.trace <> "" && Obs.on () then
+    Obs.Span.with_span "server_decode"
+      ~attrs:
+        [
+          ("id", string_of_int orig_id);
+          ("shard", string_of_int (Node.me t.node_));
+          ("remote_parent", string_of_int req.Wire.parent_span);
+        ]
+      dispatch
+  else dispatch ()
 
 let handle_frame t conn payload =
   Metrics.incr t.c_frames_in;
@@ -183,13 +248,17 @@ let handle_frame t conn payload =
   | () -> ()
   | exception Fault.Injected _ ->
     Metrics.incr t.c_frames_corrupt;
+    Log.record ~level:Log.Warn Log.default "frame_corrupt"
+      ~attrs:[ ("shard", string_of_int (Node.me t.node_)) ];
     raise Drop_conn);
   match Wire.decode_req payload with
   | Error _ ->
     Metrics.incr t.c_frames_corrupt;
     raise Drop_conn
   | Ok (Wire.Compile req) -> handle_compile t conn req
-  | Ok ((Wire.Ping | Wire.Stats_req | Wire.Quiesce) as msg) ->
+  | Ok
+      (( Wire.Ping | Wire.Stats_req | Wire.Quiesce | Wire.Metrics_req
+       | Wire.Health_req | Wire.Recent_events_req _ ) as msg) ->
     (match Node.handle_net t.node_ msg ~respond:(send_resp t conn) with
     | Node.Done -> ()
     | Node.Async | Node.Forward _ -> assert false)
@@ -241,7 +310,13 @@ let acceptor t () =
   in
   loop ()
 
-let start ~node ~fd =
+(* Millisecond-resolution request buckets: client-visible latencies live
+   between ~1 ms (cache hit over loopback) and seconds (cold compiles
+   behind a deep queue). *)
+let request_ms_buckets =
+  [| 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0; 1000.0; 2000.0; 5000.0 |]
+
+let start ?flight_out ~node ~fd () =
   Io.quiet_sigpipe ();
   let port_ =
     match Unix.getsockname fd with
@@ -274,6 +349,14 @@ let start ~node ~fd =
       c_forwards = c "overgen_net_forwards_total" "misdirected compiles forwarded";
       c_redirects = c "overgen_net_redirects_total" "redirect answers sent";
       c_requests = c "overgen_net_requests_total" "compile requests accepted";
+      c_failures =
+        c "overgen_net_requests_failed_total" "compile requests answered with an error";
+      h_request_ms =
+        Metrics.histogram obs "overgen_net_request_ms"
+          ~help:"accept-to-answer latency of compile requests (ms)"
+          ~buckets:request_ms_buckets;
+      flight_out;
+      flight_dumped = false;
       m = Mutex.create ();
       stopping = false;
       conns = [];
@@ -285,13 +368,16 @@ let start ~node ~fd =
       acceptor = None;
     }
   in
+  (* one Metrics_req scrape answers with transport + node + service
+     telemetry: fold this server's registry into the node's dump *)
+  Node.attach_metrics node obs;
   t.acceptor <- Some (Thread.create (acceptor t) ());
   t
 
-let serve ?backlog ~node ~port () =
+let serve ?backlog ?flight_out ~node ~port () =
   match listen ?backlog ~port () with
   | Error _ as e -> e
-  | Ok (fd, _) -> Ok (start ~node ~fd)
+  | Ok (fd, _) -> Ok (start ?flight_out ~node ~fd ())
 
 let wait t = Option.iter Thread.join t.acceptor
 
@@ -307,7 +393,17 @@ let stop ?(drain_timeout_s = 30.0) t =
     (try ignore (Unix.write_substring t.stop_w "x" 0 1) with _ -> ());
     Option.iter Thread.join t.acceptor;
     (* 3. drain: every accepted request's response must reach its socket *)
-    let deadline = Unix.gettimeofday () +. drain_timeout_s in
+    Mutex.lock t.m;
+    let inflight0 = Hashtbl.length t.pending in
+    Mutex.unlock t.m;
+    Log.record ~pin:true Log.default "drain_begin"
+      ~attrs:
+        [
+          ("shard", string_of_int (Node.me t.node_));
+          ("inflight", string_of_int inflight0);
+        ];
+    let t_drain = Unix.gettimeofday () in
+    let deadline = t_drain +. drain_timeout_s in
     let rec drain () =
       Mutex.lock t.m;
       let inflight = Hashtbl.length t.pending in
@@ -317,8 +413,21 @@ let stop ?(drain_timeout_s = 30.0) t =
         Unix.sleepf 0.002;
         drain ()
       end
+      else inflight
     in
-    drain ();
+    let leftover = drain () in
+    Log.record ~pin:true
+      ~level:(if leftover = 0 then Log.Info else Log.Error)
+      Log.default "drain_end"
+      ~attrs:
+        [
+          ("shard", string_of_int (Node.me t.node_));
+          ("drained", string_of_int (inflight0 - leftover));
+          ("leftover", string_of_int leftover);
+          ( "wall_ms",
+            Printf.sprintf "%.1f" ((Unix.gettimeofday () -. t_drain) *. 1000.0)
+          );
+        ];
     (* 4. tear the transport down *)
     Mutex.lock t.m;
     let conns = t.conns in
@@ -330,5 +439,10 @@ let stop ?(drain_timeout_s = 30.0) t =
     drop_peers t;
     (try Unix.close t.lfd with _ -> ());
     (try Unix.close t.stop_r with _ -> ());
-    try Unix.close t.stop_w with _ -> ()
+    (try Unix.close t.stop_w with _ -> ());
+    (* the graceful dump has full history; it overwrites any earlier
+       failure-path dump *)
+    match t.flight_out with
+    | None -> ()
+    | Some path -> ( try Log.write_dump ~path Log.default with Sys_error _ -> ())
   end

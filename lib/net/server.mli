@@ -33,11 +33,20 @@ val listen : ?backlog:int -> port:int -> unit -> (Unix.file_descr * int, string)
     {!start} so a multi-shard process can bind every shard's port before
     any node needs the full cluster configuration. *)
 
-val start : node:Node.t -> fd:Unix.file_descr -> t
+val start : ?flight_out:string -> node:Node.t -> fd:Unix.file_descr -> unit -> t
 (** Start accepting on a socket from {!listen}.  Takes ownership of
-    [fd]. *)
+    [fd] and folds this server's registry into the node's ops-plane
+    metrics dump.  [flight_out] names a JSONL file the flight recorder is
+    dumped to — automatically on the first failed request and again, with
+    full history, on graceful {!stop}. *)
 
-val serve : ?backlog:int -> node:Node.t -> port:int -> unit -> (t, string) result
+val serve :
+  ?backlog:int ->
+  ?flight_out:string ->
+  node:Node.t ->
+  port:int ->
+  unit ->
+  (t, string) result
 (** [listen] + [start]. *)
 
 val port : t -> int
@@ -46,7 +55,10 @@ val metrics : t -> Overgen_obs.Metrics.registry
 (** Per-server registry: [overgen_net_frames_in/out_total],
     [overgen_net_frames_corrupt_total], [overgen_net_conns_total],
     [overgen_net_conn_drops_total], [overgen_net_forwards_total],
-    [overgen_net_redirects_total], [overgen_net_requests_total]. *)
+    [overgen_net_redirects_total], [overgen_net_requests_total],
+    [overgen_net_requests_failed_total], and the
+    [overgen_net_request_ms] accept-to-answer latency histogram
+    (fixed millisecond buckets). *)
 
 val stop : ?drain_timeout_s:float -> t -> unit
 (** Graceful stop as described above; [drain_timeout_s] (default 30)

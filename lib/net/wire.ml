@@ -2,7 +2,11 @@ open Overgen_workload
 module Codec = Overgen_store.Codec
 module Crc32 = Overgen_store.Crc32
 
-let version = 1
+(* v2: trace context (trace id + parent span) in the request envelope and
+   the ops-plane request/response kinds.  The version byte and the schema
+   tags bump together, so a v1 peer rejects at the header and a v1 payload
+   smuggled past the header rejects at the schema check. *)
+let version = 2
 let header_bytes = 12
 let max_payload_bytes = 16 * 1024 * 1024
 let magic0 = 'O'
@@ -76,9 +80,18 @@ type request = {
   overlay : string;
   kernel : Ir.kernel;
   tuned : bool;
+  trace : string;
+  parent_span : int;
 }
 
-type req_msg = Compile of request | Ping | Stats_req | Quiesce
+type req_msg =
+  | Compile of request
+  | Ping
+  | Stats_req
+  | Quiesce
+  | Metrics_req
+  | Health_req
+  | Recent_events_req of { max : int }
 
 type wire_error =
   | Unknown_overlay of string
@@ -118,9 +131,18 @@ type resp_msg =
       warm_loaded : int;
     }
   | Bye
+  | Metrics_dump of { shard : int; text : string }
+  | Health of {
+      shard : int;
+      quiesced : bool;
+      served : int;
+      inflight : int;
+      warm_loaded : int;
+    }
+  | Events of { shard : int; events : string list }
 
-let req_schema = "net-req-v1"
-let resp_schema = "net-resp-v1"
+let req_schema = "net-req-v2"
+let resp_schema = "net-resp-v2"
 let kernel_schema = "net-kernel-v1"
 let schedules_schema = "net-schedules-v1"
 
@@ -156,10 +178,17 @@ let encode_req msg =
     Codec.put_string b r.user;
     Codec.put_string b r.overlay;
     put_bool b r.tuned;
+    Codec.put_string b r.trace;
+    put_id b r.parent_span;
     Codec.put_string b (encode_kernel r.kernel)
   | Ping -> Codec.put_u8 b 1
   | Stats_req -> Codec.put_u8 b 2
-  | Quiesce -> Codec.put_u8 b 3);
+  | Quiesce -> Codec.put_u8 b 3
+  | Metrics_req -> Codec.put_u8 b 4
+  | Health_req -> Codec.put_u8 b 5
+  | Recent_events_req { max } ->
+    Codec.put_u8 b 6;
+    Codec.put_u32 b max);
   Buffer.contents b
 
 let decode_req s =
@@ -174,11 +203,16 @@ let decode_req s =
         let user = Codec.get_string s pos in
         let overlay = Codec.get_string s pos in
         let tuned = get_bool s pos in
+        let trace = Codec.get_string s pos in
+        let parent_span = get_id s pos in
         let kernel = decode_kernel (Codec.get_string s pos) in
-        Compile { id; user; overlay; kernel; tuned }
+        Compile { id; user; overlay; kernel; tuned; trace; parent_span }
       | 1 -> Ping
       | 2 -> Stats_req
       | 3 -> Quiesce
+      | 4 -> Metrics_req
+      | 5 -> Health_req
+      | 6 -> Recent_events_req { max = Codec.get_u32 s pos }
       | n -> fail "unknown request tag %d" n
     in
     if !pos <> String.length s then fail "trailing bytes after request";
@@ -242,7 +276,23 @@ let encode_resp msg =
     put_id b st.hits;
     put_id b st.misses;
     put_id b st.warm_loaded
-  | Bye -> Codec.put_u8 b 4);
+  | Bye -> Codec.put_u8 b 4
+  | Metrics_dump m ->
+    Codec.put_u8 b 5;
+    Codec.put_u32 b m.shard;
+    Codec.put_string b m.text
+  | Health h ->
+    Codec.put_u8 b 6;
+    Codec.put_u32 b h.shard;
+    put_bool b h.quiesced;
+    put_id b h.served;
+    put_id b h.inflight;
+    put_id b h.warm_loaded
+  | Events e ->
+    Codec.put_u8 b 7;
+    Codec.put_u32 b e.shard;
+    Codec.put_u32 b (List.length e.events);
+    List.iter (Codec.put_string b) e.events);
   Buffer.contents b
 
 let decode_resp s =
@@ -290,6 +340,26 @@ let decode_resp s =
         let warm_loaded = get_id s pos in
         Stats { shard; served; hits; misses; warm_loaded }
       | 4 -> Bye
+      | 5 ->
+        let shard = Codec.get_u32 s pos in
+        let text = Codec.get_string s pos in
+        Metrics_dump { shard; text }
+      | 6 ->
+        let shard = Codec.get_u32 s pos in
+        let quiesced = get_bool s pos in
+        let served = get_id s pos in
+        let inflight = get_id s pos in
+        let warm_loaded = get_id s pos in
+        Health { shard; quiesced; served; inflight; warm_loaded }
+      | 7 ->
+        let shard = Codec.get_u32 s pos in
+        let n = Codec.get_u32 s pos in
+        if n > 1_000_000 then fail "events list announces %d entries" n;
+        let events = ref [] in
+        for _ = 1 to n do
+          events := Codec.get_string s pos :: !events
+        done;
+        Events { shard; events = List.rev !events }
       | n -> fail "unknown response tag %d" n
     in
     if !pos <> String.length s then fail "trailing bytes after response";

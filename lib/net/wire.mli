@@ -21,12 +21,18 @@
     counted error on any of them, mirroring the store's scan-on-open
     discipline (damage is detected and contained, not interpreted).
 
-    {b Messages.}  Payloads are schema-tagged ([net-req-v1] /
-    [net-resp-v1]) envelopes whose fields are Codec primitives; the two
+    {b Messages.}  Payloads are schema-tagged ([net-req-v2] /
+    [net-resp-v2]) envelopes whose fields are Codec primitives; the two
     structured blobs — the kernel in a compile request and the schedules
     in a successful response — ride as {!Overgen_store.Codec}
     marshal-encoded, schema-tagged strings, so a format bump of either
-    renames its schema and old peers reject rather than misparse. *)
+    renames its schema and old peers reject rather than misparse.
+
+    v2 added the trace context (trace id + parent span id) to the compile
+    request and the ops-plane kinds ([Metrics_req]/[Health_req]/
+    [Recent_events_req]); the version byte and both envelope schemas
+    bumped together, so v1 frames reject at the header and v1 payloads at
+    the schema check — never a silent misparse of an untraced request. *)
 
 open Overgen_workload
 
@@ -75,6 +81,13 @@ type request = {
   overlay : string;   (** registry name to compile against *)
   kernel : Ir.kernel;
   tuned : bool;
+  trace : string;
+      (** 128-bit distributed-trace id (32 hex chars), carried verbatim
+          across forwards/redirects so one request is one trace; [""]
+          when the client does not trace *)
+  parent_span : int;
+      (** the client-side span the server's spans hang under, recorded as
+          a [remote_parent] attribute (span ids are per-process) *)
 }
 
 type req_msg =
@@ -82,6 +95,10 @@ type req_msg =
   | Ping
   | Stats_req
   | Quiesce  (** ask the node to stop admitting and drain (graceful stop) *)
+  | Metrics_req      (** full Prometheus text exposition of the shard *)
+  | Health_req       (** liveness + load snapshot, cheap enough to poll *)
+  | Recent_events_req of { max : int }
+      (** newest [max] flight-recorder events as JSONL lines *)
 
 (** Request outcome as it travels back; mirrors {!Service.error} plus the
     server-side [Shutting_down] answer new requests get during drain. *)
@@ -118,6 +135,17 @@ type resp_msg =
       warm_loaded : int;  (** cache entries replayed from the durable store *)
     }
   | Bye  (** acknowledges [Quiesce] *)
+  | Metrics_dump of { shard : int; text : string }
+      (** the shard's registries rendered as Prometheus text *)
+  | Health of {
+      shard : int;
+      quiesced : bool;
+      served : int;      (** compile requests admitted since boot *)
+      inflight : int;    (** admitted but not yet answered *)
+      warm_loaded : int; (** cache entries replayed from the store *)
+    }
+  | Events of { shard : int; events : string list }
+      (** flight-recorder events, oldest first, one JSON object each *)
 
 val encode_req : req_msg -> string
 val decode_req : string -> (req_msg, string) result

@@ -1,0 +1,117 @@
+(* Flight recorder: a fixed-size, mutex-protected ring of structured
+   events.  Always on — post-mortems must not depend on somebody having
+   remembered to enable tracing before the crash.  The ring bounds memory;
+   [pin]ned events (store recoveries, drains, panics) live in a small
+   separate list so a flood of routine admissions cannot evict them. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+type event = {
+  seq : int;
+  t_s : float;
+  level : level;
+  trace : string;
+  name : string;
+  attrs : (string * string) list;
+}
+
+type t = {
+  m : Mutex.t;
+  ring : event option array;
+  pin_cap : int;
+  mutable pinned : event list; (* newest first, bounded by pin_cap *)
+  mutable next_seq : int;      (* total events ever recorded *)
+  epoch : float;
+}
+
+let create ?(capacity = 512) () =
+  if capacity < 1 then invalid_arg "Log.create: capacity < 1";
+  {
+    m = Mutex.create ();
+    ring = Array.make capacity None;
+    pin_cap = 64;
+    pinned = [];
+    next_seq = 0;
+    epoch = Unix.gettimeofday ();
+  }
+
+let default = create ~capacity:1024 ()
+
+let record ?(level = Info) ?trace ?(attrs = []) ?(pin = false) t name =
+  let trace = match trace with Some tr -> tr | None -> Span.current_trace () in
+  let now = Unix.gettimeofday () in
+  Mutex.lock t.m;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let ev = { seq; t_s = now -. t.epoch; level; trace; name; attrs } in
+  t.ring.(seq mod Array.length t.ring) <- Some ev;
+  if pin then begin
+    t.pinned <- ev :: t.pinned;
+    if List.length t.pinned > t.pin_cap then
+      t.pinned <- List.filteri (fun i _ -> i < t.pin_cap) t.pinned
+  end;
+  Mutex.unlock t.m
+
+let count t =
+  Mutex.lock t.m;
+  let n = t.next_seq in
+  Mutex.unlock t.m;
+  n
+
+(* Snapshot, oldest first, deduplicated by sequence number: ring events
+   plus any pinned events the ring has since overwritten. *)
+let recent ?max t =
+  Mutex.lock t.m;
+  let ring = Array.to_list t.ring in
+  let pinned = t.pinned in
+  Mutex.unlock t.m;
+  let live = List.filter_map Fun.id ring in
+  let seen = Hashtbl.create 64 in
+  List.iter (fun ev -> Hashtbl.replace seen ev.seq ()) live;
+  let extra = List.filter (fun ev -> not (Hashtbl.mem seen ev.seq)) pinned in
+  let all = List.sort (fun a b -> compare a.seq b.seq) (extra @ live) in
+  match max with
+  | None -> all
+  | Some m when m >= List.length all -> all
+  | Some m ->
+    (* keep the newest [m] *)
+    List.filteri (fun i _ -> i >= List.length all - m) all
+
+let clear t =
+  Mutex.lock t.m;
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.pinned <- [];
+  t.next_seq <- 0;
+  Mutex.unlock t.m
+
+(* ---------- JSON ---------- *)
+
+let event_json ev =
+  let b = Buffer.create 128 in
+  Printf.bprintf b
+    "{\"seq\":%d,\"t_s\":%.6f,\"level\":\"%s\",\"trace\":\"%s\",\"name\":\"%s\",\"attrs\":{"
+    ev.seq ev.t_s (level_to_string ev.level) (Export.escape ev.trace)
+    (Export.escape ev.name);
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "\"%s\":\"%s\"" (Export.escape k) (Export.escape v))
+    ev.attrs;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let dump ?max t =
+  let evs = recent ?max t in
+  String.concat "" (List.map (fun ev -> event_json ev ^ "\n") evs)
+
+let write_dump ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (dump t))

@@ -1,6 +1,7 @@
 module Metrics = Metrics
 module Span = Span
 module Export = Export
+module Log = Log
 
 let enable = Control.enable
 let disable = Control.disable

@@ -20,6 +20,10 @@ module Metrics = Metrics
 module Span = Span
 module Export = Export
 
+module Log = Log
+(** The flight recorder is {e not} gated: {!Log.record} always records,
+    so post-mortems work even with the null backend on. *)
+
 val enable : unit -> unit
 val disable : unit -> unit
 

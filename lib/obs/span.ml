@@ -1,6 +1,7 @@
 type span = {
   id : int;
   parent : int;
+  trace : string;
   name : string;
   attrs : (string * string) list;
   domain : int;
@@ -22,6 +23,7 @@ type dbuf = {
   dom : int;
   mutable stack : frame list;   (* open spans, innermost first *)
   mutable acc : span list;      (* finished spans, newest first *)
+  mutable trace : string;       (* current trace context, "" when none *)
 }
 
 let bufs_m = Mutex.create ()
@@ -29,7 +31,9 @@ let all_bufs : dbuf list ref = ref []
 
 let dls_key =
   Domain.DLS.new_key (fun () ->
-      let b = { dom = (Domain.self () :> int); stack = []; acc = [] } in
+      let b =
+        { dom = (Domain.self () :> int); stack = []; acc = []; trace = "" }
+      in
       Mutex.lock bufs_m;
       all_bufs := b :: !all_bufs;
       Mutex.unlock bufs_m;
@@ -40,6 +44,34 @@ let next_id = Atomic.make 1
 (* Epoch: all start times are relative to it, keeping exported timestamps
    small.  Mutated only by [reset] (quiescent by contract). *)
 let epoch = ref (Unix.gettimeofday ())
+
+(* ---------- trace context ---------- *)
+
+(* Trace ids are 128-bit lowercase-hex strings derived deterministically
+   from an [Rng] stream — never from the wall clock or [Random] — so a
+   replayed run produces the same ids and traces can be diffed. *)
+let fresh_trace rng =
+  let b = Buffer.create 32 in
+  for _ = 1 to 8 do
+    Buffer.add_string b (Printf.sprintf "%04x" (Overgen_util.Rng.int rng 0x10000))
+  done;
+  Buffer.contents b
+
+(* [with_trace] is deliberately NOT gated on [Control]: the flight
+   recorder ({!Log}) tags events with the current trace id even when span
+   recording is off, so request/trace correlation survives in the null
+   backend.  The cost is one DLS read and two field writes per request —
+   not per instrumented site. *)
+let with_trace trace f =
+  if trace = "" then f ()
+  else begin
+    let b = Domain.DLS.get dls_key in
+    let saved = b.trace in
+    b.trace <- trace;
+    Fun.protect ~finally:(fun () -> b.trace <- saved) f
+  end
+
+let current_trace () = (Domain.DLS.get dls_key).trace
 
 let with_span ?(attrs = []) name f =
   if not (Control.on ()) then f ()
@@ -65,6 +97,7 @@ let with_span ?(attrs = []) name f =
           {
             id = fr.fid;
             parent;
+            trace = b.trace;
             name = fr.fname;
             attrs = List.rev fr.fattrs;
             domain = b.dom;

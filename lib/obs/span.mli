@@ -14,12 +14,28 @@
 type span = {
   id : int;             (** unique, process-wide; never 0 *)
   parent : int;         (** enclosing span's id, 0 for a root span *)
+  trace : string;       (** 128-bit trace id as 32 hex chars, "" when none *)
   name : string;
   attrs : (string * string) list;
   domain : int;         (** id of the domain that recorded the span *)
   start_s : float;      (** seconds since the collector epoch ({!reset}) *)
   dur_s : float;
 }
+
+val fresh_trace : Overgen_util.Rng.t -> string
+(** Draw a 128-bit trace id (32 lowercase hex chars) from the stream.
+    Deterministic in the generator state — never wall-clock or [Random] —
+    so replayed runs produce identical ids. *)
+
+val with_trace : string -> (unit -> 'a) -> 'a
+(** Run the thunk with the given trace id as this domain's current trace
+    context; spans recorded inside carry it, and {!Log} events default to
+    it.  [with_trace "" f] is just [f ()].  Unlike {!with_span} this is
+    {e not} gated by {!Control} — trace/event correlation works with the
+    null backend on. *)
+
+val current_trace : unit -> string
+(** This domain's current trace context; [""] when none. *)
 
 val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a span.  The span is recorded even if the thunk

@@ -13,6 +13,7 @@ type request = {
   overlay : string;
   kernel : Ir.kernel;
   tuned : bool;
+  trace : string;
 }
 
 type error =
@@ -120,6 +121,10 @@ let backoff_pause t req attempt =
 let process t ~submitted_at req =
   let t0 = Unix.gettimeofday () in
   Overgen_obs.Metrics.observe t.queue_wait (t0 -. submitted_at);
+  (* Re-establish the request's trace context on the worker domain: the
+     client set it at submission, but this code runs on whichever domain
+     picked the job up. *)
+  Obs.Span.with_trace req.trace @@ fun () ->
   Obs.Span.with_span "request"
     ~attrs:
       [
@@ -174,13 +179,20 @@ let process t ~submitted_at req =
     | v -> v
     | exception e ->
       Telemetry.record_fault t.telemetry_;
+      Obs.Log.record ~level:Obs.Log.Warn Obs.Log.default "fault"
+        ~attrs:[ ("id", string_of_int req.id); ("error", fault_message e) ];
       if Fault.is_transient e then
         if past_deadline (Unix.gettimeofday ()) then begin
           Telemetry.record_deadline t.telemetry_;
+          Obs.Log.record ~level:Obs.Log.Warn Obs.Log.default "deadline_shed"
+            ~attrs:[ ("id", string_of_int req.id) ];
           (Error Deadline_exceeded, false)
         end
         else if n < t.policy.retries then begin
           Telemetry.record_retry t.telemetry_;
+          Obs.Log.record Obs.Log.default "retry"
+            ~attrs:
+              [ ("id", string_of_int req.id); ("attempt", string_of_int n) ];
           backoff_pause t req n;
           attempt (n + 1)
         end
@@ -193,6 +205,8 @@ let process t ~submitted_at req =
     if past_deadline t0 then begin
       (* the whole budget went to queueing: shed without compiling *)
       Telemetry.record_deadline t.telemetry_;
+      Obs.Log.record ~level:Obs.Log.Warn Obs.Log.default "deadline_shed"
+        ~attrs:[ ("id", string_of_int req.id); ("where", "queue") ];
       (Error Deadline_exceeded, false)
     end
     else attempt 0
@@ -230,6 +244,9 @@ let job ?k t ~submitted_at req () =
     with e ->
       Telemetry.record_fault t.telemetry_;
       Telemetry.record t.telemetry_ Telemetry.Failed ~service_s:0.0;
+      Obs.Log.record ~level:Obs.Log.Error ~pin:true ~trace:req.trace
+        Obs.Log.default "worker_panic"
+        ~attrs:[ ("id", string_of_int req.id); ("error", fault_message e) ];
       {
         request = req;
         result = Error (Compile_error (fault_message e));
@@ -278,14 +295,29 @@ let create ?(mode = Deterministic) ?(queue_capacity = 1024) ?(caching = true)
     memo_m = Mutex.create ();
   }
 
+let log_admission req = function
+  | Ok () ->
+    Obs.Log.record ~level:Obs.Log.Debug ~trace:req.trace Obs.Log.default
+      "admitted"
+      ~attrs:[ ("id", string_of_int req.id) ]
+  | Error Queue_full ->
+    Obs.Log.record ~level:Obs.Log.Warn ~trace:req.trace Obs.Log.default
+      "admission_rejected"
+      ~attrs:[ ("id", string_of_int req.id) ]
+  | Error _ -> ()
+
 let submit t req =
   let submitted_at = Unix.gettimeofday () in
-  match Pool.submit t.pool (job t ~submitted_at req) with
-  | Ok () -> Ok ()
-  | Error Pool.Saturated ->
-    Telemetry.record_rejection t.telemetry_;
-    Error Queue_full
-  | Error Pool.Stopped -> Error Shutdown
+  let r =
+    match Pool.submit t.pool (job t ~submitted_at req) with
+    | Ok () -> Ok ()
+    | Error Pool.Saturated ->
+      Telemetry.record_rejection t.telemetry_;
+      Error Queue_full
+    | Error Pool.Stopped -> Error Shutdown
+  in
+  log_admission req r;
+  r
 
 let submit_k t req ~k =
   let submitted_at = Unix.gettimeofday () in
@@ -296,13 +328,17 @@ let submit_k t req ~k =
        execution on the caller's thread. *)
     job ~k t ~submitted_at req ();
     Ok ()
-  | Workers _ -> (
-    match Pool.submit t.pool (job ~k t ~submitted_at req) with
-    | Ok () -> Ok ()
-    | Error Pool.Saturated ->
-      Telemetry.record_rejection t.telemetry_;
-      Error Queue_full
-    | Error Pool.Stopped -> Error Shutdown)
+  | Workers _ ->
+    let r =
+      match Pool.submit t.pool (job ~k t ~submitted_at req) with
+      | Ok () -> Ok ()
+      | Error Pool.Saturated ->
+        Telemetry.record_rejection t.telemetry_;
+        Error Queue_full
+      | Error Pool.Stopped -> Error Shutdown
+    in
+    log_admission req r;
+    r
 
 let by_id a b = compare a.request.id b.request.id
 
@@ -341,6 +377,9 @@ let run t reqs =
             match t.policy.admission_timeout_s with
             | Some limit when waited >= limit ->
               Telemetry.record_shed t.telemetry_;
+              Obs.Log.record ~level:Obs.Log.Warn ~trace:req.trace
+                Obs.Log.default "admission_shed"
+                ~attrs:[ ("id", string_of_int req.id) ];
               give_up Queue_full
             | _ ->
               Unix.sleepf pause;

@@ -44,6 +44,11 @@ type request = {
   overlay : string;   (** registry name to compile against *)
   kernel : Ir.kernel;
   tuned : bool;
+  trace : string;
+      (** distributed-trace id ({!Overgen_obs.Obs.Span.fresh_trace});
+          processing re-establishes it as the worker domain's trace
+          context so spans and flight-recorder events correlate across
+          process hops.  [""] for untraced requests. *)
 }
 
 type error =

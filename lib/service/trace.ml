@@ -23,6 +23,9 @@ let generate s =
     invalid_arg "Trace.generate: overlay with an empty kernel pool";
   if s.users < 1 || s.requests < 0 then invalid_arg "Trace.generate: bad spec";
   let rng = Rng.create s.seed in
+  (* Separate stream for trace ids so adding tracing did not perturb the
+     workload draw sequence existing baselines depend on. *)
+  let trace_rng = Rng.of_string (Printf.sprintf "trace-ids:%d" s.seed) in
   let users =
     Array.init s.users (fun _ ->
         let overlay, pool = Rng.choose rng s.overlays in
@@ -42,6 +45,7 @@ let generate s =
         overlay;
         kernel = Rng.choose_weighted rng weighted;
         tuned = false;
+        trace = Overgen_obs.Obs.Span.fresh_trace trace_rng;
       })
 
 let distinct_keys s =

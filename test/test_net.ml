@@ -98,7 +98,20 @@ let gen_request =
     let* user = string_size ~gen:printable (int_range 0 12) in
     let* overlay = oneofl [ "general"; "dense"; "a b\nc" ] in
     let* tuned = bool in
-    return { Wire.id; user; overlay; kernel = Kernels.find name; tuned })
+    let* trace =
+      oneofl [ ""; "00ff00ff00ff00ff00ff00ff00ff00ff"; "deadbeef" ]
+    in
+    let* parent_span = int_range 0 1_000_000 in
+    return
+      {
+        Wire.id;
+        user;
+        overlay;
+        kernel = Kernels.find name;
+        tuned;
+        trace;
+        parent_span;
+      })
 
 let prop_req_roundtrip =
   QCheck.Test.make ~name:"requests survive encode-frame-deframe-decode"
@@ -118,6 +131,8 @@ let prop_req_roundtrip =
           && r.Wire.user = req.Wire.user
           && r.Wire.overlay = req.Wire.overlay
           && r.Wire.tuned = req.Wire.tuned
+          && r.Wire.trace = req.Wire.trace
+          && r.Wire.parent_span = req.Wire.parent_span
           && Ir.pretty r.Wire.kernel = Ir.pretty req.Wire.kernel
         | Ok _ -> false))
 
@@ -207,11 +222,19 @@ let start_single_shard ?store_path () =
     }
   in
   let node = must_node (Node.init ~setup config) in
-  (Server.start ~node ~fd, node, port)
+  (Server.start ~node ~fd (), node, port)
 
-let compile_req ~id kernel =
+let compile_req ?(trace = "") ~id kernel =
   Wire.Compile
-    { Wire.id; user = "u"; overlay = "general"; kernel; tuned = false }
+    {
+      Wire.id;
+      user = "u";
+      overlay = "general";
+      kernel;
+      tuned = false;
+      trace;
+      parent_span = 0;
+    }
 
 let test_socket_roundtrip () =
   let server, node, port = start_single_shard () in
@@ -292,7 +315,8 @@ let test_two_clients_same_id () =
     let svc = Service.create (Node.registry node) in
     let resps =
       Service.run svc
-        [ { Service.id = 0; user = "r"; overlay = "general"; kernel; tuned = false } ]
+        [ { Service.id = 0; user = "r"; overlay = "general"; kernel;
+            tuned = false; trace = "" } ]
     in
     match resps with
     | [ { Service.result = Ok schedules; _ } ] -> digest schedules
@@ -322,6 +346,8 @@ let test_serve_under_faults () =
              overlay = r.overlay;
              kernel = r.kernel;
              tuned = r.tuned;
+             trace = "";
+             parent_span = 0;
            })
     |> Array.of_list
   in
@@ -341,6 +367,7 @@ let test_serve_under_faults () =
             requests;
             rate = 600.0;
             timeout_s = 60.0;
+            misroute_every = None;
           })
   in
   Alcotest.(check int) "every request answered exactly once" 150
@@ -384,6 +411,8 @@ let test_reboot_replays_store () =
              overlay = r.overlay;
              kernel = r.kernel;
              tuned = r.tuned;
+             trace = "";
+             parent_span = 0;
            })
   in
   let drive node =
@@ -437,6 +466,141 @@ let test_reboot_replays_store () =
   Node.shutdown node2;
   Sys.remove store_path
 
+(* ---------------- trace context through forward/redirect ------------- *)
+
+let two_shard_config ~forward =
+  {
+    (Node.default_config
+       ~cluster:
+         [|
+           { Node.host = "127.0.0.1"; port = 0 };
+           { Node.host = "127.0.0.1"; port = 0 };
+         |]
+       ~me:0)
+    with
+    forward;
+  }
+
+(* A misrouted compile must leave shard 0 with its trace context intact:
+   forwarded verbatim under [forward = true], answered [Redirect] (the
+   client re-sends, keeping its own context) under [forward = false]. *)
+let test_forward_preserves_trace () =
+  let node = must_node (Node.init ~setup (two_shard_config ~forward:true)) in
+  let mk kernel =
+    {
+      Wire.id = 1;
+      user = "u";
+      overlay = "general";
+      kernel;
+      tuned = false;
+      trace = "00ff00ff00ff00ff00ff00ff00ff00ff";
+      parent_span = 42;
+    }
+  in
+  let req =
+    match
+      List.find_opt (fun k -> Node.owner_of node (mk k) = 1) Kernels.all
+    with
+    | Some k -> mk k
+    | None -> Alcotest.fail "no kernel hashes to shard 1"
+  in
+  (match
+     Node.handle_net node (Wire.Compile req) ~respond:(fun _ ->
+         Alcotest.fail "forwarding node answered locally")
+   with
+  | Node.Forward { owner = 1; req = r } ->
+    Alcotest.(check string) "trace id survives the forward" req.Wire.trace
+      r.Wire.trace;
+    Alcotest.(check int) "parent span survives the forward"
+      req.Wire.parent_span r.Wire.parent_span
+  | Node.Forward { owner; _ } -> Alcotest.failf "forwarded to shard %d" owner
+  | Node.Done | Node.Async -> Alcotest.fail "misrouted request not forwarded");
+  Node.shutdown node;
+  let node = must_node (Node.init ~setup (two_shard_config ~forward:false)) in
+  let got = ref None in
+  (match Node.handle_net node (Wire.Compile req) ~respond:(fun r -> got := Some r) with
+  | Node.Done -> ()
+  | Node.Async | Node.Forward _ ->
+    Alcotest.fail "redirecting node did not answer synchronously");
+  (match !got with
+  | Some (Wire.Redirect { id = 1; owner = 1 }) -> ()
+  | _ -> Alcotest.fail "expected a Redirect to shard 1");
+  Node.shutdown node
+
+(* ---------------- previous-generation payloads ---------------- *)
+
+(* The envelope schema tags are part of the payload: a frame whose
+   payload announces the previous schema generation must be refused by
+   the decoder (the frame-level version byte is covered separately in
+   {!test_version_and_corruption_rejected}). *)
+let test_old_schema_payload_rejected () =
+  let patch_schema ~tag payload =
+    let lt = String.length tag in
+    let rec find i =
+      if i + lt > String.length payload then
+        Alcotest.failf "schema tag %s not found in payload" tag
+      else if String.sub payload i lt = tag then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    let b = Bytes.of_string payload in
+    (* "...-v2" -> "...-v1": same length, so the length prefix still
+       matches and only the schema comparison can reject it *)
+    Bytes.set b (i + lt - 1) '1';
+    Bytes.to_string b
+  in
+  let req_payload = Wire.encode_req (compile_req ~id:3 (List.hd Kernels.all)) in
+  (match Wire.decode_req (patch_schema ~tag:"net-req-v2" req_payload) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "v1 request schema accepted");
+  match Wire.decode_resp (patch_schema ~tag:"net-resp-v2" (Wire.encode_resp Wire.Bye)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "v1 response schema accepted"
+
+(* ---------------- cross-process trace merge ---------------- *)
+
+module Obs = Overgen_obs.Obs
+
+(* Two process lanes (a client and a shard) sharing one trace id must
+   stitch into a single valid Chrome trace with no orphan parents. *)
+let test_merged_trace_validates () =
+  Obs.enable ();
+  Obs.Span.reset ();
+  Fun.protect ~finally:(fun () ->
+      Obs.disable ();
+      Obs.Span.reset ())
+  @@ fun () ->
+  let rng = Overgen_util.Rng.of_string "test-net-merge" in
+  let trace = Obs.Span.fresh_trace rng in
+  Obs.Span.with_trace trace (fun () ->
+      Obs.Span.with_span "client_send" ~attrs:[ ("id", "0") ] (fun () -> ()));
+  let client_lane = Obs.Export.to_jsonl ~pid:100 (Obs.Span.spans ()) in
+  Obs.Span.reset ();
+  Obs.Span.with_trace trace (fun () ->
+      Obs.Span.with_span "dispatch" (fun () ->
+          Obs.Span.with_span "service_process" (fun () -> ())));
+  let shard_lane = Obs.Export.to_jsonl ~pid:0 (Obs.Span.spans ()) in
+  let lane text =
+    match Obs.Export.parse_jsonl text with
+    | Ok spans -> spans
+    | Error e -> Alcotest.failf "parse_jsonl: %s" e
+  in
+  let all = lane client_lane @ lane shard_lane in
+  Alcotest.(check int) "three spans across two lanes" 3 (List.length all);
+  Alcotest.(check (list (pair int int)))
+    "no orphan parents" [] (Obs.Export.orphans all);
+  List.iter
+    (fun ((_, s) : int * Obs.Span.span) ->
+      Alcotest.(check string) "every span carries the trace id" trace
+        s.Obs.Span.trace)
+    all;
+  let merged =
+    Obs.Export.merge_chrome ~names:[ (100, "client"); (0, "shard-0") ] all
+  in
+  match Obs.Export.validate_json merged with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "merged trace invalid: %s" e
+
 let tests =
   [
     ("frame round-trip", `Quick, test_frame_roundtrip);
@@ -451,4 +615,7 @@ let tests =
     ("two clients share id 0", `Quick, test_two_clients_same_id);
     ("exactly-once under faults", `Quick, test_serve_under_faults);
     ("kill-and-restart replays store", `Quick, test_reboot_replays_store);
+    ("forward/redirect preserve trace context", `Quick, test_forward_preserves_trace);
+    ("previous-generation schemas rejected", `Quick, test_old_schema_payload_rejected);
+    ("merged two-lane trace validates", `Quick, test_merged_trace_validates);
   ]

@@ -6,6 +6,8 @@ module Obs = Overgen_obs.Obs
 module Metrics = Overgen_obs.Metrics
 module Span = Overgen_obs.Span
 module Export = Overgen_obs.Export
+module Log = Overgen_obs.Log
+module Rng = Overgen_util.Rng
 
 (* Every test leaves the global gate off and the span buffers empty, so
    tests cannot contaminate each other (alcotest runs them in order). *)
@@ -212,6 +214,158 @@ let test_validate_json_rejects () =
         (Result.is_ok (Export.validate_json good)))
     [ "{}"; "[]"; "null"; "-1.5e3"; "{\"a\":[1,{\"b\":\"\\u00e9\"}]}" ]
 
+(* --- trace context --- *)
+
+let test_trace_context () =
+  (* with_trace works with the gate off — correlation must not depend on
+     span recording being enabled *)
+  Obs.disable ();
+  Alcotest.(check string) "no ambient trace" "" (Span.current_trace ());
+  let seen = ref [] in
+  Span.with_trace "aaaa" (fun () ->
+      seen := Span.current_trace () :: !seen;
+      Span.with_trace "bbbb" (fun () -> seen := Span.current_trace () :: !seen);
+      (* inner scope restored the outer context *)
+      seen := Span.current_trace () :: !seen);
+  Alcotest.(check (list string))
+    "nesting restores the outer context" [ "aaaa"; "bbbb"; "aaaa" ]
+    (List.rev !seen);
+  Alcotest.(check string) "context cleared at exit" "" (Span.current_trace ());
+  (* restored even when the thunk raises *)
+  (try Span.with_trace "cccc" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check string) "restored on raise" "" (Span.current_trace ());
+  (* empty id is transparent *)
+  Span.with_trace "dddd" (fun () ->
+      Span.with_trace "" (fun () ->
+          Alcotest.(check string) "with_trace \"\" keeps the context" "dddd"
+            (Span.current_trace ())));
+  (* spans recorded inside the scope carry the trace id *)
+  with_recording (fun () ->
+      Span.with_trace "eeee" (fun () -> Span.with_span "in" (fun () -> ()));
+      Span.with_span "out" (fun () -> ());
+      let find name = List.find (fun (s : Span.span) -> s.name = name) (Span.spans ()) in
+      Alcotest.(check string) "span inherits trace" "eeee" (find "in").trace;
+      Alcotest.(check string) "span outside has none" "" (find "out").trace)
+
+let test_fresh_trace_deterministic () =
+  let draw () =
+    let rng = Rng.of_string "trace-id-stream" in
+    List.init 5 (fun _ -> Span.fresh_trace rng)
+  in
+  let a = draw () and b = draw () in
+  Alcotest.(check (list string)) "same stream, same ids" a b;
+  List.iter
+    (fun id ->
+      Alcotest.(check int) "32 hex chars" 32 (String.length id);
+      String.iter
+        (fun c ->
+          if not ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) then
+            Alcotest.failf "non-hex char %c in trace id %s" c id)
+        id)
+    a;
+  Alcotest.(check bool) "successive draws differ" true
+    (List.length (List.sort_uniq compare a) = List.length a)
+
+(* --- flight recorder --- *)
+
+let test_log_ring_and_pins () =
+  let t = Log.create ~capacity:8 () in
+  Alcotest.(check int) "fresh recorder empty" 0 (Log.count t);
+  (* a pinned milestone, then a flood that evicts the whole ring *)
+  Log.record ~pin:true ~attrs:[ ("shard", "1") ] t "store_replay";
+  for i = 1 to 100 do
+    Log.record ~level:Log.Debug t (Printf.sprintf "bulk-%d" i)
+  done;
+  Alcotest.(check int) "count survives eviction" 101 (Log.count t);
+  let events = Log.recent t in
+  (* ring of 8 plus the pinned event the flood overwrote *)
+  Alcotest.(check int) "ring + pin" 9 (List.length events);
+  let first = List.hd events in
+  Alcotest.(check string) "pinned event survived the flood" "store_replay"
+    first.Log.name;
+  Alcotest.(check int) "pinned event keeps its seq" 0 first.Log.seq;
+  Alcotest.(check (list (pair string string)))
+    "attrs preserved" [ ("shard", "1") ] first.Log.attrs;
+  (* oldest-first total order by seq, no duplicates *)
+  let seqs = List.map (fun (e : Log.event) -> e.Log.seq) events in
+  Alcotest.(check (list int)) "sorted, deduplicated" (List.sort_uniq compare seqs) seqs;
+  (* max keeps the newest *)
+  (match Log.recent ~max:2 t with
+  | [ a; b ] ->
+    Alcotest.(check string) "newest kept" "bulk-100" b.Log.name;
+    Alcotest.(check string) "second newest" "bulk-99" a.Log.name
+  | l -> Alcotest.failf "recent ~max:2 returned %d events" (List.length l));
+  (* events recorded inside a trace scope carry it *)
+  Span.with_trace "ffff" (fun () -> Log.record t "traced");
+  (match List.rev (Log.recent t) with
+  | e :: _ -> Alcotest.(check string) "event inherits trace" "ffff" e.Log.trace
+  | [] -> Alcotest.fail "no events");
+  (* every event line is valid JSON, and so is the dump's each line *)
+  List.iter
+    (fun e ->
+      match Export.validate_json (Log.event_json e) with
+      | Ok () -> ()
+      | Error err -> Alcotest.failf "event_json invalid: %s" err)
+    (Log.recent t);
+  Log.clear t;
+  Alcotest.(check int) "clear empties" 0 (List.length (Log.recent t));
+  Alcotest.(check int) "clear resets count" 0 (Log.count t)
+
+let test_log_concurrent () =
+  let t = Log.create ~capacity:256 () in
+  let domains = 4 and per_domain = 5_000 in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Log.record t (Printf.sprintf "d%d-%d" d i)
+            done))
+  in
+  List.iter Domain.join workers;
+  Alcotest.(check int) "no lost events" (domains * per_domain) (Log.count t);
+  let events = Log.recent t in
+  Alcotest.(check int) "ring full" 256 (List.length events);
+  let seqs = List.map (fun (e : Log.event) -> e.Log.seq) events in
+  Alcotest.(check (list int)) "seqs unique and ordered"
+    (List.sort_uniq compare seqs) seqs
+
+(* --- JSONL parse-back --- *)
+
+let test_jsonl_roundtrip_and_orphans () =
+  with_recording @@ fun () ->
+  Span.with_trace "00ff00ff00ff00ff00ff00ff00ff00ff" (fun () ->
+      Span.with_span "outer" ~attrs:[ ("k", "v\"w") ] (fun () ->
+          Span.with_span "inner" (fun () -> ())));
+  let spans = Span.spans () in
+  let parsed =
+    match Export.parse_jsonl (Export.to_jsonl ~pid:7 spans) with
+    | Ok l -> l
+    | Error e -> Alcotest.failf "parse_jsonl: %s" e
+  in
+  Alcotest.(check int) "all lines back" (List.length spans) (List.length parsed);
+  List.iter2
+    (fun (orig : Span.span) ((pid, back) : int * Span.span) ->
+      Alcotest.(check int) "pid carried" 7 pid;
+      Alcotest.(check int) "id" orig.id back.id;
+      Alcotest.(check int) "parent" orig.parent back.parent;
+      Alcotest.(check string) "trace" orig.trace back.trace;
+      Alcotest.(check string) "name" orig.name back.name;
+      Alcotest.(check (list (pair string string))) "attrs" orig.attrs back.attrs)
+    spans parsed;
+  Alcotest.(check (list (pair int int)))
+    "well-formed lanes have no orphans" [] (Export.orphans parsed);
+  (* a span whose parent was never recorded (a lost process, a SIGKILL)
+     is reported per pid; the same ids under another pid are unrelated *)
+  let inner = List.find (fun (s : Span.span) -> s.name = "inner") spans in
+  let cut = List.filter (fun ((_, s) : int * Span.span) -> s.id = inner.id) parsed in
+  Alcotest.(check (list (pair int int)))
+    "missing parent detected" [ (7, inner.parent) ] (Export.orphans cut);
+  let other_lane = List.map (fun ((_, s) : int * Span.span) -> (8, s)) parsed in
+  Alcotest.(check (list (pair int int)))
+    "ids are per-process: another pid's copy cannot adopt the orphan"
+    [ (7, inner.parent) ]
+    (Export.orphans (cut @ other_lane))
+
 (* --- the null backend --- *)
 
 let test_null_backend () =
@@ -248,5 +402,13 @@ let tests =
     Alcotest.test_case "span multi-domain merge" `Quick test_span_multi_domain;
     Alcotest.test_case "chrome + jsonl export" `Quick test_chrome_export;
     Alcotest.test_case "json validator" `Quick test_validate_json_rejects;
+    Alcotest.test_case "trace context" `Quick test_trace_context;
+    Alcotest.test_case "fresh_trace deterministic" `Quick
+      test_fresh_trace_deterministic;
+    Alcotest.test_case "flight recorder ring + pins" `Quick
+      test_log_ring_and_pins;
+    Alcotest.test_case "flight recorder concurrency" `Quick test_log_concurrent;
+    Alcotest.test_case "jsonl parse-back + orphans" `Quick
+      test_jsonl_roundtrip_and_orphans;
     Alcotest.test_case "null backend" `Quick test_null_backend;
   ]

@@ -347,7 +347,7 @@ let test_retry_recovers () =
   let svc = Service.create ~caching:true registry in
   let req =
     { Service.id = 0; user = "u"; overlay = "general";
-      kernel = Kernels.find "fir"; tuned = false }
+      kernel = Kernels.find "fir"; tuned = false; trace = "" }
   in
   let responses = Fault.with_faults cfg (fun () -> Service.run svc [ req ]) in
   (match responses with
@@ -376,7 +376,7 @@ let test_deadline_shedding () =
   let reqs =
     List.init 5 (fun id ->
         { Service.id; user = "u"; overlay = "general";
-          kernel = Kernels.find "fir"; tuned = false })
+          kernel = Kernels.find "fir"; tuned = false; trace = "" })
   in
   List.iter
     (fun r ->
@@ -411,7 +411,7 @@ let test_backpressure () =
   let svc = Service.create ~queue_capacity:4 registry in
   let req id =
     { Service.id; user = "u"; overlay = "general";
-      kernel = Kernels.find "fir"; tuned = false }
+      kernel = Kernels.find "fir"; tuned = false; trace = "" }
   in
   let accepted, rejected =
     List.fold_left
@@ -435,7 +435,7 @@ let test_unknown_overlay () =
   let svc = Service.create registry in
   let r =
     { Service.id = 0; user = "u"; overlay = "missing";
-      kernel = Kernels.find "fir"; tuned = false }
+      kernel = Kernels.find "fir"; tuned = false; trace = "" }
   in
   (match Service.submit svc r with Ok () -> () | Error _ -> Alcotest.fail "admit");
   match Service.drain svc with
