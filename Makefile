@@ -1,4 +1,4 @@
-.PHONY: all build test bench check check-obs check-fault check-store check-net check-trace check-regress bench-baseline clean
+.PHONY: all build test bench check check-obs check-fault check-store check-net check-trace check-frontend check-regress bench-baseline clean
 
 all: build
 
@@ -41,6 +41,14 @@ check-net:
 # then trace-merge + trace-validate on the emitted span lane.
 check-trace:
 	dune build @trace-smoke
+
+# Frontend smoke: round-trip the whole suite through emit → parse with
+# bit-identical compiled schedules, fuzz the parse→schedule→sim pipeline
+# with seeded random kernels under fault injection (fails on any escaped
+# exception or round-trip violation), and check a corpus crasher is
+# rejected with a located error.
+check-frontend:
+	dune build @frontend-smoke
 
 # Perf regression gate: re-run all seven bench scenarios at smoke scale
 # and diff the emitted BENCH_*.json against the baselines committed in

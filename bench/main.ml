@@ -45,6 +45,8 @@ let scenarios =
     sc "micro" "bechamel micro-benchmarks of the hot paths"
       (fun _ -> Micro.run ());
     sc "net" "sharded network tier under open-loop socket load" Net_bench.run;
+    sc "frontend" "source frontend parse throughput + fuzz pipeline"
+      (fun _ -> Frontend_bench.run ());
   ]
 
 (* Reachable by name but excluded from the no-argument full run:

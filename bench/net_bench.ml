@@ -301,7 +301,10 @@ let run extra =
                 Wire.id = r.id;
                 user = r.user;
                 overlay = r.overlay;
-                kernel = r.kernel;
+                payload =
+                  (match r.payload with
+                  | Service.Kernel k -> Wire.Kernel k
+                  | Service.Source src -> Wire.Source src);
                 tuned = r.tuned;
                 trace = Obs.Span.fresh_trace trace_rng;
                 parent_span = 0;
@@ -386,7 +389,7 @@ let run extra =
      let map = Shard_map.Default.make ~vnodes:Shard_map.default_vnodes ~shards () in
      let owner_of (r : Wire.request) =
        Shard_map.Default.owner map
-         (Wire.route_key ~overlay:r.overlay ~kernel:r.kernel ~tuned:r.tuned)
+         (Wire.route_key ~overlay:r.overlay ~payload:r.payload ~tuned:r.tuned)
      in
      let owned0 = ref 0 and mis_to0 = ref 0 in
      Array.iteri

@@ -151,7 +151,10 @@ let run () =
              Net.Wire.id = r.id;
              user = r.user;
              overlay = r.overlay;
-             kernel = r.kernel;
+             payload =
+               (match r.payload with
+               | Service.Kernel k -> Net.Wire.Kernel k
+               | Service.Source src -> Net.Wire.Source src);
              tuned = r.tuned;
              trace = "";
              parent_span = 0;

@@ -79,22 +79,46 @@ let with_obs ?(registries = fun () -> []) ~trace_out ~metrics_out f =
     Printf.printf "metrics written to %s\n" path);
   r
 
+(* A target ending in .c is a source file for the pragma'd-C frontend;
+   anything else is a built-in workload or suite name. *)
+let parse_source_file path =
+  let src =
+    match open_in_bin path with
+    | exception Sys_error e ->
+      Printf.eprintf "%s\n" e;
+      exit 1
+    | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+  in
+  match Overgen_frontend.Frontend.parse src with
+  | Ok k -> k
+  | Error e ->
+    Printf.eprintf "%s:%s\n" path (Overgen_frontend.Frontend.error_to_string e);
+    exit 1
+
 let resolve_targets names =
   List.concat_map
     (fun name ->
-      match List.find_opt (fun s -> Suite.to_string s = name) Suite.all with
-      | Some suite -> Kernels.of_suite suite
-      | None -> (
-        try [ Kernels.find name ]
-        with Not_found ->
-          Printf.eprintf "unknown workload or suite: %s\n" name;
-          exit 1))
+      if Filename.check_suffix name ".c" then [ parse_source_file name ]
+      else
+        match List.find_opt (fun s -> Suite.to_string s = name) Suite.all with
+        | Some suite -> Kernels.of_suite suite
+        | None -> (
+          try [ Kernels.find name ]
+          with Not_found ->
+            Printf.eprintf "unknown workload or suite: %s\n" name;
+            exit 1))
     names
 
 let targets_arg =
   Arg.(
     non_empty & pos_all string []
-    & info [] ~docv:"TARGET" ~doc:"Workload names or suite names (dsp, machsuite, vision).")
+    & info [] ~docv:"TARGET"
+        ~doc:
+          "Workload names, suite names (dsp, machsuite, vision), or .c \
+           source files in the pragma'd kernel dialect.")
 
 let iterations_arg =
   Arg.(
@@ -475,6 +499,84 @@ let compile_cmd =
              spatial mapping, perf model) are recorded as nested spans.")
     Term.(const run $ iterations_arg $ seed_arg $ tuned_arg $ design_arg
           $ trace_out_arg $ metrics_out_arg $ targets_arg)
+
+(* --- emit-c --- *)
+
+let emit_c_cmd =
+  let run tuned out names =
+    let kernels = resolve_targets names in
+    match out with
+    | None ->
+      List.iter (fun k -> print_string (C_source.emit ~tuned k)) kernels
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iter
+        (fun (k : Ir.kernel) ->
+          let path = Filename.concat dir (C_source.fn_name k ^ ".c") in
+          let oc = open_out_bin path in
+          output_string oc (C_source.emit ~tuned k);
+          close_out oc;
+          Printf.printf "wrote %s\n" path)
+        kernels
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Write one <kernel>.c per workload instead of printing.")
+  in
+  Cmd.v
+    (Cmd.info "emit-c"
+       ~doc:"Emit a workload as the pragma'd C dialect the frontend parses \
+             back (the golden sources under test/frontend-golden are this \
+             command's output).")
+    Term.(const run $ tuned_arg $ out_arg $ targets_arg)
+
+(* --- frontend-fuzz --- *)
+
+let frontend_fuzz_cmd =
+  let module Fuzz = Overgen_frontend.Fuzz in
+  let run seeds seed faults =
+    (match Fuzz.round_trip_suite () with
+    | [] ->
+      Printf.printf "round-trip: all %d suite kernels parse back structurally \
+                     equal with bit-identical compiled hashes\n"
+        (List.length Kernels.all)
+    | problems ->
+      List.iter
+        (fun (k, what) -> Printf.eprintf "round-trip %s: %s\n" k what)
+        problems;
+      Printf.eprintf "FAILED: %d suite kernel(s) do not round-trip\n"
+        (List.length problems);
+      exit 1);
+    let s = Fuzz.run ~seeds ~seed ~fault_rate:faults () in
+    print_string (Fuzz.summary_to_string s);
+    if not (Fuzz.ok s) then begin
+      Printf.eprintf "FAILED: %d violation(s), %d escaped exception(s)\n"
+        s.Fuzz.violations s.Fuzz.escaped;
+      exit 1
+    end
+  in
+  let seeds_arg =
+    Arg.(value & opt int 1000
+         & info [ "seeds" ] ~docv:"N" ~doc:"Independent fuzz seeds to run.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed of the fuzz streams.")
+  in
+  let faults_arg =
+    Arg.(value & opt float 0.0
+         & info [ "faults" ] ~docv:"RATE"
+             ~doc:"Arm the compile/scheduler fault points at this per-visit \
+                   injection rate.")
+  in
+  Cmd.v
+    (Cmd.info "frontend-fuzz"
+       ~doc:"Round-trip the built-in suite through emit/parse, then fuzz \
+             the full pipeline (generate, emit, parse, compile, schedule, \
+             simulate) with seeded random kernels; any escaped exception \
+             or round-trip mismatch fails the run.")
+    Term.(const run $ seeds_arg $ seed_arg $ faults_arg)
 
 (* --- trace-validate --- *)
 
@@ -913,7 +1015,10 @@ let net_requests ?(traced = false) ~seed ~requests ~users ~working_set () =
              Net.Wire.id = r.id;
              user = r.user;
              overlay = r.overlay;
-             kernel = r.kernel;
+             payload =
+               (match r.payload with
+               | Service.Kernel k -> Net.Wire.Kernel k
+               | Service.Source src -> Net.Wire.Source src);
              tuned = r.tuned;
              trace = (if traced then Obs.Span.fresh_trace trace_rng else "");
              parent_span = 0;
@@ -1220,8 +1325,61 @@ let net_each_shard cluster f =
         Net.Client.close c)
     cluster
 
+(* Submit one pragma'd C source file to a live cluster: the first shard
+   either owns the request's route key or forwards/redirects it, so any
+   entry point works.  One redirect hop is followed; a second means the
+   cluster's shard maps disagree, which is fatal. *)
+let net_submit_source ~cluster ~overlay ~tuned path =
+  let src =
+    try
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with Sys_error e -> net_die "%s" e
+  in
+  let req =
+    Net.Wire.Compile
+      {
+        Net.Wire.id = 0;
+        user = "cli";
+        overlay;
+        payload = Net.Wire.Source src;
+        tuned;
+        trace = "";
+        parent_span = 0;
+      }
+  in
+  let rpc shard =
+    let peer = cluster.(shard) in
+    match Net.Client.connect ~host:peer.Net.Node.host ~port:peer.Net.Node.port with
+    | Error e -> net_die "shard %d connect: %s" shard e
+    | Ok c ->
+      let r = Net.Client.rpc c req in
+      Net.Client.close c;
+      (match r with
+      | Ok resp -> resp
+      | Error e -> net_die "shard %d rpc: %s" shard e)
+  in
+  let report = function
+    | Net.Wire.Result { outcome = Ok schedules; cache_hit; shard; _ } ->
+      Printf.printf "%s: compiled on shard %d, %d region schedules%s\n" path
+        shard (List.length schedules)
+        (if cache_hit then " (cache hit)" else "")
+    | Net.Wire.Result { outcome = Error e; _ } ->
+      net_die "%s: %s" path (Net.Wire.wire_error_to_string e)
+    | _ -> net_die "unexpected reply to compile"
+  in
+  match rpc 0 with
+  | Net.Wire.Redirect { owner; _ } -> (
+    match rpc owner with
+    | Net.Wire.Redirect _ -> net_die "shard %d redirected a second time" owner
+    | resp -> report resp)
+  | resp -> report resp
+
 let net_client_cmd =
-  let run connect op requests rate seed users working_set events_max =
+  let run connect op requests rate seed users working_set events_max submit
+      overlay tuned =
     match Net.Node.parse_cluster connect with
     | Error e -> `Error (false, e)
     | Ok cluster ->
@@ -1239,6 +1397,11 @@ let net_client_cmd =
           | Ok _ -> net_die "shard %d: unexpected ping reply" i
           | Error e -> net_die "shard %d ping: %s" i e);
       (match op with
+      | None when submit <> None ->
+        (match submit with
+        | Some path -> net_submit_source ~cluster ~overlay ~tuned path
+        | None -> assert false);
+        `Ok ()
       | None when requests > 0 ->
         net_load ~cluster ~requests ~rate ~seed ~users ~working_set ();
         `Ok ()
@@ -1331,16 +1494,30 @@ let net_client_cmd =
              ~doc:"Most recent flight-recorder events to fetch per shard \
                    with $(b,events).")
   in
+  let submit_arg =
+    Arg.(value & opt (some file) None
+         & info [ "submit" ] ~docv:"FILE.C"
+             ~doc:"Submit one pragma'd C source file as a compile request; \
+                   the owning shard parses it with the frontend and answers \
+                   with its schedules (or a located source error).")
+  in
+  let overlay_arg =
+    Arg.(value & opt string "general"
+         & info [ "overlay" ] ~docv:"NAME"
+             ~doc:"Overlay to compile $(b,--submit) sources against.")
+  in
   Cmd.v
     (Cmd.info "net-client"
-       ~doc:"Ping a running net-serve cluster, then either scrape its ops \
-             plane ($(b,stats), $(b,metrics), $(b,health), $(b,events)) or, \
-             with $(b,--requests), drive an open-loop load through it, \
-             reporting goodput and latency percentiles.  Exits 1 if any \
-             request is lost or fails.")
+       ~doc:"Ping a running net-serve cluster, then scrape its ops plane \
+             ($(b,stats), $(b,metrics), $(b,health), $(b,events)), submit a \
+             pragma'd C source file ($(b,--submit)), or, with \
+             $(b,--requests), drive an open-loop load through it, reporting \
+             goodput and latency percentiles.  Exits 1 if any request is \
+             lost or fails.")
     Term.(ret
             (const run $ connect_arg $ op_arg $ requests_arg $ rate_arg
-             $ seed_arg $ users_arg $ ws_arg $ events_max_arg))
+             $ seed_arg $ users_arg $ ws_arg $ events_max_arg $ submit_arg
+             $ overlay_arg $ tuned_arg))
 
 (* --- trace-merge: stitch per-process span files into one Chrome trace --- *)
 
@@ -1409,6 +1586,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "overgen" ~doc)
           [ list_cmd; show_cmd; generate_cmd; dse_cmd; run_cmd; compile_cmd;
-            trace_validate_cmd; trace_merge_cmd; compare_cmd; emit_cmd;
-            verify_cmd; serve_bench_cmd; store_cmd; net_serve_cmd;
-            net_client_cmd ]))
+            emit_c_cmd; frontend_fuzz_cmd; trace_validate_cmd; trace_merge_cmd;
+            compare_cmd; emit_cmd; verify_cmd; serve_bench_cmd; store_cmd;
+            net_serve_cmd; net_client_cmd ]))

@@ -1,0 +1,39 @@
+(** The kernel source frontend.
+
+    Parses the pragma'd C dialect that {!Overgen_workload.C_source.emit}
+    produces — the paper's "multithreaded C with pragmas" programming
+    interface (Section III-A) — and lowers it into the existing
+    {!Overgen_workload.Ir.kernel}:
+
+    - [#pragma dsa kernel name(..) suite(..) dtype(..) lanes(..) size(..)]
+      with optional [window_reuse] / [broadcast] flags carries the kernel
+      metadata;
+    - [static <type> og_x\[N\];] declarations define the arrays,
+      [static <type> og_p = <num>;] the scalars (parameters when only
+      read, reduction targets when assigned);
+    - the [void <name>_kernel(void)] function holds one
+      [#pragma dsa config] block of regions, each introduced by
+      [#pragma dsa decouple region(..) hls(..)] and consisting of a
+      perfect [for] nest ([for (int v = 0; v < N; ++v)], with
+      [OG_TRI(u, n)] bounds for triangular trips) around store /
+      accumulation / reduction statements over affine or single-level
+      indirect subscripts;
+    - an optional [#pragma dsa tune desc(..)] + [void <name>_kernel_tuned]
+      pair carries the manually tuned variant.
+
+    Lexing, parsing, lowering and the subscript bounds check are all
+    dependency-free, and the module holds the service's isolation
+    contract: {!parse} never lets an exception escape — every rejection
+    is a located {!error}. *)
+
+type error = { line : int; col : int; msg : string }
+
+val error_to_string : error -> string
+(** ["line:col: message"]. *)
+
+val parse : string -> (Overgen_workload.Ir.kernel, error) result
+(** Parse one translation unit.  Never raises. *)
+
+val source_name : string -> string option
+(** Cheap scan for the [name(..)] attribute of the kernel pragma, for
+    telemetry labels — no full parse. *)

@@ -325,7 +325,7 @@ let run (cfg : config) =
     let r = cfg.requests.(i) in
     let owner =
       Shard_map.Default.owner map
-        (Wire.route_key ~overlay:r.Wire.overlay ~kernel:r.Wire.kernel
+        (Wire.route_key ~overlay:r.Wire.overlay ~payload:r.Wire.payload
            ~tuned:r.Wire.tuned)
     in
     (* deliberate misrouting exercises the server-side forward/redirect

@@ -200,11 +200,16 @@ let init ?setup config =
 
 let owner_of t (req : Wire.request) =
   Shard_map.Default.owner t.map
-    (Wire.route_key ~overlay:req.overlay ~kernel:req.kernel ~tuned:req.tuned)
+    (Wire.route_key ~overlay:req.overlay ~payload:req.payload ~tuned:req.tuned)
+
+let service_payload : Wire.payload -> Service.payload = function
+  | Wire.Kernel k -> Service.Kernel k
+  | Wire.Source src -> Service.Source src
 
 let wire_error_of_service : Service.error -> Wire.wire_error = function
   | Service.Unknown_overlay n -> Wire.Unknown_overlay n
   | Service.Queue_full -> Wire.Queue_full
+  | Service.Source_error e -> Wire.Source_error e
   | Service.Compile_error e -> Wire.Compile_error e
   | Service.Transient_failure e -> Wire.Transient_failure e
   | Service.Deadline_exceeded -> Wire.Deadline_exceeded
@@ -322,7 +327,7 @@ let handle_net t (msg : Wire.req_msg) ~respond : action =
             Service.id = req.Wire.id;
             user = req.Wire.user;
             overlay = req.Wire.overlay;
-            kernel = req.Wire.kernel;
+            payload = service_payload req.Wire.payload;
             tuned = req.Wire.tuned;
             trace = req.Wire.trace;
           }

@@ -2,11 +2,13 @@ open Overgen_workload
 module Codec = Overgen_store.Codec
 module Crc32 = Overgen_store.Crc32
 
-(* v2: trace context (trace id + parent span) in the request envelope and
-   the ops-plane request/response kinds.  The version byte and the schema
-   tags bump together, so a v1 peer rejects at the header and a v1 payload
-   smuggled past the header rejects at the schema check. *)
-let version = 2
+(* v3: the compile request carries a payload — a marshalled IR kernel or
+   pragma'd C source text for the shard's frontend to parse — and the
+   error taxonomy gains [Source_error].  (v2 added trace context and the
+   ops plane.)  The version byte and the schema tags bump together, so an
+   old peer rejects at the header and an old payload smuggled past the
+   header rejects at the schema check. *)
+let version = 3
 let header_bytes = 12
 let max_payload_bytes = 16 * 1024 * 1024
 let magic0 = 'O'
@@ -74,11 +76,17 @@ let deframe ?(pos = 0) s =
 
 (* ---------------- messages ---------------- *)
 
+(* What a compile request carries: a pre-lowered IR kernel (marshalled
+   blob), or the pragma'd C source text itself — the shard parses it with
+   the frontend inside the request's fault isolation, so a rejected
+   source costs the submitting client nothing but a [Source_error]. *)
+type payload = Kernel of Ir.kernel | Source of string
+
 type request = {
   id : int;
   user : string;
   overlay : string;
-  kernel : Ir.kernel;
+  payload : payload;
   tuned : bool;
   trace : string;
   parent_span : int;
@@ -100,6 +108,7 @@ type wire_error =
   | Transient_failure of string
   | Deadline_exceeded
   | Shutting_down
+  | Source_error of string
 
 let wire_error_to_string = function
   | Unknown_overlay name -> Printf.sprintf "unknown overlay %S" name
@@ -108,10 +117,11 @@ let wire_error_to_string = function
   | Transient_failure e -> "transient failure: " ^ e
   | Deadline_exceeded -> "deadline exceeded"
   | Shutting_down -> "shard is shutting down"
+  | Source_error e -> "source error: " ^ e
 
 let retryable = function
   | Queue_full | Transient_failure _ | Shutting_down | Deadline_exceeded -> true
-  | Unknown_overlay _ | Compile_error _ -> false
+  | Unknown_overlay _ | Compile_error _ | Source_error _ -> false
 
 type resp_msg =
   | Result of {
@@ -141,8 +151,8 @@ type resp_msg =
     }
   | Events of { shard : int; events : string list }
 
-let req_schema = "net-req-v2"
-let resp_schema = "net-resp-v2"
+let req_schema = "net-req-v3"
+let resp_schema = "net-resp-v3"
 let kernel_schema = "net-kernel-v1"
 let schedules_schema = "net-schedules-v1"
 
@@ -180,7 +190,13 @@ let encode_req msg =
     put_bool b r.tuned;
     Codec.put_string b r.trace;
     put_id b r.parent_span;
-    Codec.put_string b (encode_kernel r.kernel)
+    (match r.payload with
+    | Kernel k ->
+      Codec.put_u8 b 0;
+      Codec.put_string b (encode_kernel k)
+    | Source src ->
+      Codec.put_u8 b 1;
+      Codec.put_string b src)
   | Ping -> Codec.put_u8 b 1
   | Stats_req -> Codec.put_u8 b 2
   | Quiesce -> Codec.put_u8 b 3
@@ -205,8 +221,13 @@ let decode_req s =
         let tuned = get_bool s pos in
         let trace = Codec.get_string s pos in
         let parent_span = get_id s pos in
-        let kernel = decode_kernel (Codec.get_string s pos) in
-        Compile { id; user; overlay; kernel; tuned; trace; parent_span }
+        let payload =
+          match Codec.get_u8 s pos with
+          | 0 -> Kernel (decode_kernel (Codec.get_string s pos))
+          | 1 -> Source (Codec.get_string s pos)
+          | n -> fail "unknown payload tag %d" n
+        in
+        Compile { id; user; overlay; payload; tuned; trace; parent_span }
       | 1 -> Ping
       | 2 -> Stats_req
       | 3 -> Quiesce
@@ -235,6 +256,9 @@ let put_error b = function
     Codec.put_string b e
   | Deadline_exceeded -> Codec.put_u8 b 5
   | Shutting_down -> Codec.put_u8 b 6
+  | Source_error e ->
+    Codec.put_u8 b 7;
+    Codec.put_string b e
 
 let get_error s pos =
   match Codec.get_u8 s pos with
@@ -244,6 +268,7 @@ let get_error s pos =
   | 4 -> Transient_failure (Codec.get_string s pos)
   | 5 -> Deadline_exceeded
   | 6 -> Shutting_down
+  | 7 -> Source_error (Codec.get_string s pos)
   | n -> fail "unknown error tag %d" n
 
 let encode_resp msg =
@@ -373,10 +398,16 @@ let decode_resp s =
    mDFG content hash: a client can compute it from the request alone, yet
    it determines both (the overlay name resolves to one fingerprint on
    every shard, the kernel digest to one variant hash), so the cache
-   keyspace is partitioned consistently with the schedule-cache keys. *)
-let route_key ~overlay ~kernel ~tuned =
+   keyspace is partitioned consistently with the schedule-cache keys.
+   A [Source] payload routes on the raw source text — the client cannot
+   parse, so it cannot digest the lowered IR; the source form of a kernel
+   may therefore land on a different shard than its IR form, but within
+   each shard both resolve to the same schedule-cache key post-parse. *)
+let route_key ~overlay ~(payload : payload) ~tuned =
   let b = Buffer.create 64 in
   Codec.put_string b overlay;
-  Codec.put_string b (Digest.string (Ir.pretty kernel));
+  (match payload with
+  | Kernel k -> Codec.put_string b (Digest.string (Ir.pretty k))
+  | Source src -> Codec.put_string b (Digest.string ("src\x00" ^ src)));
   put_bool b tuned;
   Buffer.contents b

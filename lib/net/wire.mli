@@ -21,18 +21,20 @@
     counted error on any of them, mirroring the store's scan-on-open
     discipline (damage is detected and contained, not interpreted).
 
-    {b Messages.}  Payloads are schema-tagged ([net-req-v2] /
-    [net-resp-v2]) envelopes whose fields are Codec primitives; the two
+    {b Messages.}  Payloads are schema-tagged ([net-req-v3] /
+    [net-resp-v3]) envelopes whose fields are Codec primitives; the two
     structured blobs — the kernel in a compile request and the schedules
     in a successful response — ride as {!Overgen_store.Codec}
     marshal-encoded, schema-tagged strings, so a format bump of either
     renames its schema and old peers reject rather than misparse.
 
-    v2 added the trace context (trace id + parent span id) to the compile
-    request and the ops-plane kinds ([Metrics_req]/[Health_req]/
-    [Recent_events_req]); the version byte and both envelope schemas
-    bumped together, so v1 frames reject at the header and v1 payloads at
-    the schema check — never a silent misparse of an untraced request. *)
+    v3 made the compile request's payload a tagged union — a marshalled
+    IR kernel or raw pragma'd C source text for the shard's frontend to
+    parse — and added [Source_error] to the error taxonomy.  (v2 added
+    the trace context and the ops-plane kinds.)  Each bump moves the
+    version byte and both envelope schemas together, so older frames
+    reject at the header and older payloads at the schema check — never a
+    silent misparse. *)
 
 open Overgen_workload
 
@@ -74,12 +76,19 @@ val deframe : ?pos:int -> string -> (string * int, frame_error) result
 
 (** {2 Messages} *)
 
+(** What a compile request carries: a pre-lowered IR kernel, or pragma'd
+    C source text the shard parses with {!Overgen_frontend.Frontend}
+    inside the request's fault isolation.  A source that parses compiles
+    under exactly the same schedule-cache key as its [Kernel]
+    equivalent. *)
+type payload = Kernel of Ir.kernel | Source of string
+
 type request = {
   id : int;           (** client-chosen; the server namespaces it
                           per-connection before processing *)
   user : string;
   overlay : string;   (** registry name to compile against *)
-  kernel : Ir.kernel;
+  payload : payload;
   tuned : bool;
   trace : string;
       (** 128-bit distributed-trace id (32 hex chars), carried verbatim
@@ -109,12 +118,15 @@ type wire_error =
   | Transient_failure of string
   | Deadline_exceeded
   | Shutting_down
+  | Source_error of string
+      (** the frontend rejected a [Source] payload: deterministic,
+          located as "line:col: message" *)
 
 val wire_error_to_string : wire_error -> string
 
 val retryable : wire_error -> bool
 (** Whether a client should retry: everything except the deterministic
-    verdicts ([Unknown_overlay], [Compile_error]). *)
+    verdicts ([Unknown_overlay], [Compile_error], [Source_error]). *)
 
 type resp_msg =
   | Result of {
@@ -154,10 +166,14 @@ val decode_resp : string -> (resp_msg, string) result
 (** Decoders reject unknown schemas/tags and truncated envelopes with
     [Error], never a garbage value. *)
 
-val route_key : overlay:string -> kernel:Ir.kernel -> tuned:bool -> string
+val route_key : overlay:string -> payload:payload -> tuned:bool -> string
 (** The consistent-hash routing key of a compile request: a
-    length-prefixed join of the overlay name, the kernel's content digest
+    length-prefixed join of the overlay name, the payload's content
+    digest (lowered-IR pretty-print for [Kernel], raw text for [Source])
     and the tuned flag.  Client and server compute it identically, so a
-    given (overlay, kernel, tuned) triple always lands on one shard — the
-    shard whose schedule cache will hold its fingerprint+mDFG-hash
-    entry. *)
+    given (overlay, payload, tuned) triple always lands on one shard —
+    the shard whose schedule cache will hold its fingerprint+mDFG-hash
+    entry.  The source form of a kernel may route to a different shard
+    than its IR form (the client cannot digest IR it never parsed), but
+    on whichever shard serves them both resolve to the same
+    schedule-cache key post-parse. *)

@@ -7,11 +7,21 @@ module Rng = Overgen_util.Rng
 
 type mode = Deterministic | Workers of int
 
+(* What a request asks to compile: an already-lowered IR kernel (the
+   in-process path) or pragma'd C source for the frontend to parse on
+   the worker — the paper's programming interface, submitted as-is. *)
+type payload = Kernel of Ir.kernel | Source of string
+
+let payload_name = function
+  | Kernel k -> k.Ir.name
+  | Source src ->
+    Option.value ~default:"<source>" (Overgen_frontend.Frontend.source_name src)
+
 type request = {
   id : int;
   user : string;
   overlay : string;
-  kernel : Ir.kernel;
+  payload : payload;
   tuned : bool;
   trace : string;
 }
@@ -19,6 +29,7 @@ type request = {
 type error =
   | Unknown_overlay of string
   | Queue_full
+  | Source_error of string
   | Compile_error of string
   | Transient_failure of string
   | Deadline_exceeded
@@ -27,6 +38,7 @@ type error =
 let error_to_string = function
   | Unknown_overlay name -> Printf.sprintf "unknown overlay %S" name
   | Queue_full -> "queue full (admission rejected)"
+  | Source_error e -> "source error: " ^ e
   | Compile_error e -> "compile error: " ^ e
   | Transient_failure e -> "transient failure (retries exhausted): " ^ e
   | Deadline_exceeded -> "deadline exceeded"
@@ -131,7 +143,7 @@ let process t ~submitted_at req =
         ("id", string_of_int req.id);
         ("user", req.user);
         ("overlay", req.overlay);
-        ("kernel", req.kernel.Ir.name);
+        ("kernel", payload_name req.payload);
         ("queue_wait_ms", Printf.sprintf "%.3f" ((t0 -. submitted_at) *. 1000.0));
       ]
   @@ fun () ->
@@ -145,7 +157,24 @@ let process t ~submitted_at req =
     match Registry.find t.registry req.overlay with
     | None -> (Error (Unknown_overlay req.overlay), false)
     | Some entry -> (
-      let compiled, chash = memoized_compile t req.kernel req.tuned in
+      match
+        (* Source payloads are parsed here, inside the per-request fault
+           isolation; a rejection is deterministic (same source, same
+           error), so it answers immediately without touching the retry
+           machinery.  A parsed kernel is memoized and cached under
+           exactly the same content keys as its in-process [Kernel]
+           equivalent — the frontend is invisible to the cache. *)
+        match req.payload with
+        | Kernel k -> Ok k
+        | Source src -> (
+          match Overgen_frontend.Frontend.parse src with
+          | Ok k -> Ok k
+          | Error e ->
+            Error (Overgen_frontend.Frontend.error_to_string e))
+      with
+      | Error e -> (Error (Source_error e), false)
+      | Ok kernel -> (
+      let compiled, chash = memoized_compile t kernel req.tuned in
       let compute () =
         Obs.Span.with_span "compile_schedule" @@ fun () ->
         match
@@ -172,7 +201,7 @@ let process t ~submitted_at req =
       | Some c ->
         let key = Cache.key ~fingerprint:entry.fingerprint ~variant_hash:chash in
         let outcome, hit = Cache.find_or_compute c key compute in
-        (lift outcome, hit))
+        (lift outcome, hit)))
   in
   let rec attempt n =
     match resolve () with

@@ -38,11 +38,22 @@ open Overgen_workload
 
 type mode = Deterministic | Workers of int
 
+(** What a request asks to compile: a lowered IR kernel (the in-process
+    path), or pragma'd C source parsed by {!Overgen_frontend.Frontend}
+    on the worker, inside the request's fault isolation.  A [Source]
+    payload that parses compiles under exactly the same memo and cache
+    keys as the equivalent [Kernel] payload. *)
+type payload = Kernel of Ir.kernel | Source of string
+
+val payload_name : payload -> string
+(** The kernel name, for telemetry labels ({!Frontend.source_name} peek
+    on sources; ["<source>"] when even that fails). *)
+
 type request = {
   id : int;           (** caller-chosen; responses are sorted by it *)
   user : string;      (** for telemetry/tracing only *)
   overlay : string;   (** registry name to compile against *)
-  kernel : Ir.kernel;
+  payload : payload;
   tuned : bool;
   trace : string;
       (** distributed-trace id ({!Overgen_obs.Obs.Span.fresh_trace});
@@ -54,6 +65,9 @@ type request = {
 type error =
   | Unknown_overlay of string
   | Queue_full            (** backpressure: admission rejected or shed *)
+  | Source_error of string
+      (** a [Source] payload the frontend rejected: deterministic, never
+          retried, located as "line:col: message" *)
   | Compile_error of string
       (** deterministic failure: a scheduling verdict, a deterministic
           injected fault, or an isolated unexpected exception *)

@@ -43,12 +43,12 @@ let generate s =
         Service.id;
         user = Printf.sprintf "user-%d" u;
         overlay;
-        kernel = Rng.choose_weighted rng weighted;
+        payload = Service.Kernel (Rng.choose_weighted rng weighted);
         tuned = false;
         trace = Overgen_obs.Obs.Span.fresh_trace trace_rng;
       })
 
 let distinct_keys s =
   generate s
-  |> List.map (fun (r : Service.request) -> (r.overlay, r.kernel.Ir.name))
+  |> List.map (fun (r : Service.request) -> (r.overlay, Service.payload_name r.payload))
   |> List.sort_uniq compare |> List.length

@@ -13,14 +13,10 @@ let ctype (k : Ir.kernel) =
    globals carry a prefix. *)
 let mangle name = "og_" ^ name
 
-let affine_c (a : Ir.affine) =
-  let parts =
-    List.map
-      (fun (v, c) -> if c = 1 then v else Printf.sprintf "%d*%s" c v)
-      a.terms
-  in
-  let parts = if a.const <> 0 then parts @ [ string_of_int a.const ] else parts in
-  match parts with [] -> "0" | _ -> String.concat " + " parts
+let fn_name (k : Ir.kernel) =
+  String.map (function '-' -> '_' | c -> c) k.name
+
+let affine_c = Ir.affine_render ~sep_plus:" + " ~sep_minus:" - "
 
 let aref_c (r : Ir.aref) =
   match r.index with
@@ -28,18 +24,22 @@ let aref_c (r : Ir.aref) =
   | Ir.Indirect { idx_array; at } ->
     Printf.sprintf "%s[%s[%s]]" (mangle r.array) (mangle idx_array) (affine_c at)
 
-let rec expr_c (e : Ir.expr) =
+(* Dtype-correct literals: a float-typed kernel must never see a bare C
+   int literal (const/const division would truncate), and integer-valued
+   floats only render as int literals while [int] rendering is exact. *)
+let const_c (k : Ir.kernel) f =
+  if Dtype.is_float k.dtype then Ir.float_literal f else Ir.const_to_string f
+
+let rec expr_c k (e : Ir.expr) =
   match e with
   | Ir.Load r -> aref_c r
-  | Ir.Const f ->
-    if Float.is_integer f then string_of_int (int_of_float f)
-    else string_of_float f
+  | Ir.Const f -> const_c k f
   | Ir.Param p -> mangle p
-  | Ir.Unop (Op.Sqrt, x) -> Printf.sprintf "sqrt(%s)" (expr_c x)
-  | Ir.Unop (Op.Abs, x) -> Printf.sprintf "fabs(%s)" (expr_c x)
-  | Ir.Unop (op, x) -> Printf.sprintf "%s(%s)" (Op.to_string op) (expr_c x)
+  | Ir.Unop (Op.Sqrt, x) -> Printf.sprintf "sqrt(%s)" (expr_c k x)
+  | Ir.Unop (Op.Abs, x) -> Printf.sprintf "fabs(%s)" (expr_c k x)
+  | Ir.Unop (op, x) -> Printf.sprintf "%s(%s)" (Op.to_string op) (expr_c k x)
   | Ir.Binop (op, x, y) -> (
-    let bin sym = Printf.sprintf "(%s %s %s)" (expr_c x) sym (expr_c y) in
+    let bin sym = Printf.sprintf "(%s %s %s)" (expr_c k x) sym (expr_c k y) in
     match op with
     | Op.Add -> bin "+"
     | Op.Sub -> bin "-"
@@ -52,51 +52,73 @@ let rec expr_c (e : Ir.expr) =
     | Op.Bxor -> bin "^"
     | Op.Cmp_lt -> bin "<"
     | Op.Cmp_eq -> bin "=="
-    | Op.Min -> Printf.sprintf "MIN(%s, %s)" (expr_c x) (expr_c y)
-    | Op.Max -> Printf.sprintf "MAX(%s, %s)" (expr_c x) (expr_c y)
+    | Op.Min -> Printf.sprintf "MIN(%s, %s)" (expr_c k x) (expr_c k y)
+    | Op.Max -> Printf.sprintf "MAX(%s, %s)" (expr_c k x) (expr_c k y)
     | Op.Sqrt | Op.Abs | Op.Select | Op.Acc ->
-      Printf.sprintf "%s(%s, %s)" (Op.to_string op) (expr_c x) (expr_c y))
+      Printf.sprintf "%s(%s, %s)" (Op.to_string op) (expr_c k x) (expr_c k y))
 
-let stmt_c ind s =
+(* Read-modify-write rendering shared by array accumulations and scalar
+   reductions: += / -= for Add/Sub, the MIN/MAX macros (not undefined
+   lowercase calls) for Min/Max, and the explicit binop form otherwise. *)
+let rmw_c k ~target op e =
+  match op with
+  | Op.Add -> Printf.sprintf "%s += %s;" target (expr_c k e)
+  | Op.Sub -> Printf.sprintf "%s -= %s;" target (expr_c k e)
+  | Op.Min -> Printf.sprintf "%s = MIN(%s, %s);" target target (expr_c k e)
+  | Op.Max -> Printf.sprintf "%s = MAX(%s, %s);" target target (expr_c k e)
+  | Op.Mul -> Printf.sprintf "%s = (%s * %s);" target target (expr_c k e)
+  | _ ->
+    Printf.sprintf "%s = %s(%s, %s);" target (Op.to_string op) target
+      (expr_c k e)
+
+let stmt_c k ind s =
   let pad = String.make ind ' ' in
   match s with
-  | Ir.Store (r, e) -> Printf.sprintf "%s%s = %s;" pad (aref_c r) (expr_c e)
-  | Ir.Accum (r, Op.Add, e) ->
-    Printf.sprintf "%s%s += %s;" pad (aref_c r) (expr_c e)
-  | Ir.Accum (r, Op.Sub, e) ->
-    Printf.sprintf "%s%s -= %s;" pad (aref_c r) (expr_c e)
-  | Ir.Accum (r, op, e) ->
-    Printf.sprintf "%s%s = %s;" pad (aref_c r)
-      (expr_c (Ir.Binop (op, Ir.Load r, e)))
-  | Ir.Reduce (name, Op.Add, e) ->
-    Printf.sprintf "%s%s += %s;" pad (mangle name) (expr_c e)
-  | Ir.Reduce (name, op, e) ->
-    Printf.sprintf "%s%s = %s(%s, %s);" pad (mangle name) (Op.to_string op)
-      (mangle name) (expr_c e)
+  | Ir.Store (r, e) -> Printf.sprintf "%s%s = %s;" pad (aref_c r) (expr_c k e)
+  | Ir.Accum (r, op, e) -> pad ^ rmw_c k ~target:(aref_c r) op e
+  | Ir.Reduce (name, op, e) -> pad ^ rmw_c k ~target:(mangle name) op e
 
-let region_body (_k : Ir.kernel) (r : Ir.region) =
+let hls_c = function
+  | Ir.Clean -> "clean"
+  | Ir.Variable_trip { untuned_ii; tuned_ii } ->
+    Printf.sprintf "variable_trip %d %d" untuned_ii tuned_ii
+  | Ir.Strided { untuned_ii } -> Printf.sprintf "strided %d" untuned_ii
+
+let region_body (k : Ir.kernel) (r : Ir.region) =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf "  #pragma dsa decouple\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  #pragma dsa decouple region(%s) hls(%s)\n" r.rname
+       (hls_c r.hls));
   let ind = ref 2 in
+  let outer = ref None in
   List.iter
     (fun (l : Ir.loop) ->
       let bound =
         match l.trip with
         | Ir.Fixed n -> string_of_int n
-        | Ir.Triangular n -> Printf.sprintf "%d /* data-dependent bound */" n
+        | Ir.Triangular n ->
+          (* the dependent bound: rides the nearest enclosing induction
+             variable (degenerate OG_TRI(0, n) = 1 when outermost) *)
+          Printf.sprintf "OG_TRI(%s, %d)"
+            (match !outer with Some v -> v | None -> "0")
+            n
       in
       Buffer.add_string buf
         (Printf.sprintf "%sfor (int %s = 0; %s < %s; ++%s) {\n"
            (String.make !ind ' ') l.var l.var bound l.var);
+      outer := Some l.var;
       ind := !ind + 2)
     r.loops;
-  List.iter (fun s -> Buffer.add_string buf (stmt_c !ind s ^ "\n")) r.body;
+  List.iter (fun s -> Buffer.add_string buf (stmt_c k !ind s ^ "\n")) r.body;
   List.iter
     (fun (_ : Ir.loop) ->
       ind := !ind - 2;
       Buffer.add_string buf (String.make !ind ' ' ^ "}\n"))
     r.loops;
   Buffer.contents buf
+
+let all_regions (k : Ir.kernel) =
+  k.regions @ match k.og_tuning with Some t -> t.regions | None -> []
 
 let params_of (k : Ir.kernel) =
   let rec of_expr acc (e : Ir.expr) =
@@ -111,9 +133,17 @@ let params_of (k : Ir.kernel) =
   in
   List.fold_left
     (fun acc (r : Ir.region) -> List.fold_left of_stmt acc r.body)
-    []
-    (k.regions @ match k.og_tuning with Some t -> t.regions | None -> [])
+    [] (all_regions k)
   |> List.rev
+
+let reduce_names (k : Ir.kernel) =
+  List.concat_map
+    (fun (r : Ir.region) ->
+      List.filter_map
+        (function Ir.Reduce (name, _, _) -> Some name | _ -> None)
+        r.body)
+    (all_regions k)
+  |> List.sort_uniq String.compare
 
 let index_array_names (k : Ir.kernel) =
   List.concat_map
@@ -127,8 +157,23 @@ let index_array_names (k : Ir.kernel) =
               | Ir.Direct _ -> None)
             (Ir.stmt_loads stmt))
         r.body)
-    (k.regions @ match k.og_tuning with Some t -> t.regions | None -> [])
+    (all_regions k)
   |> List.sort_uniq String.compare
+
+let kernel_pragma (k : Ir.kernel) =
+  Printf.sprintf
+    "#pragma dsa kernel name(%s) suite(%s) dtype(%s) lanes(%d) size(%s)%s%s\n"
+    k.name (Suite.to_string k.suite) (Dtype.to_string k.dtype) k.lanes
+    k.size_desc
+    (if k.window_reuse then " window_reuse" else "")
+    (if k.needs_broadcast then " broadcast" else "")
+
+let config_fn buf (k : Ir.kernel) ~suffix regions =
+  Buffer.add_string buf
+    (Printf.sprintf "void %s_kernel%s(void) {\n" (fn_name k) suffix);
+  Buffer.add_string buf "#pragma dsa config\n{\n";
+  List.iter (fun r -> Buffer.add_string buf (region_body k r)) regions;
+  Buffer.add_string buf "}\n}\n\n"
 
 let emit ?(tuned = false) (k : Ir.kernel) =
   let buf = Buffer.create 1024 in
@@ -139,9 +184,13 @@ let emit ?(tuned = false) (k : Ir.kernel) =
        "/* %s (%s, %s) - generated from the OverGen loop-nest IR%s */\n"
        k.name (Suite.to_string k.suite) k.size_desc
        (if tuned then "; manually tuned variant" else ""));
+  Buffer.add_string buf (kernel_pragma k);
   Buffer.add_string buf "#include <stdint.h>\n#include <math.h>\n\n";
   Buffer.add_string buf "#define MIN(a, b) ((a) < (b) ? (a) : (b))\n";
-  Buffer.add_string buf "#define MAX(a, b) ((a) > (b) ? (a) : (b))\n\n";
+  Buffer.add_string buf "#define MAX(a, b) ((a) > (b) ? (a) : (b))\n";
+  (* the data-dependent (triangular) trip count, as a function of the
+     enclosing induction variable *)
+  Buffer.add_string buf "#define OG_TRI(v, n) (((v) % (n)) + 1)\n\n";
   List.iter
     (fun (name, elems) ->
       (* indirection indices must be an integer type regardless of the
@@ -150,18 +199,23 @@ let emit ?(tuned = false) (k : Ir.kernel) =
       Buffer.add_string buf
         (Printf.sprintf "static %s %s[%d];\n" aty (mangle name) elems))
     k.arrays;
+  let reductions = reduce_names k in
   List.iter
-    (fun p -> Buffer.add_string buf (Printf.sprintf "static %s %s = 1;\n" ty (mangle p)))
-    (params_of k);
-  Buffer.add_string buf (Printf.sprintf "\nvoid %s_kernel(void) {\n"
-       (String.map (function '-' -> '_' | c -> c) k.name));
-  Buffer.add_string buf "#pragma dsa config\n{\n";
+    (fun p ->
+      Buffer.add_string buf (Printf.sprintf "static %s %s = 1;\n" ty (mangle p)))
+    (List.filter (fun p -> not (List.mem p reductions)) (params_of k));
   List.iter
-    (fun r -> Buffer.add_string buf (region_body k r))
-    (Kernels.regions_for ~tuned k);
-  Buffer.add_string buf "}\n}\n\n";
+    (fun r ->
+      Buffer.add_string buf (Printf.sprintf "static %s %s = 0;\n" ty (mangle r)))
+    reductions;
+  Buffer.add_char buf '\n';
+  config_fn buf k ~suffix:"" (Kernels.regions_for ~tuned k);
+  (match k.og_tuning with
+  | Some t when not tuned ->
+    Buffer.add_string buf (Printf.sprintf "#pragma dsa tune desc(%s)\n" t.desc);
+    config_fn buf k ~suffix:"_tuned" t.regions
+  | _ -> ());
   Buffer.add_string buf
-    (Printf.sprintf
-       "int main(void) {\n  %s_kernel();\n  return 0;\n}\n"
-       (String.map (function '-' -> '_' | c -> c) k.name));
+    (Printf.sprintf "int main(void) {\n  %s_kernel();\n  return 0;\n}\n"
+       (fn_name k));
   Buffer.contents buf

@@ -25,14 +25,32 @@ let affine_subst_scaled a ~var ~scale ~offset =
 
 let affine_equal a b = a.terms = b.terms && a.const = b.const
 
-let affine_to_string a =
-  let parts =
-    List.map
-      (fun (v, c) -> if c = 1 then v else Printf.sprintf "%d*%s" c v)
-      a.terms
+(* Canonical affine rendering: negative coefficients and constants join
+   with a proper [-] separator (never "i+-3"), so printed forms re-parse
+   to equal values.  [sep_plus]/[sep_minus] let callers pick compact
+   ("+"/"-") or spaced (" + "/" - ") style. *)
+let affine_render ~sep_plus ~sep_minus a =
+  let magnitude v c =
+    let c = abs c in
+    if c = 1 then v else Printf.sprintf "%d*%s" c v
   in
-  let parts = if a.const <> 0 then parts @ [ string_of_int a.const ] else parts in
-  match parts with [] -> "0" | _ -> String.concat "+" parts
+  let buf = Buffer.create 16 in
+  let part ~negative s =
+    if Buffer.length buf = 0 then begin
+      if negative then Buffer.add_char buf '-';
+      Buffer.add_string buf s
+    end
+    else begin
+      Buffer.add_string buf (if negative then sep_minus else sep_plus);
+      Buffer.add_string buf s
+    end
+  in
+  List.iter (fun (v, c) -> part ~negative:(c < 0) (magnitude v c)) a.terms;
+  if a.const <> 0 then
+    part ~negative:(a.const < 0) (string_of_int (abs a.const));
+  if Buffer.length buf = 0 then "0" else Buffer.contents buf
+
+let affine_to_string = affine_render ~sep_plus:"+" ~sep_minus:"-"
 
 type index = Direct of affine | Indirect of { idx_array : string; at : affine }
 
@@ -172,11 +190,29 @@ let innermost r =
 
 let elem_bytes k = Dtype.bytes k.dtype * k.lanes
 
+(* Magnitude bound under which an integer-valued float is exactly
+   representable and [int]-rendering is faithful: 2^53.  Beyond it
+   [int_of_float] is lossy (and undefined past [max_int]), so huge
+   integer-valued constants keep their float spelling. *)
+let max_exact_int_float = 9007199254740992.0
+
+(* Shortest decimal spelling that reads back to the same float, always
+   carrying a '.', an exponent or a special-value name so it cannot be
+   mistaken for an integer literal. *)
+let float_literal f =
+  let s = Printf.sprintf "%.15g" f in
+  let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s then s
+  else s ^ ".0"
+
+let const_to_string f =
+  if Float.is_integer f && Float.abs f < max_exact_int_float then
+    Printf.sprintf "%.0f" f
+  else float_literal f
+
 let rec pretty_expr = function
   | Load r -> aref_to_string r
-  | Const f ->
-    if Float.is_integer f then string_of_int (int_of_float f)
-    else string_of_float f
+  | Const f -> const_to_string f
   | Param p -> p
   | Unop (op, e) -> Printf.sprintf "%s(%s)" (Op.to_string op) (pretty_expr e)
   | Binop (op, a, b) ->

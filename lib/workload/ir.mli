@@ -28,6 +28,13 @@ val affine_subst_scaled : affine -> var:string -> scale:int -> offset:int -> aff
     lane at position [offset]. *)
 
 val affine_equal : affine -> affine -> bool
+
+val affine_render : sep_plus:string -> sep_minus:string -> affine -> string
+(** Canonical rendering: negative coefficients/constants join with the
+    minus separator (["2*i - 3"], never ["2*i + -3"]), a leading negative
+    term renders as ["-j"].  [affine_to_string] is the compact
+    (["+"]/["-"]) instance; {!C_source} uses the spaced one. *)
+
 val affine_to_string : affine -> string
 
 (** Array subscript: direct affine, or single-level indirect [a\[b\[e\]\]]. *)
@@ -122,6 +129,14 @@ val innermost : region -> loop
 
 val elem_bytes : kernel -> int
 (** Bytes per logical element: [Dtype.bytes dtype * lanes]. *)
+
+val float_literal : float -> string
+(** Shortest decimal spelling that reads back to the same float, always
+    carrying a ['.'], an exponent or a special-value name. *)
+
+val const_to_string : float -> string
+(** Integer spelling for exactly-representable integer values (|f| < 2^53,
+    guarding [int_of_float] beyond that), {!float_literal} otherwise. *)
 
 val pretty : kernel -> string
 (** Pseudo-C rendering with the dsa pragmas, for documentation output. *)

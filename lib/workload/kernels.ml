@@ -206,9 +206,11 @@ let stencil3d =
 
 let crs =
   (* CRS sparse matrix-vector product: variable row lengths (avg 4, max 8)
-     and an indirect gather of the dense vector. *)
+     and an indirect gather of the dense vector.  The nonzero slabs carry
+     a 2-element tail pad past the 494x4 average: the triangular trip of
+     the final row ((493 mod 8) + 1 = 6) walks up to index 4*493+5. *)
   kernel "crs" Suite.Machsuite Dtype.F64
-    ~arrays:[ ("va", 1976); ("cidx", 1976); ("x", 494); ("y", 494) ]
+    ~arrays:[ ("va", 1978); ("cidx", 1978); ("x", 494); ("y", 494) ]
     ~size:"494x4"
     [
       {

@@ -7,5 +7,11 @@ let to_string = function
   | Machsuite -> "machsuite"
   | Vision -> "vision"
 
+let of_string = function
+  | "dsp" -> Some Dsp
+  | "machsuite" -> Some Machsuite
+  | "vision" -> Some Vision
+  | _ -> None
+
 let equal = ( = )
 let compare = Stdlib.compare

@@ -1,0 +1,8 @@
+/* a config block with no decoupled regions */
+#pragma dsa kernel name(t) suite(dsp) dtype(f32) lanes(1) size(4)
+static float og_x[8];
+void t_kernel(void) {
+#pragma dsa config
+{
+}
+}

@@ -1,0 +1,12 @@
+/* the pragma names a kernel but no matching function exists */
+#pragma dsa kernel name(t) suite(dsp) dtype(f64) lanes(1) size(4)
+static double og_x[8];
+void other_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(r) hls(clean)
+  for (int i = 0; i < 4; ++i) {
+    og_x[i] = og_x[i];
+  }
+}
+}

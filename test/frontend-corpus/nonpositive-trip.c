@@ -1,0 +1,12 @@
+/* a loop with a non-positive trip count */
+#pragma dsa kernel name(t) suite(machsuite) dtype(i64) lanes(1) size(4)
+static int64_t og_x[8];
+void t_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(r) hls(clean)
+  for (int i = 0; i < 0; ++i) {
+    og_x[i] = og_x[i];
+  }
+}
+}

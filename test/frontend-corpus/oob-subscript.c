@@ -1,0 +1,12 @@
+/* subscript reaches index 11 of an 8-element array */
+#pragma dsa kernel name(t) suite(dsp) dtype(i32) lanes(1) size(4)
+static int32_t og_x[8];
+void t_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(r) hls(clean)
+  for (int i = 0; i < 4; ++i) {
+    og_x[2*i + 5] = og_x[i];
+  }
+}
+}

@@ -1,0 +1,13 @@
+/* select needs three operands and is not expressible in the dialect */
+#pragma dsa kernel name(t) suite(dsp) dtype(f64) lanes(1) size(4)
+static double og_x[8];
+static double og_y[8];
+void t_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(r) hls(clean)
+  for (int i = 0; i < 4; ++i) {
+    og_x[i] = select(og_x[i], og_y[i]);
+  }
+}
+}

@@ -1,0 +1,14 @@
+/* the inner loop reuses the outer induction variable */
+#pragma dsa kernel name(t) suite(dsp) dtype(i32) lanes(1) size(4)
+static int32_t og_x[64];
+void t_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(r) hls(clean)
+  for (int i = 0; i < 4; ++i) {
+    for (int i = 0; i < 4; ++i) {
+      og_x[i] = og_x[i];
+    }
+  }
+}
+}

@@ -1,0 +1,9 @@
+/* the translation unit ends mid-region */
+#pragma dsa kernel name(t) suite(vision) dtype(i16) lanes(1) size(4)
+static int16_t og_x[8];
+void t_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(r) hls(clean)
+  for (int i = 0; i < 4; ++i) {
+    og_x[i] = og_x[i];

@@ -1,0 +1,4 @@
+#pragma dsa kernel name(t) suite(dsp) dtype(f64) lanes(1) size(4)
+static double og_x[8];
+/* this comment never ends
+void t_kernel(void) {

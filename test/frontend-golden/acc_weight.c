@@ -1,0 +1,28 @@
+/* acc-weight (vision, 128^2x4) - generated from the OverGen loop-nest IR */
+#pragma dsa kernel name(acc-weight) suite(vision) dtype(i16) lanes(1) size(128^2x4)
+#include <stdint.h>
+#include <math.h>
+
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define OG_TRI(v, n) (((v) % (n)) + 1)
+
+static int16_t og_accb[65536];
+static int16_t og_ain[65536];
+static int16_t og_ialpha = 1;
+static int16_t og_alpha = 1;
+
+void acc_weight_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(accw) hls(clean)
+  for (int i = 0; i < 65536; ++i) {
+    og_accb[i] = (((og_accb[i] * og_ialpha) + (og_ain[i] * og_alpha)) / 256);
+  }
+}
+}
+
+int main(void) {
+  acc_weight_kernel();
+  return 0;
+}

@@ -1,0 +1,26 @@
+/* accumulate (vision, 128^2x4) - generated from the OverGen loop-nest IR */
+#pragma dsa kernel name(accumulate) suite(vision) dtype(i16) lanes(1) size(128^2x4)
+#include <stdint.h>
+#include <math.h>
+
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define OG_TRI(v, n) (((v) % (n)) + 1)
+
+static int16_t og_accb[65536];
+static int16_t og_ain[65536];
+
+void accumulate_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(acc) hls(clean)
+  for (int i = 0; i < 65536; ++i) {
+    og_accb[i] += og_ain[i];
+  }
+}
+}
+
+int main(void) {
+  accumulate_kernel();
+  return 0;
+}

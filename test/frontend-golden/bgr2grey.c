@@ -1,0 +1,30 @@
+/* bgr2grey (vision, 128^2x4) - generated from the OverGen loop-nest IR */
+#pragma dsa kernel name(bgr2grey) suite(vision) dtype(i16) lanes(1) size(128^2x4)
+#include <stdint.h>
+#include <math.h>
+
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define OG_TRI(v, n) (((v) % (n)) + 1)
+
+static int16_t og_bgr[196608];
+static int16_t og_grey[65536];
+static int16_t og_wb = 1;
+static int16_t og_wg = 1;
+static int16_t og_wr = 1;
+static int16_t og_round = 1;
+
+void bgr2grey_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(grey) hls(strided 9)
+  for (int i = 0; i < 65536; ++i) {
+    og_grey[i] = (((((og_wb * og_bgr[3*i]) + (og_wg * og_bgr[3*i + 1])) + (og_wr * og_bgr[3*i + 2])) + og_round) / 256);
+  }
+}
+}
+
+int main(void) {
+  bgr2grey_kernel();
+  return 0;
+}

@@ -1,0 +1,46 @@
+/* blur (vision, 128^2x4) - generated from the OverGen loop-nest IR */
+#pragma dsa kernel name(blur) suite(vision) dtype(i16) lanes(1) size(128^2x4) window_reuse
+#include <stdint.h>
+#include <math.h>
+
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define OG_TRI(v, n) (((v) % (n)) + 1)
+
+static int16_t og_img[16384];
+static int16_t og_out[15876];
+
+void blur_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(box3x3) hls(strided 6)
+  for (int t = 0; t < 4; ++t) {
+    for (int r = 0; r < 126; ++r) {
+      for (int c = 0; c < 126; ++c) {
+        og_out[c + 126*r] = (((((((((og_img[c + 128*r] + og_img[c + 128*r + 1]) + og_img[c + 128*r + 2]) + og_img[c + 128*r + 128]) + og_img[c + 128*r + 129]) + og_img[c + 128*r + 130]) + og_img[c + 128*r + 256]) + og_img[c + 128*r + 257]) + og_img[c + 128*r + 258]) / 9);
+      }
+    }
+  }
+}
+}
+
+#pragma dsa tune desc(manually unroll columns to reuse overlapped window loads)
+void blur_kernel_tuned(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(box3x3_unroll2) hls(strided 6)
+  for (int t = 0; t < 4; ++t) {
+    for (int r = 0; r < 126; ++r) {
+      for (int c = 0; c < 63; ++c) {
+        og_out[2*c + 126*r] = (((((((((og_img[2*c + 128*r] + og_img[2*c + 128*r + 1]) + og_img[2*c + 128*r + 2]) + og_img[2*c + 128*r + 128]) + og_img[2*c + 128*r + 129]) + og_img[2*c + 128*r + 130]) + og_img[2*c + 128*r + 256]) + og_img[2*c + 128*r + 257]) + og_img[2*c + 128*r + 258]) / 9);
+        og_out[2*c + 126*r + 1] = (((((((((og_img[2*c + 128*r + 1] + og_img[2*c + 128*r + 2]) + og_img[2*c + 128*r + 3]) + og_img[2*c + 128*r + 129]) + og_img[2*c + 128*r + 130]) + og_img[2*c + 128*r + 131]) + og_img[2*c + 128*r + 257]) + og_img[2*c + 128*r + 258]) + og_img[2*c + 128*r + 259]) / 9);
+      }
+    }
+  }
+}
+}
+
+int main(void) {
+  blur_kernel();
+  return 0;
+}

@@ -1,0 +1,26 @@
+/* channel-ext (vision, 128^2x4) - generated from the OverGen loop-nest IR */
+#pragma dsa kernel name(channel-ext) suite(vision) dtype(i16) lanes(1) size(128^2x4)
+#include <stdint.h>
+#include <math.h>
+
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define OG_TRI(v, n) (((v) % (n)) + 1)
+
+static int16_t og_cin[262144];
+static int16_t og_cout[65536];
+
+void channel_ext_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(extract) hls(strided 8)
+  for (int i = 0; i < 65536; ++i) {
+    og_cout[i] = og_cin[4*i + 2];
+  }
+}
+}
+
+int main(void) {
+  channel_ext_kernel();
+  return 0;
+}

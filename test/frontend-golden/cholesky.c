@@ -1,0 +1,36 @@
+/* cholesky (dsp, 48^2) - generated from the OverGen loop-nest IR */
+#pragma dsa kernel name(cholesky) suite(dsp) dtype(f64) lanes(1) size(48^2)
+#include <stdint.h>
+#include <math.h>
+
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define OG_TRI(v, n) (((v) % (n)) + 1)
+
+static double og_a[2304];
+static double og_l[2304];
+
+void cholesky_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(update) hls(variable_trip 10 5)
+  for (int j = 0; j < 48; ++j) {
+    for (int i = 0; i < OG_TRI(j, 48); ++i) {
+      for (int k = 0; k < OG_TRI(i, 48); ++k) {
+        og_l[48*i + j] -= (og_a[48*i + k] * og_a[48*j + k]);
+      }
+    }
+  }
+  #pragma dsa decouple region(scale) hls(variable_trip 10 5)
+  for (int j = 0; j < 48; ++j) {
+    for (int i = 0; i < OG_TRI(j, 48); ++i) {
+      og_l[48*i + j] = (og_l[48*i + j] / sqrt(og_a[49*j]));
+    }
+  }
+}
+}
+
+int main(void) {
+  cholesky_kernel();
+  return 0;
+}

@@ -1,0 +1,27 @@
+/* convert-bit (vision, 128^2x4) - generated from the OverGen loop-nest IR */
+#pragma dsa kernel name(convert-bit) suite(vision) dtype(i16) lanes(1) size(128^2x4)
+#include <stdint.h>
+#include <math.h>
+
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define OG_TRI(v, n) (((v) % (n)) + 1)
+
+static int16_t og_cin[65536];
+static int16_t og_cout[65536];
+static int16_t og_bias = 1;
+
+void convert_bit_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(convert) hls(clean)
+  for (int i = 0; i < 65536; ++i) {
+    og_cout[i] = ((og_cin[i] >> 4) + og_bias);
+  }
+}
+}
+
+int main(void) {
+  convert_bit_kernel();
+  return 0;
+}

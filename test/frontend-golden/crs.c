@@ -1,0 +1,30 @@
+/* crs (machsuite, 494x4) - generated from the OverGen loop-nest IR */
+#pragma dsa kernel name(crs) suite(machsuite) dtype(f64) lanes(1) size(494x4)
+#include <stdint.h>
+#include <math.h>
+
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define OG_TRI(v, n) (((v) % (n)) + 1)
+
+static double og_va[1978];
+static int32_t og_cidx[1978];
+static double og_x[494];
+static double og_y[494];
+
+void crs_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(spmv) hls(variable_trip 4 2)
+  for (int row = 0; row < 494; ++row) {
+    for (int nz = 0; nz < OG_TRI(row, 8); ++nz) {
+      og_y[row] += (og_va[nz + 4*row] * og_x[og_cidx[nz + 4*row]]);
+    }
+  }
+}
+}
+
+int main(void) {
+  crs_kernel();
+  return 0;
+}

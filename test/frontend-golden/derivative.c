@@ -1,0 +1,32 @@
+/* derivative (vision, 130^2x4) - generated from the OverGen loop-nest IR */
+#pragma dsa kernel name(derivative) suite(vision) dtype(i16) lanes(1) size(130^2x4) window_reuse
+#include <stdint.h>
+#include <math.h>
+
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define OG_TRI(v, n) (((v) % (n)) + 1)
+
+static int16_t og_img[16900];
+static int16_t og_out[16384];
+static int16_t og_gx = 1;
+static int16_t og_gy = 1;
+
+void derivative_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(sobel) hls(clean)
+  for (int t = 0; t < 4; ++t) {
+    for (int r = 0; r < 128; ++r) {
+      for (int c = 0; c < 128; ++c) {
+        og_out[c + 128*r] = (((og_gx * fabs((og_img[c + 130*r + 132] - og_img[c + 130*r + 130]))) + (og_gy * fabs((og_img[c + 130*r + 261] - og_img[c + 130*r + 1])))) / 4);
+      }
+    }
+  }
+}
+}
+
+int main(void) {
+  derivative_kernel();
+  return 0;
+}

@@ -1,0 +1,30 @@
+/* ellpack (machsuite, 494x4) - generated from the OverGen loop-nest IR */
+#pragma dsa kernel name(ellpack) suite(machsuite) dtype(f64) lanes(1) size(494x4) broadcast
+#include <stdint.h>
+#include <math.h>
+
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define OG_TRI(v, n) (((v) % (n)) + 1)
+
+static double og_va[1976];
+static int32_t og_cidx[1976];
+static double og_x[494];
+static double og_y[494];
+
+void ellpack_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(ell) hls(clean)
+  for (int row = 0; row < 494; ++row) {
+    for (int j = 0; j < 4; ++j) {
+      og_y[row] += (og_va[j + 4*row] * og_x[og_cidx[j + 4*row]]);
+    }
+  }
+}
+}
+
+int main(void) {
+  ellpack_kernel();
+  return 0;
+}

@@ -1,0 +1,51 @@
+/* fft (dsp, 2^12) - generated from the OverGen loop-nest IR */
+#pragma dsa kernel name(fft) suite(dsp) dtype(f32) lanes(2) size(2^12)
+#include <stdint.h>
+#include <math.h>
+
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define OG_TRI(v, n) (((v) % (n)) + 1)
+
+static float og_re[4096];
+static float og_im[4096];
+static float og_nre[4096];
+static float og_nim[4096];
+static float og_wre[64];
+static float og_wim[64];
+
+void fft_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(butterfly) hls(variable_trip 2 1)
+  for (int j = 0; j < 64; ++j) {
+    for (int i = 0; i < 32; ++i) {
+      og_nre[i + 64*j] = (og_re[i + 64*j] + ((og_wre[j] * og_re[i + 64*j + 32]) - (og_wim[j] * og_im[i + 64*j + 32])));
+      og_nre[i + 64*j + 32] = (og_re[i + 64*j] - ((og_wre[j] * og_re[i + 64*j + 32]) - (og_wim[j] * og_im[i + 64*j + 32])));
+      og_nim[i + 64*j] = (og_im[i + 64*j] + ((og_wre[j] * og_im[i + 64*j + 32]) + (og_wim[j] * og_re[i + 64*j + 32])));
+      og_nim[i + 64*j + 32] = (og_im[i + 64*j] - ((og_wre[j] * og_im[i + 64*j + 32]) + (og_wim[j] * og_re[i + 64*j + 32])));
+    }
+  }
+}
+}
+
+#pragma dsa tune desc(peel last iterations to coalesce strided scalar access)
+void fft_kernel_tuned(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(butterfly_peeled) hls(variable_trip 2 1)
+  for (int j = 0; j < 64; ++j) {
+    for (int i = 0; i < 32; ++i) {
+      og_nre[2*i + 64*j] = (og_re[2*i + 64*j] + ((og_wre[j] * og_re[2*i + 64*j + 1]) - (og_wim[j] * og_im[2*i + 64*j + 1])));
+      og_nre[2*i + 64*j + 1] = (og_re[2*i + 64*j] - ((og_wre[j] * og_re[2*i + 64*j + 1]) - (og_wim[j] * og_im[2*i + 64*j + 1])));
+      og_nim[2*i + 64*j] = (og_im[2*i + 64*j] + ((og_wre[j] * og_im[2*i + 64*j + 1]) + (og_wim[j] * og_re[2*i + 64*j + 1])));
+      og_nim[2*i + 64*j + 1] = (og_im[2*i + 64*j] - ((og_wre[j] * og_im[2*i + 64*j + 1]) + (og_wim[j] * og_re[2*i + 64*j + 1])));
+    }
+  }
+}
+}
+
+int main(void) {
+  fft_kernel();
+  return 0;
+}

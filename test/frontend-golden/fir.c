@@ -1,0 +1,31 @@
+/* fir (dsp, 2^10x199) - generated from the OverGen loop-nest IR */
+#pragma dsa kernel name(fir) suite(dsp) dtype(f64) lanes(1) size(2^10x199)
+#include <stdint.h>
+#include <math.h>
+
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define OG_TRI(v, n) (((v) % (n)) + 1)
+
+static double og_a[1222];
+static double og_b[199];
+static double og_c[1024];
+
+void fir_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(taps) hls(clean)
+  for (int io = 0; io < 16; ++io) {
+    for (int j = 0; j < 199; ++j) {
+      for (int ii = 0; ii < 64; ++ii) {
+        og_c[ii + 64*io] += (og_a[ii + 64*io + j] * og_b[j]);
+      }
+    }
+  }
+}
+}
+
+int main(void) {
+  fir_kernel();
+  return 0;
+}

@@ -1,0 +1,47 @@
+/* gemm (machsuite, 64^2) - generated from the OverGen loop-nest IR */
+#pragma dsa kernel name(gemm) suite(machsuite) dtype(i64) lanes(1) size(64^2)
+#include <stdint.h>
+#include <math.h>
+
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define OG_TRI(v, n) (((v) % (n)) + 1)
+
+static int64_t og_a[4096];
+static int64_t og_b[4096];
+static int64_t og_c[4096];
+
+void gemm_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(blocked) hls(clean)
+  for (int i = 0; i < 64; ++i) {
+    for (int k = 0; k < 64; ++k) {
+      for (int j = 0; j < 64; ++j) {
+        og_c[64*i + j] += (og_a[64*i + k] * og_b[j + 64*k]);
+      }
+    }
+  }
+}
+}
+
+#pragma dsa tune desc(unroll across two inner-loop dimensions (tensorize))
+void gemm_kernel_tuned(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(blocked_2d) hls(clean)
+  for (int i = 0; i < 64; ++i) {
+    for (int k = 0; k < 32; ++k) {
+      for (int j = 0; j < 32; ++j) {
+        og_c[64*i + 2*j] += ((og_a[64*i + 2*k] * og_b[2*j + 128*k]) + (og_a[64*i + 2*k + 1] * og_b[2*j + 128*k + 64]));
+        og_c[64*i + 2*j + 1] += ((og_a[64*i + 2*k] * og_b[2*j + 128*k + 1]) + (og_a[64*i + 2*k + 1] * og_b[2*j + 128*k + 65]));
+      }
+    }
+  }
+}
+}
+
+int main(void) {
+  gemm_kernel();
+  return 0;
+}

@@ -1,0 +1,31 @@
+/* mm (dsp, 32^3) - generated from the OverGen loop-nest IR */
+#pragma dsa kernel name(mm) suite(dsp) dtype(f64) lanes(1) size(32^3)
+#include <stdint.h>
+#include <math.h>
+
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define OG_TRI(v, n) (((v) % (n)) + 1)
+
+static double og_a[1024];
+static double og_b[1024];
+static double og_c[1024];
+
+void mm_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(matmul) hls(clean)
+  for (int i = 0; i < 32; ++i) {
+    for (int k = 0; k < 32; ++k) {
+      for (int j = 0; j < 32; ++j) {
+        og_c[32*i + j] += (og_a[32*i + k] * og_b[j + 32*k]);
+      }
+    }
+  }
+}
+}
+
+int main(void) {
+  mm_kernel();
+  return 0;
+}

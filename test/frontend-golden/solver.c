@@ -1,0 +1,33 @@
+/* solver (dsp, 48^2) - generated from the OverGen loop-nest IR */
+#pragma dsa kernel name(solver) suite(dsp) dtype(f64) lanes(1) size(48^2)
+#include <stdint.h>
+#include <math.h>
+
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define OG_TRI(v, n) (((v) % (n)) + 1)
+
+static double og_lm[2304];
+static double og_x[48];
+static double og_b[48];
+
+void solver_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(sweep) hls(clean)
+  for (int i = 0; i < 48; ++i) {
+    for (int j = 0; j < OG_TRI(i, 48); ++j) {
+      og_x[i] -= (og_lm[48*i + j] * og_b[j]);
+    }
+  }
+  #pragma dsa decouple region(scale) hls(clean)
+  for (int i = 0; i < 48; ++i) {
+    og_x[i] = (og_x[i] / og_lm[49*i]);
+  }
+}
+}
+
+int main(void) {
+  solver_kernel();
+  return 0;
+}

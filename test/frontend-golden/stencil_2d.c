@@ -1,0 +1,47 @@
+/* stencil-2d (machsuite, 66^2x32) - generated from the OverGen loop-nest IR */
+#pragma dsa kernel name(stencil-2d) suite(machsuite) dtype(i64) lanes(1) size(66^2x32) window_reuse
+#include <stdint.h>
+#include <math.h>
+
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define OG_TRI(v, n) (((v) % (n)) + 1)
+
+static int64_t og_sin[4356];
+static int64_t og_sout[4096];
+static int64_t og_f[9];
+
+void stencil_2d_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(conv3x3) hls(clean)
+  for (int t = 0; t < 32; ++t) {
+    for (int r = 0; r < 64; ++r) {
+      for (int c = 0; c < 64; ++c) {
+        og_sout[c + 64*r] = (((((((((og_f[0] * og_sin[c + 66*r]) + (og_f[1] * og_sin[c + 66*r + 1])) + (og_f[2] * og_sin[c + 66*r + 2])) + (og_f[3] * og_sin[c + 66*r + 66])) + (og_f[4] * og_sin[c + 66*r + 67])) + (og_f[5] * og_sin[c + 66*r + 68])) + (og_f[6] * og_sin[c + 66*r + 132])) + (og_f[7] * og_sin[c + 66*r + 133])) + (og_f[8] * og_sin[c + 66*r + 134]));
+      }
+    }
+  }
+}
+}
+
+#pragma dsa tune desc(manually unroll columns to reuse overlapped window loads)
+void stencil_2d_kernel_tuned(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(conv3x3_unroll2) hls(clean)
+  for (int t = 0; t < 32; ++t) {
+    for (int r = 0; r < 64; ++r) {
+      for (int c = 0; c < 32; ++c) {
+        og_sout[2*c + 64*r] = (((((((((og_f[0] * og_sin[2*c + 66*r]) + (og_f[1] * og_sin[2*c + 66*r + 1])) + (og_f[2] * og_sin[2*c + 66*r + 2])) + (og_f[3] * og_sin[2*c + 66*r + 66])) + (og_f[4] * og_sin[2*c + 66*r + 67])) + (og_f[5] * og_sin[2*c + 66*r + 68])) + (og_f[6] * og_sin[2*c + 66*r + 132])) + (og_f[7] * og_sin[2*c + 66*r + 133])) + (og_f[8] * og_sin[2*c + 66*r + 134]));
+        og_sout[2*c + 64*r + 1] = (((((((((og_f[0] * og_sin[2*c + 66*r + 1]) + (og_f[1] * og_sin[2*c + 66*r + 2])) + (og_f[2] * og_sin[2*c + 66*r + 3])) + (og_f[3] * og_sin[2*c + 66*r + 67])) + (og_f[4] * og_sin[2*c + 66*r + 68])) + (og_f[5] * og_sin[2*c + 66*r + 69])) + (og_f[6] * og_sin[2*c + 66*r + 133])) + (og_f[7] * og_sin[2*c + 66*r + 134])) + (og_f[8] * og_sin[2*c + 66*r + 135]));
+      }
+    }
+  }
+}
+}
+
+int main(void) {
+  stencil_2d_kernel();
+  return 0;
+}

@@ -1,0 +1,34 @@
+/* stencil-3d (machsuite, 34^3x8) - generated from the OverGen loop-nest IR */
+#pragma dsa kernel name(stencil-3d) suite(machsuite) dtype(i64) lanes(1) size(34^3x8)
+#include <stdint.h>
+#include <math.h>
+
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define OG_TRI(v, n) (((v) % (n)) + 1)
+
+static int64_t og_sin[39304];
+static int64_t og_sout[39304];
+static int64_t og_c0 = 1;
+static int64_t og_c1 = 1;
+
+void stencil_3d_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(sweep) hls(strided 6)
+  for (int t = 0; t < 8; ++t) {
+    for (int i = 0; i < 32; ++i) {
+      for (int j = 0; j < 32; ++j) {
+        for (int k = 0; k < 32; ++k) {
+          og_sout[1156*i + 34*j + k + 1191] = ((og_c0 * og_sin[1156*i + 34*j + k + 1191]) + (og_c1 * (((((og_sin[1156*i + 34*j + k + 1190] + og_sin[1156*i + 34*j + k + 1192]) + og_sin[1156*i + 34*j + k + 1157]) + og_sin[1156*i + 34*j + k + 2347]) + og_sin[1156*i + 34*j + k + 35]) + og_sin[1156*i + 34*j + k + 1225])));
+        }
+      }
+    }
+  }
+}
+}
+
+int main(void) {
+  stencil_3d_kernel();
+  return 0;
+}

@@ -1,0 +1,27 @@
+/* vecmax (vision, 128^2x4) - generated from the OverGen loop-nest IR */
+#pragma dsa kernel name(vecmax) suite(vision) dtype(i16) lanes(1) size(128^2x4)
+#include <stdint.h>
+#include <math.h>
+
+#define MIN(a, b) ((a) < (b) ? (a) : (b))
+#define MAX(a, b) ((a) > (b) ? (a) : (b))
+#define OG_TRI(v, n) (((v) % (n)) + 1)
+
+static int16_t og_xa[65536];
+static int16_t og_xb[65536];
+static int16_t og_xm[65536];
+
+void vecmax_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(vmax) hls(clean)
+  for (int i = 0; i < 65536; ++i) {
+    og_xm[i] = MAX(og_xa[i], og_xb[i]);
+  }
+}
+}
+
+int main(void) {
+  vecmax_kernel();
+  return 0;
+}

@@ -1,0 +1,389 @@
+(* The source frontend: parse (C_source.emit k) must round-trip to a
+   structurally equal kernel for the whole suite, rejected inputs must
+   yield located errors (never exceptions), and the seeded generator +
+   fuzz loop must be deterministic with full grammar coverage. *)
+
+open Overgen_workload
+module Frontend = Overgen_frontend.Frontend
+module Gen = Overgen_frontend.Gen
+module Fuzz = Overgen_frontend.Fuzz
+module Compile = Overgen_mdfg.Compile
+module Rng = Overgen_util.Rng
+
+let parse_ok src =
+  match Frontend.parse src with
+  | Ok k -> k
+  | Error e -> Alcotest.failf "parse failed: %s" (Frontend.error_to_string e)
+
+(* structural equality is meaningful here: [Ir.kernel] is pure data and
+   both sides build affines through the normalizing constructor *)
+let test_round_trip_suite () =
+  List.iter
+    (fun (k : Ir.kernel) ->
+      let k' = parse_ok (C_source.emit k) in
+      if k' <> k then
+        Alcotest.failf "kernel %s does not round-trip structurally\n%s\n-- vs --\n%s"
+          k.name (Ir.pretty k) (Ir.pretty k'))
+    Kernels.all
+
+let test_round_trip_schedules_bit_identical () =
+  List.iter
+    (fun (k : Ir.kernel) ->
+      let k' = parse_ok (C_source.emit k) in
+      List.iter
+        (fun tuned ->
+          let c = Compile.compile ~tuned k and c' = Compile.compile ~tuned k' in
+          Alcotest.(check string)
+            (Printf.sprintf "%s tuned=%b mdfg content hash" k.name tuned)
+            (Compile.hash_compiled c) (Compile.hash_compiled c'))
+        [ false; true ])
+    Kernels.all
+
+let test_round_trip_tuned_emission () =
+  (* ~tuned:true emission swaps the tuned regions into the main function:
+     it must still parse, to a kernel whose regions are the tuned ones *)
+  List.iter
+    (fun (k : Ir.kernel) ->
+      match k.og_tuning with
+      | None -> ()
+      | Some t ->
+        let k' = parse_ok (C_source.emit ~tuned:true k) in
+        if k'.regions <> t.regions then
+          Alcotest.failf "%s: tuned emission did not parse to the tuned regions"
+            k.name)
+    Kernels.all
+
+(* ---------------- emitter bug regressions ---------------- *)
+
+let test_affine_negative_rendering () =
+  let a = Ir.affine ~const:(-3) [ ("i", 2) ] in
+  Alcotest.(check string) "compact" "2*i-3" (Ir.affine_to_string a);
+  let b = Ir.affine [ ("i", 1); ("j", -1) ] in
+  Alcotest.(check string) "unit negative coeff" "i-j" (Ir.affine_to_string b);
+  let c = Ir.affine ~const:4 [ ("j", -1) ] in
+  Alcotest.(check string) "leading negative" "-j+4" (Ir.affine_to_string c);
+  Alcotest.(check string) "spaced" "2*i - 3"
+    (Ir.affine_render ~sep_plus:" + " ~sep_minus:" - " a)
+
+let test_affine_negative_round_trip () =
+  (* negative coefficients (reversed walks) and negative constants in
+     expressions through emit -> parse; a subscript's minimum stays >= 0 *)
+  let k =
+    {
+      (Kernels.find "solver") with
+      Ir.name = "negrt";
+      arrays = [ ("a", 16); ("c", 16) ];
+      regions =
+        [
+          {
+            Ir.rname = "neg";
+            loops = [ { Ir.var = "i"; trip = Ir.Fixed 8 } ];
+            body =
+              [
+                Ir.Store
+                  ( {
+                      Ir.array = "c";
+                      index = Ir.Direct (Ir.affine ~const:7 [ ("i", -1) ]);
+                    },
+                    Ir.Binop
+                      ( Overgen_adg.Op.Add,
+                        Ir.Load
+                          {
+                            Ir.array = "a";
+                            index =
+                              Ir.Direct (Ir.affine ~const:14 [ ("i", -2) ]);
+                          },
+                        Ir.Const (-2.5) ) );
+              ];
+            hls = Ir.Clean;
+          };
+        ];
+      og_tuning = None;
+    }
+  in
+  let src = C_source.emit k in
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  (* the satellite bug: subscripts used to render as [7 + -1*i]; the
+     canonical forms lead with the negative term and join with minus *)
+  if not (contains_sub src "og_c[-i + 7]" && contains_sub src "og_a[-2*i + 14]")
+  then Alcotest.failf "negative subscripts not rendered canonically:\n%s" src;
+  if contains_sub src "+ -1*" || contains_sub src "+-" then
+    Alcotest.failf "emitted subscript still joins negatives with '+':\n%s" src;
+  let k' = parse_ok src in
+  if k' <> k then Alcotest.fail "negative affine kernel does not round-trip"
+
+let test_const_literals_dtype_correct () =
+  let solver = Kernels.find "solver" in
+  let f64 = { solver with Ir.name = "cf" } in
+  let with_body body =
+    {
+      f64 with
+      Ir.regions =
+        [
+          {
+            Ir.rname = "r";
+            loops = [ { Ir.var = "i"; trip = Ir.Fixed 4 } ];
+            body;
+            hls = Ir.Clean;
+          };
+        ];
+      arrays = [ ("x", 8) ];
+      og_tuning = None;
+    }
+  in
+  let st e =
+    Ir.Store ({ Ir.array = "x"; index = Ir.Direct (Ir.affine [ ("i", 1) ]) }, e)
+  in
+  let k =
+    with_body [ st (Ir.Binop (Overgen_adg.Op.Div, Ir.Const 1.0, Ir.Const 2.0)) ]
+  in
+  let src = C_source.emit k in
+  (* a float-dtype kernel must never emit bare C int literals *)
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  if not (contains_sub src "(1.0 / 2.0)") then
+    Alcotest.failf "float consts emitted wrong:\n%s" src;
+  let k' = parse_ok src in
+  if k' <> k then Alcotest.fail "float const kernel does not round-trip";
+  (* huge integer-valued floats must not go through int_of_float *)
+  let huge = 1e18 in
+  let k2 = with_body [ st (Ir.Const huge) ] in
+  let k2' = parse_ok (C_source.emit k2) in
+  (match List.hd (List.hd k2'.Ir.regions).Ir.body with
+  | Ir.Store (_, Ir.Const f) ->
+    Alcotest.(check (float 0.0)) "huge const survives" huge f
+  | _ -> Alcotest.fail "unexpected lowering of huge const");
+  Alcotest.(check string) "pretty guards int_of_float" "1e+18"
+    (Ir.const_to_string huge)
+
+let test_triangular_bound_emitted () =
+  let cholesky = Kernels.find "cholesky" in
+  let src = C_source.emit cholesky in
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  if not (contains_sub src "OG_TRI(j, 48)") then
+    Alcotest.failf "triangular loop lost its dependent bound:\n%s" src;
+  if not (contains_sub src "OG_TRI(i, 48)") then
+    Alcotest.fail "inner triangular loop should ride the enclosing variable"
+
+(* ---------------- located errors, no exceptions ---------------- *)
+
+let located_error ?(min_line = 1) src expect_sub =
+  match Frontend.parse src with
+  | Ok _ -> Alcotest.failf "expected a parse error (%s)" expect_sub
+  | Error e ->
+    let msg = Frontend.error_to_string e in
+    let contains_sub s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    if not (contains_sub msg expect_sub) then
+      Alcotest.failf "error %S does not mention %S" msg expect_sub;
+    Alcotest.(check bool) "error is located" true (e.Frontend.line >= min_line)
+
+let minimal_src body =
+  Printf.sprintf
+    {|#pragma dsa kernel name(t) suite(dsp) dtype(f64) lanes(1) size(4)
+static double og_x[8];
+static double og_y[8];
+void t_kernel(void) {
+#pragma dsa config
+{
+  #pragma dsa decouple region(r) hls(clean)
+  for (int i = 0; i < 4; ++i) {
+%s
+  }
+}
+}
+int main(void) { t_kernel(); return 0; }
+|}
+    body
+
+let replace_once ~sub ~by s =
+  let n = String.length s and m = String.length sub in
+  let rec find i = if i + m > n then None
+    else if String.sub s i m = sub then Some i else find (i + 1) in
+  match find 0 with
+  | None -> s
+  | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)
+
+let test_error_unterminated_pragma () =
+  located_error
+    (replace_once ~sub:"name(t)" ~by:"name(t"
+       (minimal_src "    og_x[i] = og_y[i];"))
+    "unterminated pragma"
+
+let test_error_non_affine_subscript () =
+  located_error (minimal_src "    og_x[i*i] = og_y[i];") "non-affine";
+  located_error (minimal_src "    og_x[i] = og_y[i * i];") "non-affine"
+
+let test_error_unknown_op () =
+  located_error (minimal_src "    og_x[i] = frobnicate(og_y[i]);") "unknown op";
+  located_error (minimal_src "    og_x[i] = select(og_y[i], og_y[i]);")
+    "not expressible"
+
+let test_error_misc_located () =
+  located_error "int x;" "missing '#pragma dsa kernel";
+  (* the bounds check runs on the lowered kernel, after locations *)
+  located_error ~min_line:0 (minimal_src "    og_x[i+9] = og_y[i];") "can reach";
+  located_error (minimal_src "    og_z[i] = og_y[i];") "undeclared array";
+  located_error (minimal_src "    og_x[j] = og_y[i];") "not an induction";
+  located_error (minimal_src "    og_x[i] = i;") "outside a subscript";
+  (* exceptions never escape, even on garbage *)
+  List.iter
+    (fun junk ->
+      match Frontend.parse junk with
+      | Ok _ -> Alcotest.fail "garbage parsed"
+      | Error _ -> ())
+    [ ""; "\x00\x01\x02"; "void"; "#pragma dsa kernel name()"; "{{{{" ]
+
+let test_source_name () =
+  let src = C_source.emit (Kernels.find "stencil-3d") in
+  Alcotest.(check (option string)) "source_name" (Some "stencil-3d")
+    (Frontend.source_name src);
+  Alcotest.(check (option string)) "no pragma" None (Frontend.source_name "int x;")
+
+(* ---------------- generator + fuzz loop ---------------- *)
+
+let test_gen_deterministic () =
+  let gen seed =
+    let cov = Gen.Cov.create () in
+    let rng = Rng.of_string (Printf.sprintf "gen:%d" seed) in
+    List.init 20 (fun _ -> Gen.kernel ~cov rng)
+  in
+  let a = gen 7 and b = gen 7 and c = gen 8 in
+  Alcotest.(check bool) "same seed, same kernels" true (a = b);
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_gen_round_trips () =
+  let cov = Gen.Cov.create () in
+  let rng = Rng.of_string "gen-roundtrip" in
+  for i = 0 to 199 do
+    let k = Gen.kernel ~cov rng in
+    let src = C_source.emit k in
+    match Frontend.parse src with
+    | Error e ->
+      Alcotest.failf "generated kernel %d (%s) rejected: %s\n%s" i k.Ir.name
+        (Frontend.error_to_string e) src
+    | Ok k' ->
+      if k' <> k then
+        Alcotest.failf "generated kernel %d (%s) does not round-trip" i
+          k.Ir.name
+  done;
+  (* 200 draws must exercise every grammar production the map tracks *)
+  match Gen.Cov.missing cov with
+  | [] -> ()
+  | missing ->
+    Alcotest.failf "uncovered productions after 200 kernels: %s"
+      (String.concat ", " missing)
+
+let test_fuzz_smoke () =
+  let s = Fuzz.run ~seeds:50 ~seed:11 () in
+  Alcotest.(check int) "every seed ran" 50 s.Fuzz.runs;
+  Alcotest.(check int) "no escaped exceptions" 0 s.Fuzz.escaped;
+  Alcotest.(check int) "no invariant violations" 0 s.Fuzz.violations;
+  Alcotest.(check bool) "schedules happened" true (s.Fuzz.scheduled > 0)
+
+let test_fuzz_with_faults () =
+  let s = Fuzz.run ~seeds:40 ~seed:3 ~fault_rate:0.3 () in
+  Alcotest.(check int) "no escaped exceptions under faults" 0 s.Fuzz.escaped;
+  Alcotest.(check int) "no invariant violations under faults" 0
+    s.Fuzz.violations;
+  Alcotest.(check bool) "faults actually injected" true (s.Fuzz.injected > 0)
+
+(* the test binary runs from the project root under [dune exec] and from
+   [_build/default/test] under [dune runtest]; resolve data dirs from
+   either *)
+let data_dir name =
+  if Sys.file_exists name then name else Filename.concat "test" name
+
+(* every committed crasher stays a located error, never an exception *)
+let test_corpus_rejects_cleanly () =
+  let dir = data_dir "frontend-corpus" in
+  let files =
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".c")
+      |> List.sort String.compare
+    else []
+  in
+  Alcotest.(check bool) "corpus present" true (files <> []);
+  List.iter
+    (fun f ->
+      let ic = open_in_bin (Filename.concat dir f) in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Frontend.parse src with
+      | Ok _ -> Alcotest.failf "corpus file %s unexpectedly parsed" f
+      | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s yields a located error" f)
+          true
+          (e.Frontend.line >= 0 && e.Frontend.msg <> ""))
+    files
+
+(* committed golden sources: the emitter reproduces them exactly, and
+   they parse back to the suite kernels *)
+let test_golden_sources () =
+  let dir = data_dir "frontend-golden" in
+  Alcotest.(check bool) "golden dir present" true
+    (Sys.file_exists dir && Sys.is_directory dir);
+  List.iter
+    (fun (k : Ir.kernel) ->
+      let path = Filename.concat dir (C_source.fn_name k ^ ".c") in
+      Alcotest.(check bool) (path ^ " exists") true (Sys.file_exists path);
+      let ic = open_in_bin path in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) (path ^ " matches emitter") src (C_source.emit k);
+      let k' = parse_ok src in
+      if k' <> k then Alcotest.failf "%s does not parse back to %s" path k.name)
+    Kernels.all
+
+let tests =
+  [
+    Alcotest.test_case "round-trip: all 19 suite kernels" `Quick
+      test_round_trip_suite;
+    Alcotest.test_case "round-trip: schedules bit-identical" `Slow
+      test_round_trip_schedules_bit_identical;
+    Alcotest.test_case "round-trip: tuned emission" `Quick
+      test_round_trip_tuned_emission;
+    Alcotest.test_case "affine: negative rendering canonical" `Quick
+      test_affine_negative_rendering;
+    Alcotest.test_case "affine: negative round-trip" `Quick
+      test_affine_negative_round_trip;
+    Alcotest.test_case "consts: dtype-correct literals" `Quick
+      test_const_literals_dtype_correct;
+    Alcotest.test_case "triangular: dependent bound emitted" `Quick
+      test_triangular_bound_emitted;
+    Alcotest.test_case "errors: unterminated pragma" `Quick
+      test_error_unterminated_pragma;
+    Alcotest.test_case "errors: non-affine subscript" `Quick
+      test_error_non_affine_subscript;
+    Alcotest.test_case "errors: unknown op" `Quick test_error_unknown_op;
+    Alcotest.test_case "errors: located, never exceptions" `Quick
+      test_error_misc_located;
+    Alcotest.test_case "source_name peek" `Quick test_source_name;
+    Alcotest.test_case "gen: deterministic in the seed" `Quick
+      test_gen_deterministic;
+    Alcotest.test_case "gen: 200 kernels round-trip + full coverage" `Slow
+      test_gen_round_trips;
+    Alcotest.test_case "fuzz: clean pipeline smoke" `Slow test_fuzz_smoke;
+    Alcotest.test_case "fuzz: under fault injection" `Slow
+      test_fuzz_with_faults;
+    Alcotest.test_case "corpus: crashers reject cleanly" `Quick
+      test_corpus_rejects_cleanly;
+    Alcotest.test_case "golden: emitted sources committed" `Quick
+      test_golden_sources;
+  ]

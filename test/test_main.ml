@@ -18,5 +18,6 @@ let () =
       ("store", Test_store.tests);
       ("service", Test_service.tests);
       ("net", Test_net.tests);
+      ("frontend", Test_frontend.tests);
       ("properties", Test_properties.tests);
     ]

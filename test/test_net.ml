@@ -102,12 +102,18 @@ let gen_request =
       oneofl [ ""; "00ff00ff00ff00ff00ff00ff00ff00ff"; "deadbeef" ]
     in
     let* parent_span = int_range 0 1_000_000 in
+    let* as_source = bool in
+    let payload =
+      (* both payload forms ride the same Compile envelope *)
+      if as_source then Wire.Source (C_source.emit (Kernels.find name))
+      else Wire.Kernel (Kernels.find name)
+    in
     return
       {
         Wire.id;
         user;
         overlay;
-        kernel = Kernels.find name;
+        payload;
         tuned;
         trace;
         parent_span;
@@ -133,7 +139,10 @@ let prop_req_roundtrip =
           && r.Wire.tuned = req.Wire.tuned
           && r.Wire.trace = req.Wire.trace
           && r.Wire.parent_span = req.Wire.parent_span
-          && Ir.pretty r.Wire.kernel = Ir.pretty req.Wire.kernel
+          && (match (r.Wire.payload, req.Wire.payload) with
+             | Wire.Kernel a, Wire.Kernel b -> Ir.pretty a = Ir.pretty b
+             | Wire.Source a, Wire.Source b -> a = b
+             | _ -> false)
         | Ok _ -> false))
 
 let gen_wire_error =
@@ -146,6 +155,7 @@ let gen_wire_error =
         map (fun s -> Wire.Transient_failure s) (string_size (int_range 0 20));
         return Wire.Deadline_exceeded;
         return Wire.Shutting_down;
+        map (fun s -> Wire.Source_error s) (string_size (int_range 0 20));
       ])
 
 let gen_resp =
@@ -230,7 +240,7 @@ let compile_req ?(trace = "") ~id kernel =
       Wire.id;
       user = "u";
       overlay = "general";
-      kernel;
+      payload = Wire.Kernel kernel;
       tuned = false;
       trace;
       parent_span = 0;
@@ -266,6 +276,61 @@ let test_socket_roundtrip () =
   | Ok (Wire.Stats s) ->
     Alcotest.failf "stats: served %d hits %d" s.served s.hits
   | Ok _ | Error _ -> Alcotest.fail "stats rpc failed");
+  Client.close c;
+  Server.stop server;
+  Node.shutdown node
+
+let source_req ~id ?(tuned = false) src =
+  Wire.Compile
+    {
+      Wire.id;
+      user = "u";
+      overlay = "general";
+      payload = Wire.Source src;
+      tuned;
+      trace = "";
+      parent_span = 0;
+    }
+
+(* A kernel submitted as pragma'd C source must come back compiled, and —
+   because the shard's schedule cache keys on the lowered IR, not the
+   payload form — the same kernel later submitted as IR must hit the
+   entry the source compile populated. *)
+let test_source_payload_over_socket () =
+  let server, node, port = start_single_shard () in
+  let c = Result.get_ok (Client.connect ~host:"127.0.0.1" ~port) in
+  let kernel = List.hd Kernels.all in
+  let src = C_source.emit kernel in
+  let from_source =
+    match Client.rpc c (source_req ~id:1 src) with
+    | Ok (Wire.Result { id = 1; outcome = Ok schedules; cache_hit = false; _ }) ->
+      Alcotest.(check bool) "schedules nonempty" true (schedules <> []);
+      schedules
+    | Ok (Wire.Result { outcome = Error e; _ }) ->
+      Alcotest.failf "source compile: %s" (Wire.wire_error_to_string e)
+    | Ok _ -> Alcotest.fail "wrong response"
+    | Error e -> Alcotest.failf "rpc: %s" e
+  in
+  (* the IR form of the same kernel: a cache hit on the source's entry *)
+  (match Client.rpc c (compile_req ~id:2 kernel) with
+  | Ok (Wire.Result { id = 2; outcome = Ok schedules; cache_hit = true; _ }) ->
+    Alcotest.(check bool) "IR form hits the source-populated entry" true
+      (schedules = from_source)
+  | Ok (Wire.Result { cache_hit = false; _ }) ->
+    Alcotest.fail "IR form missed: source and IR diverged on the cache key"
+  | Ok _ -> Alcotest.fail "wrong response"
+  | Error e -> Alcotest.failf "rpc: %s" e);
+  (* a malformed source is a deterministic, located, non-retryable error *)
+  (match Client.rpc c (source_req ~id:3 "int broken(") with
+  | Ok (Wire.Result { id = 3; outcome = Error (Wire.Source_error e); _ }) ->
+    Alcotest.(check bool) "error is located" true
+      (String.length e > 0 && e.[0] >= '1' && e.[0] <= '9');
+    Alcotest.(check bool) "source errors are not retryable" false
+      (Wire.retryable (Wire.Source_error e))
+  | Ok (Wire.Result { outcome = Error e; _ }) ->
+    Alcotest.failf "wrong error: %s" (Wire.wire_error_to_string e)
+  | Ok _ -> Alcotest.fail "wrong response"
+  | Error e -> Alcotest.failf "rpc: %s" e);
   Client.close c;
   Server.stop server;
   Node.shutdown node
@@ -315,8 +380,8 @@ let test_two_clients_same_id () =
     let svc = Service.create (Node.registry node) in
     let resps =
       Service.run svc
-        [ { Service.id = 0; user = "r"; overlay = "general"; kernel;
-            tuned = false; trace = "" } ]
+        [ { Service.id = 0; user = "r"; overlay = "general";
+            payload = Service.Kernel kernel; tuned = false; trace = "" } ]
     in
     match resps with
     | [ { Service.result = Ok schedules; _ } ] -> digest schedules
@@ -344,7 +409,10 @@ let test_serve_under_faults () =
              Wire.id = r.id;
              user = r.user;
              overlay = r.overlay;
-             kernel = r.kernel;
+             payload =
+               (match r.payload with
+               | Service.Kernel k -> Wire.Kernel k
+               | Service.Source src -> Wire.Source src);
              tuned = r.tuned;
              trace = "";
              parent_span = 0;
@@ -409,7 +477,10 @@ let test_reboot_replays_store () =
              Wire.id = r.id;
              user = r.user;
              overlay = r.overlay;
-             kernel = r.kernel;
+             payload =
+               (match r.payload with
+               | Service.Kernel k -> Wire.Kernel k
+               | Service.Source src -> Wire.Source src);
              tuned = r.tuned;
              trace = "";
              parent_span = 0;
@@ -491,7 +562,7 @@ let test_forward_preserves_trace () =
       Wire.id = 1;
       user = "u";
       overlay = "general";
-      kernel;
+      payload = Wire.Kernel kernel;
       tuned = false;
       trace = "00ff00ff00ff00ff00ff00ff00ff00ff";
       parent_span = 42;
@@ -544,18 +615,18 @@ let test_old_schema_payload_rejected () =
     in
     let i = find 0 in
     let b = Bytes.of_string payload in
-    (* "...-v2" -> "...-v1": same length, so the length prefix still
+    (* "...-v3" -> "...-v2": same length, so the length prefix still
        matches and only the schema comparison can reject it *)
-    Bytes.set b (i + lt - 1) '1';
+    Bytes.set b (i + lt - 1) '2';
     Bytes.to_string b
   in
   let req_payload = Wire.encode_req (compile_req ~id:3 (List.hd Kernels.all)) in
-  (match Wire.decode_req (patch_schema ~tag:"net-req-v2" req_payload) with
+  (match Wire.decode_req (patch_schema ~tag:"net-req-v3" req_payload) with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "v1 request schema accepted");
-  match Wire.decode_resp (patch_schema ~tag:"net-resp-v2" (Wire.encode_resp Wire.Bye)) with
+  | Ok _ -> Alcotest.fail "v2 request schema accepted");
+  match Wire.decode_resp (patch_schema ~tag:"net-resp-v3" (Wire.encode_resp Wire.Bye)) with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "v1 response schema accepted"
+  | Ok _ -> Alcotest.fail "v2 response schema accepted"
 
 (* ---------------- cross-process trace merge ---------------- *)
 
@@ -611,6 +682,7 @@ let tests =
     ("schema mismatch rejected", `Quick, test_schema_rejected);
     ("shard map", `Quick, test_shard_map);
     ("socket round trip", `Quick, test_socket_roundtrip);
+    ("source payload over socket", `Quick, test_source_payload_over_socket);
     ("quiesced answers shutting-down", `Quick, test_quiesced_answers_shutting_down);
     ("two clients share id 0", `Quick, test_two_clients_same_id);
     ("exactly-once under faults", `Quick, test_serve_under_faults);

@@ -206,7 +206,7 @@ let test_cached_schedules_validate () =
             | Ok () -> ()
             | Error e ->
               Alcotest.failf "request %d (%s): cached schedule invalid: %s"
-                r.request.id r.request.kernel.Ir.name e)
+                r.request.id (Service.payload_name r.request.payload) e)
           scheds)
     responses;
   Alcotest.(check bool) "trace actually exercised the cache" true (!hits > 0)
@@ -347,7 +347,7 @@ let test_retry_recovers () =
   let svc = Service.create ~caching:true registry in
   let req =
     { Service.id = 0; user = "u"; overlay = "general";
-      kernel = Kernels.find "fir"; tuned = false; trace = "" }
+      payload = Service.Kernel (Kernels.find "fir"); tuned = false; trace = "" }
   in
   let responses = Fault.with_faults cfg (fun () -> Service.run svc [ req ]) in
   (match responses with
@@ -376,7 +376,7 @@ let test_deadline_shedding () =
   let reqs =
     List.init 5 (fun id ->
         { Service.id; user = "u"; overlay = "general";
-          kernel = Kernels.find "fir"; tuned = false; trace = "" })
+          payload = Service.Kernel (Kernels.find "fir"); tuned = false; trace = "" })
   in
   List.iter
     (fun r ->
@@ -411,7 +411,7 @@ let test_backpressure () =
   let svc = Service.create ~queue_capacity:4 registry in
   let req id =
     { Service.id; user = "u"; overlay = "general";
-      kernel = Kernels.find "fir"; tuned = false; trace = "" }
+      payload = Service.Kernel (Kernels.find "fir"); tuned = false; trace = "" }
   in
   let accepted, rejected =
     List.fold_left
@@ -435,12 +435,57 @@ let test_unknown_overlay () =
   let svc = Service.create registry in
   let r =
     { Service.id = 0; user = "u"; overlay = "missing";
-      kernel = Kernels.find "fir"; tuned = false; trace = "" }
+      payload = Service.Kernel (Kernels.find "fir"); tuned = false; trace = "" }
   in
   (match Service.submit svc r with Ok () -> () | Error _ -> Alcotest.fail "admit");
   match Service.drain svc with
   | [ { result = Error (Service.Unknown_overlay "missing"); _ } ] -> ()
   | _ -> Alcotest.fail "expected Unknown_overlay failure"
+
+(* A [Source] payload parses on the worker and lands on the same memo and
+   cache keys as the equivalent [Kernel] payload: the second request —
+   the IR form of the kernel the source lowered to — must be a cache
+   hit.  A source the frontend rejects is a deterministic
+   [Source_error], never an exception out of the service. *)
+let test_source_payload () =
+  let o = Lazy.force general in
+  let registry = Registry.create () in
+  (match Registry.register registry ~name:"general" o with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let svc = Service.create ~caching:true registry in
+  let kernel = Kernels.find "fir" in
+  let req id payload =
+    { Service.id; user = "u"; overlay = "general"; payload; tuned = false;
+      trace = "" }
+  in
+  let responses =
+    Service.run svc
+      [
+        req 0 (Service.Source (C_source.emit kernel));
+        req 1 (Service.Kernel kernel);
+        req 2 (Service.Source "int broken(");
+      ]
+  in
+  match responses with
+  | [ r0; r1; r2 ] ->
+    let scheds = function
+      | { Service.result = Ok s; _ } -> s
+      | { Service.result = Error e; _ } ->
+        Alcotest.failf "compile failed: %s" (Service.error_to_string e)
+    in
+    Alcotest.(check bool) "source compile is the miss" false r0.cache_hit;
+    Alcotest.(check bool) "IR form hits the source's cache entry" true
+      r1.cache_hit;
+    Alcotest.(check bool) "identical schedules" true (scheds r0 = scheds r1);
+    (match r2.result with
+    | Error (Service.Source_error e) ->
+      Alcotest.(check bool) "parse error is located" true
+        (String.length e > 0 && e.[0] >= '1' && e.[0] <= '9')
+    | Error e ->
+      Alcotest.failf "wrong error kind: %s" (Service.error_to_string e)
+    | Ok _ -> Alcotest.fail "malformed source compiled")
+  | _ -> Alcotest.fail "expected exactly three responses"
 
 (* ---------------- telemetry ---------------- *)
 
@@ -628,6 +673,7 @@ let tests =
       test_workers_match_deterministic;
     Alcotest.test_case "backpressure" `Slow test_backpressure;
     Alcotest.test_case "unknown overlay" `Quick test_unknown_overlay;
+    Alcotest.test_case "source payload" `Slow test_source_payload;
     Alcotest.test_case "telemetry empty snapshot" `Quick
       test_telemetry_empty_snapshot;
     Alcotest.test_case "telemetry registry parity" `Quick
