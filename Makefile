@@ -1,4 +1,4 @@
-.PHONY: all build test bench check check-obs check-fault check-store check-net check-trace check-frontend check-regress bench-baseline clean
+.PHONY: all build test bench check check-obs check-fault check-store check-net check-trace check-frontend check-fleet check-regress bench-baseline clean
 
 all: build
 
@@ -50,6 +50,13 @@ check-trace:
 check-frontend:
 	dune build @frontend-smoke
 
+# Fleet smoke: the multi-tenant QoS scenario (weighted-fair shares,
+# deterministic quota sheds, retire + background-DSE promote asserted
+# through the flight recorder), then a mini 2-tenant serve-bench replay
+# that must hit its shares and promote one overlay.
+check-fleet:
+	dune build @fleet-smoke
+
 # Perf regression gate: re-run all seven bench scenarios at smoke scale
 # and diff the emitted BENCH_*.json against the baselines committed in
 # bench/baselines/ (fails on any gated metric past the tolerance).
@@ -61,9 +68,10 @@ check-regress:
 # emitted BENCH_*.json into bench/baselines/.  Commit both.
 bench-baseline:
 	dune exec bench/main.exe -- micro service obs fault store \
-	  dse --islands 2 --iterations 50 net --smoke
+	  dse --islands 2 --iterations 50 net --smoke fleet
 	cp BENCH_micro.json BENCH_service.json BENCH_obs.json BENCH_fault.json \
-	  BENCH_store.json BENCH_dse.json BENCH_net.json bench/baselines/
+	  BENCH_store.json BENCH_dse.json BENCH_net.json BENCH_fleet.json \
+	  bench/baselines/
 
 # Full gate: build everything, run the whole test suite, smoke the CLI
 # (`overgen list` + a small deterministic serve-bench trace), the

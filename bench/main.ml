@@ -47,6 +47,8 @@ let scenarios =
     sc "net" "sharded network tier under open-loop socket load" Net_bench.run;
     sc "frontend" "source frontend parse throughput + fuzz pipeline"
       (fun _ -> Frontend_bench.run ());
+    sc "fleet" "multi-tenant weighted-fair admission + fleet manager"
+      (fun _ -> Fleet_bench.run ());
   ]
 
 (* Reachable by name but excluded from the no-argument full run:

@@ -300,6 +300,7 @@ let run extra =
               {
                 Wire.id = r.id;
                 user = r.user;
+                tenant = r.tenant;
                 overlay = r.overlay;
                 payload =
                   (match r.payload with

@@ -150,6 +150,7 @@ let run () =
            {
              Net.Wire.id = r.id;
              user = r.user;
+             tenant = r.tenant;
              overlay = r.overlay;
              payload =
                (match r.payload with

@@ -31,7 +31,7 @@
    test suite), so a quiet-machine run reads as an improvement. *)
 
 let default_scenarios =
-  [ "micro"; "service"; "dse"; "obs"; "fault"; "store"; "net" ]
+  [ "micro"; "service"; "dse"; "obs"; "fault"; "store"; "net"; "fleet" ]
 
 let default_tolerance = 0.5
 
@@ -58,7 +58,18 @@ let timing_scale_ns name =
    the obs net-path walls are loopback-jitter evidence for the capped
    `net_null_overhead_pct`, not a gateable trajectory *)
 let direction_overrides =
-  [ ("net_untraced_ms", Info); ("net_traced_ms", Info) ]
+  [
+    ("net_untraced_ms", Info);
+    ("net_traced_ms", Info);
+    (* fsync-bound single-shot walls: on shared disk they swing well past
+       2x with machine contention (measured 7–50 ms for the same scan),
+       so relative gating against a quiet-machine baseline is pure noise.
+       Gated by generous absolute caps below instead — a real regression
+       (say, an accidental per-record fsync in scan or compact) lands in
+       the seconds. *)
+    ("scan_on_open_ms", Info);
+    ("compact_ms", Info);
+  ]
 
 (* Hard ceilings, independent of any baseline: the observability
    null-overhead budgets are a contract, and `resends` in the net chaos
@@ -71,6 +82,15 @@ let absolute_caps =
     ("null_overhead_pct", 3.0);
     ("net_null_overhead_pct", 3.0);
     ("resends", 1000.0);
+    (* the fleet scenario's fairness and delivery contracts: achieved
+       share within 10% relative error of the weights, and never a lost
+       response — deterministic values, not trajectories *)
+    ("fleet_share_err_pct", 10.0);
+    ("fleet_lost_responses", 0.0);
+    (* fsync-bound store walls (see direction_overrides): quiet-machine
+       values are ~8 ms / ~26 ms, contention takes them to ~50 / ~100 *)
+    ("scan_on_open_ms", 250.0);
+    ("compact_ms", 500.0);
   ]
 
 let direction name =

@@ -335,7 +335,7 @@ let dse_cmd =
         { Overgen_dse.Dse.default_config with
           iterations; seed; islands; migration_interval }
       in
-      let store = Option.map open_store store_path in
+    let store = Option.map open_store store_path in
       let checkpoint =
         Option.map
           (fun s ->
@@ -700,6 +700,10 @@ module Cache = Overgen_service.Cache
 module Trace = Overgen_service.Trace
 module Telemetry = Overgen_service.Telemetry
 module Fault = Overgen_fault.Fault
+module Tenant = Overgen_fleet.Tenant
+module Admission = Overgen_fleet.Admission
+module Manager = Overgen_fleet.Manager
+module Share = Overgen_fleet.Share
 
 (* A digest of everything mode-independent in the responses: request id,
    success/failure, schedule count, summed II.  Equal digests between a
@@ -723,8 +727,11 @@ let result_digest responses =
 let serve_bench_cmd =
   let run requests workers deterministic seed users working_set cache_capacity
       queue_capacity dse faults fault_seed fault_transient deadline_ms retries
-      store_path trace_out metrics_out =
+      store_path trace_out metrics_out tenants_spec assert_shares fleet_dse =
     let usage what = `Error (false, Printf.sprintf "%s must be positive" what) in
+    let tenant_list =
+      match Tenant.parse tenants_spec with Ok l -> l | Error _ -> []
+    in
     if requests < 1 then usage "--requests"
     else if (not deterministic) && workers < 1 then usage "--workers"
     else if users < 1 then usage "--users"
@@ -736,7 +743,13 @@ let serve_bench_cmd =
     else if fault_transient < 0.0 || fault_transient > 1.0 then
       `Error (false, "--fault-transient must be in [0, 1]")
     else if retries < 0 then `Error (false, "--retries must be non-negative")
-    else begin
+    else
+      match Tenant.parse tenants_spec with
+      | Error e -> `Error (false, Printf.sprintf "--tenants: %s" e)
+      | Ok [] when assert_shares <> None ->
+        `Error (false, "--assert-shares needs --tenants")
+      | Ok _ ->
+    begin
     (* the warm replay's service telemetry joins the Prometheus dump *)
     let warm_registry = ref None in
     let registries () = Option.to_list !warm_registry in
@@ -775,8 +788,17 @@ let serve_bench_cmd =
               let e = Option.get (Registry.find registry name) in
               Printf.sprintf "%s [%s]" name (String.sub e.fingerprint 0 8))
             (Registry.names registry)));
-    let spec = Trace.spec ~seed ~requests ~users ~working_set ~overlays () in
+    let tenant_ids =
+      Array.of_list (List.map (fun (t : Tenant.t) -> t.Tenant.id) tenant_list)
+    in
+    let spec =
+      Trace.spec ~seed ~requests ~users ~working_set ~tenants:tenant_ids
+        ~overlays ()
+    in
     let trace = Trace.generate spec in
+    if tenant_list <> [] then
+      Printf.printf "tenants: %s\n"
+        (String.concat ", " (List.map Tenant.to_string tenant_list));
     Printf.printf
       "trace: %d requests, %d users, %d distinct (overlay, kernel) pairs\n"
       requests users (Trace.distinct_keys spec);
@@ -815,6 +837,7 @@ let serve_bench_cmd =
     (* The durable store backs only the warm (caching) replay: schedule
        outcomes write through, and a second serve-bench run against the
        same --store file starts its LRU warm from disk. *)
+    let last_share_err = ref None in
     let store = Option.map open_store store_path in
     (match (store, store_path) with
     | Some s, Some p ->
@@ -838,9 +861,53 @@ let serve_bench_cmd =
       let svc =
         Service.create ~mode ~queue_capacity ~caching ~cache ~policy registry
       in
-      let t0 = Unix.gettimeofday () in
-      let responses = Service.run svc trace in
-      let wall_s = Unix.gettimeofday () -. t0 in
+      let responses, wall_s =
+        match tenant_list with
+        | [] ->
+          let t0 = Unix.gettimeofday () in
+          let responses = Service.run svc trace in
+          (responses, Unix.gettimeofday () -. t0)
+        | tenants ->
+          (* weighted-fair replay: park the whole trace behind the
+             admission layer, release it at once, and read the achieved
+             shares off the completion order *)
+          let adm = Admission.create ~tenants svc in
+          let out = ref [] and order = ref [] in
+          let om = Mutex.create () in
+          let k (r : Service.response) =
+            Mutex.lock om;
+            out := r :: !out;
+            (match r.result with
+            | Error Service.Quota_exceeded -> ()
+            | _ -> order := r.request.Service.tenant :: !order);
+            Mutex.unlock om
+          in
+          Admission.hold adm;
+          List.iter (fun r -> Admission.submit_k adm r ~k) trace;
+          let t0 = Unix.gettimeofday () in
+          Admission.release adm;
+          Admission.drain adm;
+          let wall_s = Unix.gettimeofday () -. t0 in
+          let st = Admission.stats adm in
+          let weights =
+            List.map (fun (t : Tenant.t) -> (t.Tenant.id, t.Tenant.weight)) tenants
+          in
+          let reports = Share.measure ~weights (List.rev !order) in
+          List.iter print_endline (Share.report_lines reports);
+          if reports <> [] then last_share_err := Some (Share.max_rel_err reports);
+          Printf.printf
+            "admission: %d admitted, %d quota-shed, %d batch group(s) over %d \
+             request(s)\n"
+            st.Admission.admitted st.Admission.quota_shed st.Admission.batches
+            st.Admission.batched_requests;
+          let responses =
+            List.sort
+              (fun (a : Service.response) b ->
+                compare a.request.Service.id b.request.Service.id)
+              !out
+          in
+          (responses, wall_s)
+      in
       Service.shutdown svc;
       if caching then
         warm_registry := Some (Telemetry.registry (Service.telemetry svc));
@@ -889,6 +956,44 @@ let serve_bench_cmd =
         (Store.length s) (Store.file_bytes s) (Store.path s);
       Store.close s
     | None -> ());
+    (match (assert_shares, !last_share_err) with
+    | Some cap, Some err ->
+      if err > cap then begin
+        Printf.eprintf
+          "FAILED: achieved share off by %.1f%% (--assert-shares %.1f%%)\n"
+          (100.0 *. err) (100.0 *. cap);
+        exit 1
+      end;
+      Printf.printf "shares: max relative error %.1f%% (cap %.1f%%)\n"
+        (100.0 *. err) (100.0 *. cap)
+    | Some _, None ->
+      Printf.eprintf "FAILED: --assert-shares had no share measurement\n";
+      exit 1
+    | None, _ -> ());
+    (* background fleet DSE: feed the warm replay's completions to the
+       manager and promote one overlay for the observed miss profile *)
+    if fleet_dse > 0 then begin
+      let manager =
+        Manager.create
+          ~config:
+            {
+              Manager.default_config with
+              promote_min_requests = 1;
+              dse_iterations = fleet_dse;
+              dse_top_kernels = 2;
+            }
+          ~model registry
+      in
+      List.iter (Manager.observe manager) warm_responses;
+      match Manager.maybe_promote manager with
+      | Some e ->
+        Printf.printf "fleet: promoted %s [%s] from the warm miss profile\n"
+          e.Registry.name
+          (String.sub e.Registry.fingerprint 0 8)
+      | None ->
+        Printf.eprintf "FAILED: --fleet-dse saw no promotable demand\n";
+        exit 1
+    end;
     `Ok ()
     end
   in
@@ -963,6 +1068,29 @@ let serve_bench_cmd =
                    outcomes write through, and a second serve-bench against \
                    the same $(docv) starts warm from disk.")
   in
+  let tenants_bench_arg =
+    Arg.(value & opt string ""
+         & info [ "tenants" ] ~docv:"SPEC"
+             ~doc:"Replay as weighted-fair multi-tenant traffic: \
+                   comma-separated NAME:WEIGHT[:CLASS][:BURST@RATE] tenant \
+                   specs (e.g. $(i,gold:10,silver:3,bronze:1:batch:25@0)); \
+                   requests are striped over the tenants by user and \
+                   admitted through the deficit-round-robin queue.")
+  in
+  let assert_shares_arg =
+    Arg.(value & opt (some float) None
+         & info [ "assert-shares" ] ~docv:"ERR"
+             ~doc:"Exit 1 unless every tenant's achieved share of the \
+                   backlogged prefix is within relative error $(docv) \
+                   (e.g. 0.1) of its weight.")
+  in
+  let fleet_dse_arg =
+    Arg.(value & opt int 0
+         & info [ "fleet-dse" ] ~docv:"ITERS"
+             ~doc:"After the warm replay, run one background fleet DSE of \
+                   $(docv) iterations for the hottest under-served kernels \
+                   and promote the winner into the registry (0 disables).")
+  in
   Cmd.v
     (Cmd.info "serve-bench"
        ~doc:"Replay a synthetic multi-user compile-request trace against the \
@@ -975,7 +1103,8 @@ let serve_bench_cmd =
              $ seed_arg $ users_arg $ ws_arg $ cache_cap_arg $ queue_cap_arg
              $ dse_arg $ faults_arg $ fault_seed_arg $ fault_transient_arg
              $ deadline_arg $ retries_arg $ store_arg $ trace_out_arg
-             $ metrics_out_arg))
+             $ metrics_out_arg $ tenants_bench_arg $ assert_shares_arg
+             $ fleet_dse_arg))
 
 (* --- net-serve / net-client: the sharded network tier --- *)
 
@@ -998,9 +1127,10 @@ let net_setup registry =
     | Ok _ -> ()
     | Error e -> net_die "register general: %s" e
 
-let net_requests ?(traced = false) ~seed ~requests ~users ~working_set () =
+let net_requests ?(traced = false) ?(tenants = [||]) ~seed ~requests ~users
+    ~working_set () =
   let spec =
-    Trace.spec ~seed ~requests ~users ~working_set
+    Trace.spec ~seed ~requests ~users ~working_set ~tenants
       ~overlays:[ ("general", Kernels.all) ] ()
   in
   (* trace ids come from their own named stream so the workload draws —
@@ -1014,6 +1144,7 @@ let net_requests ?(traced = false) ~seed ~requests ~users ~working_set () =
            {
              Net.Wire.id = r.id;
              user = r.user;
+             tenant = r.tenant;
              overlay = r.overlay;
              payload =
                (match r.payload with
@@ -1027,10 +1158,10 @@ let net_requests ?(traced = false) ~seed ~requests ~users ~working_set () =
   in
   (Trace.distinct_keys spec, reqs)
 
-let net_load ?(traced = false) ?misroute_every ~cluster ~requests ~rate ~seed
-    ~users ~working_set () =
+let net_load ?(traced = false) ?(tenants = [||]) ?misroute_every ~cluster
+    ~requests ~rate ~seed ~users ~working_set () =
   let distinct, reqs =
-    net_requests ~traced ~seed ~requests ~users ~working_set ()
+    net_requests ~traced ~tenants ~seed ~requests ~users ~working_set ()
   in
   Printf.printf "trace: %d requests, %d distinct (overlay, kernel) keys\n%!"
     requests distinct;
@@ -1105,9 +1236,13 @@ let net_write_spans ~pid path =
 
 let net_serve_cmd =
   let run shards port cluster_s me store_dir ports_out workers redirect
-      self_test rate seed trace_out flight_out misroute_every =
+      self_test rate seed trace_out flight_out misroute_every tenants_spec =
     if workers < 1 then `Error (false, "--workers must be positive")
-    else begin
+    else
+      match Tenant.parse tenants_spec with
+      | Error e -> `Error (false, "--tenants: " ^ e)
+      | Ok tenants ->
+      begin
       if trace_out <> None then Obs.enable ();
       let store_path i =
         Option.map
@@ -1123,6 +1258,7 @@ let net_serve_cmd =
             store_path = store_path me;
             workers;
             forward = not redirect;
+            tenants;
           }
         in
         match Net.Node.init ~setup:net_setup config with
@@ -1302,6 +1438,14 @@ let net_serve_cmd =
              ~doc:"Self-test only: send every $(docv)-th request to the \
                    wrong shard to exercise the forward/redirect path.")
   in
+  let tenants_arg =
+    Arg.(value & opt string ""
+         & info [ "tenants" ] ~docv:"ID:W[:CLASS[:BURST[@RATE]]],..."
+             ~doc:"Enable multi-tenant admission on every shard: requests \
+                   are weighted-fair scheduled per tenant and over-quota \
+                   ones shed deterministically.  Tenant ids not listed here \
+                   get a default weight-1, unlimited SLA.")
+  in
   Cmd.v
     (Cmd.info "net-serve"
        ~doc:"Serve the overlay compile service over TCP as a consistent-hash \
@@ -1312,7 +1456,7 @@ let net_serve_cmd =
             (const run $ shards_arg $ port_arg $ cluster_arg $ me_arg
              $ store_dir_arg $ ports_out_arg $ workers_arg $ redirect_arg
              $ self_test_arg $ rate_arg $ seed_arg $ net_trace_out_arg
-             $ flight_out_arg $ misroute_arg))
+             $ flight_out_arg $ misroute_arg $ tenants_arg))
 
 (* one ops-plane RPC against every shard in turn *)
 let net_each_shard cluster f =
@@ -1329,7 +1473,7 @@ let net_each_shard cluster f =
    either owns the request's route key or forwards/redirects it, so any
    entry point works.  One redirect hop is followed; a second means the
    cluster's shard maps disagree, which is fatal. *)
-let net_submit_source ~cluster ~overlay ~tuned path =
+let net_submit_source ~cluster ~overlay ~tuned ~tenant path =
   let src =
     try
       let ic = open_in_bin path in
@@ -1343,6 +1487,7 @@ let net_submit_source ~cluster ~overlay ~tuned path =
       {
         Net.Wire.id = 0;
         user = "cli";
+        tenant;
         overlay;
         payload = Net.Wire.Source src;
         tuned;
@@ -1379,7 +1524,7 @@ let net_submit_source ~cluster ~overlay ~tuned path =
 
 let net_client_cmd =
   let run connect op requests rate seed users working_set events_max submit
-      overlay tuned =
+      overlay tuned tenant =
     match Net.Node.parse_cluster connect with
     | Error e -> `Error (false, e)
     | Ok cluster ->
@@ -1399,11 +1544,12 @@ let net_client_cmd =
       (match op with
       | None when submit <> None ->
         (match submit with
-        | Some path -> net_submit_source ~cluster ~overlay ~tuned path
+        | Some path -> net_submit_source ~cluster ~overlay ~tuned ~tenant path
         | None -> assert false);
         `Ok ()
       | None when requests > 0 ->
-        net_load ~cluster ~requests ~rate ~seed ~users ~working_set ();
+        let tenants = if tenant = "" then [||] else [| tenant |] in
+        net_load ~tenants ~cluster ~requests ~rate ~seed ~users ~working_set ();
         `Ok ()
       | None | Some "stats" ->
         (* status: one stats line per shard *)
@@ -1506,6 +1652,13 @@ let net_client_cmd =
          & info [ "overlay" ] ~docv:"NAME"
              ~doc:"Overlay to compile $(b,--submit) sources against.")
   in
+  let tenant_arg =
+    Arg.(value & opt string ""
+         & info [ "tenant" ] ~docv:"NAME"
+             ~doc:"Tenant identity to stamp on submitted requests (rides \
+                   the wire and labels the server's per-tenant telemetry); \
+                   empty means untenanted.")
+  in
   Cmd.v
     (Cmd.info "net-client"
        ~doc:"Ping a running net-serve cluster, then scrape its ops plane \
@@ -1517,7 +1670,7 @@ let net_client_cmd =
     Term.(ret
             (const run $ connect_arg $ op_arg $ requests_arg $ rate_arg
              $ seed_arg $ users_arg $ ws_arg $ events_max_arg $ submit_arg
-             $ overlay_arg $ tuned_arg))
+             $ overlay_arg $ tuned_arg $ tenant_arg))
 
 (* --- trace-merge: stitch per-process span files into one Chrome trace --- *)
 

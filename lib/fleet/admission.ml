@@ -1,0 +1,315 @@
+module Service = Overgen_service.Service
+module Telemetry = Overgen_service.Telemetry
+module Log = Overgen_obs.Obs.Log
+
+(* Token bucket, refilled lazily against the injected clock so quota
+   verdicts are a pure function of (arrival times, quota) — the tests and
+   the fleet bench drive a fake clock and get byte-stable shed sets. *)
+type bucket = { mutable tokens : float; mutable last : float }
+
+type tstate = {
+  tenant : Tenant.t;
+  bucket : bucket option;
+  deadline : float option;  (* what the tenant's class maps the policy to *)
+}
+
+type pending = { preq : Service.request; pk : Service.response -> unit }
+
+type t = {
+  svc : Service.t;
+  clock : unit -> float;
+  batch_max : int;
+  inflight_limit : int;
+  tstates : (string, tstate) Hashtbl.t;
+  q : pending Drr.t;
+  m : Mutex.t;
+  idle : Condition.t;
+  mutable inflight : int;
+  mutable pumping : bool;
+  mutable held : bool;
+  mutable admitted_ : int;
+  mutable quota_shed_ : int;
+  mutable batches_ : int;
+  mutable batched_requests_ : int;
+  mutable max_batch_ : int;
+  mutable observers : (Service.response -> unit) list;
+}
+
+type stats = {
+  admitted : int;
+  quota_shed : int;
+  batches : int;
+  batched_requests : int;
+  max_batch : int;
+  queued : int;
+  inflight : int;
+}
+
+let tstate_of_tenant t (tenant : Tenant.t) =
+  {
+    tenant;
+    bucket =
+      Option.map
+        (fun (q : Tenant.quota) ->
+          { tokens = float_of_int q.burst; last = t.clock () })
+        tenant.quota;
+    deadline =
+      Tenant.deadline_s
+        ~policy_deadline_s:(Service.policy t.svc).Service.deadline_s tenant;
+  }
+
+let add_tenant t tenant =
+  Mutex.lock t.m;
+  if not (Hashtbl.mem t.tstates tenant.Tenant.id) then begin
+    Hashtbl.add t.tstates tenant.Tenant.id (tstate_of_tenant t tenant);
+    Drr.add_tenant t.q ~id:tenant.Tenant.id ~weight:tenant.Tenant.weight
+  end;
+  Mutex.unlock t.m
+
+let create ?inflight_limit ?(batch_max = 8) ?clock ?(tenants = []) svc =
+  if batch_max < 1 then invalid_arg "Admission.create: batch_max < 1";
+  let inflight_limit =
+    match inflight_limit with
+    | Some n ->
+      if n < 1 then invalid_arg "Admission.create: inflight_limit < 1";
+      n
+    | None -> (
+      (* Deterministic mode processes inline, so a window of 1 keeps the
+         dispatch order exactly the DRR order; a domain pool wants enough
+         outstanding work to keep every domain busy while the next batch
+         queues. *)
+      match Service.mode svc with
+      | Service.Deterministic -> 1
+      | Service.Workers n -> 2 * n)
+  in
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  let t =
+    {
+      svc;
+      clock;
+      batch_max;
+      inflight_limit;
+      tstates = Hashtbl.create 8;
+      q = Drr.create ();
+      m = Mutex.create ();
+      idle = Condition.create ();
+      inflight = 0;
+      pumping = false;
+      held = false;
+      admitted_ = 0;
+      quota_shed_ = 0;
+      batches_ = 0;
+      batched_requests_ = 0;
+      max_batch_ = 0;
+      observers = [];
+    }
+  in
+  List.iter (add_tenant t) tenants;
+  t
+
+let service t = t.svc
+let tenants t = List.map (fun (id, _) -> id) (Drr.tenants t.q)
+
+let on_complete t f =
+  Mutex.lock t.m;
+  t.observers <- t.observers @ [ f ];
+  Mutex.unlock t.m
+
+(* Unknown tenants (including the empty id on untenanted requests) get a
+   default SLA — weight 1, no quota, Standard class — rather than an
+   error: the admission layer must be safe to put in front of existing
+   single-tenant traffic. *)
+let get_tstate_locked t id =
+  match Hashtbl.find_opt t.tstates id with
+  | Some ts -> ts
+  | None ->
+    let ts =
+      tstate_of_tenant t
+        {
+          Tenant.id;
+          weight = 1;
+          quota = None;
+          deadline_class = Tenant.Standard;
+        }
+    in
+    Hashtbl.add t.tstates id ts;
+    Drr.add_tenant t.q ~id ~weight:1;
+    ts
+
+let synthesize req err =
+  {
+    Service.request = req;
+    result = Error err;
+    cache_hit = false;
+    service_s = 0.0;
+  }
+
+(* The pump: while the in-flight window has room, dequeue the next DRR
+   batch and hand it to the service.  [pumping] makes re-entry a no-op —
+   in Deterministic mode the service runs [k] inline inside [dispatch],
+   so the completion's own pump call lands while the outer loop still
+   owns the pump; it bows out and the outer loop continues.  The lock is
+   never held across a dispatch. *)
+let rec pump t =
+  Mutex.lock t.m;
+  if t.pumping || t.held then Mutex.unlock t.m
+  else begin
+    t.pumping <- true;
+    let continue = ref true in
+    while !continue do
+      if t.inflight >= t.inflight_limit then continue := false
+      else begin
+        match
+          Drr.dequeue_batch t.q ~max:t.batch_max ~same:(fun a b ->
+              a.preq.Service.overlay = b.preq.Service.overlay)
+        with
+        | [] -> continue := false
+        | batch ->
+          let n = List.length batch in
+          t.inflight <- t.inflight + n;
+          if n > 1 then begin
+            t.batches_ <- t.batches_ + 1;
+            t.batched_requests_ <- t.batched_requests_ + n;
+            if n > t.max_batch_ then t.max_batch_ <- n
+          end;
+          Mutex.unlock t.m;
+          dispatch t batch;
+          Mutex.lock t.m
+      end
+    done;
+    t.pumping <- false;
+    if t.inflight = 0 && Drr.length t.q = 0 then Condition.broadcast t.idle;
+    Mutex.unlock t.m
+  end
+
+(* Exactly one completion per dequeued request, whatever the service
+   says: an admission error from the service (queue full, shutdown) is
+   synthesized into error responses here rather than re-queued — the
+   window bound makes genuine saturation a configuration error, and
+   losing a response is the one thing this layer may never do. *)
+and complete t pk resp =
+  pk resp;
+  Mutex.lock t.m;
+  let observers = t.observers in
+  Mutex.unlock t.m;
+  List.iter (fun f -> f resp) observers;
+  Mutex.lock t.m;
+  t.inflight <- t.inflight - 1;
+  Mutex.unlock t.m;
+  pump t
+
+and dispatch t = function
+  | [] -> ()
+  | [ p ] -> (
+    match Service.submit_k t.svc p.preq ~k:(complete t p.pk) with
+    | Ok () -> ()
+    | Error e -> complete t p.pk (synthesize p.preq e))
+  | batch -> (
+    (* one pool job runs the batch sequentially, so pairing responses to
+       callbacks by order is race-free *)
+    let remaining = ref batch in
+    let k resp =
+      match !remaining with
+      | [] -> ()
+      | p :: rest ->
+        remaining := rest;
+        complete t p.pk resp
+    in
+    match Service.submit_batch_k t.svc (List.map (fun p -> p.preq) batch) ~k with
+    | Ok () -> ()
+    | Error e -> List.iter (fun p -> complete t p.pk (synthesize p.preq e)) batch)
+
+let submit_k t (req : Service.request) ~k =
+  Mutex.lock t.m;
+  let ts = get_tstate_locked t req.Service.tenant in
+  let admitted =
+    match (ts.bucket, ts.tenant.Tenant.quota) with
+    | Some b, Some q ->
+      let now = t.clock () in
+      b.tokens <-
+        Float.min (float_of_int q.Tenant.burst)
+          (b.tokens +. ((now -. b.last) *. q.Tenant.rate_per_s));
+      b.last <- now;
+      if b.tokens >= 1.0 then begin
+        b.tokens <- b.tokens -. 1.0;
+        true
+      end
+      else false
+    | _ -> true
+  in
+  if not admitted then begin
+    t.quota_shed_ <- t.quota_shed_ + 1;
+    Mutex.unlock t.m;
+    Telemetry.record_quota ~tenant:req.tenant (Service.telemetry t.svc);
+    Log.record ~level:Log.Warn ~trace:req.trace Log.default "quota_shed"
+      ~attrs:
+        [ ("id", string_of_int req.id); ("tenant", req.tenant) ];
+    (* deterministic shed: answered immediately, never queued, and
+       Quota_exceeded is non-retryable end to end *)
+    k (synthesize req Service.Quota_exceeded)
+  end
+  else begin
+    t.admitted_ <- t.admitted_ + 1;
+    let req =
+      match req.deadline_s with
+      | Some _ -> req
+      | None -> { req with Service.deadline_s = ts.deadline }
+    in
+    Drr.enqueue t.q ~id:req.tenant { preq = req; pk = k };
+    Mutex.unlock t.m;
+    Log.record ~level:Log.Debug ~trace:req.trace Log.default "wfq_admit"
+      ~attrs:
+        [ ("id", string_of_int req.id); ("tenant", req.tenant) ];
+    pump t
+  end
+
+let hold t =
+  Mutex.lock t.m;
+  t.held <- true;
+  Mutex.unlock t.m
+
+let release t =
+  Mutex.lock t.m;
+  t.held <- false;
+  Mutex.unlock t.m;
+  pump t
+
+let drain t =
+  pump t;
+  Mutex.lock t.m;
+  while not (t.inflight = 0 && Drr.length t.q = 0) do
+    Condition.wait t.idle t.m
+  done;
+  Mutex.unlock t.m
+
+let run t reqs =
+  let out = ref [] in
+  let om = Mutex.create () in
+  List.iter
+    (fun r ->
+      submit_k t r ~k:(fun resp ->
+          Mutex.lock om;
+          out := resp :: !out;
+          Mutex.unlock om))
+    reqs;
+  drain t;
+  List.sort
+    (fun (a : Service.response) b ->
+      compare a.request.Service.id b.request.Service.id)
+    !out
+
+let stats t =
+  Mutex.lock t.m;
+  let s =
+    {
+      admitted = t.admitted_;
+      quota_shed = t.quota_shed_;
+      batches = t.batches_;
+      batched_requests = t.batched_requests_;
+      max_batch = t.max_batch_;
+      queued = Drr.length t.q;
+      inflight = t.inflight;
+    }
+  in
+  Mutex.unlock t.m;
+  s

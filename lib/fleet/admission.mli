@@ -1,0 +1,94 @@
+(** Multi-tenant admission in front of the compile service.
+
+    Replaces direct enqueue into [Service]: requests are quota-checked,
+    stamped with their tenant's deadline class, parked in a per-tenant
+    {!Drr} weighted-fair queue, and pumped into the service's worker pool
+    through a bounded in-flight window — so under contention the share of
+    worker time each tenant receives converges to its weight, instead of
+    first-come-first-served.
+
+    {b Quota.}  A tenant with a token bucket is metered at submission
+    against the injected clock: over-quota requests are answered
+    immediately with [Error Service.Quota_exceeded] — a deterministic
+    shed that never queues, never reaches a worker and is never retried —
+    counted in [Telemetry.record_quota] and flight-recorded as
+    ["quota_shed"].
+
+    {b Batching.}  Consecutive same-overlay requests from the tenant
+    holding the DRR round are dispatched as one [Service.submit_batch_k]
+    group (bounded by [batch_max] {e and} the tenant's round credit, so
+    batching cannot distort fairness), amortizing pool round-trips and
+    registry/ADG-fingerprint resolution across the group.
+
+    {b Exactly-one-response.}  Every {!submit_k} call invokes [k] exactly
+    once: quota sheds answer inline, queued requests ride the service's
+    per-request isolation, and a service-level admission error (queue
+    full, shutdown) is synthesized into an error response rather than
+    dropped. *)
+
+module Service := Overgen_service.Service
+
+type t
+
+val create :
+  ?inflight_limit:int ->
+  ?batch_max:int ->
+  ?clock:(unit -> float) ->
+  ?tenants:Tenant.t list ->
+  Service.t ->
+  t
+(** [inflight_limit] bounds requests handed to the service but not yet
+    answered; default 1 under [Deterministic] (dispatch order = DRR
+    order) and [2 * n] under [Workers n].  Keep it at or below the
+    service's queue capacity — the pump treats service-side [Queue_full]
+    as an error response, not backpressure.  [batch_max] (default 8)
+    caps same-overlay batches; 1 disables batching.  [clock] (default
+    [Unix.gettimeofday]) feeds the quota buckets — inject a fake for
+    deterministic shed sets.  Unlisted tenants that appear in requests
+    are auto-registered with weight 1, no quota, [Standard]. *)
+
+val add_tenant : t -> Tenant.t -> unit
+(** Idempotent on the id. *)
+
+val tenants : t -> string list
+
+val submit_k : t -> Service.request -> k:(Service.response -> unit) -> unit
+(** Admit (or quota-shed) one request; [k] fires exactly once.  Under a
+    [Workers] service [k] runs on a worker domain; under [Deterministic]
+    everything — including [k] — runs inline before this returns. *)
+
+val hold : t -> unit
+(** Park admitted requests in the weighted-fair queue without dispatching
+    — quota sheds still answer inline.  Lets a caller build a backlog and
+    then observe pure DRR order on {!release}; {!drain} while held (with
+    work queued) blocks until someone releases. *)
+
+val release : t -> unit
+(** Resume dispatch and pump the backlog. *)
+
+val drain : t -> unit
+(** Block until the weighted-fair queue is empty and nothing is in
+    flight. *)
+
+val run : t -> Service.request list -> Service.response list
+(** Submit a whole trace through {!submit_k} and {!drain}, returning
+    exactly one response per request sorted by id — the tenant-aware
+    analogue of [Service.run]. *)
+
+val service : t -> Service.t
+
+val on_complete : t -> (Service.response -> unit) -> unit
+(** Register an observer called after each completion (on the completing
+    thread) — how {!Manager} watches live traffic. *)
+
+type stats = {
+  admitted : int;          (** passed the quota gate and were queued *)
+  quota_shed : int;        (** answered [Quota_exceeded] at the gate *)
+  batches : int;           (** multi-request dispatch groups *)
+  batched_requests : int;  (** requests that rode those groups *)
+  max_batch : int;
+  queued : int;            (** currently parked in the DRR queue *)
+  inflight : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,395 @@
+module Service = Overgen_service.Service
+module Registry = Overgen_service.Registry
+module Cache = Overgen_service.Cache
+module Store = Overgen_store.Store
+module Dse = Overgen_dse.Dse
+module Oracle = Overgen_fpga.Oracle
+module Predict = Overgen_mlp.Predict
+module Ir = Overgen_workload.Ir
+module Metrics = Overgen_obs.Metrics
+module Log = Overgen_obs.Obs.Log
+
+(* Per-overlay live stats, fed by completions. *)
+type ostat = {
+  mutable requests : int;
+  mutable hits : int;
+  mutable last_use : float;
+}
+
+(* Per-kernel demand, the workload mix the background DSE optimizes for.
+   [missed] counts completions that actually ran the scheduler (or
+   failed) — traffic the current fleet serves well from cache does not
+   pull a new overlay into existence. *)
+type kstat = { kernel : Ir.kernel; mutable count : int; mutable missed : int }
+
+type config = {
+  retire_idle_s : float;
+  protected : string list;
+  promote_min_requests : int;
+  dse_iterations : int;
+  dse_top_kernels : int;
+  dse_seed : int;
+  gc_on_retire : bool;
+}
+
+let default_config =
+  {
+    retire_idle_s = 3600.0;
+    protected = [];
+    promote_min_requests = 200;
+    dse_iterations = 400;
+    dse_top_kernels = 4;
+    dse_seed = 11;
+    gc_on_retire = true;
+  }
+
+type view = {
+  name : string;
+  fingerprint : string;
+  requests : int;
+  hits : int;
+  hit_rate : float;
+  idle_s : float;
+  res : Overgen_fpga.Res.t;  (** synthesized resource profile *)
+  freq_mhz : float;
+}
+
+type t = {
+  registry : Registry.t;
+  cache : Cache.t option;
+  store : Store.t option;
+  model : Predict.t;
+  clock : unit -> float;
+  cfg : config;
+  started : float;
+  m : Mutex.t;
+  overlays : (string, ostat) Hashtbl.t;
+  kernels : (string, kstat) Hashtbl.t;
+  mutable observed : int;  (* completions since the last promote *)
+  mutable promotes : int;
+  mutable retires : int;
+  mutable thread : Thread.t option;
+  mutable stop_flag : bool;
+  (* fleet gauges/counters on their own registry so any metrics scrape
+     can pick them up alongside the service telemetry *)
+  reg : Metrics.registry;
+  g_overlays : Metrics.gauge;
+  c_retired : Metrics.counter;
+  c_promoted : Metrics.counter;
+  g_observed : Metrics.gauge;
+}
+
+let create ?(config = default_config) ?cache ?store ?clock ~model registry =
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  let reg = Metrics.create_registry ~label:"overlay fleet" () in
+  let t =
+    {
+      registry;
+      cache;
+      store;
+      model;
+      clock;
+      cfg = config;
+      started = clock ();
+      m = Mutex.create ();
+      overlays = Hashtbl.create 8;
+      kernels = Hashtbl.create 16;
+      observed = 0;
+      promotes = 0;
+      retires = 0;
+      thread = None;
+      stop_flag = false;
+      reg;
+      g_overlays =
+        Metrics.gauge reg "overgen_fleet_overlays"
+          ~help:"overlays currently registered";
+      c_retired =
+        Metrics.counter reg "overgen_fleet_retired_total"
+          ~help:"overlays retired by the fleet manager";
+      c_promoted =
+        Metrics.counter reg "overgen_fleet_promoted_total"
+          ~help:"overlays promoted by background DSE";
+      g_observed =
+        Metrics.gauge reg "overgen_fleet_observed_requests"
+          ~help:"completions observed since the last promote";
+    }
+  in
+  Metrics.set t.g_overlays (float_of_int (Registry.length registry));
+  t
+
+let metrics t = t.reg
+
+let observe t (resp : Service.response) =
+  Mutex.lock t.m;
+  let name = resp.Service.request.Service.overlay in
+  let os =
+    match Hashtbl.find_opt t.overlays name with
+    | Some os -> os
+    | None ->
+      let os = { requests = 0; hits = 0; last_use = 0.0 } in
+      Hashtbl.add t.overlays name os;
+      os
+  in
+  os.requests <- os.requests + 1;
+  if resp.Service.cache_hit then os.hits <- os.hits + 1;
+  os.last_use <- t.clock ();
+  (match resp.Service.request.Service.payload with
+  | Service.Kernel k ->
+    let ks =
+      match Hashtbl.find_opt t.kernels k.Ir.name with
+      | Some ks -> ks
+      | None ->
+        let ks = { kernel = k; count = 0; missed = 0 } in
+        Hashtbl.add t.kernels k.Ir.name ks;
+        ks
+    in
+    ks.count <- ks.count + 1;
+    if not resp.Service.cache_hit then ks.missed <- ks.missed + 1
+  | Service.Source _ -> ());
+  t.observed <- t.observed + 1;
+  Metrics.set t.g_observed (float_of_int t.observed);
+  Mutex.unlock t.m
+
+let attach t admission = Admission.on_complete admission (observe t)
+
+let views t =
+  let names = Registry.names t.registry in
+  let now = t.clock () in
+  Mutex.lock t.m;
+  let vs =
+    List.filter_map
+      (fun name ->
+        match Registry.find t.registry name with
+        | None -> None
+        | Some entry ->
+          let requests, hits, last_use =
+            match Hashtbl.find_opt t.overlays name with
+            | Some os -> (os.requests, os.hits, os.last_use)
+            | None -> (0, 0, t.started)
+          in
+          Some
+            {
+              name;
+              fingerprint = entry.Registry.fingerprint;
+              requests;
+              hits;
+              hit_rate =
+                (if requests = 0 then 0.0
+                 else float_of_int hits /. float_of_int requests);
+              idle_s = Float.max 0.0 (now -. last_use);
+              res = entry.Registry.overlay.Overgen.synth.Oracle.res;
+              freq_mhz = entry.Registry.overlay.Overgen.synth.Oracle.freq_mhz;
+            })
+      names
+  in
+  Mutex.unlock t.m;
+  vs
+
+let short fp = String.sub fp 0 (min 12 (String.length fp))
+
+(* Retire: unregister, and — when no surviving name aliases the same
+   design — purge every schedule-cache record keyed by its fingerprint
+   from memory and the durable log, then compact the store ("store gc")
+   so the bytes are actually reclaimed.  The purge-before-compact order
+   is the orphan guard: compacting first would faithfully carry the
+   now-unreachable records into the fresh log forever. *)
+let retire t name =
+  if List.mem name t.cfg.protected then
+    Error (Printf.sprintf "overlay %S is protected" name)
+  else
+    match Registry.remove t.registry name with
+    | Error e -> Error e
+    | Ok entry ->
+      let fingerprint = entry.Registry.fingerprint in
+      let shared = Registry.find_fingerprint t.registry fingerprint <> [] in
+      let purged =
+        if shared then 0
+        else
+          match (t.cache, t.store) with
+          | Some c, _ -> Cache.purge_fingerprint c ~fingerprint
+          | None, Some s -> Cache.purge_fingerprint_store s ~fingerprint
+          | None, None -> 0
+      in
+      if t.cfg.gc_on_retire then
+        Option.iter (fun s -> Store.compact s) t.store;
+      Mutex.lock t.m;
+      t.retires <- t.retires + 1;
+      Hashtbl.remove t.overlays name;
+      Mutex.unlock t.m;
+      Metrics.incr t.c_retired;
+      Metrics.set t.g_overlays (float_of_int (Registry.length t.registry));
+      Log.record ~pin:true Log.default "retire"
+        ~attrs:
+          [
+            ("overlay", name);
+            ("fingerprint", short fingerprint);
+            ("purged", string_of_int purged);
+            ("shared", string_of_bool shared);
+          ];
+      Ok purged
+
+(* One retire pass: anything idle past the threshold goes.  Overlays the
+   manager has never seen serve a request age from the manager's start
+   time. *)
+let scan t =
+  let now = t.clock () in
+  let cold =
+    List.filter
+      (fun name ->
+        not (List.mem name t.cfg.protected)
+        &&
+        let last =
+          Mutex.lock t.m;
+          let l =
+            match Hashtbl.find_opt t.overlays name with
+            | Some os -> os.last_use
+            | None -> t.started
+          in
+          Mutex.unlock t.m;
+          l
+        in
+        now -. last > t.cfg.retire_idle_s)
+      (Registry.names t.registry)
+  in
+  List.filter_map (fun name -> Result.to_option (retire t name) |> Option.map (fun _ -> name)) cold
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+(* The background-DSE trigger: once enough completions accumulated,
+   explore for the hottest under-served kernels (miss-weighted — cache
+   hits are already served well) and atomically promote the winner under
+   a fresh fleet-N name.  The run checkpoints into the durable store, so
+   a killed process resumes its exploration instead of restarting it. *)
+let promote_now t ~kernels ~name =
+  match kernels with
+  | [] -> Error "no kernels to explore for"
+  | kernels -> (
+    let apps = Dse.compile_apps ~tuned:false kernels in
+    let config =
+      {
+        Dse.default_config with
+        iterations = t.cfg.dse_iterations;
+        seed = t.cfg.dse_seed + t.promotes;
+      }
+    in
+    let checkpoint =
+      Option.map
+        (fun s -> { Dse.store = s; key = "fleet-dse-" ^ name; interval = 1 })
+        t.store
+    in
+    let result = Dse.explore ~config ?checkpoint ~model:t.model apps in
+    let synth = Oracle.synth_full result.Dse.best.Dse.sys in
+    let overlay =
+      { Overgen.design = result.Dse.best; synth; model = t.model; dse = Some result }
+    in
+    match Registry.register t.registry ~name overlay with
+    | Error e -> Error e
+    | Ok entry ->
+      Mutex.lock t.m;
+      t.promotes <- t.promotes + 1;
+      t.observed <- 0;
+      Hashtbl.reset t.kernels;
+      Mutex.unlock t.m;
+      Metrics.incr t.c_promoted;
+      Metrics.set t.g_observed 0.0;
+      Metrics.set t.g_overlays (float_of_int (Registry.length t.registry));
+      Log.record ~pin:true Log.default "promote"
+        ~attrs:
+          [
+            ("overlay", name);
+            ("fingerprint", short entry.Registry.fingerprint);
+            ("objective", Printf.sprintf "%.4f" result.Dse.best.Dse.objective);
+            ("kernels",
+             String.concat "," (List.map (fun k -> k.Ir.name) kernels));
+          ];
+      Ok entry)
+
+let hot_kernels t =
+  Mutex.lock t.m;
+  let ks = Hashtbl.fold (fun _ ks acc -> ks :: acc) t.kernels [] in
+  Mutex.unlock t.m;
+  ks
+  |> List.sort (fun a b ->
+         compare (b.missed, b.count, a.kernel.Ir.name)
+           (a.missed, a.count, b.kernel.Ir.name))
+  |> take t.cfg.dse_top_kernels
+  |> List.map (fun ks -> ks.kernel)
+
+let maybe_promote t =
+  let ready =
+    Mutex.lock t.m;
+    let r = t.observed >= t.cfg.promote_min_requests in
+    Mutex.unlock t.m;
+    r
+  in
+  if not ready then None
+  else
+    match hot_kernels t with
+    | [] -> None
+    | kernels -> (
+      let name = Printf.sprintf "fleet-%d" (t.promotes + 1) in
+      match promote_now t ~kernels ~name with
+      | Ok entry -> Some entry
+      | Error e ->
+        Log.record ~level:Log.Warn Log.default "promote_failed"
+          ~attrs:[ ("overlay", name); ("error", e) ];
+        None)
+
+let promotes t =
+  Mutex.lock t.m;
+  let n = t.promotes in
+  Mutex.unlock t.m;
+  n
+
+let retires t =
+  Mutex.lock t.m;
+  let n = t.retires in
+  Mutex.unlock t.m;
+  n
+
+(* The continuous loop the production deployment runs: a plain thread
+   (DSE itself fans out onto domains) alternating retire scans and the
+   promote trigger. *)
+let start t ~period_s =
+  Mutex.lock t.m;
+  let already = t.thread <> None in
+  if not already then t.stop_flag <- false;
+  Mutex.unlock t.m;
+  if not already then
+    let th =
+      Thread.create
+        (fun () ->
+          let stopped () =
+            Mutex.lock t.m;
+            let s = t.stop_flag in
+            Mutex.unlock t.m;
+            s
+          in
+          while not (stopped ()) do
+            ignore (scan t);
+            ignore (maybe_promote t);
+            (* sleep in slices so [stop] is prompt *)
+            let slices = max 1 (int_of_float (period_s /. 0.01)) in
+            let rec nap i =
+              if i > 0 && not (stopped ()) then begin
+                Thread.delay (Float.min period_s 0.01);
+                nap (i - 1)
+              end
+            in
+            nap slices
+          done)
+        ()
+    in
+    Mutex.lock t.m;
+    t.thread <- Some th;
+    Mutex.unlock t.m
+
+let stop t =
+  Mutex.lock t.m;
+  t.stop_flag <- true;
+  let th = t.thread in
+  t.thread <- None;
+  Mutex.unlock t.m;
+  Option.iter Thread.join th

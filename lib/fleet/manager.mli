@@ -1,0 +1,117 @@
+(** The fleet manager: supervision of the overlay registry as a
+    continuous generate→compile loop.
+
+    Watches live completions (via {!attach} or {!observe}) to maintain a
+    fleet view — per-overlay request and hit counts, last use and the
+    synthesized resource profile — and acts on it in two directions:
+
+    - {e retire}: {!scan} unregisters overlays idle past the threshold,
+      purges every schedule-cache record keyed by their (now
+      unreachable) ADG fingerprint from memory and the durable log, and
+      compacts the store — cold overlays stop costing registry space,
+      cache capacity and disk, and the purge-before-compact order
+      guarantees gc never strands orphaned cache records;
+    - {e promote}: once enough traffic accumulated, {!maybe_promote}
+      runs a checkpointed background [Dse.explore] for the hottest
+      {e under-served} kernels (miss-weighted: demand the cache already
+      absorbs does not trigger regeneration) and atomically registers
+      the winner under a fresh [fleet-N] name.
+
+    Both transitions are flight-recorded as pinned ["retire"] /
+    ["promote"] events and counted on the fleet metrics registry
+    ([overgen_fleet_overlays], [overgen_fleet_retired_total],
+    [overgen_fleet_promoted_total], [overgen_fleet_observed_requests]). *)
+
+module Service := Overgen_service.Service
+module Registry := Overgen_service.Registry
+module Cache := Overgen_service.Cache
+
+type config = {
+  retire_idle_s : float;   (** idle threshold for {!scan}; 3600 *)
+  protected : string list; (** names {!retire} refuses (e.g. "general") *)
+  promote_min_requests : int;
+      (** completions observed before {!maybe_promote} fires; 200 *)
+  dse_iterations : int;    (** background exploration budget; 400 *)
+  dse_top_kernels : int;   (** workload-mix size per exploration; 4 *)
+  dse_seed : int;
+      (** base seed; promote [n] explores with [dse_seed + n], so the
+          whole fleet evolution is reproducible *)
+  gc_on_retire : bool;     (** compact the store after each retire; true *)
+}
+
+val default_config : config
+
+type view = {
+  name : string;
+  fingerprint : string;
+  requests : int;  (** completions observed for this overlay *)
+  hits : int;
+  hit_rate : float;
+  idle_s : float;  (** since the last observed completion *)
+  res : Overgen_fpga.Res.t;
+  freq_mhz : float;
+}
+
+type t
+
+val create :
+  ?config:config ->
+  ?cache:Cache.t ->
+  ?store:Overgen_store.Store.t ->
+  ?clock:(unit -> float) ->
+  model:Overgen_mlp.Predict.t ->
+  Registry.t ->
+  t
+(** [cache]/[store] enable the retire path's purge and gc (pass the same
+    instances the service uses); [clock] (default [Unix.gettimeofday])
+    drives idle ages — inject a fake for deterministic retire tests;
+    [model] feeds the background DSE and the promoted overlays. *)
+
+val observe : t -> Service.response -> unit
+(** Feed one completion into the fleet view. *)
+
+val attach : t -> Admission.t -> unit
+(** Subscribe {!observe} to an admission layer's completions. *)
+
+val views : t -> view list
+(** Current fleet view, registry registration order. *)
+
+val metrics : t -> Overgen_obs.Metrics.registry
+(** The fleet gauge/counter registry, for Prometheus scrapes. *)
+
+val retire : t -> string -> (int, string) result
+(** Retire one overlay by name: unregister (delete-through to the
+    registry's store), purge its fingerprint's schedule-cache records
+    {e unless} another registered name aliases the same design, then
+    compact the store if configured.  Returns the number of cache
+    records purged.  Errors on protected or unknown names. *)
+
+val scan : t -> string list
+(** One retire pass over every registered overlay; returns the names
+    retired. *)
+
+val promote_now :
+  t -> kernels:Overgen_workload.Ir.kernel list -> name:string ->
+  (Registry.entry, string) result
+(** Run the checkpointed background DSE for an explicit workload mix and
+    register the winner — the deterministic entry point the tests and
+    bench drive directly. *)
+
+val maybe_promote : t -> Registry.entry option
+(** The trigger: if at least [promote_min_requests] completions
+    accumulated since the last promote and some kernel demand was seen,
+    explore for the top under-served kernels and promote as [fleet-N].
+    Resets the observation window on success. *)
+
+val hot_kernels : t -> Overgen_workload.Ir.kernel list
+(** The current top under-served mix (miss count, then volume). *)
+
+val promotes : t -> int
+val retires : t -> int
+
+val start : t -> period_s:float -> unit
+(** Spawn the background supervision thread: every [period_s], one
+    {!scan} then one {!maybe_promote}.  Idempotent while running. *)
+
+val stop : t -> unit
+(** Signal and join the background thread.  Idempotent. *)

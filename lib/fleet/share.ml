@@ -1,0 +1,72 @@
+(* Achieved-share analysis of a completion order.
+
+   Fairness is only observable while every tenant still has work queued:
+   once a tenant's backlog empties, the scheduler rightly hands its slots
+   to the others and raw totals stop reflecting weights.  So the measure
+   is taken over the longest prefix in which all tenants remain
+   backlogged — the prefix ends exactly when the first tenant receives
+   its last completion — and within it tenant [i]'s fraction of
+   completions is compared to [weight_i / sum weights].  Under pure DRR
+   order the relative error is bounded by one ring round over the prefix
+   length. *)
+
+type report = {
+  tenant : string;
+  weight : int;
+  served : int;     (* completions inside the backlogged prefix *)
+  total : int;      (* completions overall *)
+  share : float;
+  expected : float;
+  rel_err : float;
+}
+
+let measure ~weights order =
+  let weights = List.filter (fun (_, w) -> w > 0) weights in
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun id ->
+      Hashtbl.replace totals id (1 + Option.value ~default:0 (Hashtbl.find_opt totals id)))
+    order;
+  (* only tenants that actually completed work participate: a tenant shed
+     entirely at the quota gate has no backlog to be fair to *)
+  let weights = List.filter (fun (id, _) -> Hashtbl.mem totals id) weights in
+  let wsum = float_of_int (List.fold_left (fun a (_, w) -> a + w) 0 weights) in
+  if weights = [] || wsum = 0.0 then []
+  else begin
+    let remaining = Hashtbl.copy totals in
+    let in_prefix = Hashtbl.create 8 in
+    let prefix_len = ref 0 in
+    (try
+       List.iter
+         (fun id ->
+           incr prefix_len;
+           Hashtbl.replace in_prefix id
+             (1 + Option.value ~default:0 (Hashtbl.find_opt in_prefix id));
+           let left = Option.value ~default:0 (Hashtbl.find_opt remaining id) - 1 in
+           Hashtbl.replace remaining id left;
+           if left = 0 && List.mem_assoc id weights then raise Exit)
+         order
+     with Exit -> ());
+    let n = float_of_int !prefix_len in
+    List.map
+      (fun (tenant, weight) ->
+        let served = Option.value ~default:0 (Hashtbl.find_opt in_prefix tenant) in
+        let total = Option.value ~default:0 (Hashtbl.find_opt totals tenant) in
+        let share = if n = 0.0 then 0.0 else float_of_int served /. n in
+        let expected = float_of_int weight /. wsum in
+        let rel_err = Float.abs (share -. expected) /. expected in
+        { tenant; weight; served; total; share; expected; rel_err })
+      weights
+  end
+
+let max_rel_err reports =
+  List.fold_left (fun acc r -> Float.max acc r.rel_err) 0.0 reports
+
+let report_lines reports =
+  List.map
+    (fun r ->
+      Printf.sprintf
+        "%-12s weight %2d  share %5.1f%% (expected %5.1f%%, err %4.1f%%)  %d/%d in backlogged prefix"
+        r.tenant r.weight (100.0 *. r.share) (100.0 *. r.expected)
+        (100.0 *. r.rel_err) r.served r.total)
+    reports

@@ -1,0 +1,31 @@
+(** Achieved-share analysis of a completion order: did each tenant's
+    fraction of service match its weight while everyone was backlogged?
+
+    The measurement window is the longest prefix of the completion order
+    in which every weighted tenant still has work outstanding — it ends
+    when the first tenant receives its final completion.  Outside that
+    window weights make no prediction (an empty queue donates its slots),
+    so totals beyond it are reported but not judged. *)
+
+type report = {
+  tenant : string;
+  weight : int;
+  served : int;      (** completions inside the backlogged prefix *)
+  total : int;       (** completions overall *)
+  share : float;     (** served / prefix length *)
+  expected : float;  (** weight / sum of weights *)
+  rel_err : float;   (** |share - expected| / expected *)
+}
+
+val measure : weights:(string * int) list -> string list -> report list
+(** [measure ~weights order] analyzes [order], the tenant ids of each
+    completion in completion order.  Tenants with no completions (for
+    example, fully quota-shed) are excluded — they had no backlog to be
+    fair to.  Returns one report per participating tenant, in [weights]
+    order. *)
+
+val max_rel_err : report list -> float
+(** Worst relative error across the reports; 0.0 for []. *)
+
+val report_lines : report list -> string list
+(** One human-readable line per report. *)

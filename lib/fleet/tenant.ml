@@ -1,0 +1,110 @@
+type deadline_class = Interactive | Standard | Batch
+type quota = { rate_per_s : float; burst : int }
+
+type t = {
+  id : string;
+  weight : int;
+  quota : quota option;
+  deadline_class : deadline_class;
+}
+
+let make ?(weight = 1) ?quota ?(deadline_class = Standard) id =
+  if id = "" then invalid_arg "Tenant.make: empty id";
+  if weight < 1 then invalid_arg "Tenant.make: weight < 1";
+  (match quota with
+  | Some q when q.rate_per_s < 0.0 || q.burst < 0 ->
+    invalid_arg "Tenant.make: negative quota"
+  | _ -> ());
+  { id; weight; quota; deadline_class }
+
+let class_to_string = function
+  | Interactive -> "interactive"
+  | Standard -> "standard"
+  | Batch -> "batch"
+
+let class_of_string = function
+  | "interactive" -> Some Interactive
+  | "standard" -> Some Standard
+  | "batch" -> Some Batch
+  | _ -> None
+
+(* Deadline classes anchor on the service policy's deadline rather than
+   carrying absolute budgets of their own, so one knob (the policy)
+   retunes the whole ladder: Interactive gets exactly the policy budget,
+   Standard twice it, Batch runs unbounded.  With no policy deadline the
+   ladder is inert — every class maps to None, matching the policy
+   default's behaviour. *)
+let deadline_s ~policy_deadline_s t =
+  match (t.deadline_class, policy_deadline_s) with
+  | _, None -> None
+  | Interactive, Some d -> Some d
+  | Standard, Some d -> Some (2.0 *. d)
+  | Batch, Some _ -> None
+
+let to_string t =
+  Printf.sprintf "%s:%d:%s%s" t.id t.weight
+    (class_to_string t.deadline_class)
+    (match t.quota with
+    | None -> ""
+    | Some q -> Printf.sprintf ":%d@%g" q.burst q.rate_per_s)
+
+(* One tenant: NAME:WEIGHT[:CLASS][:BURST@RATE], fields after the weight
+   in either order.  "a:10", "b:3:interactive", "c:1:batch:5@0.5". *)
+let parse_one s =
+  match String.split_on_char ':' (String.trim s) with
+  | [] | [ "" ] -> Error "empty tenant spec"
+  | name :: rest -> (
+    let parse_field acc field =
+      match acc with
+      | Error _ as e -> e
+      | Ok (weight, quota, cls) -> (
+        match int_of_string_opt field with
+        | Some w when w >= 1 -> Ok (Some w, quota, cls)
+        | Some _ -> Error (Printf.sprintf "tenant %s: weight < 1" name)
+        | None -> (
+          match class_of_string field with
+          | Some c -> Ok (weight, quota, Some c)
+          | None -> (
+            match String.index_opt field '@' with
+            | Some i -> (
+              let burst = String.sub field 0 i in
+              let rate =
+                String.sub field (i + 1) (String.length field - i - 1)
+              in
+              match (int_of_string_opt burst, float_of_string_opt rate) with
+              | Some b, Some r when b >= 0 && r >= 0.0 ->
+                Ok (weight, Some { rate_per_s = r; burst = b }, cls)
+              | _ ->
+                Error
+                  (Printf.sprintf "tenant %s: bad quota %S (want BURST@RATE)"
+                     name field))
+            | None ->
+              Error
+                (Printf.sprintf "tenant %s: unrecognized field %S" name field)
+          )))
+    in
+    match List.fold_left parse_field (Ok (None, None, None)) rest with
+    | Error _ as e -> e
+    | Ok (weight, quota, cls) ->
+      if name = "" then Error "empty tenant name"
+      else
+        Ok
+          (make name
+             ~weight:(Option.value ~default:1 weight)
+             ?quota
+             ~deadline_class:(Option.value ~default:Standard cls)))
+
+let parse spec =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+      match parse_one s with
+      | Error _ as e -> e
+      | Ok t ->
+        if List.exists (fun u -> u.id = t.id) acc then
+          Error (Printf.sprintf "duplicate tenant %s" t.id)
+        else go (t :: acc) rest)
+  in
+  match String.split_on_char ',' spec with
+  | [ "" ] -> Ok []
+  | parts -> go [] parts

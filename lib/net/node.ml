@@ -5,6 +5,8 @@ module Store = Overgen_store.Store
 module Metrics = Overgen_obs.Metrics
 module Telemetry = Overgen_service.Telemetry
 module Log = Overgen_obs.Obs.Log
+module Tenant = Overgen_fleet.Tenant
+module Admission = Overgen_fleet.Admission
 
 type peer = { host : string; port : int }
 
@@ -41,6 +43,10 @@ type config = {
   queue_capacity : int;
   cache_capacity : int;
   policy : Service.policy;
+  tenants : Tenant.t list;
+      (* non-empty: requests go through a weighted-fair admission layer
+         (quotas, deadline classes, same-overlay batching) instead of
+         straight into the service queue *)
 }
 
 let default_config ~cluster ~me =
@@ -54,6 +60,7 @@ let default_config ~cluster ~me =
     queue_capacity = 1024;
     cache_capacity = 4096;
     policy = Service.default_policy;
+    tenants = [];
   }
 
 type t = {
@@ -64,6 +71,7 @@ type t = {
   registry : Registry.t;
   cache : Cache.t;
   service : Service.t;
+  admission : Admission.t option;
   m : Mutex.t;
   mutable quiesced_ : bool;
   mutable served_ : int;
@@ -81,6 +89,7 @@ type t = {
 let me t = t.config.me
 let cluster t = t.config.cluster
 let service t = t.service
+let admission t = t.admission
 let registry t = t.registry
 let cache t = t.cache
 let metrics t = t.obs
@@ -148,6 +157,11 @@ let init ?setup config =
             ~queue_capacity:config.queue_capacity ~cache ~policy:config.policy
             registry
         in
+        let admission =
+          match config.tenants with
+          | [] -> None
+          | tenants -> Some (Admission.create ~tenants service)
+        in
         let obs =
           Metrics.create_registry
             ~label:(Printf.sprintf "net shard %d" config.me)
@@ -162,6 +176,7 @@ let init ?setup config =
           registry;
           cache;
           service;
+          admission;
           m = Mutex.create ();
           quiesced_ = false;
           served_ = 0;
@@ -213,6 +228,7 @@ let wire_error_of_service : Service.error -> Wire.wire_error = function
   | Service.Compile_error e -> Wire.Compile_error e
   | Service.Transient_failure e -> Wire.Transient_failure e
   | Service.Deadline_exceeded -> Wire.Deadline_exceeded
+  | Service.Quota_exceeded -> Wire.Quota_exceeded
   | Service.Shutdown -> Wire.Shutting_down
 
 let result_of_response ~shard ~id (resp : Service.response) =
@@ -326,10 +342,14 @@ let handle_net t (msg : Wire.req_msg) ~respond : action =
           {
             Service.id = req.Wire.id;
             user = req.Wire.user;
+            tenant = req.Wire.tenant;
             overlay = req.Wire.overlay;
             payload = service_payload req.Wire.payload;
             tuned = req.Wire.tuned;
             trace = req.Wire.trace;
+            (* the admission layer stamps the tenant's deadline class;
+               without one the service policy governs *)
+            deadline_s = None;
           }
         in
         let k resp =
@@ -343,13 +363,20 @@ let handle_net t (msg : Wire.req_msg) ~respond : action =
         (Mutex.lock t.m;
          t.served_ <- t.served_ + 1;
          Mutex.unlock t.m;
-         match Service.submit_k t.service sreq ~k with
-        | Ok () -> Async
-        | Error e ->
-          Mutex.lock t.m;
-          t.served_ <- t.served_ - 1;
-          Mutex.unlock t.m;
-          refuse (wire_error_of_service e))
+         match t.admission with
+        | Some adm ->
+          (* the admission layer answers every request through [k] —
+             quota sheds included — so there is no error path here *)
+          Admission.submit_k adm sreq ~k;
+          Async
+        | None -> (
+          match Service.submit_k t.service sreq ~k with
+          | Ok () -> Async
+          | Error e ->
+            Mutex.lock t.m;
+            t.served_ <- t.served_ - 1;
+            Mutex.unlock t.m;
+            refuse (wire_error_of_service e)))
 
 let handle_timeout t =
   Metrics.set t.g_cache_entries (float_of_int (Cache.stats t.cache).Cache.entries);

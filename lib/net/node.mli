@@ -40,11 +40,17 @@ type config = {
   queue_capacity : int;
   cache_capacity : int;
   policy : Overgen_service.Service.policy;
+  tenants : Overgen_fleet.Tenant.t list;
+      (** non-empty: compiles are admitted through a per-tenant
+          weighted-fair queue with quotas and deadline classes
+          ({!Overgen_fleet.Admission}) instead of straight into the
+          service queue *)
 }
 
 val default_config : cluster:peer array -> me:int -> config
 (** [vnodes] {!Shard_map.default_vnodes}, forwarding on, no store, 2
-    workers, queue 1024, cache 4096, {!Overgen_service.Service.default_policy}. *)
+    workers, queue 1024, cache 4096,
+    {!Overgen_service.Service.default_policy}, no tenants. *)
 
 type t
 
@@ -106,6 +112,10 @@ val warm_loaded : t -> int
 (** Cache entries replayed from the durable store at [init]. *)
 
 val service : t -> Overgen_service.Service.t
+
+val admission : t -> Overgen_fleet.Admission.t option
+(** The admission layer, when [config.tenants] was non-empty. *)
+
 val registry : t -> Overgen_service.Registry.t
 val cache : t -> Overgen_service.Cache.t
 val metrics : t -> Overgen_obs.Metrics.registry

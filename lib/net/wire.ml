@@ -2,13 +2,14 @@ open Overgen_workload
 module Codec = Overgen_store.Codec
 module Crc32 = Overgen_store.Crc32
 
-(* v3: the compile request carries a payload — a marshalled IR kernel or
-   pragma'd C source text for the shard's frontend to parse — and the
-   error taxonomy gains [Source_error].  (v2 added trace context and the
-   ops plane.)  The version byte and the schema tags bump together, so an
-   old peer rejects at the header and an old payload smuggled past the
-   header rejects at the schema check. *)
-let version = 3
+(* v4: the compile request carries the tenant identity — the QoS key the
+   receiving shard's admission layer meters and weighted-fair-queues on —
+   and the error taxonomy gains [Quota_exceeded] (deterministic, never
+   retried).  (v3 added payloads + [Source_error]; v2 trace context and
+   the ops plane.)  The version byte and the schema tags bump together,
+   so an old peer rejects at the header and an old payload smuggled past
+   the header rejects at the schema check. *)
+let version = 4
 let header_bytes = 12
 let max_payload_bytes = 16 * 1024 * 1024
 let magic0 = 'O'
@@ -85,6 +86,7 @@ type payload = Kernel of Ir.kernel | Source of string
 type request = {
   id : int;
   user : string;
+  tenant : string;  (* QoS identity; "" = untenanted *)
   overlay : string;
   payload : payload;
   tuned : bool;
@@ -109,6 +111,7 @@ type wire_error =
   | Deadline_exceeded
   | Shutting_down
   | Source_error of string
+  | Quota_exceeded
 
 let wire_error_to_string = function
   | Unknown_overlay name -> Printf.sprintf "unknown overlay %S" name
@@ -118,10 +121,14 @@ let wire_error_to_string = function
   | Deadline_exceeded -> "deadline exceeded"
   | Shutting_down -> "shard is shutting down"
   | Source_error e -> "source error: " ^ e
+  | Quota_exceeded -> "tenant quota exceeded (request shed)"
 
 let retryable = function
   | Queue_full | Transient_failure _ | Shutting_down | Deadline_exceeded -> true
-  | Unknown_overlay _ | Compile_error _ | Source_error _ -> false
+  (* a quota shed is a policy verdict: resending would burn the tenant's
+     bucket again for the same answer *)
+  | Unknown_overlay _ | Compile_error _ | Source_error _ | Quota_exceeded ->
+    false
 
 type resp_msg =
   | Result of {
@@ -151,8 +158,8 @@ type resp_msg =
     }
   | Events of { shard : int; events : string list }
 
-let req_schema = "net-req-v3"
-let resp_schema = "net-resp-v3"
+let req_schema = "net-req-v4"
+let resp_schema = "net-resp-v4"
 let kernel_schema = "net-kernel-v1"
 let schedules_schema = "net-schedules-v1"
 
@@ -186,6 +193,7 @@ let encode_req msg =
     Codec.put_u8 b 0;
     put_id b r.id;
     Codec.put_string b r.user;
+    Codec.put_string b r.tenant;
     Codec.put_string b r.overlay;
     put_bool b r.tuned;
     Codec.put_string b r.trace;
@@ -217,6 +225,7 @@ let decode_req s =
       | 0 ->
         let id = get_id s pos in
         let user = Codec.get_string s pos in
+        let tenant = Codec.get_string s pos in
         let overlay = Codec.get_string s pos in
         let tuned = get_bool s pos in
         let trace = Codec.get_string s pos in
@@ -227,7 +236,7 @@ let decode_req s =
           | 1 -> Source (Codec.get_string s pos)
           | n -> fail "unknown payload tag %d" n
         in
-        Compile { id; user; overlay; payload; tuned; trace; parent_span }
+        Compile { id; user; tenant; overlay; payload; tuned; trace; parent_span }
       | 1 -> Ping
       | 2 -> Stats_req
       | 3 -> Quiesce
@@ -259,6 +268,7 @@ let put_error b = function
   | Source_error e ->
     Codec.put_u8 b 7;
     Codec.put_string b e
+  | Quota_exceeded -> Codec.put_u8 b 8
 
 let get_error s pos =
   match Codec.get_u8 s pos with
@@ -269,6 +279,7 @@ let get_error s pos =
   | 5 -> Deadline_exceeded
   | 6 -> Shutting_down
   | 7 -> Source_error (Codec.get_string s pos)
+  | 8 -> Quota_exceeded
   | n -> fail "unknown error tag %d" n
 
 let encode_resp msg =

@@ -21,17 +21,19 @@
     counted error on any of them, mirroring the store's scan-on-open
     discipline (damage is detected and contained, not interpreted).
 
-    {b Messages.}  Payloads are schema-tagged ([net-req-v3] /
-    [net-resp-v3]) envelopes whose fields are Codec primitives; the two
+    {b Messages.}  Payloads are schema-tagged ([net-req-v4] /
+    [net-resp-v4]) envelopes whose fields are Codec primitives; the two
     structured blobs — the kernel in a compile request and the schedules
     in a successful response — ride as {!Overgen_store.Codec}
     marshal-encoded, schema-tagged strings, so a format bump of either
     renames its schema and old peers reject rather than misparse.
 
-    v3 made the compile request's payload a tagged union — a marshalled
-    IR kernel or raw pragma'd C source text for the shard's frontend to
-    parse — and added [Source_error] to the error taxonomy.  (v2 added
-    the trace context and the ops-plane kinds.)  Each bump moves the
+    v4 added the tenant identity to the compile request — the QoS key
+    the receiving shard's admission layer meters and weighted-fair-queues
+    on — and [Quota_exceeded] to the error taxonomy.  (v3 made the
+    payload a tagged union of marshalled IR kernel / raw pragma'd C
+    source and added [Source_error]; v2 added the trace context and the
+    ops-plane kinds.)  Each bump moves the
     version byte and both envelope schemas together, so older frames
     reject at the header and older payloads at the schema check — never a
     silent misparse. *)
@@ -87,6 +89,11 @@ type request = {
   id : int;           (** client-chosen; the server namespaces it
                           per-connection before processing *)
   user : string;
+  tenant : string;
+      (** the tenant (QoS identity) this request bills to: quota
+          metering, weighted-fair share and deadline class on the
+          serving shard, plus per-tenant telemetry labels.  [""] rides
+          as untenanted (default SLA). *)
   overlay : string;   (** registry name to compile against *)
   payload : payload;
   tuned : bool;
@@ -121,12 +128,17 @@ type wire_error =
   | Source_error of string
       (** the frontend rejected a [Source] payload: deterministic,
           located as "line:col: message" *)
+  | Quota_exceeded
+      (** the tenant's token bucket was empty at admission:
+          deterministic, never retried *)
 
 val wire_error_to_string : wire_error -> string
 
 val retryable : wire_error -> bool
 (** Whether a client should retry: everything except the deterministic
-    verdicts ([Unknown_overlay], [Compile_error], [Source_error]). *)
+    verdicts ([Unknown_overlay], [Compile_error], [Source_error],
+    [Quota_exceeded] — resending a quota shed would burn the tenant's
+    bucket again for the same answer). *)
 
 type resp_msg =
   | Result of {

@@ -165,6 +165,46 @@ let find_or_compute t k compute =
     in
     (outcome, false)
 
+(* Retiring an overlay must take its schedule outcomes with it — in
+   memory and on disk — or the durable log accumulates records no live
+   fingerprint can ever address again (orphans that survive restarts and
+   inflate every warm start).  Keys are the length-prefixed join
+   [Overgen.make_schedule_key], so every key for a fingerprint starts
+   with the fingerprint's own length-prefixed form and prefix matching
+   cannot collide across fingerprints. *)
+let fingerprint_prefix fp = Printf.sprintf "%d:%s" (String.length fp) fp
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let purge_fingerprint_store s ~fingerprint =
+  let prefix = fingerprint_prefix fingerprint in
+  let keys =
+    List.filter (fun (k, _) -> has_prefix ~prefix k) (Store.bindings s ~ns)
+  in
+  List.iter (fun (k, _) -> Store.delete s ~ns ~key:k) keys;
+  List.length keys
+
+let purge_fingerprint t ~fingerprint =
+  let prefix = fingerprint_prefix fingerprint in
+  Mutex.lock t.m;
+  let mem_keys =
+    List.filter_map
+      (fun (k, _) -> if has_prefix ~prefix k then Some k else None)
+      (Lru.to_list t.lru)
+  in
+  List.iter (fun k -> ignore (Lru.remove t.lru k)) mem_keys;
+  Mutex.unlock t.m;
+  match t.store with
+  | None -> List.length mem_keys
+  | Some s ->
+    (* the durable side also holds keys already evicted from memory; every
+       in-memory cacheable entry was written through, so the store count
+       dominates whenever a store is attached *)
+    let store_purged = purge_fingerprint_store s ~fingerprint in
+    max store_purged (List.length mem_keys)
+
 type stats = {
   hits : int;
   misses : int;

@@ -84,6 +84,21 @@ val find_or_compute : t -> string -> (unit -> outcome) -> outcome * bool
     clearing the key's pending mark (waiters then recompute); nothing is
     stored.  Visits the [cache.store] fault point before storing. *)
 
+val purge_fingerprint : t -> fingerprint:string -> int
+(** Drop every outcome keyed under [fingerprint] — the retire path's
+    orphan guard: from the in-memory LRU and, when a store is attached,
+    from the durable log (so a later [Store.compact] actually reclaims
+    the bytes and a warm restart cannot resurrect records no registered
+    overlay can address).  Length-prefixed keys make the prefix match
+    exact — no other fingerprint can be swept up.  Returns the number of
+    records purged.  Only call when no registered overlay still aliases
+    the fingerprint ({!Registry.find_fingerprint}). *)
+
+val purge_fingerprint_store : Overgen_store.Store.t -> fingerprint:string -> int
+(** The durable half of {!purge_fingerprint} alone, for retiring against
+    a store with no live cache instance (e.g. CLI surgery on a stopped
+    service). *)
+
 type stats = {
   hits : int;
   misses : int;

@@ -69,6 +69,14 @@ let add t k v =
     push_front t n);
   evict_over_capacity t
 
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> false
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl k;
+    true
+
 let to_list t =
   let rec go acc = function
     | None -> List.rev acc

@@ -22,6 +22,10 @@ val add : ('k, 'v) t -> 'k -> 'v -> unit
 (** Insert or replace, promoting to most-recently-used; evicts from the
     least-recently-used end until within capacity. *)
 
+val remove : ('k, 'v) t -> 'k -> bool
+(** Drop the entry if present (not counted as an eviction); [true] when
+    something was removed. *)
+
 val evictions : ('k, 'v) t -> int
 (** Total entries evicted over the structure's lifetime. *)
 

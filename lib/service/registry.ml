@@ -76,6 +76,25 @@ let register t ~name overlay =
   | _ -> ());
   r
 
+let remove t name =
+  Mutex.lock t.m;
+  let r =
+    match Hashtbl.find_opt t.tbl name with
+    | None ->
+      Error (Printf.sprintf "overlay %S is not registered" name)
+    | Some entry ->
+      Hashtbl.remove t.tbl name;
+      t.order <- List.filter (fun n -> n <> name) t.order;
+      Ok entry
+  in
+  Mutex.unlock t.m;
+  (* delete-through outside the lock, mirroring [register]: a registry
+     restored from this store must not resurrect the retired name *)
+  (match (r, t.store) with
+  | Ok _, Some s -> Store.delete s ~ns ~key:name
+  | _ -> ());
+  r
+
 let find t name =
   Mutex.lock t.m;
   let r = Hashtbl.find_opt t.tbl name in

@@ -31,6 +31,14 @@ val create : ?store:Overgen_store.Store.t -> unit -> t
 val register : t -> name:string -> Overgen.overlay -> (entry, string) result
 (** Errors if [name] is already taken. *)
 
+val remove : t -> string -> (entry, string) result
+(** Unregister [name], returning its entry; errors if unknown.  With a
+    backing store the persisted record is deleted too, so a registry
+    restored from the same store stays retired.  The fleet manager's
+    retire path — schedule-cache records keyed by the entry's fingerprint
+    are purged separately ({!Cache.purge_fingerprint}) only when no other
+    registered name aliases the same design. *)
+
 val find : t -> string -> entry option
 
 val find_fingerprint : t -> string -> entry list

@@ -20,15 +20,18 @@ let payload_name = function
 type request = {
   id : int;
   user : string;
+  tenant : string;
   overlay : string;
   payload : payload;
   tuned : bool;
   trace : string;
+  deadline_s : float option;
 }
 
 type error =
   | Unknown_overlay of string
   | Queue_full
+  | Quota_exceeded
   | Source_error of string
   | Compile_error of string
   | Transient_failure of string
@@ -38,6 +41,7 @@ type error =
 let error_to_string = function
   | Unknown_overlay name -> Printf.sprintf "unknown overlay %S" name
   | Queue_full -> "queue full (admission rejected)"
+  | Quota_exceeded -> "tenant quota exceeded (request shed)"
   | Source_error e -> "source error: " ^ e
   | Compile_error e -> "compile error: " ^ e
   | Transient_failure e -> "transient failure (retries exhausted): " ^ e
@@ -147,10 +151,13 @@ let process t ~submitted_at req =
         ("queue_wait_ms", Printf.sprintf "%.3f" ((t0 -. submitted_at) *. 1000.0));
       ]
   @@ fun () ->
+  (* A per-request deadline (stamped by an admission layer from the
+     tenant's deadline class) overrides the service-wide policy one. *)
+  let deadline =
+    match req.deadline_s with Some _ as d -> d | None -> t.policy.deadline_s
+  in
   let past_deadline now =
-    match t.policy.deadline_s with
-    | Some d -> now -. submitted_at > d
-    | None -> false
+    match deadline with Some d -> now -. submitted_at > d | None -> false
   in
   let resolve () =
     Fault.point Fault.Points.service_process;
@@ -212,13 +219,13 @@ let process t ~submitted_at req =
         ~attrs:[ ("id", string_of_int req.id); ("error", fault_message e) ];
       if Fault.is_transient e then
         if past_deadline (Unix.gettimeofday ()) then begin
-          Telemetry.record_deadline t.telemetry_;
+          Telemetry.record_deadline ~tenant:req.tenant t.telemetry_;
           Obs.Log.record ~level:Obs.Log.Warn Obs.Log.default "deadline_shed"
             ~attrs:[ ("id", string_of_int req.id) ];
           (Error Deadline_exceeded, false)
         end
         else if n < t.policy.retries then begin
-          Telemetry.record_retry t.telemetry_;
+          Telemetry.record_retry ~tenant:req.tenant t.telemetry_;
           Obs.Log.record Obs.Log.default "retry"
             ~attrs:
               [ ("id", string_of_int req.id); ("attempt", string_of_int n) ];
@@ -233,7 +240,7 @@ let process t ~submitted_at req =
   let result, cache_hit =
     if past_deadline t0 then begin
       (* the whole budget went to queueing: shed without compiling *)
-      Telemetry.record_deadline t.telemetry_;
+      Telemetry.record_deadline ~tenant:req.tenant t.telemetry_;
       Obs.Log.record ~level:Obs.Log.Warn Obs.Log.default "deadline_shed"
         ~attrs:[ ("id", string_of_int req.id); ("where", "queue") ];
       (Error Deadline_exceeded, false)
@@ -255,7 +262,7 @@ let process t ~submitted_at req =
     | Telemetry.Miss -> "miss"
     | Telemetry.Uncached -> "uncached"
     | Telemetry.Failed -> "failed");
-  Telemetry.record t.telemetry_ outcome ~service_s;
+  Telemetry.record ~tenant:req.tenant t.telemetry_ outcome ~service_s;
   { request = req; result; cache_hit; service_s }
 
 let complete t resp =
@@ -368,6 +375,35 @@ let submit_k t req ~k =
     in
     log_admission req r;
     r
+
+(* Same-overlay batch submission: one pool job runs the whole batch
+   sequentially, so a group of compiles sharing an ADG fingerprint pays
+   one queue round-trip and resolves the registry entry / warms the
+   compile memo once.  Isolation stays per-request — each element goes
+   through [job], so one poisoned request cannot take down its batch
+   mates — and [k] fires exactly once per request, in batch order. *)
+let submit_batch_k t reqs ~k =
+  let submitted_at = Unix.gettimeofday () in
+  let run_batch () =
+    List.iter (fun req -> job ~k t ~submitted_at req ()) reqs
+  in
+  match reqs with
+  | [] -> Ok ()
+  | _ -> (
+    match t.mode with
+    | Deterministic ->
+      run_batch ();
+      Ok ()
+    | Workers _ -> (
+      match Pool.submit t.pool run_batch with
+      | Ok () -> Ok ()
+      | Error Pool.Saturated ->
+        Telemetry.record_rejection t.telemetry_;
+        Error Queue_full
+      | Error Pool.Stopped -> Error Shutdown))
+
+let mode t = t.mode
+let policy t = t.policy
 
 let by_id a b = compare a.request.id b.request.id
 

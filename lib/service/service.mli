@@ -52,6 +52,11 @@ val payload_name : payload -> string
 type request = {
   id : int;           (** caller-chosen; responses are sorted by it *)
   user : string;      (** for telemetry/tracing only *)
+  tenant : string;
+      (** multi-tenant identity: labels telemetry, selects the
+          weighted-fair queue and quota bucket in
+          [Overgen_fleet.Admission], and rides the wire envelope.
+          [""] for single-tenant deployments. *)
   overlay : string;   (** registry name to compile against *)
   payload : payload;
   tuned : bool;
@@ -60,11 +65,18 @@ type request = {
           processing re-establishes it as the worker domain's trace
           context so spans and flight-recorder events correlate across
           process hops.  [""] for untraced requests. *)
+  deadline_s : float option;
+      (** per-request deadline overriding [policy.deadline_s] — how a
+          tenant's deadline class maps onto the policy; [None] defers
+          to the service-wide policy *)
 }
 
 type error =
   | Unknown_overlay of string
   | Queue_full            (** backpressure: admission rejected or shed *)
+  | Quota_exceeded
+      (** the tenant's token-bucket quota is exhausted: a deterministic
+          shed decided at admission, never queued, never retried *)
   | Source_error of string
       (** a [Source] payload the frontend rejected: deterministic, never
           retried, located as "line:col: message" *)
@@ -144,6 +156,16 @@ val submit_k : t -> request -> k:(response -> unit) -> (unit, error) result
     fault-tolerance contract applies: exactly one call to [k] per
     accepted request, failures isolated into [Error] responses. *)
 
+val submit_batch_k : t -> request list -> k:(response -> unit) -> (unit, error) result
+(** Same-overlay batch submission, the amortization primitive behind
+    [Overgen_fleet.Admission]'s batching: the whole list runs as one pool
+    job, sequentially, paying one queue round-trip and touching the
+    registry entry / compile memo once for the shared ADG fingerprint.
+    Isolation stays per-request — each element runs under the same
+    exception confinement as {!submit_k}, so [k] fires exactly once per
+    request (in list order) even when some of them fail.  [Error] means
+    the whole batch was rejected at admission and [k] was never called. *)
+
 val drain : t -> response list
 (** Process ([Deterministic]) or await ([Workers]) everything accepted so
     far; returns the completed responses sorted by request id and clears
@@ -159,6 +181,12 @@ val run : t -> request list -> response list
 val telemetry : t -> Telemetry.t
 val cache : t -> Cache.t option
 val registry : t -> Registry.t
+
+val mode : t -> mode
+val policy : t -> policy
+(** Introspection for admission layers wrapping the service: the mode
+    decides how an [Overgen_fleet.Admission] pump bounds its in-flight
+    window, and the policy's deadline anchors tenant deadline classes. *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains ([Workers] mode).  Idempotent; the

@@ -7,6 +7,24 @@ type outcome = Hit | Miss | Uncached | Failed
    instance, so Prometheus dumps are per-service and agree with the
    snapshot exactly); raw latencies are additionally kept under a mutex so
    the snapshot's percentiles stay exact rather than bucket-approximated. *)
+(* The per-tenant dimension: the same request/shed/retry counters and the
+   latency histogram, labeled by tenant, alongside — never instead of —
+   the unlabeled aggregates (so every pre-tenant consumer of the
+   Prometheus dump and the snapshot sees exactly the numbers it always
+   did).  Lazily materialized per tenant id, memoized here so the record
+   path pays one hashtable probe rather than a registry scan. *)
+type tenant_metrics = {
+  tm_hits : Metrics.counter;
+  tm_misses : Metrics.counter;
+  tm_uncached : Metrics.counter;
+  tm_failed : Metrics.counter;
+  tm_retries : Metrics.counter;
+  tm_shed : Metrics.counter;
+  tm_deadlines : Metrics.counter;
+  tm_quota : Metrics.counter;
+  tm_latency : Metrics.histogram;
+}
+
 type t = {
   reg : Metrics.registry;
   hits : Metrics.counter;
@@ -18,7 +36,9 @@ type t = {
   retries : Metrics.counter;
   shed : Metrics.counter;
   deadlines : Metrics.counter;
+  quota_shed : Metrics.counter;
   latency : Metrics.histogram;
+  tenants : (string, tenant_metrics) Hashtbl.t;
   mutable latencies_s : float list;
   m : Mutex.t;
 }
@@ -53,16 +73,75 @@ let create () =
     deadlines =
       Metrics.counter reg "overgen_service_deadline_exceeded_total"
         ~help:"requests abandoned because their deadline expired";
+    quota_shed =
+      Metrics.counter reg "overgen_service_quota_shed_total"
+        ~help:"over-quota requests shed deterministically at admission";
     latency =
       Metrics.histogram reg "overgen_service_latency_seconds"
         ~help:"request service time, excluding queue wait";
+    tenants = Hashtbl.create 8;
     latencies_s = [];
     m = Mutex.create ();
   }
 
 let registry t = t.reg
 
-let record t outcome ~service_s =
+(* The get-or-create for a tenant's labeled series; [Metrics.counter] is
+   itself get-or-create keyed on (name, labels), so re-creating after a
+   lost race would be harmless — the hashtable only memoizes the lookup. *)
+let tenant_metrics t tenant =
+  Mutex.lock t.m;
+  let tm =
+    match Hashtbl.find_opt t.tenants tenant with
+    | Some tm -> tm
+    | None ->
+      let labels = [ ("tenant", tenant) ] in
+      let req outcome =
+        Metrics.counter t.reg requests_metric
+          ~help:"completed compile requests by outcome"
+          ~labels:(("outcome", outcome) :: labels)
+      in
+      let tm =
+        {
+          tm_hits = req "hit";
+          tm_misses = req "miss";
+          tm_uncached = req "uncached";
+          tm_failed = req "failed";
+          tm_retries =
+            Metrics.counter t.reg "overgen_service_retries_total"
+              ~help:"transient-failure retry attempts" ~labels;
+          tm_shed =
+            Metrics.counter t.reg "overgen_service_shed_total"
+              ~help:"requests load-shed after the bounded admission wait"
+              ~labels;
+          tm_deadlines =
+            Metrics.counter t.reg "overgen_service_deadline_exceeded_total"
+              ~help:"requests abandoned because their deadline expired"
+              ~labels;
+          tm_quota =
+            Metrics.counter t.reg "overgen_service_quota_shed_total"
+              ~help:"over-quota requests shed deterministically at admission"
+              ~labels;
+          tm_latency =
+            Metrics.histogram t.reg "overgen_service_latency_seconds"
+              ~help:"request service time, excluding queue wait" ~labels;
+        }
+      in
+      Hashtbl.add t.tenants tenant tm;
+      tm
+  in
+  Mutex.unlock t.m;
+  tm
+
+(* [with_tenant] gates every labeled bump: the empty tenant (single-tenant
+   deployments, pre-fleet callers) emits no labeled series at all, so the
+   Prometheus dump is byte-identical to the pre-tenant one. *)
+let with_tenant t tenant f =
+  match tenant with
+  | None | Some "" -> ()
+  | Some id -> f (tenant_metrics t id)
+
+let record ?tenant t outcome ~service_s =
   Metrics.incr
     (match outcome with
     | Hit -> t.hits
@@ -70,15 +149,53 @@ let record t outcome ~service_s =
     | Uncached -> t.uncached
     | Failed -> t.failures);
   Metrics.observe t.latency service_s;
+  with_tenant t tenant (fun tm ->
+      Metrics.incr
+        (match outcome with
+        | Hit -> tm.tm_hits
+        | Miss -> tm.tm_misses
+        | Uncached -> tm.tm_uncached
+        | Failed -> tm.tm_failed);
+      Metrics.observe tm.tm_latency service_s);
   Mutex.lock t.m;
   t.latencies_s <- service_s :: t.latencies_s;
   Mutex.unlock t.m
 
 let record_rejection t = Metrics.incr t.rejections
 let record_fault t = Metrics.incr t.faults
-let record_retry t = Metrics.incr t.retries
-let record_shed t = Metrics.incr t.shed
-let record_deadline t = Metrics.incr t.deadlines
+
+let record_retry ?tenant t =
+  Metrics.incr t.retries;
+  with_tenant t tenant (fun tm -> Metrics.incr tm.tm_retries)
+
+let record_shed ?tenant t =
+  Metrics.incr t.shed;
+  with_tenant t tenant (fun tm -> Metrics.incr tm.tm_shed)
+
+let record_deadline ?tenant t =
+  Metrics.incr t.deadlines;
+  with_tenant t tenant (fun tm -> Metrics.incr tm.tm_deadlines)
+
+let record_quota ?tenant t =
+  Metrics.incr t.quota_shed;
+  with_tenant t tenant (fun tm -> Metrics.incr tm.tm_quota)
+
+let tenant_requests t =
+  Mutex.lock t.m;
+  let per =
+    Hashtbl.fold
+      (fun id tm acc ->
+        let n =
+          Metrics.counter_value tm.tm_hits
+          + Metrics.counter_value tm.tm_misses
+          + Metrics.counter_value tm.tm_uncached
+          + Metrics.counter_value tm.tm_failed
+        in
+        (id, n) :: acc)
+      t.tenants []
+  in
+  Mutex.unlock t.m;
+  List.sort compare per
 
 type snapshot = {
   requests : int;
@@ -91,6 +208,7 @@ type snapshot = {
   retries : int;
   shed : int;
   deadlines : int;
+  quota_shed : int;
   mean_ms : float;
   p50_ms : float;
   p90_ms : float;
@@ -125,6 +243,7 @@ let snapshot t =
     retries = Metrics.counter_value t.retries;
     shed = Metrics.counter_value t.shed;
     deadlines = Metrics.counter_value t.deadlines;
+    quota_shed = Metrics.counter_value t.quota_shed;
     mean_ms =
       (if Array.length ms = 0 then 0.0
        else Array.fold_left ( +. ) 0.0 ms /. float_of_int (Array.length ms));
@@ -153,6 +272,7 @@ let report ?(label = "") ~wall_s s =
   if s.faults + s.retries + s.shed + s.deadlines > 0 then
     line "faults      %6d   (retries %d, shed %d, deadline-exceeded %d)"
       s.faults s.retries s.shed s.deadlines;
+  if s.quota_shed > 0 then line "quota shed  %6d" s.quota_shed;
   line "latency      p50 %.3f ms   p90 %.3f ms   p99 %.3f ms   mean %.3f ms   max %.3f ms"
     s.p50_ms s.p90_ms s.p99_ms s.mean_ms s.max_ms;
   if wall_s > 0.0 then

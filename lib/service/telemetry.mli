@@ -26,8 +26,11 @@ val registry : t -> Overgen_obs.Metrics.registry
     {!Overgen_obs.Metrics.render_prometheus}.  The service also registers
     its queue-wait histogram here. *)
 
-val record : t -> outcome -> service_s:float -> unit
-(** Record one completed request and its processing time. *)
+val record : ?tenant:string -> t -> outcome -> service_s:float -> unit
+(** Record one completed request and its processing time.  A non-empty
+    [tenant] additionally bumps the tenant-labeled request counter and
+    latency histogram on the same registry; the unlabeled aggregates are
+    always bumped, so pre-tenant consumers see unchanged totals. *)
 
 val record_rejection : t -> unit
 (** Record one admission rejection (queue full). *)
@@ -36,14 +39,23 @@ val record_fault : t -> unit
 (** Record one exception observed while processing a request (isolated —
     the request still gets exactly one response). *)
 
-val record_retry : t -> unit
+val record_retry : ?tenant:string -> t -> unit
 (** Record one transient-failure retry attempt. *)
 
-val record_shed : t -> unit
+val record_shed : ?tenant:string -> t -> unit
 (** Record one request load-shed after the bounded admission wait. *)
 
-val record_deadline : t -> unit
+val record_deadline : ?tenant:string -> t -> unit
 (** Record one request abandoned because its deadline expired. *)
+
+val record_quota : ?tenant:string -> t -> unit
+(** Record one over-quota request shed deterministically at admission
+    ([Overgen_fleet.Admission]'s token-bucket verdict). *)
+
+val tenant_requests : t -> (string * int) list
+(** Completed-request counts per tenant id (only tenants that recorded at
+    least one labeled event appear), sorted by id — the fairness
+    numerator the fleet bench and smoke assertions use. *)
 
 type snapshot = {
   requests : int;  (** completed; hits + misses + uncached + failures *)
@@ -56,6 +68,7 @@ type snapshot = {
   retries : int;
   shed : int;
   deadlines : int;
+  quota_shed : int;  (** over-quota admission sheds (deterministic) *)
   mean_ms : float;
   p50_ms : float;
   p90_ms : float;

@@ -7,11 +7,12 @@ type spec = {
   users : int;
   working_set : int;
   overlays : (string * Ir.kernel list) list;
+  tenants : string array;
 }
 
-let spec ?(seed = 42) ?(requests = 200) ?(users = 8) ?(working_set = 3) ~overlays ()
-    =
-  { seed; requests; users; working_set; overlays }
+let spec ?(seed = 42) ?(requests = 200) ?(users = 8) ?(working_set = 3)
+    ?(tenants = [||]) ~overlays () =
+  { seed; requests; users; working_set; overlays; tenants }
 
 let rec take n = function
   | [] -> []
@@ -42,10 +43,16 @@ let generate s =
       {
         Service.id;
         user = Printf.sprintf "user-%d" u;
+        (* tenants partition the user population round-robin, off the
+           workload RNG stream so tenanted traces draw the same kernels *)
+        tenant =
+          (if Array.length s.tenants = 0 then ""
+           else s.tenants.(u mod Array.length s.tenants));
         overlay;
         payload = Service.Kernel (Rng.choose_weighted rng weighted);
         tuned = false;
         trace = Overgen_obs.Obs.Span.fresh_trace trace_rng;
+        deadline_s = None;
       })
 
 let distinct_keys s =

@@ -18,6 +18,11 @@ type spec = {
   working_set : int;   (** kernels per user (clamped to the pool size) *)
   overlays : (string * Ir.kernel list) list;
       (** registry name and the kernel pool its users draw from *)
+  tenants : string array;
+      (** tenant ids to partition the user population over, round-robin
+          by user index; [[||]] (default) leaves requests untenanted.
+          Drawn off the workload RNG stream, so tenanted traces request
+          the same kernels as untenanted ones. *)
 }
 
 val spec :
@@ -25,10 +30,12 @@ val spec :
   ?requests:int ->
   ?users:int ->
   ?working_set:int ->
+  ?tenants:string array ->
   overlays:(string * Ir.kernel list) list ->
   unit ->
   spec
-(** Defaults: seed 42, 200 requests, 8 users, working sets of 3. *)
+(** Defaults: seed 42, 200 requests, 8 users, working sets of 3, no
+    tenants. *)
 
 val generate : spec -> Service.request list
 (** Requests numbered 0.. in arrival order.

@@ -18,6 +18,7 @@ let () =
       ("store", Test_store.tests);
       ("service", Test_service.tests);
       ("net", Test_net.tests);
+      ("fleet", Test_fleet.tests);
       ("frontend", Test_frontend.tests);
       ("properties", Test_properties.tests);
     ]

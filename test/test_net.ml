@@ -96,6 +96,7 @@ let gen_request =
     let* name = oneofl Kernels.names in
     let* id = int_range 0 1_000_000 in
     let* user = string_size ~gen:printable (int_range 0 12) in
+    let* tenant = oneofl [ ""; "acme"; "t-1"; "batch tenant" ] in
     let* overlay = oneofl [ "general"; "dense"; "a b\nc" ] in
     let* tuned = bool in
     let* trace =
@@ -112,6 +113,7 @@ let gen_request =
       {
         Wire.id;
         user;
+        tenant;
         overlay;
         payload;
         tuned;
@@ -135,6 +137,7 @@ let prop_req_roundtrip =
           Wire.frame (Wire.encode_req (Wire.Compile r)) = framed
           && r.Wire.id = req.Wire.id
           && r.Wire.user = req.Wire.user
+          && r.Wire.tenant = req.Wire.tenant
           && r.Wire.overlay = req.Wire.overlay
           && r.Wire.tuned = req.Wire.tuned
           && r.Wire.trace = req.Wire.trace
@@ -234,11 +237,12 @@ let start_single_shard ?store_path () =
   let node = must_node (Node.init ~setup config) in
   (Server.start ~node ~fd (), node, port)
 
-let compile_req ?(trace = "") ~id kernel =
+let compile_req ?(trace = "") ?(tenant = "") ~id kernel =
   Wire.Compile
     {
       Wire.id;
       user = "u";
+      tenant;
       overlay = "general";
       payload = Wire.Kernel kernel;
       tuned = false;
@@ -285,6 +289,7 @@ let source_req ~id ?(tuned = false) src =
     {
       Wire.id;
       user = "u";
+      tenant = "";
       overlay = "general";
       payload = Wire.Source src;
       tuned;
@@ -380,8 +385,9 @@ let test_two_clients_same_id () =
     let svc = Service.create (Node.registry node) in
     let resps =
       Service.run svc
-        [ { Service.id = 0; user = "r"; overlay = "general";
-            payload = Service.Kernel kernel; tuned = false; trace = "" } ]
+        [ { Service.id = 0; user = "r"; tenant = ""; overlay = "general";
+            payload = Service.Kernel kernel; tuned = false; trace = "";
+            deadline_s = None } ]
     in
     match resps with
     | [ { Service.result = Ok schedules; _ } ] -> digest schedules
@@ -408,6 +414,7 @@ let test_serve_under_faults () =
            {
              Wire.id = r.id;
              user = r.user;
+             tenant = r.tenant;
              overlay = r.overlay;
              payload =
                (match r.payload with
@@ -476,6 +483,7 @@ let test_reboot_replays_store () =
            {
              Wire.id = r.id;
              user = r.user;
+             tenant = r.tenant;
              overlay = r.overlay;
              payload =
                (match r.payload with
@@ -561,6 +569,7 @@ let test_forward_preserves_trace () =
     {
       Wire.id = 1;
       user = "u";
+      tenant = "";
       overlay = "general";
       payload = Wire.Kernel kernel;
       tuned = false;
@@ -615,18 +624,19 @@ let test_old_schema_payload_rejected () =
     in
     let i = find 0 in
     let b = Bytes.of_string payload in
-    (* "...-v3" -> "...-v2": same length, so the length prefix still
-       matches and only the schema comparison can reject it *)
-    Bytes.set b (i + lt - 1) '2';
+    (* "...-v4" -> "...-v3": same length, so the length prefix still
+       matches and only the schema comparison can reject it — a v3-era
+       frame body must decode-reject against the v4 node *)
+    Bytes.set b (i + lt - 1) '3';
     Bytes.to_string b
   in
   let req_payload = Wire.encode_req (compile_req ~id:3 (List.hd Kernels.all)) in
-  (match Wire.decode_req (patch_schema ~tag:"net-req-v3" req_payload) with
+  (match Wire.decode_req (patch_schema ~tag:"net-req-v4" req_payload) with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "v2 request schema accepted");
-  match Wire.decode_resp (patch_schema ~tag:"net-resp-v3" (Wire.encode_resp Wire.Bye)) with
+  | Ok _ -> Alcotest.fail "v3 request schema accepted");
+  match Wire.decode_resp (patch_schema ~tag:"net-resp-v4" (Wire.encode_resp Wire.Bye)) with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "v2 response schema accepted"
+  | Ok _ -> Alcotest.fail "v3 response schema accepted"
 
 (* ---------------- cross-process trace merge ---------------- *)
 

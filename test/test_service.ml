@@ -346,8 +346,9 @@ let test_retry_recovers () =
   | Error e -> failwith e);
   let svc = Service.create ~caching:true registry in
   let req =
-    { Service.id = 0; user = "u"; overlay = "general";
-      payload = Service.Kernel (Kernels.find "fir"); tuned = false; trace = "" }
+    { Service.id = 0; user = "u"; tenant = ""; overlay = "general";
+      payload = Service.Kernel (Kernels.find "fir"); tuned = false; trace = "";
+      deadline_s = None }
   in
   let responses = Fault.with_faults cfg (fun () -> Service.run svc [ req ]) in
   (match responses with
@@ -375,8 +376,9 @@ let test_deadline_shedding () =
   in
   let reqs =
     List.init 5 (fun id ->
-        { Service.id; user = "u"; overlay = "general";
-          payload = Service.Kernel (Kernels.find "fir"); tuned = false; trace = "" })
+        { Service.id; user = "u"; tenant = ""; overlay = "general";
+          payload = Service.Kernel (Kernels.find "fir"); tuned = false;
+          trace = ""; deadline_s = None })
   in
   List.iter
     (fun r ->
@@ -410,8 +412,9 @@ let test_backpressure () =
   | Error e -> failwith e);
   let svc = Service.create ~queue_capacity:4 registry in
   let req id =
-    { Service.id; user = "u"; overlay = "general";
-      payload = Service.Kernel (Kernels.find "fir"); tuned = false; trace = "" }
+    { Service.id; user = "u"; tenant = ""; overlay = "general";
+      payload = Service.Kernel (Kernels.find "fir"); tuned = false;
+      trace = ""; deadline_s = None }
   in
   let accepted, rejected =
     List.fold_left
@@ -434,8 +437,9 @@ let test_unknown_overlay () =
   let registry = Registry.create () in
   let svc = Service.create registry in
   let r =
-    { Service.id = 0; user = "u"; overlay = "missing";
-      payload = Service.Kernel (Kernels.find "fir"); tuned = false; trace = "" }
+    { Service.id = 0; user = "u"; tenant = ""; overlay = "missing";
+      payload = Service.Kernel (Kernels.find "fir"); tuned = false;
+      trace = ""; deadline_s = None }
   in
   (match Service.submit svc r with Ok () -> () | Error _ -> Alcotest.fail "admit");
   match Service.drain svc with
@@ -456,8 +460,8 @@ let test_source_payload () =
   let svc = Service.create ~caching:true registry in
   let kernel = Kernels.find "fir" in
   let req id payload =
-    { Service.id; user = "u"; overlay = "general"; payload; tuned = false;
-      trace = "" }
+    { Service.id; user = "u"; tenant = ""; overlay = "general"; payload;
+      tuned = false; trace = ""; deadline_s = None }
   in
   let responses =
     Service.run svc
